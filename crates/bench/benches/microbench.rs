@@ -1,0 +1,131 @@
+//! Criterion microbenchmarks: verifier throughput, interpreter throughput
+//! with and without sanitation (the wall-clock side of §6.4), tnum
+//! algebra, and generator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bvf::gen::{GenConfig, StructuredGen};
+use bvf::scenario::standard_maps;
+use bvf_isa::{asm, AluOp, JmpOp, Program, Reg, Size};
+use bvf_kernel_sim::helpers::proto::ids as helper;
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::BugSet;
+use bvf_runtime::Bpf;
+use bvf_verifier::{verify, Tnum, VerifierOpts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_program() -> Program {
+    // A representative mid-size program: map lookup, guarded derefs, a
+    // bounded loop, arithmetic.
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 1));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 6));
+    insns.push(asm::mov64_imm(Reg::R6, 0));
+    insns.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R6, 1));
+    insns.push(asm::stx_mem(Size::Dw, Reg::R0, Reg::R6, 8));
+    insns.push(asm::jmp_imm(JmpOp::Jlt, Reg::R6, 8, -4));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    Program::from_insns(insns)
+}
+
+fn bpf_with_maps(sanitize: bool) -> Bpf {
+    let mut b = Bpf::new(BugSet::none(), VerifierOpts::default(), sanitize);
+    for def in standard_maps() {
+        b.map_create(def).unwrap();
+    }
+    b
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let bpf = bpf_with_maps(false);
+    let prog = sample_program();
+    c.bench_function("verifier/accept_midsize_program", |b| {
+        b.iter(|| {
+            let out = verify(
+                &bpf.kernel,
+                &prog,
+                ProgType::SocketFilter,
+                &VerifierOpts::default(),
+            );
+            assert!(out.result.is_ok());
+        })
+    });
+
+    let bad = Program::from_insns(vec![asm::mov64_reg(Reg::R0, Reg::R5), asm::exit()]);
+    c.bench_function("verifier/reject_early", |b| {
+        b.iter(|| {
+            let out = verify(
+                &bpf.kernel,
+                &bad,
+                ProgType::SocketFilter,
+                &VerifierOpts::default(),
+            );
+            assert!(out.result.is_err());
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let prog = sample_program();
+    for sanitize in [false, true] {
+        let name = if sanitize {
+            "interp/test_run_sanitized"
+        } else {
+            "interp/test_run_plain"
+        };
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut bpf = bpf_with_maps(sanitize);
+                    let id = bpf.prog_load(&prog, ProgType::SocketFilter, false).unwrap();
+                    (bpf, id)
+                },
+                |(mut bpf, id)| {
+                    let run = bpf.test_run(id).unwrap();
+                    assert!(run.reports.is_empty());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_tnum(c: &mut Criterion) {
+    let a = Tnum::range(100, 5000);
+    let b_ = Tnum::range(3, 77);
+    c.bench_function("tnum/add_mul_and", |b| {
+        b.iter(|| {
+            let x = a.add(b_);
+            let y = x.mul(b_);
+            std::hint::black_box(y.and(a))
+        })
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let gen = StructuredGen::new(GenConfig::default());
+    c.bench_function("gen/structured_program", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(gen.generate(&mut rng)))
+    });
+    c.bench_function("gen/syzkaller_program", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(bvf::baseline::syzkaller_generate(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_verifier,
+    bench_interp,
+    bench_tnum,
+    bench_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! **Experiment E1 — Table 2**: previously unknown vulnerabilities found.
+//!
+//! Deploys BVF, the Syzkaller-like baseline, and the Buzzer-like baseline
+//! against a kernel carrying all eleven injected defects (plus
+//! CVE-2022-23222) and reports which defects each tool discovers within
+//! the iteration budget. The paper's two-week result: BVF found all 11
+//! (6 verifier correctness bugs); Syzkaller and Buzzer found none.
+//!
+//! Usage: `table2_bugs [--iters N] [--seeds K]`
+
+use std::collections::BTreeMap;
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::{run_campaign, CampaignConfig};
+use bvf_bench::{arg_usize, render_table, save_json};
+use bvf_kernel_sim::BugId;
+
+fn main() {
+    let iters = arg_usize("--iters", 12_000);
+    let seeds = arg_usize("--seeds", 3);
+
+    let tools = [
+        GeneratorKind::Bvf,
+        GeneratorKind::Syzkaller,
+        GeneratorKind::BuzzerAluJmp,
+    ];
+
+    // bug -> tool -> earliest iteration found (across seeds).
+    let mut first_found: BTreeMap<BugId, BTreeMap<GeneratorKind, usize>> = BTreeMap::new();
+
+    for tool in tools {
+        for seed in 0..seeds {
+            let cfg = CampaignConfig::new(tool, iters, 1000 + seed as u64);
+            eprintln!(
+                "running {} seed {seed} ({iters} iterations)...",
+                tool.name()
+            );
+            let r = run_campaign(&cfg);
+            for f in &r.findings {
+                for bug in &f.culprits {
+                    let entry = first_found
+                        .entry(*bug)
+                        .or_default()
+                        .entry(tool)
+                        .or_insert(usize::MAX);
+                    *entry = (*entry).min(f.iteration + seed * iters);
+                }
+            }
+        }
+    }
+
+    let describe = |bug: BugId| -> (&'static str, &'static str) {
+        match bug {
+            BugId::NullnessPropagation => ("Verifier", "Incorrect nullness propagation of pointer comparisons causes invalid memory access"),
+            BugId::TaskStructOob => ("Verifier", "Incorrect task struct access validation leads to out-of-bound access"),
+            BugId::KfuncBacktrack => ("Verifier", "Incorrect check on kfunc call operations causes verifier backtracking bug"),
+            BugId::TracePrintkDeadlock => ("Verifier", "Missing check on programs attached to bpf_trace_printk causes deadlock"),
+            BugId::ContentionBeginLock => ("Verifier", "Missing validation on contention_begin causes inconsistent lock state error"),
+            BugId::SignalSendPanic => ("Verifier", "Missing strict checking on signal sending of programs causes kernel panic"),
+            BugId::CveAluOnNullablePtr => ("Verifier", "CVE-2022-23222: ALU on nullable pointers causes out-of-bounds access"),
+            BugId::DispatcherNullDeref => ("Dispatcher", "Missing sync between dispatcher update and execution leads to null-ptr-deref"),
+            BugId::SyscallKmemdup => ("Syscall", "Incorrect using of kmemdup() leads to failure in duplicating xlated insns"),
+            BugId::HashBucketOob => ("Map", "Incorrect bucket iterating in the failure case of lock acquiring causes oob access"),
+            BugId::IrqWorkLock => ("Helper", "Incorrect using of irq_work_queue in a helper function leads to lock bug"),
+            BugId::XdpDeviceOnHost => ("XDP", "Incorrect execution env, attempt to run device eBPF program on the host"),
+        }
+    };
+
+    let mark = |bug: BugId, tool: GeneratorKind| -> String {
+        match first_found.get(&bug).and_then(|m| m.get(&tool)) {
+            Some(it) => format!("found (iter {it})"),
+            None => "-".to_string(),
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut json_bugs = Vec::new();
+    for (i, bug) in BugId::ALL.iter().enumerate() {
+        let (component, desc) = describe(*bug);
+        rows.push(vec![
+            format!("{}", i + 1),
+            component.to_string(),
+            desc.chars().take(60).collect(),
+            mark(*bug, GeneratorKind::Bvf),
+            mark(*bug, GeneratorKind::Syzkaller),
+            mark(*bug, GeneratorKind::BuzzerAluJmp),
+        ]);
+        json_bugs.push(serde_json::json!({
+            "bug": bug.name(),
+            "component": component,
+            "verifier_bug": bug.is_verifier_bug(),
+            "bvf": first_found.get(bug).and_then(|m| m.get(&GeneratorKind::Bvf)),
+            "syzkaller": first_found.get(bug).and_then(|m| m.get(&GeneratorKind::Syzkaller)),
+            "buzzer": first_found.get(bug).and_then(|m| m.get(&GeneratorKind::BuzzerAluJmp)),
+        }));
+    }
+
+    println!(
+        "\nTable 2 — vulnerabilities discovered ({iters} iterations x {seeds} seeds per tool)\n"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "#",
+                "Component",
+                "Description",
+                "BVF",
+                "Syzkaller",
+                "Buzzer"
+            ],
+            &rows
+        )
+    );
+
+    let bvf_found = BugId::ALL
+        .iter()
+        .filter(|b| {
+            first_found
+                .get(b)
+                .map(|m| m.contains_key(&GeneratorKind::Bvf))
+                .unwrap_or(false)
+        })
+        .count();
+    let bvf_verifier = BugId::ALL
+        .iter()
+        .filter(|b| {
+            b.is_verifier_bug()
+                && first_found
+                    .get(b)
+                    .map(|m| m.contains_key(&GeneratorKind::Bvf))
+                    .unwrap_or(false)
+        })
+        .count();
+    let base_found: usize = BugId::ALL
+        .iter()
+        .filter(|b| {
+            first_found
+                .get(b)
+                .map(|m| {
+                    m.contains_key(&GeneratorKind::Syzkaller)
+                        || m.contains_key(&GeneratorKind::BuzzerAluJmp)
+                })
+                .unwrap_or(false)
+        })
+        .count();
+    println!(
+        "BVF: {bvf_found}/12 defects ({bvf_verifier}/7 verifier correctness bugs incl. the CVE)"
+    );
+    println!("baselines: {base_found}/12 defects");
+    println!(
+        "paper: BVF 11/11 (6 verifier correctness bugs); Syzkaller and Buzzer 0 within two weeks"
+    );
+
+    save_json(
+        "table2_bugs.json",
+        &serde_json::json!({ "iters": iters, "seeds": seeds, "bugs": json_bugs }),
+    );
+}

@@ -1,0 +1,137 @@
+//! **Experiment E2/E3 — Table 3 and Figure 6**: verifier branch coverage
+//! of BVF, Syzkaller, and Buzzer across three kernel versions.
+//!
+//! Each `(version, tool)` campaign runs for the iteration budget (the
+//! paper's 48-hour axis scales to iterations here), repeated over several
+//! seeds; the table reports mean final coverage and BVF's improvement,
+//! and `--series` emits the Figure 6 growth curves as CSV.
+//!
+//! Paper reference (Table 3): BVF 60905 overall, +17.5 % over Syzkaller,
+//! +541 % over Buzzer; all tools grow fast in the "first eight hours"
+//! and the baselines then saturate while BVF keeps climbing.
+//!
+//! Usage: `table3_coverage [--iters N] [--seeds K] [--series]`
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::{run_campaign, CampaignConfig};
+use bvf_bench::{arg_flag, arg_usize, render_table, save_json};
+use bvf_verifier::KernelVersion;
+
+fn main() {
+    let iters = arg_usize("--iters", 6_000);
+    let seeds = arg_usize("--seeds", 3);
+    let series = arg_flag("--series");
+
+    let tools = [
+        GeneratorKind::Bvf,
+        GeneratorKind::Syzkaller,
+        GeneratorKind::BuzzerAluJmp,
+    ];
+
+    // (version, tool) -> (mean final coverage, mean timeline).
+    let mut results: Vec<(KernelVersion, GeneratorKind, f64, Vec<(usize, f64)>)> = Vec::new();
+
+    for version in KernelVersion::ALL {
+        for tool in tools {
+            let mut finals = Vec::new();
+            let mut timelines: Vec<Vec<(usize, usize)>> = Vec::new();
+            for seed in 0..seeds {
+                let mut cfg = CampaignConfig::new(tool, iters, 7000 + seed as u64);
+                cfg.version = version;
+                cfg.triage = false;
+                eprintln!(
+                    "running {} on {} seed {seed}...",
+                    tool.name(),
+                    version.name()
+                );
+                let r = run_campaign(&cfg);
+                finals.push(r.coverage.len() as f64);
+                timelines.push(r.timeline);
+            }
+            let mean = finals.iter().sum::<f64>() / finals.len() as f64;
+            // Average the timelines point-wise.
+            let npoints = timelines.iter().map(|t| t.len()).min().unwrap_or(0);
+            let mut mean_tl = Vec::new();
+            for p in 0..npoints {
+                let it = timelines[0][p].0;
+                let avg =
+                    timelines.iter().map(|t| t[p].1 as f64).sum::<f64>() / timelines.len() as f64;
+                mean_tl.push((it, avg));
+            }
+            results.push((version, tool, mean, mean_tl));
+        }
+    }
+
+    // Table 3.
+    let cov_of = |v: KernelVersion, t: GeneratorKind| -> f64 {
+        results
+            .iter()
+            .find(|(rv, rt, _, _)| *rv == v && *rt == t)
+            .map(|(_, _, c, _)| *c)
+            .unwrap_or(0.0)
+    };
+    let mut rows = Vec::new();
+    let mut overall = [0.0f64; 3];
+    for v in KernelVersion::ALL {
+        let bvf = cov_of(v, GeneratorKind::Bvf);
+        let syz = cov_of(v, GeneratorKind::Syzkaller);
+        let buz = cov_of(v, GeneratorKind::BuzzerAluJmp);
+        overall[0] += bvf;
+        overall[1] += syz;
+        overall[2] += buz;
+        rows.push(vec![
+            v.name().to_string(),
+            format!("{bvf:.0}"),
+            format!("{syz:.0} (+{:.1}%)", 100.0 * (bvf - syz) / syz.max(1.0)),
+            format!("{buz:.0} (+{:.1}%)", 100.0 * (bvf - buz) / buz.max(1.0)),
+        ]);
+    }
+    for o in &mut overall {
+        *o /= KernelVersion::ALL.len() as f64;
+    }
+    rows.push(vec![
+        "Overall".to_string(),
+        format!("{:.0}", overall[0]),
+        format!(
+            "{:.0} (+{:.1}%)",
+            overall[1],
+            100.0 * (overall[0] - overall[1]) / overall[1].max(1.0)
+        ),
+        format!(
+            "{:.0} (+{:.1}%)",
+            overall[2],
+            100.0 * (overall[0] - overall[2]) / overall[2].max(1.0)
+        ),
+    ]);
+
+    println!("\nTable 3 — verifier branch coverage ({iters} iterations x {seeds} seeds)\n");
+    println!(
+        "{}",
+        render_table(&["Version", "BVF", "Syzkaller", "Buzzer"], &rows)
+    );
+    println!("paper: overall BVF 60905, Syzkaller 50062 (+17.5%), Buzzer 9502 (+541.0%)");
+    println!("(absolute numbers differ — our coverage domain is the Rust verifier's\ninstrumentation points — the ordering and relative gaps are the claim)");
+
+    // Figure 6: coverage growth series, iterations scaled to "hours".
+    if series {
+        println!("\nFigure 6 — coverage growth (CSV: hours,tool,version,coverage)");
+        for (v, t, _, tl) in &results {
+            for (it, cov) in tl {
+                let hours = 48.0 * *it as f64 / iters as f64;
+                println!("{hours:.2},{},{},{cov:.0}", t.name(), v.name());
+            }
+        }
+    }
+
+    let json = serde_json::json!({
+        "iters": iters,
+        "seeds": seeds,
+        "results": results.iter().map(|(v, t, c, tl)| serde_json::json!({
+            "version": v.name(),
+            "tool": t.name(),
+            "final_coverage": c,
+            "timeline": tl,
+        })).collect::<Vec<_>>(),
+    });
+    save_json("table3_coverage.json", &json);
+}

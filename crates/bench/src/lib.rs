@@ -1,0 +1,91 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the experiment index). The
+//! helpers here format tables and persist machine-readable results.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Renders a fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    line(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {:w$} ", h, w = widths[i]));
+    }
+    out.push_str("|\n");
+    line(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:w$} ", cell, w = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    line(&mut out);
+    out
+}
+
+/// Writes a JSON results file under `bench_results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = Path::new("bench_results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::File::create(dir.join(name)) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+    }
+}
+
+/// Parses `--iters N` / `--seeds N` style overrides from argv.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare flag is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["tool", "coverage"],
+            &[
+                vec!["BVF".into(), "60905".into()],
+                vec!["Syzkaller".into(), "50062".into()],
+            ],
+        );
+        assert!(t.contains("| BVF"));
+        assert!(t.contains("| 60905"));
+        let widths: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "all lines same width"
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The `bvf` command-line tool.
+//!
+//! ```text
+//! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
+//!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
+//!             [--no-sanitize] [--no-triage] [--save-findings DIR]
+//! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
+//! bvf disasm  <scenario.json | program.bin>
+//! bvf bugs    # list injectable defects
+//! ```
+//!
+//! Findings saved by `fuzz --save-findings` are replayable scenario JSON
+//! files; `replay` re-executes one deterministically and prints the
+//! verifier verdict, kernel reports, and differential triage.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::exit;
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::{run_campaign, CampaignConfig};
+use bvf::oracle::{judge, triage};
+use bvf::scenario::{run_scenario, Scenario};
+use bvf_kernel_sim::{BugId, BugSet};
+use bvf_verifier::KernelVersion;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
+         [--no-sanitize] [--no-triage] [--save-findings DIR]\n  \
+         bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n  \
+         bvf disasm <scenario.json|program.bin>\n  \
+         bvf bugs"
+    );
+    exit(2)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn parse_bugs(spec: &str) -> BugSet {
+    match spec {
+        "all" => BugSet::all(),
+        "none" => BugSet::none(),
+        list => {
+            let by_name: BTreeMap<&str, BugId> =
+                BugId::ALL.iter().map(|b| (b.name(), *b)).collect();
+            let mut set = BugSet::none();
+            for part in list.split(',') {
+                match by_name
+                    .iter()
+                    .find(|(n, _)| **n == part || n.contains(part))
+                {
+                    Some((_, bug)) => set.enable(*bug),
+                    None => {
+                        eprintln!("unknown bug {part:?}; see `bvf bugs`");
+                        exit(2);
+                    }
+                }
+            }
+            set
+        }
+    }
+}
+
+fn parse_version(spec: &str) -> KernelVersion {
+    match spec {
+        "v5.15" | "5.15" => KernelVersion::V5_15,
+        "v6.1" | "6.1" => KernelVersion::V6_1,
+        "bpf-next" | "next" => KernelVersion::BpfNext,
+        other => {
+            eprintln!("unknown kernel version {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn parse_generator(spec: &str) -> GeneratorKind {
+    match spec {
+        "bvf" => GeneratorKind::Bvf,
+        "syzkaller" => GeneratorKind::Syzkaller,
+        "buzzer" => GeneratorKind::BuzzerAluJmp,
+        "buzzer-random" => GeneratorKind::BuzzerRandom,
+        other => {
+            eprintln!("unknown generator {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn cmd_bugs() {
+    println!("{:34} {:10} injectable defects", "name", "component");
+    for bug in BugId::ALL {
+        println!(
+            "{:34} {:10} {}",
+            bug.name(),
+            if bug.is_verifier_bug() {
+                "verifier"
+            } else {
+                "kernel"
+            },
+            if BugId::VERIFIER_CORRECTNESS.contains(&bug) {
+                "Table 2 correctness bug"
+            } else if bug == BugId::CveAluOnNullablePtr {
+                "CVE-2022-23222 (Listing 1)"
+            } else {
+                "Table 2 component bug"
+            }
+        );
+    }
+}
+
+fn cmd_fuzz(args: &Args) {
+    let iters: usize = args
+        .opt("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000);
+    let seed: u64 = args.opt("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let mut cfg = CampaignConfig::new(
+        args.opt("--generator")
+            .map(parse_generator)
+            .unwrap_or(GeneratorKind::Bvf),
+        iters,
+        seed,
+    );
+    cfg.bugs = args
+        .opt("--bugs")
+        .map(parse_bugs)
+        .unwrap_or_else(BugSet::all);
+    cfg.version = args
+        .opt("--version")
+        .map(parse_version)
+        .unwrap_or(KernelVersion::BpfNext);
+    cfg.sanitize = !args.flag("--no-sanitize");
+    cfg.triage = !args.flag("--no-triage");
+
+    eprintln!(
+        "fuzzing: {} iterations, generator {}, {} defects injected, sanitation {}",
+        cfg.iterations,
+        cfg.generator.name(),
+        cfg.bugs.iter().count(),
+        if cfg.sanitize { "on" } else { "off" }
+    );
+    let r = run_campaign(&cfg);
+    println!(
+        "iterations {}  accepted {} ({:.1}%)  coverage {}  corpus {}",
+        r.iterations,
+        r.accepted,
+        100.0 * r.acceptance_rate(),
+        r.coverage.len(),
+        r.corpus_len
+    );
+    for rec in &r.findings {
+        println!(
+            "\nfinding at iteration {} — indicator {:?}, culprits {:?}",
+            rec.iteration, rec.finding.indicator, rec.culprits
+        );
+        for rep in &rec.finding.reports {
+            println!("  {}", rep.summary());
+        }
+    }
+    if r.findings.is_empty() {
+        println!("no findings");
+    }
+
+    if let Some(dir) = args.opt("--save-findings") {
+        std::fs::create_dir_all(dir).expect("create findings dir");
+        for (i, rec) in r.findings.iter().enumerate() {
+            let path = Path::new(dir).join(format!("finding-{i:03}.json"));
+            let json = serde_json::to_string_pretty(&rec.finding.scenario).unwrap();
+            std::fs::write(&path, json).expect("write finding");
+            println!("saved {}", path.display());
+        }
+    }
+}
+
+fn load_scenario(path: &str) -> Scenario {
+    let data = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    if path.ends_with(".json") {
+        serde_json::from_slice(&data).unwrap_or_else(|e| {
+            eprintln!("cannot parse scenario: {e}");
+            exit(1);
+        })
+    } else {
+        // Raw instruction bytes; run as a socket filter test run.
+        let prog = bvf_isa::Program::from_bytes(&data).unwrap_or_else(|| {
+            eprintln!("program length must be a multiple of 8 bytes");
+            exit(1);
+        });
+        Scenario::test_run(prog, bvf_kernel_sim::progtype::ProgType::SocketFilter)
+    }
+}
+
+fn cmd_replay(args: &Args, path: &str) {
+    let scenario = load_scenario(path);
+    let bugs = args
+        .opt("--bugs")
+        .map(parse_bugs)
+        .unwrap_or_else(BugSet::all);
+    let version = args
+        .opt("--version")
+        .map(parse_version)
+        .unwrap_or(KernelVersion::BpfNext);
+    let sanitize = !args.flag("--no-sanitize");
+
+    println!(
+        "program ({:?}, trigger {:?}):\n{}",
+        scenario.prog_type,
+        scenario.trigger,
+        scenario.prog.dump()
+    );
+    let out = run_scenario(&scenario, &bugs, version, sanitize);
+    match &out.load {
+        Ok(_) => println!(
+            "verifier: ACCEPTED ({} insns processed)",
+            out.verifier_insns
+        ),
+        Err(e) => println!("verifier: REJECTED — {e}"),
+    }
+    if out.attach_rejected {
+        println!("attach: REFUSED");
+    }
+    if let Some(h) = out.halt {
+        println!("execution halted: {h:?}");
+    }
+    for r in &out.reports {
+        println!("report: {}", r.summary());
+    }
+    if let Some(f) = judge(&scenario, &out) {
+        println!(
+            "\noracle: indicator {:?} triggered — running triage...",
+            f.indicator
+        );
+        let culprits = triage(&f, &bugs, version, sanitize);
+        println!("culprits: {culprits:?}");
+    } else {
+        println!("\noracle: no finding");
+    }
+}
+
+fn cmd_disasm(path: &str) {
+    let scenario = load_scenario(path);
+    println!("{}", scenario.prog.dump());
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(|s| s.as_str()) else {
+        usage()
+    };
+    let args = Args(argv.clone());
+    match cmd {
+        "fuzz" => cmd_fuzz(&args),
+        "replay" => match argv.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_replay(&args, p),
+            _ => usage(),
+        },
+        "disasm" => match argv.get(1) {
+            Some(p) => cmd_disasm(p),
+            None => usage(),
+        },
+        "bugs" => cmd_bugs(),
+        _ => usage(),
+    }
+}

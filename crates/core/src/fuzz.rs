@@ -1,0 +1,334 @@
+//! The fuzzing campaign driver (paper Figure 3).
+//!
+//! Each iteration synthesizes a scenario (structured generation for BVF,
+//! the baseline generators otherwise, or a mutation of a saved corpus
+//! entry), runs it on a fresh kernel, feeds verifier branch coverage back
+//! into the corpus, and hands accepted-but-misbehaving programs to the
+//! oracle. Findings are deduplicated by report signature and triaged
+//! differentially to the injected defect that causes them.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bvf_kernel_sim::{BugId, BugSet, KernelReport};
+use bvf_verifier::{Coverage, KernelVersion};
+
+use crate::baseline::{
+    alu_jmp_fraction, buzzer_alujmp_generate, buzzer_random_generate, syzkaller_generate,
+    GeneratorKind,
+};
+use crate::gen::{GenConfig, StructuredGen};
+use crate::oracle::{judge, triage, Finding, Indicator};
+use crate::scenario::{run_scenario, Scenario};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Which generator drives the campaign.
+    pub generator: GeneratorKind,
+    /// Injected defects in the target kernel.
+    pub bugs: BugSet,
+    /// Kernel version under test.
+    pub version: KernelVersion,
+    /// Whether BVF's sanitation is compiled in.
+    pub sanitize: bool,
+    /// Number of iterations (generated programs).
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a coverage snapshot every N iterations.
+    pub snapshot_every: usize,
+    /// Whether to run differential triage on deduplicated findings.
+    pub triage: bool,
+    /// Whether coverage feedback (corpus retention + mutation) is
+    /// enabled; disabled for the ablation study.
+    pub feedback: bool,
+}
+
+impl CampaignConfig {
+    /// A default configuration for the given generator and budget.
+    pub fn new(generator: GeneratorKind, iterations: usize, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            generator,
+            bugs: BugSet::all(),
+            version: KernelVersion::BpfNext,
+            sanitize: true,
+            iterations,
+            seed,
+            snapshot_every: (iterations / 64).max(1),
+            triage: true,
+            feedback: true,
+        }
+    }
+}
+
+/// One deduplicated finding with its triage result.
+#[derive(Debug)]
+pub struct FindingRecord {
+    /// The finding itself.
+    pub finding: Finding,
+    /// Injected defects necessary for it (differential triage).
+    pub culprits: Vec<BugId>,
+    /// Iteration at which it was first seen.
+    pub iteration: usize,
+}
+
+/// Aggregated results of one campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The driving generator.
+    pub generator: GeneratorKind,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Programs accepted by the verifier.
+    pub accepted: usize,
+    /// Rejection errno histogram.
+    pub errno_histogram: BTreeMap<i32, usize>,
+    /// Final accumulated verifier coverage.
+    pub coverage: Coverage,
+    /// Coverage growth: `(iteration, covered_points)`.
+    pub timeline: Vec<(usize, usize)>,
+    /// Deduplicated findings.
+    pub findings: Vec<FindingRecord>,
+    /// Defects discovered (union of triaged culprits).
+    pub found_bugs: BTreeSet<BugId>,
+    /// Mean ALU/JMP instruction share of generated programs.
+    pub alu_jmp_share: f64,
+    /// Mean generated program length (slots).
+    pub avg_prog_len: f64,
+    /// Corpus size at the end.
+    pub corpus_len: usize,
+}
+
+impl CampaignResult {
+    /// Acceptance rate in `[0, 1]`.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.iterations as f64
+        }
+    }
+}
+
+fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> String {
+    let mut sig = format!("{indicator:?}");
+    if let Some(r) = reports.first() {
+        let kind = match r {
+            KernelReport::Kasan {
+                kind,
+                origin,
+                is_write,
+                ..
+            } => {
+                format!("kasan:{kind:?}:{origin:?}:{is_write}")
+            }
+            KernelReport::PageFault { origin, .. } => format!("pf:{origin:?}"),
+            KernelReport::Lockdep { kind, lock, .. } => format!("lockdep:{kind:?}:{lock:?}"),
+            KernelReport::Panic { .. } => "panic".to_string(),
+            KernelReport::Warn { .. } => "warn".to_string(),
+            KernelReport::AluLimitViolation { .. } => "alulimit".to_string(),
+            KernelReport::EnvMismatch { .. } => "env".to_string(),
+        };
+        sig.push(':');
+        sig.push_str(&kind);
+    }
+    sig
+}
+
+/// Mutates a corpus program: instruction duplication (the paper's
+/// loop-unrolling mutation), immediate/offset tweaks, or tail extension.
+fn mutate(rng: &mut StdRng, base: &Scenario) -> Scenario {
+    let mut s = base.clone();
+    let insns = s.prog.insns_mut();
+    if insns.is_empty() {
+        return s;
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            // Duplicate an adjacent instruction (skip wide-insn halves).
+            let i = rng.gen_range(0..insns.len());
+            let insn = insns[i];
+            if !insn.is_ld_imm64() && insn.code != 0 {
+                insns.insert(i, insn);
+            }
+        }
+        1 => {
+            let i = rng.gen_range(0..insns.len());
+            insns[i].imm = insns[i].imm.wrapping_add(rng.gen_range(-16..16));
+        }
+        2 => {
+            let i = rng.gen_range(0..insns.len());
+            insns[i].off = insns[i].off.wrapping_add(rng.gen_range(-8..8));
+        }
+        _ => {
+            // Flip a register field.
+            let i = rng.gen_range(0..insns.len());
+            if rng.gen_bool(0.5) {
+                insns[i].dst = rng.gen_range(0..11);
+            } else {
+                insns[i].src = rng.gen_range(0..11);
+            }
+        }
+    }
+    s
+}
+
+/// Runs one fuzzing campaign.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let structured = StructuredGen::new(GenConfig {
+        version: cfg.version,
+        ..Default::default()
+    });
+
+    let mut coverage = Coverage::new();
+    let mut corpus: Vec<Scenario> = Vec::new();
+    let mut timeline = Vec::new();
+    let mut errno_histogram: BTreeMap<i32, usize> = BTreeMap::new();
+    let mut accepted = 0usize;
+    let mut findings: Vec<FindingRecord> = Vec::new();
+    let mut seen_signatures: HashSet<String> = HashSet::new();
+    let mut found_bugs = BTreeSet::new();
+    let mut alu_share_sum = 0.0;
+    let mut len_sum = 0usize;
+
+    for iter in 0..cfg.iterations {
+        // Choose: fresh generation or corpus mutation. The feedback loop
+        // mutates saved interesting programs 40% of the time once a
+        // corpus exists (BVF and Syzkaller use coverage feedback; Buzzer
+        // does not).
+        let uses_feedback =
+            cfg.feedback && matches!(cfg.generator, GeneratorKind::Bvf | GeneratorKind::Syzkaller);
+        let scenario = if uses_feedback && !corpus.is_empty() && rng.gen_bool(0.4) {
+            let base = &corpus[rng.gen_range(0..corpus.len())];
+            mutate(&mut rng, base)
+        } else {
+            match cfg.generator {
+                GeneratorKind::Bvf => structured.generate(&mut rng),
+                GeneratorKind::Syzkaller => syzkaller_generate(&mut rng),
+                GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut rng),
+                GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut rng),
+            }
+        };
+        alu_share_sum += alu_jmp_fraction(&scenario.prog);
+        len_sum += scenario.prog.insn_count();
+
+        let outcome = run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize);
+        match &outcome.load {
+            Ok(_) => accepted += 1,
+            Err(e) => {
+                *errno_histogram.entry(e.errno_value()).or_insert(0) += 1;
+            }
+        }
+
+        // Coverage feedback: keep programs that exercised new verifier
+        // logic.
+        if coverage.has_new(&outcome.cov) {
+            coverage.merge(&outcome.cov);
+            if uses_feedback && corpus.len() < 4096 {
+                corpus.push(scenario.clone());
+            }
+        }
+
+        // Oracle.
+        if let Some(finding) = judge(&scenario, &outcome) {
+            let sig = report_signature(finding.indicator, &finding.reports);
+            if seen_signatures.insert(sig) {
+                let culprits = if cfg.triage {
+                    triage(&finding, &cfg.bugs, cfg.version, cfg.sanitize)
+                } else {
+                    Vec::new()
+                };
+                found_bugs.extend(culprits.iter().copied());
+                findings.push(FindingRecord {
+                    finding,
+                    culprits,
+                    iteration: iter,
+                });
+            }
+        }
+
+        if iter % cfg.snapshot_every == 0 || iter + 1 == cfg.iterations {
+            timeline.push((iter, coverage.len()));
+        }
+    }
+
+    CampaignResult {
+        generator: cfg.generator,
+        iterations: cfg.iterations,
+        accepted,
+        errno_histogram,
+        coverage,
+        timeline,
+        findings,
+        found_bugs,
+        alu_jmp_share: alu_share_sum / cfg.iterations.max(1) as f64,
+        avg_prog_len: len_sum as f64 / cfg.iterations.max(1) as f64,
+        corpus_len: corpus.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_bvf_campaign_accepts_and_covers() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 60, 11)
+        };
+        let r = run_campaign(&cfg);
+        assert_eq!(r.iterations, 60);
+        assert!(r.accepted > 10, "acceptance too low: {}", r.accepted);
+        assert!(r.coverage.len() > 100);
+        assert!(!r.timeline.is_empty());
+    }
+
+    #[test]
+    fn buzzer_random_mostly_rejected() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::BuzzerRandom, 60, 5)
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.acceptance_rate() < 0.15, "rate {}", r.acceptance_rate());
+    }
+
+    #[test]
+    fn buzzer_alujmp_mostly_accepted() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::BuzzerAluJmp, 60, 5)
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.acceptance_rate() > 0.8, "rate {}", r.acceptance_rate());
+        assert!(r.alu_jmp_share > 0.8);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 30, 99)
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.findings.len(), b.findings.len());
+    }
+
+    #[test]
+    fn bvf_campaign_finds_bugs() {
+        let cfg = CampaignConfig::new(GeneratorKind::Bvf, 400, 1234);
+        let r = run_campaign(&cfg);
+        assert!(
+            !r.found_bugs.is_empty(),
+            "a 400-iteration campaign should find at least one injected bug"
+        );
+    }
+}

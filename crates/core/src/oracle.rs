@@ -1,0 +1,190 @@
+//! The test oracle: indicator classification and differential triage.
+//!
+//! Section 3 of the paper: a correctness bug in the verifier eventually
+//! appears as one of two abnormal behaviors in a *verified* program —
+//! an invalid load/store performed by the program itself (**indicator
+//! #1**, captured by the sanitation), or a kernel routine driven into an
+//! invalid state (**indicator #2**, captured by existing kernel
+//! self-checks). Anything flagged on an accepted program is a finding.
+//!
+//! Triage (paper §6.5 "Bug Triage") is automated here by differential
+//! replay: re-run the finding's scenario on kernels with one injected
+//! defect reverted at a time; the defects whose revert makes the finding
+//! disappear are the culprits.
+
+use serde::{Deserialize, Serialize};
+
+use bvf_kernel_sim::{BugId, BugSet, KernelReport, ReportOrigin};
+use bvf_verifier::KernelVersion;
+
+use crate::scenario::{run_scenario, Scenario, ScenarioOutcome};
+
+/// The two correctness-bug indicators (plus the syscall-level bucket for
+/// findings like bug #8 that are not program-behavior bugs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Indicator {
+    /// The verified program performed an invalid load/store (caught by
+    /// `bpf_asan_*` or a hard fault in program code).
+    One,
+    /// A kernel routine invoked by the program misbehaved (KASAN in a
+    /// helper, lockdep splat, panic, dispatcher crash, env mismatch).
+    Two,
+    /// A syscall-processing defect surfaced outside program execution.
+    Syscall,
+}
+
+/// Classifies one kernel report into an indicator.
+pub fn classify_report(report: &KernelReport) -> Indicator {
+    match report {
+        KernelReport::AluLimitViolation { .. } => Indicator::One,
+        KernelReport::Kasan { origin, .. } | KernelReport::PageFault { origin, .. } => match origin
+        {
+            ReportOrigin::ProgramAccess => Indicator::One,
+            ReportOrigin::KernelRoutine => Indicator::Two,
+            ReportOrigin::Syscall => Indicator::Syscall,
+        },
+        KernelReport::Lockdep { .. }
+        | KernelReport::Panic { .. }
+        | KernelReport::EnvMismatch { .. } => Indicator::Two,
+        KernelReport::Warn { .. } => Indicator::Syscall,
+    }
+}
+
+/// One oracle finding: a verified program misbehaved.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The replayable scenario.
+    pub scenario: Scenario,
+    /// The triggered indicator (strongest across reports).
+    pub indicator: Indicator,
+    /// The reports that fired.
+    pub reports: Vec<KernelReport>,
+}
+
+/// Inspects a scenario outcome; a finding requires that the program was
+/// *accepted* by the verifier (otherwise nothing was mis-verified).
+pub fn judge(scenario: &Scenario, outcome: &ScenarioOutcome) -> Option<Finding> {
+    if !outcome.accepted() || outcome.reports.is_empty() {
+        return None;
+    }
+    let mut indicator = None;
+    for r in &outcome.reports {
+        let c = classify_report(r);
+        indicator = Some(match (indicator, c) {
+            (None, c) => c,
+            // Indicator #1 is the most specific signal.
+            (Some(Indicator::One), _) | (_, Indicator::One) => Indicator::One,
+            (Some(Indicator::Two), _) | (_, Indicator::Two) => Indicator::Two,
+            (Some(Indicator::Syscall), Indicator::Syscall) => Indicator::Syscall,
+        });
+    }
+    Some(Finding {
+        scenario: scenario.clone(),
+        indicator: indicator?,
+        reports: outcome.reports.clone(),
+    })
+}
+
+/// Differential triage: which enabled defects are necessary for this
+/// finding to manifest?
+///
+/// For each enabled defect, replay the scenario with that defect patched;
+/// if the misbehavior disappears (no reports on an accepted program, or
+/// the program/attach is now rejected), the defect is a culprit.
+pub fn triage(
+    finding: &Finding,
+    enabled: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+) -> Vec<BugId> {
+    let mut culprits = Vec::new();
+    for bug in enabled.iter() {
+        let mut patched = enabled.clone();
+        patched.disable(bug);
+        let outcome = run_scenario(&finding.scenario, &patched, version, sanitize);
+        let still_finds = outcome.accepted() && !outcome.reports.is_empty();
+        if !still_finds {
+            culprits.push(bug);
+        }
+    }
+    culprits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_isa::{asm, AluOp, JmpOp, Program, Reg, Size};
+    use bvf_kernel_sim::btf::ids as btf_ids;
+    use bvf_kernel_sim::helpers::proto::ids as helper;
+    use bvf_kernel_sim::progtype::ProgType;
+    use bvf_kernel_sim::KasanKind;
+
+    #[test]
+    fn classification_table() {
+        let ind1 = KernelReport::Kasan {
+            kind: KasanKind::NullDeref,
+            addr: 0,
+            size: 8,
+            is_write: false,
+            origin: ReportOrigin::ProgramAccess,
+        };
+        assert_eq!(classify_report(&ind1), Indicator::One);
+        let ind2 = KernelReport::Panic { reason: "x".into() };
+        assert_eq!(classify_report(&ind2), Indicator::Two);
+        let sys = KernelReport::Warn { reason: "x".into() };
+        assert_eq!(classify_report(&sys), Indicator::Syscall);
+        assert_eq!(
+            classify_report(&KernelReport::AluLimitViolation {
+                pc: 0,
+                offset: 1,
+                limit: 0
+            }),
+            Indicator::One
+        );
+    }
+
+    fn bug1_scenario() -> Scenario {
+        let mut insns = Vec::new();
+        insns.extend(asm::ld_btf_id(Reg::R6, btf_ids::DEBUG_OBJ));
+        insns.extend(asm::ld_map_fd(Reg::R1, 0));
+        insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+        insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+        insns.push(asm::st_mem(Size::W, Reg::R2, 0, 99));
+        insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+        insns.push(asm::jmp_reg(JmpOp::Jne, Reg::R0, Reg::R6, 1));
+        insns.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0));
+        insns.push(asm::mov64_imm(Reg::R0, 0));
+        insns.push(asm::exit());
+        Scenario::test_run(Program::from_insns(insns), ProgType::Kprobe)
+    }
+
+    #[test]
+    fn judge_and_triage_bug1() {
+        let bugs = BugSet::all();
+        let s = bug1_scenario();
+        let out = run_scenario(&s, &bugs, KernelVersion::BpfNext, true);
+        let finding = judge(&s, &out).expect("bug1 program must be flagged");
+        assert_eq!(finding.indicator, Indicator::One);
+        let culprits = triage(&finding, &bugs, KernelVersion::BpfNext, true);
+        assert_eq!(culprits, vec![BugId::NullnessPropagation]);
+    }
+
+    #[test]
+    fn judge_ignores_rejected_programs() {
+        let s = bug1_scenario();
+        let out = run_scenario(&s, &BugSet::none(), KernelVersion::BpfNext, true);
+        assert!(!out.accepted());
+        assert!(judge(&s, &out).is_none());
+    }
+
+    #[test]
+    fn clean_program_yields_no_finding() {
+        let s = Scenario::test_run(
+            Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()]),
+            ProgType::SocketFilter,
+        );
+        let out = run_scenario(&s, &BugSet::all(), KernelVersion::BpfNext, true);
+        assert!(out.accepted());
+        assert!(judge(&s, &out).is_none());
+    }
+}

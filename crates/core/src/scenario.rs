@@ -1,0 +1,255 @@
+//! Test scenarios: a self-contained, replayable unit of fuzzing work.
+//!
+//! A scenario bundles one generated program with the syscall sequence
+//! around it (load, optional attach, trigger). Executing a scenario
+//! always starts from a **fresh simulated kernel** with a standard
+//! resource set, so outcomes are deterministic and replayable — the
+//! property the oracle's differential triage relies on.
+
+use serde::{Deserialize, Serialize};
+
+use bvf_isa::Program;
+use bvf_kernel_sim::map::{MapDef, MapType};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
+use bvf_kernel_sim::{BugSet, KernelReport};
+use bvf_runtime::{Bpf, BpfError, HaltReason};
+use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
+
+/// Memory pool size used for fuzzing kernels (smaller than the default
+/// for iteration speed; large enough for the standard resources).
+pub const FUZZ_POOL_SIZE: usize = 256 << 10;
+
+/// The standard map set every scenario kernel provides.
+///
+/// fd 0: array, fd 1: hash, fd 2: ringbuf, fd 3: prog array.
+pub fn standard_maps() -> Vec<MapDef> {
+    vec![
+        MapDef {
+            map_type: MapType::Array,
+            key_size: 4,
+            value_size: 16,
+            max_entries: 4,
+        },
+        MapDef {
+            map_type: MapType::Hash,
+            key_size: 8,
+            value_size: 16,
+            max_entries: 8,
+        },
+        MapDef {
+            map_type: MapType::RingBuf,
+            key_size: 0,
+            value_size: 0,
+            max_entries: 4096,
+        },
+        MapDef {
+            map_type: MapType::ProgArray,
+            key_size: 4,
+            value_size: 4,
+            max_entries: 4,
+        },
+    ]
+}
+
+/// What the scenario does once the program is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// `BPF_PROG_TEST_RUN`.
+    TestRun,
+    /// Attach to a tracepoint, then simulate the kernel reaching it.
+    Tracepoint(Tracepoint),
+    /// Attach as XDP, then simulate a packet arrival.
+    XdpReceive,
+    /// Retrieve the rewritten instructions (`prog_get_xlated`).
+    GetXlated,
+}
+
+/// One replayable fuzzing scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The program under test.
+    pub prog: Program,
+    /// Its type.
+    pub prog_type: ProgType,
+    /// Whether to request device offload at load.
+    pub offloaded: bool,
+    /// How to exercise it after loading.
+    pub trigger: Trigger,
+    /// User-space map seeding: `(map_fd, key_le, value_le)` triples
+    /// applied before the run.
+    pub map_seed: Vec<(u32, Vec<u8>, Vec<u8>)>,
+}
+
+impl Scenario {
+    /// A plain test-run scenario.
+    pub fn test_run(prog: Program, prog_type: ProgType) -> Scenario {
+        Scenario {
+            prog,
+            prog_type,
+            offloaded: false,
+            trigger: Trigger::TestRun,
+            map_seed: Vec::new(),
+        }
+    }
+}
+
+/// Everything one scenario execution produced.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The verifier verdict (`Ok(prog_id)` or the rejection).
+    pub load: Result<u32, BpfError>,
+    /// Verifier coverage exercised (present for rejected programs too).
+    pub cov: Coverage,
+    /// Kernel reports from attach/trigger/run.
+    pub reports: Vec<KernelReport>,
+    /// Why execution halted (when the program ran).
+    pub halt: Option<HaltReason>,
+    /// Whether the attach step was refused.
+    pub attach_rejected: bool,
+    /// Instructions processed by the verifier.
+    pub verifier_insns: usize,
+}
+
+impl ScenarioOutcome {
+    /// Whether the program passed verification.
+    pub fn accepted(&self) -> bool {
+        self.load.is_ok()
+    }
+}
+
+/// Executes a scenario on a fresh kernel with the given configuration.
+pub fn run_scenario(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+) -> ScenarioOutcome {
+    let opts = VerifierOpts {
+        version,
+        ..Default::default()
+    };
+    let mut bpf = Bpf::new(bugs.clone(), opts, sanitize);
+    // Shrink the kernel for fuzzing throughput.
+    bpf.kernel = bvf_kernel_sim::Kernel::with_pool_size(bugs.clone(), FUZZ_POOL_SIZE);
+    for def in standard_maps() {
+        bpf.map_create(def).expect("standard maps fit");
+    }
+    for (fd, key, value) in &scenario.map_seed {
+        let _ = bpf.map_update(*fd, key, value);
+    }
+
+    let (load, cov) = bpf.prog_load_with_cov(&scenario.prog, scenario.prog_type);
+    let load = match (load, scenario.offloaded) {
+        (Ok(id), true) => {
+            bpf.progs[id as usize].offloaded = true;
+            Ok(id)
+        }
+        (r, _) => r,
+    };
+    let verifier_insns = match &load {
+        Ok(id) => bpf.progs[*id as usize].xlated.insns_processed,
+        Err(_) => 0,
+    };
+
+    let mut reports = Vec::new();
+    let mut halt = None;
+    let mut attach_rejected = false;
+
+    if let Ok(id) = load {
+        match scenario.trigger {
+            Trigger::TestRun => match bpf.test_run(id) {
+                Ok(run) => {
+                    reports.extend(run.reports);
+                    halt = Some(run.exec.halt);
+                }
+                Err(_) => {
+                    reports.extend(bpf.kernel.end_execution());
+                }
+            },
+            Trigger::Tracepoint(tp) => match bpf.prog_attach(id, AttachPoint::Tracepoint(tp)) {
+                Ok(()) => reports.extend(bpf.trigger_tracepoint(tp)),
+                Err(_) => attach_rejected = true,
+            },
+            Trigger::XdpReceive => {
+                match bpf.prog_attach(
+                    id,
+                    AttachPoint::Xdp {
+                        offloaded: scenario.offloaded,
+                    },
+                ) {
+                    Ok(()) => reports.extend(bpf.xdp_receive()),
+                    Err(_) => attach_rejected = true,
+                }
+            }
+            Trigger::GetXlated => {
+                let _ = bpf.prog_get_xlated(id);
+                reports.extend(bpf.kernel.end_execution());
+            }
+        }
+    }
+
+    ScenarioOutcome {
+        load,
+        cov,
+        reports,
+        halt,
+        attach_rejected,
+        verifier_insns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_isa::{asm, Reg};
+
+    fn trivial() -> Scenario {
+        Scenario::test_run(
+            Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()]),
+            ProgType::SocketFilter,
+        )
+    }
+
+    #[test]
+    fn scenario_runs_deterministically() {
+        let bugs = BugSet::none();
+        let a = run_scenario(&trivial(), &bugs, KernelVersion::BpfNext, true);
+        let b = run_scenario(&trivial(), &bugs, KernelVersion::BpfNext, true);
+        assert!(a.accepted() && b.accepted());
+        assert_eq!(a.cov, b.cov);
+        assert_eq!(a.reports, b.reports);
+        assert_eq!(a.halt, b.halt);
+    }
+
+    #[test]
+    fn rejected_program_still_yields_coverage() {
+        let s = Scenario::test_run(
+            Program::from_insns(vec![asm::mov64_reg(Reg::R0, Reg::R5), asm::exit()]),
+            ProgType::SocketFilter,
+        );
+        let out = run_scenario(&s, &BugSet::none(), KernelVersion::BpfNext, true);
+        assert!(!out.accepted());
+        assert!(!out.cov.is_empty());
+    }
+
+    #[test]
+    fn map_seed_applied() {
+        let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+        insns.extend(asm::ld_map_fd(Reg::R1, 0));
+        insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+        insns.push(asm::alu64_imm(bvf_isa::AluOp::Add, Reg::R2, -8));
+        insns.push(asm::st_mem(bvf_isa::Size::W, Reg::R2, 0, 0));
+        insns.push(asm::call_helper(1));
+        insns.push(asm::jmp_imm(bvf_isa::JmpOp::Jeq, Reg::R0, 0, 1));
+        insns.push(asm::ldx_mem(bvf_isa::Size::Dw, Reg::R0, Reg::R0, 0));
+        insns.push(asm::exit());
+        let mut s = Scenario::test_run(Program::from_insns(insns), ProgType::SocketFilter);
+        let mut value = 0x55u64.to_le_bytes().to_vec();
+        value.extend([0u8; 8]);
+        s.map_seed.push((0, 0u32.to_le_bytes().to_vec(), value));
+        let out = run_scenario(&s, &BugSet::none(), KernelVersion::BpfNext, true);
+        assert!(out.accepted());
+        assert!(out.reports.is_empty());
+    }
+}

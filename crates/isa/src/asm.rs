@@ -1,0 +1,337 @@
+//! Assembler-style instruction builders mirroring the kernel `BPF_*` macros.
+//!
+//! These helpers make hand-written programs in tests, examples, and the
+//! selftest corpus read close to the kernel's own test style:
+//!
+//! ```
+//! use bvf_isa::{asm, Reg};
+//!
+//! let insns = vec![
+//!     asm::mov64_imm(Reg::R0, 0),
+//!     asm::stx_mem(bvf_isa::Size::Dw, Reg::R10, Reg::R0, -8),
+//!     asm::exit(),
+//! ];
+//! assert_eq!(insns.len(), 3);
+//! ```
+
+use crate::decode::AtomicOp;
+use crate::insn::Insn;
+use crate::opcode::{call_src, mode, pseudo, AluOp, Class, JmpOp, Size, SourceOperand};
+use crate::reg::Reg;
+
+/// `dst = src` (64-bit).
+pub fn mov64_reg(dst: Reg, src: Reg) -> Insn {
+    alu64_reg(AluOp::Mov, dst, src)
+}
+
+/// `dst = imm` (64-bit, sign-extended immediate).
+pub fn mov64_imm(dst: Reg, imm: i32) -> Insn {
+    alu64_imm(AluOp::Mov, dst, imm)
+}
+
+/// `w(dst) = w(src)` (32-bit move, zero-extends).
+pub fn mov32_reg(dst: Reg, src: Reg) -> Insn {
+    alu32_reg(AluOp::Mov, dst, src)
+}
+
+/// `w(dst) = imm` (32-bit move, zero-extends).
+pub fn mov32_imm(dst: Reg, imm: i32) -> Insn {
+    alu32_imm(AluOp::Mov, dst, imm)
+}
+
+/// 64-bit ALU operation with a register source.
+pub fn alu64_reg(op: AluOp, dst: Reg, src: Reg) -> Insn {
+    Insn::new(
+        Class::Alu64 as u8 | SourceOperand::Reg as u8 | op as u8,
+        dst.as_u8(),
+        src.as_u8(),
+        0,
+        0,
+    )
+}
+
+/// 64-bit ALU operation with an immediate source.
+pub fn alu64_imm(op: AluOp, dst: Reg, imm: i32) -> Insn {
+    Insn::new(Class::Alu64 as u8 | op as u8, dst.as_u8(), 0, 0, imm)
+}
+
+/// 32-bit ALU operation with a register source.
+pub fn alu32_reg(op: AluOp, dst: Reg, src: Reg) -> Insn {
+    Insn::new(
+        Class::Alu as u8 | SourceOperand::Reg as u8 | op as u8,
+        dst.as_u8(),
+        src.as_u8(),
+        0,
+        0,
+    )
+}
+
+/// 32-bit ALU operation with an immediate source.
+pub fn alu32_imm(op: AluOp, dst: Reg, imm: i32) -> Insn {
+    Insn::new(Class::Alu as u8 | op as u8, dst.as_u8(), 0, 0, imm)
+}
+
+/// `dst = -dst` (64-bit).
+pub fn neg64(dst: Reg) -> Insn {
+    Insn::new(Class::Alu64 as u8 | AluOp::Neg as u8, dst.as_u8(), 0, 0, 0)
+}
+
+/// Byte-order conversion to big-endian with the given bit width.
+pub fn endian_be(dst: Reg, bits: i32) -> Insn {
+    Insn::new(
+        Class::Alu as u8 | SourceOperand::Reg as u8 | AluOp::End as u8,
+        dst.as_u8(),
+        0,
+        0,
+        bits,
+    )
+}
+
+/// Byte-order conversion to little-endian with the given bit width.
+pub fn endian_le(dst: Reg, bits: i32) -> Insn {
+    Insn::new(Class::Alu as u8 | AluOp::End as u8, dst.as_u8(), 0, 0, bits)
+}
+
+/// `dst = *(size *)(src + off)`.
+pub fn ldx_mem(size: Size, dst: Reg, src: Reg, off: i16) -> Insn {
+    Insn::new(
+        Class::Ldx as u8 | size as u8 | mode::MEM,
+        dst.as_u8(),
+        src.as_u8(),
+        off,
+        0,
+    )
+}
+
+/// `*(size *)(dst + off) = src`.
+pub fn stx_mem(size: Size, dst: Reg, src: Reg, off: i16) -> Insn {
+    Insn::new(
+        Class::Stx as u8 | size as u8 | mode::MEM,
+        dst.as_u8(),
+        src.as_u8(),
+        off,
+        0,
+    )
+}
+
+/// `*(size *)(dst + off) = imm`.
+pub fn st_mem(size: Size, dst: Reg, off: i16, imm: i32) -> Insn {
+    Insn::new(
+        Class::St as u8 | size as u8 | mode::MEM,
+        dst.as_u8(),
+        0,
+        off,
+        imm,
+    )
+}
+
+/// Atomic read-modify-write on `*(size *)(dst + off)` with operand `src`.
+pub fn atomic(op: AtomicOp, size: Size, dst: Reg, src: Reg, off: i16) -> Insn {
+    Insn::new(
+        Class::Stx as u8 | size as u8 | mode::ATOMIC,
+        dst.as_u8(),
+        src.as_u8(),
+        off,
+        op.to_imm(),
+    )
+}
+
+/// Two-slot 64-bit immediate load: `dst = imm64`.
+pub fn ld_imm64(dst: Reg, imm64: u64) -> [Insn; 2] {
+    ld_imm64_raw(dst, pseudo::NONE, imm64)
+}
+
+/// Two-slot 64-bit immediate load with a pseudo tag in the `src` field.
+pub fn ld_imm64_raw(dst: Reg, src_pseudo: u8, imm64: u64) -> [Insn; 2] {
+    [
+        Insn::new(
+            Class::Ld as u8 | Size::Dw as u8 | mode::IMM,
+            dst.as_u8(),
+            src_pseudo,
+            0,
+            imm64 as u32 as i32,
+        ),
+        Insn::new(0, 0, 0, 0, (imm64 >> 32) as u32 as i32),
+    ]
+}
+
+/// Loads a map file descriptor: rewritten by the verifier to a map pointer.
+pub fn ld_map_fd(dst: Reg, fd: i32) -> [Insn; 2] {
+    ld_imm64_raw(dst, pseudo::MAP_FD, fd as u32 as u64)
+}
+
+/// Loads a pointer to a map's value area directly (`BPF_PSEUDO_MAP_VALUE`).
+pub fn ld_map_value(dst: Reg, fd: i32, value_off: u32) -> [Insn; 2] {
+    ld_imm64_raw(
+        dst,
+        pseudo::MAP_VALUE,
+        (fd as u32 as u64) | ((value_off as u64) << 32),
+    )
+}
+
+/// Loads a pointer to a BTF-identified kernel object (`BPF_PSEUDO_BTF_ID`).
+pub fn ld_btf_id(dst: Reg, btf_id: u32) -> [Insn; 2] {
+    ld_imm64_raw(dst, pseudo::BTF_ID, btf_id as u64)
+}
+
+/// Conditional jump with a register right operand.
+pub fn jmp_reg(op: JmpOp, dst: Reg, src: Reg, off: i16) -> Insn {
+    Insn::new(
+        Class::Jmp as u8 | SourceOperand::Reg as u8 | op as u8,
+        dst.as_u8(),
+        src.as_u8(),
+        off,
+        0,
+    )
+}
+
+/// Conditional jump with an immediate right operand.
+pub fn jmp_imm(op: JmpOp, dst: Reg, imm: i32, off: i16) -> Insn {
+    Insn::new(Class::Jmp as u8 | op as u8, dst.as_u8(), 0, off, imm)
+}
+
+/// 32-bit conditional jump with a register right operand.
+pub fn jmp32_reg(op: JmpOp, dst: Reg, src: Reg, off: i16) -> Insn {
+    Insn::new(
+        Class::Jmp32 as u8 | SourceOperand::Reg as u8 | op as u8,
+        dst.as_u8(),
+        src.as_u8(),
+        off,
+        0,
+    )
+}
+
+/// 32-bit conditional jump with an immediate right operand.
+pub fn jmp32_imm(op: JmpOp, dst: Reg, imm: i32, off: i16) -> Insn {
+    Insn::new(Class::Jmp32 as u8 | op as u8, dst.as_u8(), 0, off, imm)
+}
+
+/// Unconditional jump to `pc + 1 + off`.
+pub fn ja(off: i16) -> Insn {
+    Insn::new(Class::Jmp as u8 | JmpOp::Ja as u8, 0, 0, off, 0)
+}
+
+/// Call to the eBPF helper with the given id.
+pub fn call_helper(helper_id: i32) -> Insn {
+    Insn::new(
+        Class::Jmp as u8 | JmpOp::Call as u8,
+        0,
+        call_src::HELPER,
+        0,
+        helper_id,
+    )
+}
+
+/// Call to the local eBPF function at relative instruction offset `imm`.
+pub fn call_pseudo(imm: i32) -> Insn {
+    Insn::new(
+        Class::Jmp as u8 | JmpOp::Call as u8,
+        0,
+        call_src::PSEUDO_CALL,
+        0,
+        imm,
+    )
+}
+
+/// Call to the kernel function (kfunc) with the given BTF id.
+pub fn call_kfunc(btf_id: i32) -> Insn {
+    Insn::new(
+        Class::Jmp as u8 | JmpOp::Call as u8,
+        0,
+        call_src::KFUNC_CALL,
+        0,
+        btf_id,
+    )
+}
+
+/// Exit instruction.
+pub fn exit() -> Insn {
+    Insn::new(Class::Jmp as u8 | JmpOp::Exit as u8, 0, 0, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, InsnKind, SourceOperandValue};
+
+    #[test]
+    fn builders_produce_decodable_instructions() {
+        let progs: Vec<Vec<Insn>> = vec![
+            vec![mov64_imm(Reg::R0, 1)],
+            vec![mov64_reg(Reg::R1, Reg::R10)],
+            vec![alu64_imm(AluOp::Add, Reg::R1, -8)],
+            vec![alu32_reg(AluOp::Xor, Reg::R2, Reg::R3)],
+            vec![neg64(Reg::R4)],
+            vec![endian_be(Reg::R1, 16)],
+            vec![endian_le(Reg::R1, 64)],
+            vec![ldx_mem(Size::W, Reg::R0, Reg::R1, 4)],
+            vec![stx_mem(Size::Dw, Reg::R10, Reg::R1, -8)],
+            vec![st_mem(Size::B, Reg::R10, -1, 0x7f)],
+            vec![atomic(
+                AtomicOp::Add { fetch: true },
+                Size::Dw,
+                Reg::R10,
+                Reg::R1,
+                -8,
+            )],
+            ld_imm64(Reg::R5, u64::MAX).to_vec(),
+            ld_map_fd(Reg::R1, 3).to_vec(),
+            vec![jmp_imm(JmpOp::Jeq, Reg::R0, 0, 2)],
+            vec![jmp32_reg(JmpOp::Jlt, Reg::R1, Reg::R2, -3)],
+            vec![ja(5)],
+            vec![call_helper(12)],
+            vec![call_pseudo(4)],
+            vec![call_kfunc(77)],
+            vec![exit()],
+        ];
+        for insns in progs {
+            let (_, n) = decode(&insns, 0).expect("builder output must decode");
+            assert!(n == insns.len() || n == 1);
+        }
+    }
+
+    #[test]
+    fn jmp_operands_decode_correctly() {
+        let (kind, _) = decode(&[jmp_imm(JmpOp::Jsgt, Reg::R3, -5, 7)], 0).unwrap();
+        match kind {
+            InsnKind::JmpCond {
+                op,
+                dst,
+                src,
+                off,
+                is32,
+            } => {
+                assert_eq!(op, JmpOp::Jsgt);
+                assert_eq!(dst, Reg::R3);
+                assert_eq!(src, SourceOperandValue::Imm(-5));
+                assert_eq!(off, 7);
+                assert!(!is32);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ld_map_fd_carries_pseudo_tag() {
+        let insns = ld_map_fd(Reg::R1, 42);
+        assert_eq!(insns[0].src, pseudo::MAP_FD);
+        assert_eq!(insns[0].imm, 42);
+        assert_eq!(insns[1].imm, 0);
+    }
+
+    #[test]
+    fn ld_map_value_splits_fd_and_offset() {
+        let insns = ld_map_value(Reg::R2, 7, 16);
+        let (kind, _) = decode(&insns, 0).unwrap();
+        match kind {
+            InsnKind::LdImm64 {
+                src_pseudo, imm64, ..
+            } => {
+                assert_eq!(src_pseudo, pseudo::MAP_VALUE);
+                assert_eq!(imm64 & 0xffff_ffff, 7);
+                assert_eq!(imm64 >> 32, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

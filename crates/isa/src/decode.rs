@@ -1,0 +1,617 @@
+//! Typed decoding of raw instructions into a semantic view.
+
+use crate::insn::Insn;
+use crate::opcode::{call_src, mode, AluOp, Class, Endianness, JmpOp, Size, SourceOperand};
+use crate::reg::Reg;
+
+/// Target of a `CALL` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallTarget {
+    /// An eBPF helper function, identified by its helper id.
+    Helper(i32),
+    /// A local eBPF function at instruction `pc + 1 + imm`.
+    Pseudo(i32),
+    /// A kernel function identified by its BTF id.
+    Kfunc(i32),
+}
+
+/// Atomic read-modify-write operation, carried in the `imm` field of an
+/// `STX | ATOMIC` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// `*(size *)(dst + off) += src`, optionally fetching the old value.
+    Add {
+        /// Whether the old value is written back to the source register.
+        fetch: bool,
+    },
+    /// `*(size *)(dst + off) |= src`, optionally fetching the old value.
+    Or {
+        /// Whether the old value is written back to the source register.
+        fetch: bool,
+    },
+    /// `*(size *)(dst + off) &= src`, optionally fetching the old value.
+    And {
+        /// Whether the old value is written back to the source register.
+        fetch: bool,
+    },
+    /// `*(size *)(dst + off) ^= src`, optionally fetching the old value.
+    Xor {
+        /// Whether the old value is written back to the source register.
+        fetch: bool,
+    },
+    /// Atomic exchange; always fetches.
+    Xchg,
+    /// Atomic compare-and-exchange against `R0`; always fetches.
+    Cmpxchg,
+}
+
+impl AtomicOp {
+    /// Decodes the atomic op from the instruction's `imm` field.
+    pub fn from_imm(imm: i32) -> Option<AtomicOp> {
+        const FETCH: i32 = 0x01;
+        Some(match imm {
+            0x00 => AtomicOp::Add { fetch: false },
+            0x40 => AtomicOp::Or { fetch: false },
+            0x50 => AtomicOp::And { fetch: false },
+            0xa0 => AtomicOp::Xor { fetch: false },
+            x if x == 0x00 | FETCH => AtomicOp::Add { fetch: true },
+            x if x == 0x40 | FETCH => AtomicOp::Or { fetch: true },
+            x if x == 0x50 | FETCH => AtomicOp::And { fetch: true },
+            x if x == 0xa0 | FETCH => AtomicOp::Xor { fetch: true },
+            0xe1 => AtomicOp::Xchg,
+            0xf1 => AtomicOp::Cmpxchg,
+            _ => return None,
+        })
+    }
+
+    /// Encodes the atomic op into the `imm` field value.
+    pub fn to_imm(self) -> i32 {
+        match self {
+            AtomicOp::Add { fetch } => 0x00 | fetch as i32,
+            AtomicOp::Or { fetch } => 0x40 | fetch as i32,
+            AtomicOp::And { fetch } => 0x50 | fetch as i32,
+            AtomicOp::Xor { fetch } => 0xa0 | fetch as i32,
+            AtomicOp::Xchg => 0xe1,
+            AtomicOp::Cmpxchg => 0xf1,
+        }
+    }
+
+    /// Whether the operation writes the old memory value back to a register.
+    pub fn fetches(self) -> bool {
+        match self {
+            AtomicOp::Add { fetch }
+            | AtomicOp::Or { fetch }
+            | AtomicOp::And { fetch }
+            | AtomicOp::Xor { fetch } => fetch,
+            AtomicOp::Xchg | AtomicOp::Cmpxchg => true,
+        }
+    }
+}
+
+/// A fully decoded eBPF instruction.
+///
+/// `LdImm64` consumes two instruction slots; every other kind consumes one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnKind {
+    /// Binary ALU with register source: `dst op= src`.
+    AluReg {
+        /// Operation.
+        op: AluOp,
+        /// True for `ALU64`, false for 32-bit `ALU`.
+        is64: bool,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Offset; non-zero selects signed-division/modulo variants.
+        off: i16,
+    },
+    /// Binary ALU with immediate source: `dst op= imm`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// True for `ALU64`, false for 32-bit `ALU`.
+        is64: bool,
+        /// Destination register.
+        dst: Reg,
+        /// Immediate operand.
+        imm: i32,
+        /// Offset; non-zero selects signed-division/modulo variants.
+        off: i16,
+    },
+    /// Arithmetic negate: `dst = -dst`.
+    Neg {
+        /// True for 64-bit.
+        is64: bool,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Byte-order conversion of `dst`, to `imm` bits.
+    Endian {
+        /// Conversion target.
+        endianness: Endianness,
+        /// Operand width in bits (16, 32, or 64).
+        bits: i32,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Two-slot 64-bit immediate load, `dst = imm64`, possibly a pseudo
+    /// (map fd, map value, BTF id, function) tagged in `src_pseudo`.
+    LdImm64 {
+        /// Destination register.
+        dst: Reg,
+        /// Pseudo tag from [`crate::opcode::pseudo`].
+        src_pseudo: u8,
+        /// Combined 64-bit immediate.
+        imm64: u64,
+    },
+    /// Legacy absolute packet load into `R0`.
+    LdAbs {
+        /// Access size.
+        size: Size,
+        /// Packet offset.
+        imm: i32,
+    },
+    /// Legacy indirect packet load into `R0`.
+    LdInd {
+        /// Access size.
+        size: Size,
+        /// Index register.
+        src: Reg,
+        /// Packet offset.
+        imm: i32,
+    },
+    /// Memory load: `dst = *(size *)(src + off)`.
+    Ldx {
+        /// Access size.
+        size: Size,
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        src: Reg,
+        /// Byte offset.
+        off: i16,
+        /// Sign-extending load (`BPF_MEMSX`).
+        sign_extend: bool,
+    },
+    /// Immediate store: `*(size *)(dst + off) = imm`.
+    St {
+        /// Access size.
+        size: Size,
+        /// Base address register.
+        dst: Reg,
+        /// Byte offset.
+        off: i16,
+        /// Value to store.
+        imm: i32,
+    },
+    /// Register store: `*(size *)(dst + off) = src`.
+    Stx {
+        /// Access size.
+        size: Size,
+        /// Base address register.
+        dst: Reg,
+        /// Value register.
+        src: Reg,
+        /// Byte offset.
+        off: i16,
+    },
+    /// Atomic read-modify-write on `*(size *)(dst + off)`.
+    Atomic {
+        /// Operation (and fetch flag).
+        op: AtomicOp,
+        /// Access size (`W` or `Dw` only).
+        size: Size,
+        /// Base address register.
+        dst: Reg,
+        /// Operand/result register.
+        src: Reg,
+        /// Byte offset.
+        off: i16,
+    },
+    /// Conditional jump: `if dst op operand goto pc + 1 + off`.
+    JmpCond {
+        /// Comparison.
+        op: JmpOp,
+        /// True for 32-bit comparison (`JMP32`).
+        is32: bool,
+        /// Left operand register.
+        dst: Reg,
+        /// Right operand.
+        src: SourceOperandValue,
+        /// Jump displacement.
+        off: i16,
+    },
+    /// Unconditional jump to `pc + 1 + off` (or `pc + 1 + imm` for `JA` in
+    /// `JMP32` class, the long-jump form).
+    Ja {
+        /// Jump displacement.
+        off: i32,
+    },
+    /// Function call.
+    Call {
+        /// Target classification.
+        target: CallTarget,
+    },
+    /// Exit from the current function (or the program from the main frame).
+    Exit,
+}
+
+/// Right-hand operand of a conditional jump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceOperandValue {
+    /// A register.
+    Reg(Reg),
+    /// A 32-bit immediate.
+    Imm(i32),
+}
+
+/// Errors produced when decoding a raw instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name a valid instruction.
+    InvalidOpcode(u8),
+    /// A register field is out of range.
+    InvalidRegister(u8),
+    /// The `imm` field of an atomic instruction is not a known operation.
+    InvalidAtomicOp(i32),
+    /// A two-slot `LD_IMM64` was truncated or its second slot malformed.
+    TruncatedLdImm64,
+    /// The `src` field of a call instruction is not a known pseudo value.
+    InvalidCallSrc(u8),
+    /// An `END` operation with an invalid bit width.
+    InvalidEndianBits(i32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::InvalidOpcode(c) => write!(f, "invalid opcode 0x{c:02x}"),
+            DecodeError::InvalidRegister(r) => write!(f, "invalid register r{r}"),
+            DecodeError::InvalidAtomicOp(i) => write!(f, "invalid atomic op 0x{i:x}"),
+            DecodeError::TruncatedLdImm64 => write!(f, "truncated or malformed ld_imm64"),
+            DecodeError::InvalidCallSrc(s) => write!(f, "invalid call src {s}"),
+            DecodeError::InvalidEndianBits(b) => write!(f, "invalid endian width {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn reg(v: u8) -> Result<Reg, DecodeError> {
+    Reg::from_u8(v).ok_or(DecodeError::InvalidRegister(v))
+}
+
+/// Decodes the instruction at `insns[pc]`, returning the typed form and the
+/// number of slots consumed (1, or 2 for `LD_IMM64`).
+pub fn decode(insns: &[Insn], pc: usize) -> Result<(InsnKind, usize), DecodeError> {
+    let insn = insns[pc];
+    let class = insn.class();
+    match class {
+        Class::Alu | Class::Alu64 => {
+            let is64 = class == Class::Alu64;
+            let op = AluOp::of(insn.code).ok_or(DecodeError::InvalidOpcode(insn.code))?;
+            let dst = reg(insn.dst)?;
+            match op {
+                AluOp::Neg => Ok((InsnKind::Neg { is64, dst }, 1)),
+                AluOp::End => {
+                    let bits = insn.imm;
+                    if !matches!(bits, 16 | 32 | 64) {
+                        return Err(DecodeError::InvalidEndianBits(bits));
+                    }
+                    let endianness = if is64 {
+                        Endianness::Swap
+                    } else if SourceOperand::of(insn.code) == SourceOperand::Reg {
+                        Endianness::Be
+                    } else {
+                        Endianness::Le
+                    };
+                    Ok((
+                        InsnKind::Endian {
+                            endianness,
+                            bits,
+                            dst,
+                        },
+                        1,
+                    ))
+                }
+                _ => match SourceOperand::of(insn.code) {
+                    SourceOperand::Reg => Ok((
+                        InsnKind::AluReg {
+                            op,
+                            is64,
+                            dst,
+                            src: reg(insn.src)?,
+                            off: insn.off,
+                        },
+                        1,
+                    )),
+                    SourceOperand::Imm => Ok((
+                        InsnKind::AluImm {
+                            op,
+                            is64,
+                            dst,
+                            imm: insn.imm,
+                            off: insn.off,
+                        },
+                        1,
+                    )),
+                },
+            }
+        }
+        Class::Jmp | Class::Jmp32 => {
+            let is32 = class == Class::Jmp32;
+            let op = JmpOp::of(insn.code).ok_or(DecodeError::InvalidOpcode(insn.code))?;
+            match op {
+                JmpOp::Ja => {
+                    // `JMP32 | JA` is the long-jump form using imm.
+                    let off = if is32 { insn.imm } else { insn.off as i32 };
+                    Ok((InsnKind::Ja { off }, 1))
+                }
+                JmpOp::Call => {
+                    if is32 {
+                        return Err(DecodeError::InvalidOpcode(insn.code));
+                    }
+                    let target = match insn.src {
+                        call_src::HELPER => CallTarget::Helper(insn.imm),
+                        call_src::PSEUDO_CALL => CallTarget::Pseudo(insn.imm),
+                        call_src::KFUNC_CALL => CallTarget::Kfunc(insn.imm),
+                        other => return Err(DecodeError::InvalidCallSrc(other)),
+                    };
+                    Ok((InsnKind::Call { target }, 1))
+                }
+                JmpOp::Exit => {
+                    if is32 {
+                        return Err(DecodeError::InvalidOpcode(insn.code));
+                    }
+                    Ok((InsnKind::Exit, 1))
+                }
+                _ => {
+                    let dst = reg(insn.dst)?;
+                    let src = match SourceOperand::of(insn.code) {
+                        SourceOperand::Reg => SourceOperandValue::Reg(reg(insn.src)?),
+                        SourceOperand::Imm => SourceOperandValue::Imm(insn.imm),
+                    };
+                    Ok((
+                        InsnKind::JmpCond {
+                            op,
+                            is32,
+                            dst,
+                            src,
+                            off: insn.off,
+                        },
+                        1,
+                    ))
+                }
+            }
+        }
+        Class::Ld => {
+            let size = Size::of(insn.code);
+            match mode::of(insn.code) {
+                mode::IMM => {
+                    if size != Size::Dw {
+                        return Err(DecodeError::InvalidOpcode(insn.code));
+                    }
+                    let next = insns.get(pc + 1).ok_or(DecodeError::TruncatedLdImm64)?;
+                    if next.code != 0 || next.dst != 0 || next.src != 0 || next.off != 0 {
+                        return Err(DecodeError::TruncatedLdImm64);
+                    }
+                    let imm64 = (insn.imm as u32 as u64) | ((next.imm as u32 as u64) << 32);
+                    Ok((
+                        InsnKind::LdImm64 {
+                            dst: reg(insn.dst)?,
+                            src_pseudo: insn.src,
+                            imm64,
+                        },
+                        2,
+                    ))
+                }
+                mode::ABS => Ok((
+                    InsnKind::LdAbs {
+                        size,
+                        imm: insn.imm,
+                    },
+                    1,
+                )),
+                mode::IND => Ok((
+                    InsnKind::LdInd {
+                        size,
+                        src: reg(insn.src)?,
+                        imm: insn.imm,
+                    },
+                    1,
+                )),
+                _ => Err(DecodeError::InvalidOpcode(insn.code)),
+            }
+        }
+        Class::Ldx => {
+            let size = Size::of(insn.code);
+            let m = mode::of(insn.code);
+            let sign_extend = match m {
+                mode::MEM => false,
+                mode::MEMSX => true,
+                _ => return Err(DecodeError::InvalidOpcode(insn.code)),
+            };
+            Ok((
+                InsnKind::Ldx {
+                    size,
+                    dst: reg(insn.dst)?,
+                    src: reg(insn.src)?,
+                    off: insn.off,
+                    sign_extend,
+                },
+                1,
+            ))
+        }
+        Class::St => {
+            if mode::of(insn.code) != mode::MEM {
+                return Err(DecodeError::InvalidOpcode(insn.code));
+            }
+            Ok((
+                InsnKind::St {
+                    size: Size::of(insn.code),
+                    dst: reg(insn.dst)?,
+                    off: insn.off,
+                    imm: insn.imm,
+                },
+                1,
+            ))
+        }
+        Class::Stx => {
+            let size = Size::of(insn.code);
+            match mode::of(insn.code) {
+                mode::MEM => Ok((
+                    InsnKind::Stx {
+                        size,
+                        dst: reg(insn.dst)?,
+                        src: reg(insn.src)?,
+                        off: insn.off,
+                    },
+                    1,
+                )),
+                mode::ATOMIC => {
+                    if !matches!(size, Size::W | Size::Dw) {
+                        return Err(DecodeError::InvalidOpcode(insn.code));
+                    }
+                    let op = AtomicOp::from_imm(insn.imm)
+                        .ok_or(DecodeError::InvalidAtomicOp(insn.imm))?;
+                    Ok((
+                        InsnKind::Atomic {
+                            op,
+                            size,
+                            dst: reg(insn.dst)?,
+                            src: reg(insn.src)?,
+                            off: insn.off,
+                        },
+                        1,
+                    ))
+                }
+                _ => Err(DecodeError::InvalidOpcode(insn.code)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn decode_mov_imm() {
+        let insns = [asm::mov64_imm(Reg::R0, 42)];
+        let (kind, n) = decode(&insns, 0).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(
+            kind,
+            InsnKind::AluImm {
+                op: AluOp::Mov,
+                is64: true,
+                dst: Reg::R0,
+                imm: 42,
+                off: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn decode_ld_imm64_two_slots() {
+        let insns = asm::ld_imm64(Reg::R1, 0xdead_beef_cafe_f00d);
+        let (kind, n) = decode(&insns, 0).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            kind,
+            InsnKind::LdImm64 {
+                dst: Reg::R1,
+                src_pseudo: 0,
+                imm64: 0xdead_beef_cafe_f00d,
+            }
+        );
+    }
+
+    #[test]
+    fn decode_truncated_ld_imm64() {
+        let insns = [asm::ld_imm64(Reg::R1, 7)[0]];
+        assert_eq!(decode(&insns, 0), Err(DecodeError::TruncatedLdImm64));
+    }
+
+    #[test]
+    fn decode_malformed_ld_imm64_second_slot() {
+        let mut insns = asm::ld_imm64(Reg::R1, 7).to_vec();
+        insns[1].dst = 3;
+        assert_eq!(decode(&insns, 0), Err(DecodeError::TruncatedLdImm64));
+    }
+
+    #[test]
+    fn decode_call_targets() {
+        let insns = [asm::call_helper(1)];
+        let (kind, _) = decode(&insns, 0).unwrap();
+        assert_eq!(
+            kind,
+            InsnKind::Call {
+                target: CallTarget::Helper(1)
+            }
+        );
+
+        let insns = [asm::call_kfunc(99)];
+        let (kind, _) = decode(&insns, 0).unwrap();
+        assert_eq!(
+            kind,
+            InsnKind::Call {
+                target: CallTarget::Kfunc(99)
+            }
+        );
+    }
+
+    #[test]
+    fn decode_invalid_register() {
+        let mut insn = asm::mov64_reg(Reg::R0, Reg::R1);
+        insn.dst = 13;
+        assert!(matches!(
+            decode(&[insn], 0),
+            Err(DecodeError::InvalidRegister(13))
+        ));
+    }
+
+    #[test]
+    fn decode_atomics() {
+        let insn = asm::atomic(AtomicOp::Cmpxchg, Size::Dw, Reg::R1, Reg::R2, -8);
+        let (kind, _) = decode(&[insn], 0).unwrap();
+        assert_eq!(
+            kind,
+            InsnKind::Atomic {
+                op: AtomicOp::Cmpxchg,
+                size: Size::Dw,
+                dst: Reg::R1,
+                src: Reg::R2,
+                off: -8,
+            }
+        );
+    }
+
+    #[test]
+    fn atomic_op_imm_roundtrip() {
+        for op in [
+            AtomicOp::Add { fetch: false },
+            AtomicOp::Add { fetch: true },
+            AtomicOp::Or { fetch: false },
+            AtomicOp::Or { fetch: true },
+            AtomicOp::And { fetch: false },
+            AtomicOp::And { fetch: true },
+            AtomicOp::Xor { fetch: false },
+            AtomicOp::Xor { fetch: true },
+            AtomicOp::Xchg,
+            AtomicOp::Cmpxchg,
+        ] {
+            assert_eq!(AtomicOp::from_imm(op.to_imm()), Some(op));
+        }
+        assert_eq!(AtomicOp::from_imm(0x77), None);
+    }
+
+    #[test]
+    fn decode_jmp32_long_ja() {
+        let insn = Insn::new(Class::Jmp32 as u8, 0, 0, 0, 1000);
+        let (kind, _) = decode(&[insn], 0).unwrap();
+        assert_eq!(kind, InsnKind::Ja { off: 1000 });
+    }
+}

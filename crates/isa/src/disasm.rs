@@ -1,0 +1,247 @@
+//! Disassembler producing kernel-verifier-log style output.
+
+use crate::decode::{AtomicOp, CallTarget, InsnKind, SourceOperandValue};
+use crate::opcode::{pseudo, Endianness, Size};
+use crate::program::Program;
+
+fn size_str(size: Size) -> &'static str {
+    match size {
+        Size::B => "u8",
+        Size::H => "u16",
+        Size::W => "u32",
+        Size::Dw => "u64",
+    }
+}
+
+fn off_str(off: i16) -> String {
+    if off >= 0 {
+        format!("+{off}")
+    } else {
+        format!("{off}")
+    }
+}
+
+/// Renders one decoded instruction in verifier-log style.
+pub fn format_insn(pc: usize, kind: &InsnKind) -> String {
+    match *kind {
+        InsnKind::AluReg {
+            op, is64, dst, src, ..
+        } => {
+            if is64 {
+                format!("{dst} {} {src}", op.symbol())
+            } else {
+                format!("w{} {} w{}", dst.as_u8(), op.symbol(), src.as_u8())
+            }
+        }
+        InsnKind::AluImm {
+            op, is64, dst, imm, ..
+        } => {
+            if is64 {
+                format!("{dst} {} {imm}", op.symbol())
+            } else {
+                format!("w{} {} {imm}", dst.as_u8(), op.symbol())
+            }
+        }
+        InsnKind::Neg { is64, dst } => {
+            if is64 {
+                format!("{dst} = -{dst}")
+            } else {
+                format!("w{} = -w{}", dst.as_u8(), dst.as_u8())
+            }
+        }
+        InsnKind::Endian {
+            endianness,
+            bits,
+            dst,
+        } => {
+            let name = match endianness {
+                Endianness::Le => "le",
+                Endianness::Be => "be",
+                Endianness::Swap => "bswap",
+            };
+            format!("{dst} = {name}{bits} {dst}")
+        }
+        InsnKind::LdImm64 {
+            dst,
+            src_pseudo,
+            imm64,
+        } => match src_pseudo {
+            pseudo::MAP_FD => format!("{dst} = map[fd={}]", imm64 as u32),
+            pseudo::MAP_VALUE => format!(
+                "{dst} = map_value[fd={}]+{}",
+                imm64 as u32,
+                (imm64 >> 32) as u32
+            ),
+            pseudo::BTF_ID => format!("{dst} = btf_id[{}]", imm64 as u32),
+            pseudo::FUNC => format!("{dst} = func[{}]", imm64 as u32),
+            _ => format!("{dst} = 0x{imm64:x}"),
+        },
+        InsnKind::LdAbs { size, imm } => {
+            format!("r0 = *({} *)skb[{imm}]", size_str(size))
+        }
+        InsnKind::LdInd { size, src, imm } => {
+            format!("r0 = *({} *)skb[{src}+{imm}]", size_str(size))
+        }
+        InsnKind::Ldx {
+            size,
+            dst,
+            src,
+            off,
+            sign_extend,
+        } => {
+            let s = if sign_extend {
+                format!("s{}", &size_str(size)[1..])
+            } else {
+                size_str(size).to_string()
+            };
+            format!("{dst} = *({s} *)({src} {})", off_str(off))
+        }
+        InsnKind::St {
+            size,
+            dst,
+            off,
+            imm,
+        } => {
+            format!("*({} *)({dst} {}) = {imm}", size_str(size), off_str(off))
+        }
+        InsnKind::Stx {
+            size,
+            dst,
+            src,
+            off,
+        } => {
+            format!("*({} *)({dst} {}) = {src}", size_str(size), off_str(off))
+        }
+        InsnKind::Atomic {
+            op,
+            size,
+            dst,
+            src,
+            off,
+        } => {
+            let name = match op {
+                AtomicOp::Add { .. } => "add",
+                AtomicOp::Or { .. } => "or",
+                AtomicOp::And { .. } => "and",
+                AtomicOp::Xor { .. } => "xor",
+                AtomicOp::Xchg => "xchg",
+                AtomicOp::Cmpxchg => "cmpxchg",
+            };
+            let fetch = if op.fetches() { " fetch" } else { "" };
+            format!(
+                "lock {name}{fetch} *({} *)({dst} {}) {src}",
+                size_str(size),
+                off_str(off)
+            )
+        }
+        InsnKind::JmpCond {
+            op,
+            is32,
+            dst,
+            src,
+            off,
+        } => {
+            let lhs = if is32 {
+                format!("w{}", dst.as_u8())
+            } else {
+                dst.to_string()
+            };
+            let rhs = match src {
+                SourceOperandValue::Reg(r) => {
+                    if is32 {
+                        format!("w{}", r.as_u8())
+                    } else {
+                        r.to_string()
+                    }
+                }
+                SourceOperandValue::Imm(i) => i.to_string(),
+            };
+            format!("if {lhs} {} {rhs} goto pc{}", op.symbol(), off_str(off))
+        }
+        InsnKind::Ja { off } => {
+            let target = pc as i64 + 1 + off as i64;
+            format!(
+                "goto pc{} ; -> {target}",
+                if off >= 0 {
+                    format!("+{off}")
+                } else {
+                    format!("{off}")
+                }
+            )
+        }
+        InsnKind::Call { target } => match target {
+            CallTarget::Helper(id) => format!("call helper#{id}"),
+            CallTarget::Pseudo(off) => format!(
+                "call pc{}",
+                if off >= 0 {
+                    format!("+{off}")
+                } else {
+                    format!("{off}")
+                }
+            ),
+            CallTarget::Kfunc(id) => format!("call kfunc#{id}"),
+        },
+        InsnKind::Exit => "exit".to_string(),
+    }
+}
+
+/// Renders a whole program, one `pc: insn` line at a time.
+///
+/// Undecodable slots are rendered as raw bytes so dumps never fail.
+pub fn dump_program(prog: &Program) -> String {
+    let mut out = String::new();
+    let mut pc = 0;
+    while pc < prog.insn_count() {
+        match prog.decode_at(pc) {
+            Ok((kind, slots)) => {
+                out.push_str(&format!("{pc:4}: {}\n", format_insn(pc, &kind)));
+                pc += slots;
+            }
+            Err(_) => {
+                let insn = prog.insns()[pc];
+                out.push_str(&format!(
+                    "{pc:4}: .raw 0x{:016x}\n",
+                    u64::from_le_bytes(insn.to_bytes())
+                ));
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::opcode::{AluOp, JmpOp};
+    use crate::reg::Reg;
+
+    #[test]
+    fn dump_matches_verifier_log_style() {
+        let mut p = Program::new();
+        p.extend(asm::ld_map_fd(Reg::R1, 4));
+        p.push(asm::mov64_reg(Reg::R2, Reg::R10));
+        p.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+        p.push(asm::st_mem(Size::Dw, Reg::R2, 0, 0));
+        p.push(asm::call_helper(1));
+        p.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 1));
+        p.push(asm::ldx_mem(Size::W, Reg::R0, Reg::R0, 0));
+        p.push(asm::exit());
+        let dump = p.dump();
+        assert!(dump.contains("r1 = map[fd=4]"), "{dump}");
+        assert!(dump.contains("r2 = r10"), "{dump}");
+        assert!(dump.contains("r2 += -8"), "{dump}");
+        assert!(dump.contains("*(u64 *)(r2 +0) = 0"), "{dump}");
+        assert!(dump.contains("call helper#1"), "{dump}");
+        assert!(dump.contains("if r0 == 0 goto pc+1"), "{dump}");
+        assert!(dump.contains("r0 = *(u32 *)(r0 +0)"), "{dump}");
+        assert!(dump.contains("exit"), "{dump}");
+    }
+
+    #[test]
+    fn dump_survives_invalid_opcodes() {
+        let p = Program::from_insns(vec![crate::Insn::new(0xff, 0, 0, 0, 0)]);
+        assert!(p.dump().contains(".raw"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Raw eBPF instruction representation and byte-level encoding.
+
+use serde::{Deserialize, Serialize};
+
+use crate::opcode::Class;
+
+/// One 8-byte eBPF instruction slot.
+///
+/// Field layout matches `struct bpf_insn`:
+///
+/// ```text
+/// +--------+---------+---------+--------+-----------+
+/// | code   | dst:4   | src:4   | off    | imm       |
+/// | 1 byte | (low)   | (high)  | 2 byte | 4 byte    |
+/// +--------+---------+---------+--------+-----------+
+/// ```
+///
+/// A 64-bit immediate load (`LD | IMM | DW`) occupies two consecutive
+/// slots; the second slot carries the upper 32 bits in `imm` with all other
+/// fields zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Insn {
+    /// Opcode byte.
+    pub code: u8,
+    /// Destination register number (0..=11).
+    pub dst: u8,
+    /// Source register number (0..=11), or a pseudo tag for `LD_IMM64`/`CALL`.
+    pub src: u8,
+    /// Signed 16-bit offset: jump displacement or memory offset.
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+impl Insn {
+    /// Creates an instruction from its raw fields.
+    pub fn new(code: u8, dst: u8, src: u8, off: i16, imm: i32) -> Insn {
+        Insn {
+            code,
+            dst,
+            src,
+            off,
+            imm,
+        }
+    }
+
+    /// The instruction class encoded in the opcode byte.
+    pub fn class(&self) -> Class {
+        Class::of(self.code)
+    }
+
+    /// Whether this is the first slot of a two-slot 64-bit immediate load.
+    pub fn is_ld_imm64(&self) -> bool {
+        self.code == crate::opcode::mode::IMM | Class::Ld as u8 | crate::opcode::Size::Dw as u8
+    }
+
+    /// Encodes the instruction into its 8-byte little-endian wire format.
+    pub fn to_bytes(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.code;
+        b[1] = (self.dst & 0x0f) | (self.src << 4);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes an instruction from its 8-byte little-endian wire format.
+    pub fn from_bytes(b: [u8; 8]) -> Insn {
+        Insn {
+            code: b[0],
+            dst: b[1] & 0x0f,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::{mode, Size};
+
+    #[test]
+    fn byte_roundtrip() {
+        let insn = Insn::new(0x61, 3, 10, -8, 0x1234_5678);
+        assert_eq!(Insn::from_bytes(insn.to_bytes()), insn);
+    }
+
+    #[test]
+    fn negative_fields_roundtrip() {
+        let insn = Insn::new(0xc7, 1, 0, -1, -1);
+        let decoded = Insn::from_bytes(insn.to_bytes());
+        assert_eq!(decoded.off, -1);
+        assert_eq!(decoded.imm, -1);
+    }
+
+    #[test]
+    fn ld_imm64_detection() {
+        let code = mode::IMM | Class::Ld as u8 | Size::Dw as u8;
+        assert_eq!(code, 0x18);
+        assert!(Insn::new(code, 1, 0, 0, 7).is_ld_imm64());
+        assert!(!Insn::new(0x61, 1, 0, 0, 7).is_ld_imm64());
+    }
+
+    #[test]
+    fn register_nibbles_packed_correctly() {
+        let insn = Insn::new(0xbf, 9, 10, 0, 0);
+        let bytes = insn.to_bytes();
+        assert_eq!(bytes[1], 0xa9);
+    }
+}

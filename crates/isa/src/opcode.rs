@@ -1,0 +1,417 @@
+//! Opcode field constants and typed opcode components.
+//!
+//! The low byte of every eBPF instruction (`Insn::code`) is split into
+//! fields exactly as in `include/uapi/linux/bpf.h` and `bpf_common.h`:
+//!
+//! - bits 0–2: instruction class ([`Class`]);
+//! - for ALU/JMP classes: bit 3 is the source-operand flag ([`SourceOperand`])
+//!   and bits 4–7 the operation ([`AluOp`] / [`JmpOp`]);
+//! - for load/store classes: bits 3–4 are the access size ([`Size`]) and
+//!   bits 5–7 the addressing mode (`MODE_*`).
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction class (bits 0–2 of the opcode byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Class {
+    /// Non-standard loads: 64-bit immediate loads and legacy packet loads.
+    Ld = 0x00,
+    /// Register loads from memory.
+    Ldx = 0x01,
+    /// Stores of immediates to memory.
+    St = 0x02,
+    /// Stores of registers to memory (also atomics).
+    Stx = 0x03,
+    /// 32-bit arithmetic.
+    Alu = 0x04,
+    /// 64-bit jumps, calls, and exit.
+    Jmp = 0x05,
+    /// 32-bit jumps.
+    Jmp32 = 0x06,
+    /// 64-bit arithmetic.
+    Alu64 = 0x07,
+}
+
+impl Class {
+    /// Extracts the class from an opcode byte.
+    pub fn of(code: u8) -> Class {
+        match code & 0x07 {
+            0x00 => Class::Ld,
+            0x01 => Class::Ldx,
+            0x02 => Class::St,
+            0x03 => Class::Stx,
+            0x04 => Class::Alu,
+            0x05 => Class::Jmp,
+            0x06 => Class::Jmp32,
+            _ => Class::Alu64,
+        }
+    }
+
+    /// Whether this is one of the two arithmetic classes.
+    pub fn is_alu(self) -> bool {
+        matches!(self, Class::Alu | Class::Alu64)
+    }
+
+    /// Whether this is one of the two jump classes.
+    pub fn is_jmp(self) -> bool {
+        matches!(self, Class::Jmp | Class::Jmp32)
+    }
+
+    /// Whether this is a memory-access class.
+    pub fn is_ldst(self) -> bool {
+        matches!(self, Class::Ld | Class::Ldx | Class::St | Class::Stx)
+    }
+}
+
+/// Source operand flag (bit 3) for ALU and JMP classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum SourceOperand {
+    /// The 32-bit immediate is the second operand (`K`).
+    Imm = 0x00,
+    /// The source register is the second operand (`X`).
+    Reg = 0x08,
+}
+
+impl SourceOperand {
+    /// Extracts the source flag from an opcode byte.
+    pub fn of(code: u8) -> SourceOperand {
+        if code & 0x08 != 0 {
+            SourceOperand::Reg
+        } else {
+            SourceOperand::Imm
+        }
+    }
+}
+
+/// Memory access width (bits 3–4) for load/store classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Size {
+    /// 4 bytes (`BPF_W`).
+    W = 0x00,
+    /// 2 bytes (`BPF_H`).
+    H = 0x08,
+    /// 1 byte (`BPF_B`).
+    B = 0x10,
+    /// 8 bytes (`BPF_DW`).
+    Dw = 0x18,
+}
+
+impl Size {
+    /// Extracts the size field from an opcode byte.
+    pub fn of(code: u8) -> Size {
+        match code & 0x18 {
+            0x00 => Size::W,
+            0x08 => Size::H,
+            0x10 => Size::B,
+            _ => Size::Dw,
+        }
+    }
+
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::B => 1,
+            Size::H => 2,
+            Size::W => 4,
+            Size::Dw => 8,
+        }
+    }
+
+    /// All sizes, smallest to largest.
+    pub const ALL: [Size; 4] = [Size::B, Size::H, Size::W, Size::Dw];
+}
+
+/// Addressing mode (bits 5–7) for load/store classes.
+pub mod mode {
+    /// 64-bit immediate load (two instruction slots).
+    pub const IMM: u8 = 0x00;
+    /// Legacy absolute packet load.
+    pub const ABS: u8 = 0x20;
+    /// Legacy indirect packet load.
+    pub const IND: u8 = 0x40;
+    /// Regular memory access via register + offset.
+    pub const MEM: u8 = 0x60;
+    /// Sign-extending memory load (`BPF_MEMSX`).
+    pub const MEMSX: u8 = 0x80;
+    /// Atomic read-modify-write (class `STX` only).
+    pub const ATOMIC: u8 = 0xc0;
+
+    /// Extracts the mode field from an opcode byte.
+    pub fn of(code: u8) -> u8 {
+        code & 0xe0
+    }
+}
+
+/// ALU operation (bits 4–7) for the `ALU`/`ALU64` classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    /// `dst += src`.
+    Add = 0x00,
+    /// `dst -= src`.
+    Sub = 0x10,
+    /// `dst *= src`.
+    Mul = 0x20,
+    /// `dst /= src` (unsigned; division by zero yields zero).
+    Div = 0x30,
+    /// `dst |= src`.
+    Or = 0x40,
+    /// `dst &= src`.
+    And = 0x50,
+    /// `dst <<= src`.
+    Lsh = 0x60,
+    /// `dst >>= src` (logical).
+    Rsh = 0x70,
+    /// `dst = -dst`.
+    Neg = 0x80,
+    /// `dst %= src` (unsigned; modulo zero leaves dst unchanged).
+    Mod = 0x90,
+    /// `dst ^= src`.
+    Xor = 0xa0,
+    /// `dst = src`.
+    Mov = 0xb0,
+    /// `dst >>= src` (arithmetic).
+    Arsh = 0xc0,
+    /// Byte-order conversion.
+    End = 0xd0,
+}
+
+impl AluOp {
+    /// Extracts the ALU op from an opcode byte, if valid.
+    pub fn of(code: u8) -> Option<AluOp> {
+        Some(match code & 0xf0 {
+            0x00 => AluOp::Add,
+            0x10 => AluOp::Sub,
+            0x20 => AluOp::Mul,
+            0x30 => AluOp::Div,
+            0x40 => AluOp::Or,
+            0x50 => AluOp::And,
+            0x60 => AluOp::Lsh,
+            0x70 => AluOp::Rsh,
+            0x80 => AluOp::Neg,
+            0x90 => AluOp::Mod,
+            0xa0 => AluOp::Xor,
+            0xb0 => AluOp::Mov,
+            0xc0 => AluOp::Arsh,
+            0xd0 => AluOp::End,
+            _ => return None,
+        })
+    }
+
+    /// All binary ALU operations (everything but `Neg`/`End`).
+    pub const BINARY: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Mod,
+        AluOp::Xor,
+        AluOp::Mov,
+        AluOp::Arsh,
+    ];
+
+    /// The mnemonic operator used by the verifier log.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AluOp::Add => "+=",
+            AluOp::Sub => "-=",
+            AluOp::Mul => "*=",
+            AluOp::Div => "/=",
+            AluOp::Or => "|=",
+            AluOp::And => "&=",
+            AluOp::Lsh => "<<=",
+            AluOp::Rsh => ">>=",
+            AluOp::Neg => "neg",
+            AluOp::Mod => "%=",
+            AluOp::Xor => "^=",
+            AluOp::Mov => "=",
+            AluOp::Arsh => "s>>=",
+            AluOp::End => "endian",
+        }
+    }
+}
+
+/// Jump condition (bits 4–7) for the `JMP`/`JMP32` classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum JmpOp {
+    /// Unconditional jump.
+    Ja = 0x00,
+    /// Jump if equal.
+    Jeq = 0x10,
+    /// Jump if greater (unsigned).
+    Jgt = 0x20,
+    /// Jump if greater or equal (unsigned).
+    Jge = 0x30,
+    /// Jump if `dst & src` is non-zero.
+    Jset = 0x40,
+    /// Jump if not equal.
+    Jne = 0x50,
+    /// Jump if greater (signed).
+    Jsgt = 0x60,
+    /// Jump if greater or equal (signed).
+    Jsge = 0x70,
+    /// Function call (class `JMP` only).
+    Call = 0x80,
+    /// Program/function exit (class `JMP` only).
+    Exit = 0x90,
+    /// Jump if less (unsigned).
+    Jlt = 0xa0,
+    /// Jump if less or equal (unsigned).
+    Jle = 0xb0,
+    /// Jump if less (signed).
+    Jslt = 0xc0,
+    /// Jump if less or equal (signed).
+    Jsle = 0xd0,
+}
+
+impl JmpOp {
+    /// Extracts the jump op from an opcode byte, if valid.
+    pub fn of(code: u8) -> Option<JmpOp> {
+        Some(match code & 0xf0 {
+            0x00 => JmpOp::Ja,
+            0x10 => JmpOp::Jeq,
+            0x20 => JmpOp::Jgt,
+            0x30 => JmpOp::Jge,
+            0x40 => JmpOp::Jset,
+            0x50 => JmpOp::Jne,
+            0x60 => JmpOp::Jsgt,
+            0x70 => JmpOp::Jsge,
+            0x80 => JmpOp::Call,
+            0x90 => JmpOp::Exit,
+            0xa0 => JmpOp::Jlt,
+            0xb0 => JmpOp::Jle,
+            0xc0 => JmpOp::Jslt,
+            0xd0 => JmpOp::Jsle,
+            _ => return None,
+        })
+    }
+
+    /// All conditional comparison ops (excludes `Ja`, `Call`, `Exit`).
+    pub const CONDITIONAL: [JmpOp; 11] = [
+        JmpOp::Jeq,
+        JmpOp::Jgt,
+        JmpOp::Jge,
+        JmpOp::Jset,
+        JmpOp::Jne,
+        JmpOp::Jsgt,
+        JmpOp::Jsge,
+        JmpOp::Jlt,
+        JmpOp::Jle,
+        JmpOp::Jslt,
+        JmpOp::Jsle,
+    ];
+
+    /// The comparison operator used by the verifier log.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            JmpOp::Ja => "goto",
+            JmpOp::Jeq => "==",
+            JmpOp::Jgt => ">",
+            JmpOp::Jge => ">=",
+            JmpOp::Jset => "&",
+            JmpOp::Jne => "!=",
+            JmpOp::Jsgt => "s>",
+            JmpOp::Jsge => "s>=",
+            JmpOp::Call => "call",
+            JmpOp::Exit => "exit",
+            JmpOp::Jlt => "<",
+            JmpOp::Jle => "<=",
+            JmpOp::Jslt => "s<",
+            JmpOp::Jsle => "s<=",
+        }
+    }
+}
+
+/// Byte-order target for the `END` ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endianness {
+    /// Convert to little-endian (`BPF_TO_LE`, source flag 0).
+    Le,
+    /// Convert to big-endian (`BPF_TO_BE`, source flag 1).
+    Be,
+    /// Unconditional byte swap (`ALU64 | END`).
+    Swap,
+}
+
+/// Pseudo values carried in the `src` field of `LD_IMM64` instructions.
+pub mod pseudo {
+    /// Plain 64-bit immediate.
+    pub const NONE: u8 = 0;
+    /// The immediate is a map file descriptor; rewritten to a map pointer.
+    pub const MAP_FD: u8 = 1;
+    /// The immediate is a map fd; result points at the map's value.
+    pub const MAP_VALUE: u8 = 2;
+    /// The immediate is a BTF type id; result is a `PTR_TO_BTF_ID`.
+    pub const BTF_ID: u8 = 3;
+    /// The immediate is an instruction offset of a local function.
+    pub const FUNC: u8 = 4;
+}
+
+/// Pseudo values carried in the `src` field of `CALL` instructions.
+pub mod call_src {
+    /// Call to an eBPF helper function identified by `imm`.
+    pub const HELPER: u8 = 0;
+    /// Call to a local eBPF function at relative instruction offset `imm`.
+    pub const PSEUDO_CALL: u8 = 1;
+    /// Call to a kernel function (kfunc) whose BTF id is `imm`.
+    pub const KFUNC_CALL: u8 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_extraction_covers_all_values() {
+        for code in 0u8..=255 {
+            let c = Class::of(code);
+            assert_eq!(c as u8, code & 0x07);
+        }
+    }
+
+    #[test]
+    fn alu_op_roundtrip() {
+        for op in AluOp::BINARY {
+            assert_eq!(AluOp::of(op as u8), Some(op));
+        }
+        assert_eq!(AluOp::of(0xe0), None);
+        assert_eq!(AluOp::of(0xf0), None);
+    }
+
+    #[test]
+    fn jmp_op_roundtrip() {
+        for op in JmpOp::CONDITIONAL {
+            assert_eq!(JmpOp::of(op as u8), Some(op));
+        }
+        assert_eq!(JmpOp::of(0xe0), None);
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Size::B.bytes(), 1);
+        assert_eq!(Size::H.bytes(), 2);
+        assert_eq!(Size::W.bytes(), 4);
+        assert_eq!(Size::Dw.bytes(), 8);
+        for s in Size::ALL {
+            assert_eq!(Size::of(s as u8), s);
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(Class::Alu.is_alu());
+        assert!(Class::Alu64.is_alu());
+        assert!(Class::Jmp.is_jmp());
+        assert!(Class::Jmp32.is_jmp());
+        assert!(Class::Ldx.is_ldst());
+        assert!(!Class::Jmp.is_ldst());
+    }
+}

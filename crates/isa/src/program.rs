@@ -1,0 +1,165 @@
+//! eBPF program container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::decode::{decode, DecodeError, InsnKind};
+use crate::insn::Insn;
+
+/// A sequence of eBPF instructions forming one program.
+///
+/// The container stores raw instruction slots; `LD_IMM64` occupies two
+/// slots. Use [`Program::iter_decoded`] to walk typed instructions with
+/// correct slot accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Program {
+    insns: Vec<Insn>,
+}
+
+impl Program {
+    /// Creates a program from raw instruction slots.
+    pub fn from_insns(insns: Vec<Insn>) -> Program {
+        Program { insns }
+    }
+
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// The raw instruction slots.
+    pub fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+
+    /// Mutable access to the raw instruction slots.
+    pub fn insns_mut(&mut self) -> &mut Vec<Insn> {
+        &mut self.insns
+    }
+
+    /// Number of instruction slots (an `LD_IMM64` counts as two).
+    pub fn insn_count(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Appends one instruction slot.
+    pub fn push(&mut self, insn: Insn) {
+        self.insns.push(insn);
+    }
+
+    /// Appends several instruction slots.
+    pub fn extend(&mut self, insns: impl IntoIterator<Item = Insn>) {
+        self.insns.extend(insns);
+    }
+
+    /// Decodes the instruction at slot `pc`.
+    pub fn decode_at(&self, pc: usize) -> Result<(InsnKind, usize), DecodeError> {
+        decode(&self.insns, pc)
+    }
+
+    /// Iterates `(pc, kind, slots)` over all decoded instructions.
+    ///
+    /// Stops early with an error entry if any slot fails to decode.
+    pub fn iter_decoded(&self) -> DecodedIter<'_> {
+        DecodedIter { prog: self, pc: 0 }
+    }
+
+    /// Serializes to the flat little-endian byte format used by `bpf(2)`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.insns.len() * 8);
+        for insn in &self.insns {
+            out.extend_from_slice(&insn.to_bytes());
+        }
+        out
+    }
+
+    /// Parses a program from the flat byte format; the length must be a
+    /// multiple of eight.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Program> {
+        if bytes.len() % 8 != 0 {
+            return None;
+        }
+        let insns = bytes
+            .chunks_exact(8)
+            .map(|c| Insn::from_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect();
+        Some(Program { insns })
+    }
+
+    /// Renders the program in verifier-log style, one instruction per line.
+    pub fn dump(&self) -> String {
+        crate::disasm::dump_program(self)
+    }
+}
+
+/// Iterator over decoded instructions; see [`Program::iter_decoded`].
+pub struct DecodedIter<'a> {
+    prog: &'a Program,
+    pc: usize,
+}
+
+impl Iterator for DecodedIter<'_> {
+    type Item = (usize, Result<(InsnKind, usize), DecodeError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pc >= self.prog.insn_count() {
+            return None;
+        }
+        let pc = self.pc;
+        let res = self.prog.decode_at(pc);
+        match &res {
+            Ok((_, slots)) => self.pc += slots,
+            Err(_) => self.pc = self.prog.insn_count(),
+        }
+        Some((pc, res))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.extend(asm::ld_imm64(Reg::R1, 0x1122_3344_5566_7788));
+        p.push(asm::mov64_imm(Reg::R0, 0));
+        p.push(asm::exit());
+        p
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let p = sample();
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_bytes_rejects_partial_slots() {
+        assert!(Program::from_bytes(&[0u8; 9]).is_none());
+        assert!(Program::from_bytes(&[0u8; 8]).is_some());
+    }
+
+    #[test]
+    fn decoded_iter_handles_wide_instructions() {
+        let p = sample();
+        let pcs: Vec<usize> = p.iter_decoded().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![0, 2, 3]);
+        assert!(p.iter_decoded().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn decoded_iter_stops_on_error() {
+        let mut p = sample();
+        p.insns_mut()[2] = Insn::new(0xff, 0, 0, 0, 0);
+        let results: Vec<_> = p.iter_decoded().collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[1].1.is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! eBPF register file.
+
+use serde::{Deserialize, Serialize};
+
+/// An eBPF register.
+///
+/// The architectural register file has eleven registers visible to
+/// programs: `R0` (return value), `R1`–`R5` (function arguments, clobbered
+/// by calls), `R6`–`R9` (callee-saved), and `R10` (read-only frame
+/// pointer). A twelfth register, [`Reg::Ax`] (`R11`), exists only inside
+/// the kernel: rewrite passes — including BVF's sanitation instrumentation —
+/// use it as scratch space invisible to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    /// Return value of functions and exit value of the program.
+    R0 = 0,
+    /// First argument register; holds the context pointer on entry.
+    R1 = 1,
+    /// Second argument register.
+    R2 = 2,
+    /// Third argument register.
+    R3 = 3,
+    /// Fourth argument register.
+    R4 = 4,
+    /// Fifth argument register.
+    R5 = 5,
+    /// Callee-saved register.
+    R6 = 6,
+    /// Callee-saved register.
+    R7 = 7,
+    /// Callee-saved register.
+    R8 = 8,
+    /// Callee-saved register.
+    R9 = 9,
+    /// Read-only frame pointer to the 512-byte stack.
+    R10 = 10,
+    /// Auxiliary register used by kernel rewrite passes; never visible to
+    /// programs and rejected by the verifier if it appears in user input.
+    Ax = 11,
+}
+
+/// Number of registers visible to eBPF programs (`R0`..=`R10`).
+pub const MAX_BPF_REG: u8 = 11;
+
+/// Total number of registers including the internal auxiliary register.
+pub const MAX_BPF_EXT_REG: u8 = 12;
+
+/// The size of the per-frame eBPF stack in bytes.
+pub const STACK_SIZE: i32 = 512;
+
+impl Reg {
+    /// All registers visible to programs, in numeric order.
+    pub const VISIBLE: [Reg; 11] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+    ];
+
+    /// Caller-saved argument registers (`R1`..=`R5`).
+    pub const ARGS: [Reg; 5] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+
+    /// Callee-saved registers (`R6`..=`R9`).
+    pub const CALLEE_SAVED: [Reg; 4] = [Reg::R6, Reg::R7, Reg::R8, Reg::R9];
+
+    /// Returns the register for a raw encoding value, if in range.
+    pub fn from_u8(v: u8) -> Option<Reg> {
+        match v {
+            0 => Some(Reg::R0),
+            1 => Some(Reg::R1),
+            2 => Some(Reg::R2),
+            3 => Some(Reg::R3),
+            4 => Some(Reg::R4),
+            5 => Some(Reg::R5),
+            6 => Some(Reg::R6),
+            7 => Some(Reg::R7),
+            8 => Some(Reg::R8),
+            9 => Some(Reg::R9),
+            10 => Some(Reg::R10),
+            11 => Some(Reg::Ax),
+            _ => None,
+        }
+    }
+
+    /// Raw encoding value of the register.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Index usable for register-state arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the register is visible to eBPF programs.
+    pub fn is_visible(self) -> bool {
+        (self as u8) < MAX_BPF_REG
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reg::Ax => write!(f, "r11"),
+            other => write!(f, "r{}", *other as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_registers() {
+        for v in 0..MAX_BPF_EXT_REG {
+            let r = Reg::from_u8(v).expect("register in range");
+            assert_eq!(r.as_u8(), v);
+        }
+        assert_eq!(Reg::from_u8(MAX_BPF_EXT_REG), None);
+        assert_eq!(Reg::from_u8(255), None);
+    }
+
+    #[test]
+    fn visibility() {
+        for r in Reg::VISIBLE {
+            assert!(r.is_visible());
+        }
+        assert!(!Reg::Ax.is_visible());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R10.to_string(), "r10");
+        assert_eq!(Reg::Ax.to_string(), "r11");
+    }
+}

@@ -1,0 +1,326 @@
+//! Structural validity checks performed before verification proper.
+//!
+//! These mirror the early, cheap validations the kernel performs while
+//! loading a program (`bpf_check` entry, `resolve_pseudo_ldimm64`,
+//! `check_cfg` level zero): every slot must decode, registers must be in
+//! user-visible range with `R10` never written, jump targets must stay
+//! inside the program, and the program must end in an unconditional exit
+//! or jump. Programs failing here are rejected with `EINVAL` before any
+//! state tracking happens — the "easily rejected" fate of most
+//! unstructured fuzzer output the paper describes.
+
+use crate::decode::{CallTarget, DecodeError, InsnKind, SourceOperandValue};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Maximum number of instruction slots accepted per program
+/// (`BPF_MAXINSNS`-era limit; privileged loads allow up to a million, we
+/// use the classic 4096 which bounds fuzzing cost).
+pub const MAX_INSNS: usize = 4096;
+
+/// A structural (pre-verification) program error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralError {
+    /// The program has no instructions.
+    Empty,
+    /// The program exceeds [`MAX_INSNS`] slots.
+    TooLong(usize),
+    /// A slot failed to decode.
+    Decode {
+        /// Offending slot index.
+        pc: usize,
+        /// Decoder diagnosis.
+        err: DecodeError,
+    },
+    /// An instruction names a register not visible to programs.
+    HiddenRegister {
+        /// Offending slot index.
+        pc: usize,
+    },
+    /// An instruction writes the read-only frame pointer `R10`.
+    FrameRegisterWrite {
+        /// Offending slot index.
+        pc: usize,
+    },
+    /// A jump lands outside the program or inside an `LD_IMM64` pair.
+    JumpOutOfRange {
+        /// Offending slot index.
+        pc: usize,
+        /// Computed target slot.
+        target: i64,
+    },
+    /// The last instruction can fall through past the end of the program.
+    FallthroughEnd,
+}
+
+impl std::fmt::Display for StructuralError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructuralError::Empty => write!(f, "empty program"),
+            StructuralError::TooLong(n) => write!(f, "program too long ({n} insns)"),
+            StructuralError::Decode { pc, err } => write!(f, "insn {pc}: {err}"),
+            StructuralError::HiddenRegister { pc } => {
+                write!(f, "insn {pc}: uses internal register")
+            }
+            StructuralError::FrameRegisterWrite { pc } => {
+                write!(f, "insn {pc}: frame pointer is read only")
+            }
+            StructuralError::JumpOutOfRange { pc, target } => {
+                write!(f, "insn {pc}: jump out of range to {target}")
+            }
+            StructuralError::FallthroughEnd => write!(f, "last insn is not an exit or jump"),
+        }
+    }
+}
+
+impl std::error::Error for StructuralError {}
+
+fn written_reg(kind: &InsnKind) -> Option<Reg> {
+    match *kind {
+        InsnKind::AluReg { dst, .. }
+        | InsnKind::AluImm { dst, .. }
+        | InsnKind::Neg { dst, .. }
+        | InsnKind::Endian { dst, .. }
+        | InsnKind::LdImm64 { dst, .. }
+        | InsnKind::Ldx { dst, .. } => Some(dst),
+        InsnKind::Atomic { op, src, .. } if op.fetches() => Some(src),
+        _ => None,
+    }
+}
+
+fn regs_used(kind: &InsnKind) -> Vec<Reg> {
+    match *kind {
+        InsnKind::AluReg { dst, src, .. } => vec![dst, src],
+        InsnKind::AluImm { dst, .. }
+        | InsnKind::Neg { dst, .. }
+        | InsnKind::Endian { dst, .. }
+        | InsnKind::LdImm64 { dst, .. }
+        | InsnKind::St { dst, .. } => vec![dst],
+        InsnKind::LdAbs { .. } => vec![],
+        InsnKind::LdInd { src, .. } => vec![src],
+        InsnKind::Ldx { dst, src, .. }
+        | InsnKind::Stx { dst, src, .. }
+        | InsnKind::Atomic { dst, src, .. } => vec![dst, src],
+        InsnKind::JmpCond { dst, src, .. } => {
+            let mut v = vec![dst];
+            if let SourceOperandValue::Reg(r) = src {
+                v.push(r);
+            }
+            v
+        }
+        InsnKind::Ja { .. } | InsnKind::Call { .. } | InsnKind::Exit => vec![],
+    }
+}
+
+/// Validates the structural properties of a program.
+///
+/// On success, returns the set of slot indices that start an instruction
+/// (needed by callers that must distinguish instruction boundaries from
+/// `LD_IMM64` second slots).
+pub fn validate_structure(prog: &Program) -> Result<Vec<bool>, StructuralError> {
+    if prog.is_empty() {
+        return Err(StructuralError::Empty);
+    }
+    if prog.insn_count() > MAX_INSNS {
+        return Err(StructuralError::TooLong(prog.insn_count()));
+    }
+
+    let n = prog.insn_count();
+    let mut insn_start = vec![false; n];
+    let mut last_kind: Option<InsnKind> = None;
+    let mut pc = 0;
+    while pc < n {
+        insn_start[pc] = true;
+        let (kind, slots) = prog
+            .decode_at(pc)
+            .map_err(|err| StructuralError::Decode { pc, err })?;
+
+        for r in regs_used(&kind) {
+            if !r.is_visible() {
+                return Err(StructuralError::HiddenRegister { pc });
+            }
+        }
+        if written_reg(&kind) == Some(Reg::R10) {
+            return Err(StructuralError::FrameRegisterWrite { pc });
+        }
+        last_kind = Some(kind);
+        pc += slots;
+    }
+
+    // Check jump targets now that instruction boundaries are known.
+    let mut pc = 0;
+    while pc < n {
+        let (kind, slots) = prog.decode_at(pc).expect("validated above");
+        let jump_off: Option<i64> = match kind {
+            InsnKind::JmpCond { off, .. } => Some(off as i64),
+            InsnKind::Ja { off } => Some(off as i64),
+            InsnKind::Call {
+                target: CallTarget::Pseudo(off),
+            } => Some(off as i64),
+            _ => None,
+        };
+        if let Some(off) = jump_off {
+            let target = pc as i64 + 1 + off;
+            if target < 0 || target >= n as i64 || !insn_start[target as usize] {
+                return Err(StructuralError::JumpOutOfRange { pc, target });
+            }
+        }
+        pc += slots;
+    }
+
+    match last_kind {
+        Some(InsnKind::Exit) | Some(InsnKind::Ja { .. }) => Ok(insn_start),
+        _ => Err(StructuralError::FallthroughEnd),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+    use crate::opcode::JmpOp;
+    use crate::Insn;
+
+    fn ok_prog() -> Program {
+        Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()])
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        assert!(validate_structure(&ok_prog()).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            validate_structure(&Program::new()),
+            Err(StructuralError::Empty)
+        );
+    }
+
+    #[test]
+    fn rejects_too_long() {
+        let mut insns = vec![asm::mov64_imm(Reg::R0, 0); MAX_INSNS];
+        insns.push(asm::exit());
+        assert!(matches!(
+            validate_structure(&Program::from_insns(insns)),
+            Err(StructuralError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_fallthrough_end() {
+        let p = Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0)]);
+        assert_eq!(validate_structure(&p), Err(StructuralError::FallthroughEnd));
+    }
+
+    #[test]
+    fn rejects_hidden_register() {
+        let p = Program::from_insns(vec![asm::mov64_reg(Reg::R0, Reg::Ax), asm::exit()]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::HiddenRegister { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_write_to_frame_pointer() {
+        let p = Program::from_insns(vec![asm::mov64_imm(Reg::R10, 0), asm::exit()]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::FrameRegisterWrite { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn allows_atomic_src_r10_read_but_not_fetch_into_r10() {
+        use crate::decode::AtomicOp;
+        use crate::opcode::Size;
+        // Non-fetching atomic with src=R10 only reads R10.
+        let p = Program::from_insns(vec![
+            asm::mov64_imm(Reg::R0, 0),
+            asm::atomic(
+                AtomicOp::Add { fetch: false },
+                Size::Dw,
+                Reg::R0,
+                Reg::R10,
+                0,
+            ),
+            asm::exit(),
+        ]);
+        assert!(validate_structure(&p).is_ok());
+        // Fetching atomic writes back into src.
+        let p = Program::from_insns(vec![
+            asm::mov64_imm(Reg::R0, 0),
+            asm::atomic(
+                AtomicOp::Add { fetch: true },
+                Size::Dw,
+                Reg::R0,
+                Reg::R10,
+                0,
+            ),
+            asm::exit(),
+        ]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::FrameRegisterWrite { pc: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_jump_past_end() {
+        let p = Program::from_insns(vec![asm::ja(5), asm::exit()]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::JumpOutOfRange { pc: 0, target: 6 })
+        ));
+    }
+
+    #[test]
+    fn rejects_jump_into_ld_imm64_pair() {
+        let mut insns = vec![asm::ja(1)];
+        insns.extend(asm::ld_imm64(Reg::R0, 0));
+        insns.push(asm::exit());
+        let p = Program::from_insns(insns);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::JumpOutOfRange { pc: 0, target: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_jump_before_start() {
+        let p = Program::from_insns(vec![asm::ja(-2), asm::exit()]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::JumpOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undecodable_slot() {
+        let p = Program::from_insns(vec![Insn::new(0xfd, 0, 0, 0, 0), asm::exit()]);
+        assert!(matches!(
+            validate_structure(&p),
+            Err(StructuralError::Decode { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn insn_start_map_marks_wide_slots() {
+        let mut insns = asm::ld_imm64(Reg::R0, 1).to_vec();
+        insns.push(asm::exit());
+        let starts = validate_structure(&Program::from_insns(insns)).unwrap();
+        assert_eq!(starts, vec![true, false, true]);
+    }
+
+    #[test]
+    fn backward_jump_to_valid_target_ok() {
+        let p = Program::from_insns(vec![
+            asm::mov64_imm(Reg::R0, 0),
+            asm::jmp_imm(JmpOp::Jeq, Reg::R0, 1, -2),
+            asm::exit(),
+        ]);
+        assert!(validate_structure(&p).is_ok());
+    }
+}

@@ -1,0 +1,437 @@
+//! BTF: kernel type information and boot-time kernel objects.
+//!
+//! The verifier consults this table to validate `PTR_TO_BTF_ID` accesses
+//! (field layout and pointer-typed fields), and `LD_IMM64` pseudo loads of
+//! BTF ids resolve here to concrete object addresses at load time.
+//!
+//! A crucial detail for bug #1: BTF-typed pointers are *trusted* by the
+//! verifier — they are not marked `maybe_null` even though some of them
+//! are actually null at runtime (e.g. an optional per-boot object that was
+//! never initialized). Dereferencing a null BTF pointer is gracefully
+//! handled by the kernel's exception tables, so this is not itself a bug —
+//! but it becomes one when nullness *propagates* from such a pointer to a
+//! map-value pointer in the verifier's jump analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A BTF type id.
+pub type BtfTypeId = u32;
+
+/// Well-known type ids of the simulated kernel's BTF.
+pub mod ids {
+    use super::BtfTypeId;
+
+    /// `struct task_struct`.
+    pub const TASK_STRUCT: BtfTypeId = 1;
+    /// `struct file`.
+    pub const FILE: BtfTypeId = 2;
+    /// `struct net_device`.
+    pub const NET_DEVICE: BtfTypeId = 3;
+    /// `struct mm_struct`.
+    pub const MM_STRUCT: BtfTypeId = 4;
+    /// An optional debug object that exists in the type system but is
+    /// **null at runtime** on this boot (its module never loaded).
+    pub const DEBUG_OBJ: BtfTypeId = 5;
+    /// `struct seq_file`.
+    pub const SEQ_FILE: BtfTypeId = 6;
+}
+
+/// Kind of data at a given offset inside a BTF struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BtfFieldKind {
+    /// Plain scalar data.
+    Scalar,
+    /// A pointer to another BTF-typed object.
+    Ptr(BtfTypeId),
+}
+
+/// One field of a BTF struct type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BtfField {
+    /// Field name.
+    pub name: &'static str,
+    /// Byte offset within the struct.
+    pub off: u32,
+    /// Field size in bytes.
+    pub size: u32,
+    /// What the field holds.
+    pub kind: BtfFieldKind,
+}
+
+/// One BTF struct type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BtfType {
+    /// Type id.
+    pub id: BtfTypeId,
+    /// Type name.
+    pub name: &'static str,
+    /// Total struct size in bytes.
+    pub size: u32,
+    /// Declared fields (offsets strictly increasing).
+    pub fields: Vec<BtfField>,
+}
+
+/// Result of validating an access into a BTF struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtfAccess {
+    /// The access reads scalar data.
+    Scalar,
+    /// The access reads a pointer to the given type (the verifier will
+    /// track the destination register as `PTR_TO_BTF_ID` of that type).
+    Ptr(BtfTypeId),
+}
+
+/// The BTF table of the simulated kernel.
+#[derive(Debug, Clone)]
+pub struct BtfTable {
+    types: Vec<BtfType>,
+}
+
+impl BtfTable {
+    /// Builds the simulated kernel's BTF.
+    pub fn new() -> BtfTable {
+        let types = vec![
+            BtfType {
+                id: ids::TASK_STRUCT,
+                name: "task_struct",
+                size: 128,
+                fields: vec![
+                    BtfField {
+                        name: "pid",
+                        off: 0,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "tgid",
+                        off: 4,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "flags",
+                        off: 8,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "prio",
+                        off: 12,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "comm",
+                        off: 16,
+                        size: 16,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "parent",
+                        off: 32,
+                        size: 8,
+                        kind: BtfFieldKind::Ptr(ids::TASK_STRUCT),
+                    },
+                    BtfField {
+                        name: "mm",
+                        off: 40,
+                        size: 8,
+                        kind: BtfFieldKind::Ptr(ids::MM_STRUCT),
+                    },
+                    BtfField {
+                        name: "start_time",
+                        off: 48,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "utime",
+                        off: 56,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "stime",
+                        off: 64,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+            BtfType {
+                id: ids::FILE,
+                name: "file",
+                size: 64,
+                fields: vec![
+                    BtfField {
+                        name: "f_mode",
+                        off: 0,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "f_count",
+                        off: 8,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "f_pos",
+                        off: 16,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+            BtfType {
+                id: ids::NET_DEVICE,
+                name: "net_device",
+                size: 96,
+                fields: vec![
+                    BtfField {
+                        name: "ifindex",
+                        off: 0,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "mtu",
+                        off: 4,
+                        size: 4,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "name",
+                        off: 8,
+                        size: 16,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "flags",
+                        off: 24,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+            BtfType {
+                id: ids::MM_STRUCT,
+                name: "mm_struct",
+                size: 80,
+                fields: vec![
+                    BtfField {
+                        name: "mmap_base",
+                        off: 0,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "task_size",
+                        off: 8,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "pgd",
+                        off: 16,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+            BtfType {
+                id: ids::DEBUG_OBJ,
+                name: "bvf_debug_obj",
+                size: 48,
+                fields: vec![
+                    BtfField {
+                        name: "state",
+                        off: 0,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "count",
+                        off: 8,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+            BtfType {
+                id: ids::SEQ_FILE,
+                name: "seq_file",
+                size: 56,
+                fields: vec![
+                    BtfField {
+                        name: "count",
+                        off: 0,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                    BtfField {
+                        name: "size",
+                        off: 8,
+                        size: 8,
+                        kind: BtfFieldKind::Scalar,
+                    },
+                ],
+            },
+        ];
+        BtfTable { types }
+    }
+
+    /// Looks up a type by id.
+    pub fn type_by_id(&self, id: BtfTypeId) -> Option<&BtfType> {
+        self.types.iter().find(|t| t.id == id)
+    }
+
+    /// All type ids available for `LD_IMM64` BTF pseudo loads.
+    pub fn loadable_ids(&self) -> Vec<BtfTypeId> {
+        self.types.iter().map(|t| t.id).collect()
+    }
+
+    /// Validates an access of `size` bytes at `off` into type `id`.
+    ///
+    /// This is the *correct* `btf_struct_access`: the whole access must lie
+    /// within the object. Reads covering a declared pointer field exactly
+    /// yield a typed pointer; any other in-bounds read is scalar.
+    pub fn struct_access(
+        &self,
+        id: BtfTypeId,
+        off: u32,
+        size: u32,
+    ) -> Result<BtfAccess, BtfAccessError> {
+        let ty = self.type_by_id(id).ok_or(BtfAccessError::UnknownType(id))?;
+        let end = off.checked_add(size).ok_or(BtfAccessError::OutOfBounds {
+            off,
+            size,
+            type_size: ty.size,
+        })?;
+        if end > ty.size {
+            return Err(BtfAccessError::OutOfBounds {
+                off,
+                size,
+                type_size: ty.size,
+            });
+        }
+        for f in &ty.fields {
+            if let BtfFieldKind::Ptr(target) = f.kind {
+                if off == f.off && size == f.size {
+                    return Ok(BtfAccess::Ptr(target));
+                }
+                // Partial overlap with a pointer field is rejected, like
+                // the kernel does for pointer-holding offsets.
+                if off < f.off + f.size && end > f.off && !(off == f.off && size == f.size) {
+                    return Err(BtfAccessError::PartialPointer { off, size });
+                }
+            }
+        }
+        Ok(BtfAccess::Scalar)
+    }
+}
+
+impl Default for BtfTable {
+    fn default() -> Self {
+        BtfTable::new()
+    }
+}
+
+/// Errors from [`BtfTable::struct_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtfAccessError {
+    /// The type id is not in the table.
+    UnknownType(BtfTypeId),
+    /// The access exceeds the object size.
+    OutOfBounds {
+        /// Access offset.
+        off: u32,
+        /// Access size.
+        size: u32,
+        /// Size of the accessed type.
+        type_size: u32,
+    },
+    /// The access partially overlaps a pointer-typed field.
+    PartialPointer {
+        /// Access offset.
+        off: u32,
+        /// Access size.
+        size: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_access_in_bounds() {
+        let btf = BtfTable::new();
+        assert_eq!(
+            btf.struct_access(ids::TASK_STRUCT, 0, 4),
+            Ok(BtfAccess::Scalar)
+        );
+        assert_eq!(
+            btf.struct_access(ids::TASK_STRUCT, 16, 8),
+            Ok(BtfAccess::Scalar)
+        );
+        // Undeclared but in-bounds offsets read scalar, like the kernel.
+        assert_eq!(
+            btf.struct_access(ids::TASK_STRUCT, 120, 8),
+            Ok(BtfAccess::Scalar)
+        );
+    }
+
+    #[test]
+    fn pointer_field_access_yields_typed_pointer() {
+        let btf = BtfTable::new();
+        assert_eq!(
+            btf.struct_access(ids::TASK_STRUCT, 32, 8),
+            Ok(BtfAccess::Ptr(ids::TASK_STRUCT))
+        );
+        assert_eq!(
+            btf.struct_access(ids::TASK_STRUCT, 40, 8),
+            Ok(BtfAccess::Ptr(ids::MM_STRUCT))
+        );
+    }
+
+    #[test]
+    fn partial_pointer_overlap_rejected() {
+        let btf = BtfTable::new();
+        assert!(matches!(
+            btf.struct_access(ids::TASK_STRUCT, 32, 4),
+            Err(BtfAccessError::PartialPointer { .. })
+        ));
+        assert!(matches!(
+            btf.struct_access(ids::TASK_STRUCT, 28, 8),
+            Err(BtfAccessError::PartialPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let btf = BtfTable::new();
+        assert!(matches!(
+            btf.struct_access(ids::TASK_STRUCT, 128, 1),
+            Err(BtfAccessError::OutOfBounds { .. })
+        ));
+        // The off-by-size case bug #2 exploits: offset in bounds, but the
+        // access extends past the end.
+        assert!(matches!(
+            btf.struct_access(ids::TASK_STRUCT, 124, 8),
+            Err(BtfAccessError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            btf.struct_access(99, 0, 1),
+            Err(BtfAccessError::UnknownType(99))
+        ));
+    }
+
+    #[test]
+    fn every_type_resolvable() {
+        let btf = BtfTable::new();
+        for id in btf.loadable_ids() {
+            assert!(btf.type_by_id(id).is_some());
+        }
+    }
+}

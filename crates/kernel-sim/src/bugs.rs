@@ -1,0 +1,219 @@
+//! Injectable defects reproducing the vulnerabilities of Table 2.
+//!
+//! Every bug BVF found in the paper is implemented here as a *toggleable
+//! defect*: with the flag set, the corresponding subsystem runs the buggy
+//! pre-patch logic; with the flag clear, it runs the fixed (upstream)
+//! logic. The fuzzer's job — exactly as in the paper — is to *rediscover*
+//! each enabled defect through generated programs and the two indicators.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one injectable defect.
+///
+/// Numbering follows Table 2 of the paper; [`BugId::CveAluOnNullablePtr`]
+/// is CVE-2022-23222 (Listing 1), which predates the studied window but is
+/// reproduced as an additional case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BugId {
+    /// Bug #1 (verifier): incorrect nullness propagation of pointer
+    /// comparisons — `PTR_TO_BTF_ID` is not filtered, so a
+    /// `PTR_TO_MAP_VALUE_OR_NULL` compared equal to an (actually-null) BTF
+    /// pointer is wrongly marked non-null.
+    NullnessPropagation,
+    /// Bug #2 (verifier): incorrect `task_struct` access validation — the
+    /// bound check ignores the access size, allowing out-of-bounds reads
+    /// past the end of the object.
+    TaskStructOob,
+    /// Bug #3 (verifier): incorrect check on kfunc call operations — the
+    /// kfunc's return register is not marked for precision backtracking,
+    /// so stale scalar bounds survive state pruning.
+    KfuncBacktrack,
+    /// Bug #4 (verifier): missing check on programs attached to the
+    /// `trace_printk` tracepoint that themselves call `bpf_trace_printk`,
+    /// causing recursive lock acquisition (deadlock).
+    TracePrintkDeadlock,
+    /// Bug #5 (verifier): missing validation of programs attached to
+    /// `contention_begin` that call a lock-acquiring helper, causing an
+    /// inconsistent lock state.
+    ContentionBeginLock,
+    /// Bug #6 (verifier): missing strict check on signal sending — a
+    /// program running in NMI context may call `bpf_send_signal`, which
+    /// panics the kernel.
+    SignalSendPanic,
+    /// CVE-2022-23222 (verifier): ALU is permitted on nullable pointers
+    /// (`PTR_TO_MAP_VALUE_OR_NULL` and friends), enabling out-of-bounds
+    /// access from a null-plus-offset pointer.
+    CveAluOnNullablePtr,
+    /// Bug #7 (dispatcher): missing synchronization between dispatcher
+    /// image update and execution, leading to a null pointer dereference.
+    DispatcherNullDeref,
+    /// Bug #8 (syscall): `kmemdup()` is used to duplicate rewritten
+    /// instructions; past the `kmalloc` size cap the duplication fails
+    /// spuriously (the fix switches to `kvmemdup()`).
+    SyscallKmemdup,
+    /// Bug #9 (map): incorrect bucket iteration in the lock-acquisition
+    /// failure path of the hash map walks past the bucket array.
+    HashBucketOob,
+    /// Bug #10 (helper): incorrect use of `irq_work_queue` in a helper
+    /// function leads to a lock bug.
+    IrqWorkLock,
+    /// Bug #11 (XDP): incorrect execution environment — a device-offloaded
+    /// program is run on the host.
+    XdpDeviceOnHost,
+}
+
+impl BugId {
+    /// All injectable defects.
+    pub const ALL: [BugId; 12] = [
+        BugId::NullnessPropagation,
+        BugId::TaskStructOob,
+        BugId::KfuncBacktrack,
+        BugId::TracePrintkDeadlock,
+        BugId::ContentionBeginLock,
+        BugId::SignalSendPanic,
+        BugId::CveAluOnNullablePtr,
+        BugId::DispatcherNullDeref,
+        BugId::SyscallKmemdup,
+        BugId::HashBucketOob,
+        BugId::IrqWorkLock,
+        BugId::XdpDeviceOnHost,
+    ];
+
+    /// The six verifier correctness bugs of Table 2 (excludes the CVE).
+    pub const VERIFIER_CORRECTNESS: [BugId; 6] = [
+        BugId::NullnessPropagation,
+        BugId::TaskStructOob,
+        BugId::KfuncBacktrack,
+        BugId::TracePrintkDeadlock,
+        BugId::ContentionBeginLock,
+        BugId::SignalSendPanic,
+    ];
+
+    /// Whether the defect lives in the verifier (a *correctness bug* in the
+    /// paper's terminology) as opposed to other eBPF components.
+    pub fn is_verifier_bug(self) -> bool {
+        matches!(
+            self,
+            BugId::NullnessPropagation
+                | BugId::TaskStructOob
+                | BugId::KfuncBacktrack
+                | BugId::TracePrintkDeadlock
+                | BugId::ContentionBeginLock
+                | BugId::SignalSendPanic
+                | BugId::CveAluOnNullablePtr
+        )
+    }
+
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BugId::NullnessPropagation => "bug1-nullness-propagation",
+            BugId::TaskStructOob => "bug2-task-struct-oob",
+            BugId::KfuncBacktrack => "bug3-kfunc-backtrack",
+            BugId::TracePrintkDeadlock => "bug4-trace-printk-deadlock",
+            BugId::ContentionBeginLock => "bug5-contention-begin-lock",
+            BugId::SignalSendPanic => "bug6-signal-send-panic",
+            BugId::CveAluOnNullablePtr => "cve-2022-23222-alu-nullable-ptr",
+            BugId::DispatcherNullDeref => "bug7-dispatcher-null-deref",
+            BugId::SyscallKmemdup => "bug8-syscall-kmemdup",
+            BugId::HashBucketOob => "bug9-hash-bucket-oob",
+            BugId::IrqWorkLock => "bug10-irq-work-lock",
+            BugId::XdpDeviceOnHost => "bug11-xdp-device-on-host",
+        }
+    }
+}
+
+/// The set of defects enabled for a simulated kernel build.
+///
+/// Think of this as the "kernel version": the paper tests upstream trees
+/// where all eleven bugs were present; a patched tree clears flags.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugSet {
+    enabled: Vec<BugId>,
+}
+
+impl BugSet {
+    /// No defects: the fully patched kernel.
+    pub fn none() -> BugSet {
+        BugSet::default()
+    }
+
+    /// All defects of Table 2 plus the CVE.
+    pub fn all() -> BugSet {
+        BugSet {
+            enabled: BugId::ALL.to_vec(),
+        }
+    }
+
+    /// A set with exactly the given defects.
+    pub fn with(bugs: &[BugId]) -> BugSet {
+        let mut enabled = bugs.to_vec();
+        enabled.sort();
+        enabled.dedup();
+        BugSet { enabled }
+    }
+
+    /// Whether the given defect is present.
+    pub fn has(&self, bug: BugId) -> bool {
+        self.enabled.contains(&bug)
+    }
+
+    /// Enables a defect.
+    pub fn enable(&mut self, bug: BugId) {
+        if !self.has(bug) {
+            self.enabled.push(bug);
+            self.enabled.sort();
+        }
+    }
+
+    /// Disables a defect (applies the patch).
+    pub fn disable(&mut self, bug: BugId) {
+        self.enabled.retain(|b| *b != bug);
+    }
+
+    /// The enabled defects in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = BugId> + '_ {
+        self.enabled.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bugset_enable_disable() {
+        let mut s = BugSet::none();
+        assert!(!s.has(BugId::NullnessPropagation));
+        s.enable(BugId::NullnessPropagation);
+        s.enable(BugId::NullnessPropagation);
+        assert!(s.has(BugId::NullnessPropagation));
+        assert_eq!(s.iter().count(), 1);
+        s.disable(BugId::NullnessPropagation);
+        assert!(!s.has(BugId::NullnessPropagation));
+    }
+
+    #[test]
+    fn all_contains_every_bug() {
+        let s = BugSet::all();
+        for b in BugId::ALL {
+            assert!(s.has(b));
+        }
+        assert_eq!(s.iter().count(), 12);
+    }
+
+    #[test]
+    fn verifier_bug_classification() {
+        assert!(BugId::NullnessPropagation.is_verifier_bug());
+        assert!(BugId::CveAluOnNullablePtr.is_verifier_bug());
+        assert!(!BugId::DispatcherNullDeref.is_verifier_bug());
+        assert!(!BugId::SyscallKmemdup.is_verifier_bug());
+        assert_eq!(
+            BugId::VERIFIER_CORRECTNESS
+                .iter()
+                .filter(|b| b.is_verifier_bug())
+                .count(),
+            6
+        );
+    }
+}

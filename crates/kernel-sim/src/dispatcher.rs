@@ -1,0 +1,115 @@
+//! BPF dispatcher (XDP fast-path trampoline).
+//!
+//! The real dispatcher rewrites a trampoline image when programs are
+//! attached/detached and must synchronize image updates against concurrent
+//! execution (RCU). Bug #7 of the paper is a missing synchronization: an
+//! execution can observe the torn state where the old image was dropped
+//! but the new one is not yet published, dereferencing a null function
+//! pointer.
+//!
+//! We model the torn window explicitly: a buggy `update` leaves the image
+//! empty until `sync` runs, and the buggy path defers `sync` until the
+//! *next* update — so a run landing between update and next update hits
+//! the null image.
+
+/// Dispatcher state.
+#[derive(Debug, Clone, Default)]
+pub struct Dispatcher {
+    /// Published trampoline image: the program id it dispatches to.
+    image: Option<u32>,
+    /// Staged program waiting for synchronization (buggy path only).
+    staged: Option<u32>,
+}
+
+/// Outcome of running the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchResult {
+    /// Dispatched to the program with this id.
+    Run(u32),
+    /// No program installed; packet passes through.
+    Pass,
+    /// Null image dereferenced — the bug #7 crash.
+    NullImage,
+}
+
+impl Dispatcher {
+    /// Creates an empty dispatcher.
+    pub fn new() -> Dispatcher {
+        Dispatcher::default()
+    }
+
+    /// Installs a program.
+    ///
+    /// `buggy` selects the bug #7 behavior: the old image is torn down
+    /// immediately but the new one is only staged, not published — the
+    /// missing `synchronize_rcu` of the real bug.
+    pub fn update(&mut self, prog_id: u32, buggy: bool) {
+        if buggy {
+            // Publish any previously staged image now (the too-late sync).
+            if let Some(staged) = self.staged.take() {
+                self.image = Some(staged);
+            }
+            // Tear down and stage without synchronizing.
+            self.image = None;
+            self.staged = Some(prog_id);
+        } else {
+            // Fixed: atomic replace.
+            self.image = Some(prog_id);
+            self.staged = None;
+        }
+    }
+
+    /// Removes the installed program.
+    pub fn clear(&mut self) {
+        self.image = None;
+        self.staged = None;
+    }
+
+    /// Executes the dispatcher, as the XDP receive path does.
+    pub fn run(&self) -> DispatchResult {
+        match (self.image, self.staged) {
+            (Some(id), _) => DispatchResult::Run(id),
+            (None, Some(_)) => DispatchResult::NullImage,
+            (None, None) => DispatchResult::Pass,
+        }
+    }
+
+    /// Whether a program is currently published.
+    pub fn installed(&self) -> Option<u32> {
+        self.image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_update_is_atomic() {
+        let mut d = Dispatcher::new();
+        assert_eq!(d.run(), DispatchResult::Pass);
+        d.update(7, false);
+        assert_eq!(d.run(), DispatchResult::Run(7));
+        d.update(8, false);
+        assert_eq!(d.run(), DispatchResult::Run(8));
+    }
+
+    #[test]
+    fn buggy_update_exposes_null_window() {
+        let mut d = Dispatcher::new();
+        d.update(7, true);
+        // The run lands in the torn window.
+        assert_eq!(d.run(), DispatchResult::NullImage);
+        // The next update publishes the staged image first.
+        d.update(8, true);
+        assert_eq!(d.run(), DispatchResult::NullImage);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = Dispatcher::new();
+        d.update(7, true);
+        d.clear();
+        assert_eq!(d.run(), DispatchResult::Pass);
+    }
+}

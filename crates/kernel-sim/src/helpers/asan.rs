@@ -1,0 +1,189 @@
+//! The `bpf_asan_*` sanitizing functions (BVF's kernel patches 1–3).
+//!
+//! These are kernel functions compiled with KASAN instrumentation. BVF's
+//! rewrite pass dispatches every interesting load/store in a verified
+//! program to them, passing the target address; the functions consult the
+//! shadow before the real (uninstrumented) access executes. Pointer-ALU
+//! instructions with a verifier-computed `alu_limit` additionally get a
+//! runtime `assert(offset < alu_limit)` through [`asan_alu_check`].
+
+use crate::kernel::Kernel;
+use crate::report::{KasanKind, KernelReport, ReportOrigin};
+
+/// Function-id namespace for the sanitizing functions; distinct from
+/// helper ids so user programs can never name them (the verifier rejects
+/// unknown helper ids, and these are only emitted post-verification).
+pub mod ids {
+    /// `bpf_asan_load{1,2,4,8}`: base + log2(size).
+    pub const LOAD_BASE: u32 = 0xF100;
+    /// `bpf_asan_store{1,2,4,8}`: base + log2(size).
+    pub const STORE_BASE: u32 = 0xF200;
+    /// `bpf_asan_alu_check` for upward pointer movement.
+    pub const ALU_CHECK_UP: u32 = 0xF300;
+    /// `bpf_asan_alu_check` for downward pointer movement.
+    pub const ALU_CHECK_DOWN: u32 = 0xF301;
+
+    /// Whether an id belongs to the sanitizer function family.
+    pub fn is_asan(id: u32) -> bool {
+        (0xF100..0xF400).contains(&id)
+    }
+
+    /// The load function id for an access width.
+    pub fn load_fn(size_bytes: u32) -> u32 {
+        LOAD_BASE + size_bytes.trailing_zeros()
+    }
+
+    /// The store function id for an access width.
+    pub fn store_fn(size_bytes: u32) -> u32 {
+        STORE_BASE + size_bytes.trailing_zeros()
+    }
+}
+
+/// Outcome of a sanitized access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsanOutcome {
+    /// The access is clean.
+    Ok,
+    /// The access faults but the instruction carries an exception-table
+    /// entry: the load reads zero, no report.
+    Fixup,
+    /// Invalid access: a KASAN report was recorded (indicator #1).
+    Reported,
+}
+
+/// `bpf_asan_load*` / `bpf_asan_store*`: checks the access that the
+/// following original instruction will perform.
+///
+/// `ex_handled` marks accesses (BTF pointer loads) whose page faults the
+/// kernel fixes up gracefully; for those, only *pool-resident* poison
+/// (OOB/UAF/redzone) is reported — exactly the split between extable
+/// fixups and KASAN in Linux.
+pub fn asan_mem_check(
+    k: &mut Kernel,
+    addr: u64,
+    size: u64,
+    is_write: bool,
+    ex_handled: bool,
+) -> AsanOutcome {
+    match k.mm.kasan_check(addr, size) {
+        Ok(()) => AsanOutcome::Ok,
+        Err(bad) => {
+            let faulting = matches!(bad.kind, KasanKind::NullDeref | KasanKind::WildAccess);
+            if ex_handled && faulting {
+                return AsanOutcome::Fixup;
+            }
+            k.report_kasan_origin(bad, size, is_write, ReportOrigin::ProgramAccess);
+            AsanOutcome::Reported
+        }
+    }
+}
+
+/// `bpf_asan_alu_check`: asserts that the runtime scalar operand of a
+/// sanitized pointer-ALU instruction stays within the verifier-computed
+/// `alu_limit`. A violation means the verifier's range reasoning was
+/// wrong for this execution — a correctness bug by construction.
+pub fn asan_alu_check(k: &mut Kernel, value: u64, limit: u64, downward: bool, pc: usize) -> bool {
+    let v = value as i64;
+    let magnitude = if downward {
+        // Downward movement: the scalar is expected non-positive.
+        v.checked_neg().map(|m| m as u64).unwrap_or(u64::MAX)
+    } else {
+        value
+    };
+    let ok = (v >= 0) != downward || v == 0;
+    let within = magnitude <= limit;
+    if ok && within {
+        true
+    } else {
+        k.reports.record(KernelReport::AluLimitViolation {
+            pc,
+            offset: v,
+            limit,
+        });
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::BugSet;
+
+    #[test]
+    fn id_classification() {
+        assert!(ids::is_asan(ids::load_fn(1)));
+        assert!(ids::is_asan(ids::load_fn(8)));
+        assert!(ids::is_asan(ids::store_fn(4)));
+        assert!(ids::is_asan(ids::ALU_CHECK_UP));
+        assert!(!ids::is_asan(1));
+        assert_eq!(ids::load_fn(8), ids::LOAD_BASE + 3);
+        assert_eq!(ids::store_fn(1), ids::STORE_BASE);
+    }
+
+    #[test]
+    fn clean_access_passes() {
+        let mut k = Kernel::new(BugSet::none());
+        let a = k.mm.kmalloc(16).unwrap();
+        assert_eq!(asan_mem_check(&mut k, a, 8, false, false), AsanOutcome::Ok);
+        assert!(!k.reports.any());
+    }
+
+    #[test]
+    fn oob_access_reported_as_program_access() {
+        let mut k = Kernel::new(BugSet::none());
+        let a = k.mm.kmalloc(16).unwrap();
+        assert_eq!(
+            asan_mem_check(&mut k, a + 16, 8, true, false),
+            AsanOutcome::Reported
+        );
+        let r = &k.reports.reports()[0];
+        assert_eq!(r.origin(), Some(ReportOrigin::ProgramAccess));
+    }
+
+    #[test]
+    fn null_deref_reported_unless_ex_handled() {
+        let mut k = Kernel::new(BugSet::none());
+        assert_eq!(
+            asan_mem_check(&mut k, 0, 8, false, true),
+            AsanOutcome::Fixup,
+            "extable fixup swallows the fault"
+        );
+        assert!(!k.reports.any());
+        assert_eq!(
+            asan_mem_check(&mut k, 0, 8, false, false),
+            AsanOutcome::Reported
+        );
+        assert!(k.reports.any());
+    }
+
+    #[test]
+    fn ex_handled_still_reports_pool_poison() {
+        // Bug #2's shape: a BTF read past the object end lands in a
+        // redzone — extable does not help, KASAN reports.
+        let mut k = Kernel::new(BugSet::none());
+        let a = k.mm.kmalloc(128).unwrap();
+        assert_eq!(
+            asan_mem_check(&mut k, a + 124, 8, false, true),
+            AsanOutcome::Reported
+        );
+    }
+
+    #[test]
+    fn alu_check_directions() {
+        let mut k = Kernel::new(BugSet::none());
+        assert!(asan_alu_check(&mut k, 10, 16, false, 3));
+        assert!(asan_alu_check(&mut k, 0, 16, false, 3));
+        assert!(!asan_alu_check(&mut k, 17, 16, false, 3), "past the limit");
+        assert!(asan_alu_check(&mut k, (-8i64) as u64, 8, true, 3));
+        assert!(!asan_alu_check(&mut k, (-9i64) as u64, 8, true, 3));
+        assert!(!asan_alu_check(&mut k, 5, 8, true, 3), "wrong direction");
+        assert_eq!(
+            k.reports
+                .reports()
+                .iter()
+                .filter(|r| matches!(r, KernelReport::AluLimitViolation { .. }))
+                .count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,909 @@
+//! Helper function implementations.
+//!
+//! These are the kernel routines eBPF `call` instructions dispatch to.
+//! They are "compiled with KASAN": every memory access they make goes
+//! through the checked accessors, so a program driving a helper into
+//! invalid memory — the paper's **indicator #2** — produces a KASAN
+//! report with [`crate::report::ReportOrigin::KernelRoutine`].
+
+use crate::kernel::Kernel;
+use crate::lockdep::LockId;
+#[cfg(test)]
+use crate::map::MapType;
+use crate::map::{hash, ringbuf, LookupFault, MapStorage};
+use crate::progtype::ProgType;
+use crate::tracepoint::Tracepoint;
+
+use super::proto::{ids, HelperId};
+
+/// Linux errno values returned (negated) by helpers.
+pub mod errno {
+    /// No such entry.
+    pub const ENOENT: i64 = 2;
+    /// Argument list too long.
+    pub const E2BIG: i64 = 7;
+    /// Bad address.
+    pub const EFAULT: i64 = 14;
+    /// Device or resource busy.
+    pub const EBUSY: i64 = 16;
+    /// Invalid argument.
+    pub const EINVAL: i64 = 22;
+    /// Operation not permitted.
+    pub const EPERM: i64 = 1;
+    /// Operation not supported.
+    pub const EOPNOTSUPP: i64 = 95;
+}
+
+/// Per-invocation environment the runtime provides to helper dispatch.
+#[derive(Debug, Clone)]
+pub struct HelperEnv {
+    /// Type of the calling program.
+    pub prog_type: ProgType,
+    /// Whether the call happens in NMI context.
+    pub in_nmi: bool,
+    /// Address of the program's context object.
+    pub ctx_addr: u64,
+    /// Packet data address (0 when the program type has no packet).
+    pub packet_addr: u64,
+    /// Packet length in bytes.
+    pub packet_len: u64,
+    /// Set by `bpf_tail_call`: `(prog_array_map_id, index)` for the
+    /// runtime to act on.
+    pub tail_call: Option<(u32, u32)>,
+}
+
+impl HelperEnv {
+    /// Environment for a plain test run of the given program type.
+    pub fn new(prog_type: ProgType, ctx_addr: u64) -> HelperEnv {
+        HelperEnv {
+            prog_type,
+            in_nmi: false,
+            ctx_addr,
+            packet_addr: 0,
+            packet_len: 0,
+            tail_call: None,
+        }
+    }
+}
+
+/// Hook used by helpers to fire a tracepoint; the runtime re-enters
+/// attached programs from it.
+pub type FireHook<'a> = &'a mut dyn FnMut(&mut Kernel, Tracepoint);
+
+/// Resolves a runtime map pointer (the address of a `struct bpf_map`
+/// object in pool memory) back to a map id.
+///
+/// A corrupted pointer produces a KASAN report (the helper reads through
+/// it) and `None`.
+pub fn resolve_map(k: &mut Kernel, map_ptr: u64) -> Option<u32> {
+    match k.mm.checked_read(map_ptr, 4) {
+        Ok(id) => {
+            let id = id as u32;
+            match k.maps.get(id) {
+                Some(m) if m.struct_addr == map_ptr => Some(id),
+                _ => None,
+            }
+        }
+        Err(bad) => {
+            k.report_kasan(bad, 4, false);
+            None
+        }
+    }
+}
+
+/// Dispatches one helper call. Returns the value for `R0`.
+pub fn call_helper(
+    k: &mut Kernel,
+    id: HelperId,
+    args: [u64; 5],
+    env: &mut HelperEnv,
+    fire: FireHook<'_>,
+) -> u64 {
+    k.enter_routine();
+    let ret = dispatch(k, id, args, env, fire);
+    k.leave_routine();
+    ret as u64
+}
+
+fn dispatch(
+    k: &mut Kernel,
+    id: HelperId,
+    args: [u64; 5],
+    env: &mut HelperEnv,
+    fire: FireHook<'_>,
+) -> i64 {
+    match id {
+        ids::MAP_LOOKUP_ELEM => map_lookup(k, args),
+        ids::MAP_UPDATE_ELEM => map_update(k, args),
+        ids::MAP_DELETE_ELEM => map_delete(k, args),
+        ids::KTIME_GET_NS => k.ktime_get_ns() as i64,
+        ids::TRACE_PRINTK => trace_printk(k, args, fire),
+        ids::GET_PRANDOM_U32 => k.prandom_u32() as i64,
+        ids::GET_SMP_PROCESSOR_ID => 0,
+        ids::TAIL_CALL => tail_call(k, args, env),
+        ids::GET_CURRENT_PID_TGID => get_current_pid_tgid(k),
+        ids::GET_CURRENT_COMM => get_current_comm(k, args),
+        ids::PERF_EVENT_OUTPUT => perf_event_output(k, args),
+        ids::SKB_LOAD_BYTES => skb_load_bytes(k, args, env),
+        ids::XDP_ADJUST_HEAD => xdp_adjust_head(k, args, env),
+        ids::SEND_SIGNAL => send_signal(k, env),
+        ids::PROBE_READ_KERNEL => probe_read_kernel(k, args),
+        ids::JIFFIES64 => (k.time_ns / 4_000_000) as i64,
+        ids::RINGBUF_OUTPUT => ringbuf_output(k, args, fire),
+        ids::RINGBUF_RESERVE => ringbuf_reserve(k, args, fire),
+        ids::RINGBUF_SUBMIT | ids::RINGBUF_DISCARD => 0,
+        ids::GET_CURRENT_TASK_BTF => k.current_task() as i64,
+        ids::QUEUE_WORK => queue_work(k),
+        ids::MAP_SUM_VALUES => map_sum_values(k, args, env),
+        _ => -errno::EINVAL,
+    }
+}
+
+fn fault_to_errno(k: &mut Kernel, fault: LookupFault) -> i64 {
+    match fault {
+        LookupFault::BadAccess(bad) => {
+            k.report_kasan(bad, 1, false);
+            -errno::EFAULT
+        }
+        LookupFault::Miss | LookupFault::NoMap => -errno::ENOENT,
+        LookupFault::WrongType => -errno::EINVAL,
+        LookupFault::Full | LookupFault::NoMemory => -errno::E2BIG,
+        LookupFault::Busy => -errno::EBUSY,
+    }
+}
+
+fn map_lookup(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return 0; // NULL
+    };
+    let mut maps = std::mem::take(&mut k.maps);
+    let res = maps.lookup_elem(&mut k.mm, &mut k.lockdep, id, args[1]);
+    k.maps = maps;
+    match res {
+        Ok(addr) => addr as i64,
+        Err(LookupFault::Miss) => 0,
+        Err(f) => {
+            let _ = fault_to_errno(k, f);
+            0
+        }
+    }
+}
+
+fn map_update(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return -errno::EINVAL;
+    };
+    let mut maps = std::mem::take(&mut k.maps);
+    let res = maps.update_elem(&mut k.mm, &mut k.lockdep, id, args[1], args[2]);
+    k.maps = maps;
+    match res {
+        Ok(()) => 0,
+        Err(f) => fault_to_errno(k, f),
+    }
+}
+
+fn map_delete(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return -errno::EINVAL;
+    };
+    let mut maps = std::mem::take(&mut k.maps);
+    let res = maps.delete_elem(&mut k.mm, &mut k.lockdep, id, args[1]);
+    k.maps = maps;
+    match res {
+        Ok(()) => 0,
+        Err(f) => fault_to_errno(k, f),
+    }
+}
+
+fn trace_printk(k: &mut Kernel, args: [u64; 5], fire: FireHook<'_>) -> i64 {
+    let (fmt, size) = (args[0], args[1]);
+    if size == 0 || size > 128 {
+        return -errno::EINVAL;
+    }
+    // The printk buffer lock: held across formatting *and* the
+    // bpf_trace_printk tracepoint — the re-entrancy window of bug #4.
+    if !k.lock(LockId::TracePrintk) {
+        return -errno::EBUSY;
+    }
+    let mut written = 0;
+    for i in 0..size {
+        match k.mm.checked_read(fmt + i, 1) {
+            Ok(_) => written += 1,
+            Err(bad) => {
+                k.report_kasan(bad, 1, false);
+                k.unlock(LockId::TracePrintk);
+                return -errno::EFAULT;
+            }
+        }
+    }
+    if k.tracepoint_enabled(Tracepoint::TracePrintk) {
+        fire(k, Tracepoint::TracePrintk);
+    }
+    k.unlock(LockId::TracePrintk);
+    written
+}
+
+fn tail_call(k: &mut Kernel, args: [u64; 5], env: &mut HelperEnv) -> i64 {
+    let Some(id) = resolve_map(k, args[1]) else {
+        return -errno::EINVAL;
+    };
+    let index = args[2] as u32;
+    let Some(map) = k.maps.get(id) else {
+        return -errno::EINVAL;
+    };
+    match &map.storage {
+        MapStorage::ProgArray { slots } => {
+            if index as usize >= slots.len() || slots[index as usize] == 0 {
+                return -errno::ENOENT;
+            }
+            env.tail_call = Some((id, index));
+            0
+        }
+        _ => -errno::EINVAL,
+    }
+}
+
+fn get_current_pid_tgid(k: &mut Kernel) -> i64 {
+    let task = k.current_task();
+    let pid = k.mm.checked_read(task, 4).unwrap_or(0);
+    let tgid = k.mm.checked_read(task + 4, 4).unwrap_or(0);
+    ((tgid << 32) | pid) as i64
+}
+
+fn get_current_comm(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let (buf, size) = (args[0], args[1]);
+    if size == 0 {
+        return -errno::EINVAL;
+    }
+    let comm = b"bvf-task\0";
+    for i in 0..size.min(comm.len() as u64) {
+        if let Err(bad) = k.mm.checked_write(buf + i, 1, comm[i as usize] as u64) {
+            k.report_kasan(bad, 1, true);
+            return -errno::EFAULT;
+        }
+    }
+    0
+}
+
+fn perf_event_output(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let (data, size) = (args[3], args[4]);
+    if size == 0 || size > 4096 {
+        return -errno::EINVAL;
+    }
+    for i in 0..size {
+        if let Err(bad) = k.mm.checked_read(data + i, 1) {
+            k.report_kasan(bad, 1, false);
+            return -errno::EFAULT;
+        }
+    }
+    0
+}
+
+fn skb_load_bytes(k: &mut Kernel, args: [u64; 5], env: &HelperEnv) -> i64 {
+    let (off, dst, len) = (args[1], args[2], args[3]);
+    if len == 0 {
+        return -errno::EINVAL;
+    }
+    if off.saturating_add(len) > env.packet_len {
+        return -errno::EFAULT;
+    }
+    for i in 0..len {
+        let b = match k.mm.checked_read(env.packet_addr + off + i, 1) {
+            Ok(b) => b,
+            Err(bad) => {
+                k.report_kasan(bad, 1, false);
+                return -errno::EFAULT;
+            }
+        };
+        if let Err(bad) = k.mm.checked_write(dst + i, 1, b) {
+            k.report_kasan(bad, 1, true);
+            return -errno::EFAULT;
+        }
+    }
+    0
+}
+
+fn xdp_adjust_head(k: &mut Kernel, args: [u64; 5], env: &mut HelperEnv) -> i64 {
+    let delta = args[1] as i64;
+    let new_addr = env.packet_addr.wrapping_add_signed(delta);
+    let new_len = env.packet_len.wrapping_sub(delta as u64);
+    if delta.unsigned_abs() > env.packet_len || new_len > env.packet_len && delta > 0 {
+        return -errno::EINVAL;
+    }
+    // Moving the head backwards would leave the headroom; our simulated
+    // packets have none, so only shrinking is allowed.
+    if delta < 0 {
+        return -errno::EINVAL;
+    }
+    env.packet_addr = new_addr;
+    env.packet_len = new_len;
+    // Publish the new data pointer into the context.
+    if let Err(bad) = k.mm.checked_write(env.ctx_addr, 8, new_addr) {
+        k.report_kasan(bad, 8, true);
+        return -errno::EFAULT;
+    }
+    0
+}
+
+fn send_signal(k: &mut Kernel, env: &HelperEnv) -> i64 {
+    if env.in_nmi {
+        if k.has_bug(crate::bugs::BugId::SignalSendPanic) {
+            // Bug #6: no strict context check — signal delivery takes
+            // sleeping locks from NMI context and crashes.
+            k.panic("bpf_send_signal: invalid signal delivery from NMI context");
+            return -errno::EINVAL;
+        }
+        // The fix added a strict in_nmi() guard that fails gracefully
+        // (and the verifier additionally refuses the helper for program
+        // types that always run in NMI).
+        return -errno::EPERM;
+    }
+    if !k.lock(LockId::IrqWork) {
+        return -errno::EBUSY;
+    }
+    k.irq_work_pending += 1;
+    k.unlock(LockId::IrqWork);
+    0
+}
+
+fn probe_read_kernel(k: &mut Kernel, args: [u64; 5]) -> i64 {
+    let (dst, size, src) = (args[0], args[1], args[2]);
+    // copy_from_kernel_nofault: faults are handled gracefully, no KASAN
+    // report — the helper is *allowed* to probe arbitrary memory.
+    let ok = (0..size).all(|i| k.mm.kasan_check(src + i, 1).is_ok());
+    for i in 0..size {
+        let b = if ok {
+            k.mm.pool.raw_read(src + i, 1).unwrap_or(0)
+        } else {
+            0
+        };
+        if let Err(bad) = k.mm.checked_write(dst + i, 1, b) {
+            k.report_kasan(bad, 1, true);
+            return -errno::EFAULT;
+        }
+    }
+    if ok {
+        0
+    } else {
+        -errno::EFAULT
+    }
+}
+
+fn ringbuf_output(k: &mut Kernel, args: [u64; 5], fire: FireHook<'_>) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return -errno::EINVAL;
+    };
+    let (data, len) = (args[1], args[2]);
+    let Some(map) = k.maps.get(id) else {
+        return -errno::EINVAL;
+    };
+    let MapStorage::RingBuf {
+        buf_addr,
+        size,
+        head,
+    } = map.storage
+    else {
+        return -errno::EINVAL;
+    };
+    if !k.lock(LockId::Ringbuf) {
+        return -errno::EBUSY;
+    }
+    // The contention slow path: with a consumer attached, acquiring this
+    // lock trips `contention_begin` while the lock is held (bug #5's
+    // re-entrancy window).
+    if k.tracepoint_enabled(Tracepoint::ContentionBegin) {
+        fire(k, Tracepoint::ContentionBegin);
+    }
+    let mut new_head = head;
+    let res = ringbuf::output(&mut k.mm, buf_addr, size, &mut new_head, data, len);
+    if let Some(map) = k.maps.get_mut(id) {
+        if let MapStorage::RingBuf { head, .. } = &mut map.storage {
+            *head = new_head;
+        }
+    }
+    k.unlock(LockId::Ringbuf);
+    match res {
+        Ok(n) => n as i64,
+        Err(f) => fault_to_errno(k, f),
+    }
+}
+
+fn ringbuf_reserve(k: &mut Kernel, args: [u64; 5], fire: FireHook<'_>) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return 0;
+    };
+    let len = args[1];
+    let Some(map) = k.maps.get(id) else {
+        return 0;
+    };
+    let MapStorage::RingBuf {
+        buf_addr,
+        size,
+        head,
+    } = map.storage
+    else {
+        return 0;
+    };
+    if !k.lock(LockId::Ringbuf) {
+        return 0;
+    }
+    if k.tracepoint_enabled(Tracepoint::ContentionBegin) {
+        fire(k, Tracepoint::ContentionBegin);
+    }
+    // Records must be contiguous; fail (NULL) when the tail would wrap or
+    // the record does not fit.
+    let mask = size as u64 - 1;
+    let off = (head + ringbuf::RECORD_HDR) & mask;
+    let result = if len == 0 || off + len > size as u64 {
+        0
+    } else {
+        let addr = buf_addr + off;
+        if let Some(map) = k.maps.get_mut(id) {
+            if let MapStorage::RingBuf { head, .. } = &mut map.storage {
+                *head += ringbuf::RECORD_HDR + len;
+            }
+        }
+        addr as i64
+    };
+    k.unlock(LockId::Ringbuf);
+    result
+}
+
+fn queue_work(k: &mut Kernel) -> i64 {
+    // bvf_queue_work: queue an irq_work entry.
+    if !k.lock(LockId::IrqWork) {
+        return -errno::EBUSY;
+    }
+    let was_pending = k.irq_work_pending > 0;
+    k.irq_work_pending += 1;
+    if k.has_bug(crate::bugs::BugId::IrqWorkLock) && was_pending {
+        // Bug #10: the non-empty path re-enters irq_work_queue, which
+        // re-acquires the queue lock — lockdep flags the recursion.
+        let _ = k.lock(LockId::IrqWork);
+    }
+    k.unlock(LockId::IrqWork);
+    0
+}
+
+fn map_sum_values(k: &mut Kernel, args: [u64; 5], env: &HelperEnv) -> i64 {
+    let Some(id) = resolve_map(k, args[0]) else {
+        return -errno::EINVAL;
+    };
+    let Some(map) = k.maps.get(id) else {
+        return -errno::EINVAL;
+    };
+    let def = map.def;
+    let MapStorage::Hash {
+        bucket_table,
+        n_buckets,
+        ..
+    } = map.storage
+    else {
+        return -errno::EINVAL;
+    };
+    let bug9 = k.has_bug(crate::bugs::BugId::HashBucketOob);
+    let mut sum: u64 = 0;
+    let res = hash::for_each(
+        &mut k.mm,
+        &mut k.lockdep,
+        &def,
+        bucket_table,
+        n_buckets,
+        env.in_nmi,
+        bug9,
+        &mut |mm, value_addr| {
+            sum = sum.wrapping_add(mm.checked_read(value_addr, 8).unwrap_or(0));
+        },
+    );
+    match res {
+        Ok(_) => sum as i64,
+        Err(f) => fault_to_errno(k, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bugs::{BugId, BugSet};
+    use crate::map::MapDef;
+    use crate::report::{KernelReport, LockdepKind};
+
+    fn kernel() -> Kernel {
+        Kernel::default()
+    }
+
+    fn no_fire() -> impl FnMut(&mut Kernel, Tracepoint) {
+        |_k: &mut Kernel, _tp: Tracepoint| panic!("unexpected tracepoint fire")
+    }
+
+    fn env() -> HelperEnv {
+        HelperEnv::new(ProgType::Kprobe, 0)
+    }
+
+    fn make_array(k: &mut Kernel) -> (u32, u64) {
+        let id = {
+            let mut maps = std::mem::take(&mut k.maps);
+            let id = maps
+                .create(
+                    &mut k.mm,
+                    MapDef {
+                        map_type: MapType::Array,
+                        key_size: 4,
+                        value_size: 16,
+                        max_entries: 4,
+                    },
+                )
+                .unwrap();
+            k.maps = maps;
+            id
+        };
+        let ptr = k.maps.get(id).unwrap().struct_addr;
+        (id, ptr)
+    }
+
+    #[test]
+    fn lookup_hit_and_miss() {
+        let mut k = kernel();
+        let (_, map_ptr) = make_array(&mut k);
+        let key = k.mm.kmalloc(4).unwrap();
+        k.mm.checked_write(key, 4, 1).unwrap();
+        let mut e = env();
+        let v = call_helper(
+            &mut k,
+            ids::MAP_LOOKUP_ELEM,
+            [map_ptr, key, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_ne!(v, 0);
+        k.mm.checked_write(key, 4, 99).unwrap();
+        let v = call_helper(
+            &mut k,
+            ids::MAP_LOOKUP_ELEM,
+            [map_ptr, key, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(v, 0, "out-of-range key returns NULL");
+        assert!(!k.reports.any());
+    }
+
+    #[test]
+    fn lookup_with_forged_map_pointer_reports() {
+        let mut k = kernel();
+        let mut e = env();
+        let v = call_helper(
+            &mut k,
+            ids::MAP_LOOKUP_ELEM,
+            [0x40, 0, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(v, 0);
+        assert!(k.reports.any(), "KASAN fired inside the kernel routine");
+        let r = &k.reports.reports()[0];
+        assert_eq!(r.origin(), Some(crate::report::ReportOrigin::KernelRoutine));
+    }
+
+    #[test]
+    fn lookup_with_bad_key_pointer_reports_kernel_routine_origin() {
+        let mut k = kernel();
+        let (_, map_ptr) = make_array(&mut k);
+        let mut e = env();
+        let v = call_helper(
+            &mut k,
+            ids::MAP_LOOKUP_ELEM,
+            [map_ptr, 0x33, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(v, 0);
+        assert!(k.reports.any());
+    }
+
+    #[test]
+    fn trace_printk_reads_format() {
+        let mut k = kernel();
+        let fmt = k.mm.kmalloc(16).unwrap();
+        let mut e = env();
+        let r = call_helper(
+            &mut k,
+            ids::TRACE_PRINTK,
+            [fmt, 8, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(r, 8);
+        assert_eq!(k.lockdep.held_count(), 0);
+    }
+
+    #[test]
+    fn trace_printk_fires_tracepoint_while_locked() {
+        let mut k = kernel();
+        k.tracepoint_attach(Tracepoint::TracePrintk);
+        let fmt = k.mm.kmalloc(16).unwrap();
+        let mut fired_holding = false;
+        let mut hook = |k: &mut Kernel, tp: Tracepoint| {
+            assert_eq!(tp, Tracepoint::TracePrintk);
+            fired_holding = k.lockdep.holds(LockId::TracePrintk);
+        };
+        let mut e = env();
+        call_helper(
+            &mut k,
+            ids::TRACE_PRINTK,
+            [fmt, 4, 0, 0, 0],
+            &mut e,
+            &mut hook,
+        );
+        assert!(fired_holding, "tracepoint fired while lock held");
+    }
+
+    #[test]
+    fn send_signal_from_task_context_ok() {
+        let mut k = kernel();
+        let mut e = env();
+        assert_eq!(
+            call_helper(
+                &mut k,
+                ids::SEND_SIGNAL,
+                [9, 0, 0, 0, 0],
+                &mut e,
+                &mut no_fire()
+            ),
+            0
+        );
+        assert!(!k.reports.any());
+    }
+
+    #[test]
+    fn send_signal_from_nmi_panics_only_with_bug6() {
+        // Fixed helper: graceful -EPERM.
+        let mut k = kernel();
+        let mut e = env();
+        e.in_nmi = true;
+        let r = call_helper(
+            &mut k,
+            ids::SEND_SIGNAL,
+            [9, 0, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(r as i64, -errno::EPERM);
+        assert!(!k.reports.any());
+        // Bug #6: panic.
+        let mut k = Kernel::new(BugSet::with(&[BugId::SignalSendPanic]));
+        call_helper(
+            &mut k,
+            ids::SEND_SIGNAL,
+            [9, 0, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert!(k
+            .reports
+            .reports()
+            .iter()
+            .any(|r| matches!(r, KernelReport::Panic { .. })));
+    }
+
+    #[test]
+    fn queue_work_bug10_recursive_lock() {
+        let mut k = Kernel::new(BugSet::with(&[BugId::IrqWorkLock]));
+        let mut e = env();
+        call_helper(&mut k, ids::QUEUE_WORK, [0; 5], &mut e, &mut no_fire());
+        assert!(!k.reports.any(), "first call clean");
+        call_helper(&mut k, ids::QUEUE_WORK, [0; 5], &mut e, &mut no_fire());
+        assert!(k.reports.reports().iter().any(|r| matches!(
+            r,
+            KernelReport::Lockdep {
+                kind: LockdepKind::RecursiveAcquire,
+                lock: LockId::IrqWork,
+                ..
+            }
+        )));
+        // Fixed kernel: no report.
+        let mut k = kernel();
+        call_helper(&mut k, ids::QUEUE_WORK, [0; 5], &mut e, &mut no_fire());
+        call_helper(&mut k, ids::QUEUE_WORK, [0; 5], &mut e, &mut no_fire());
+        assert!(!k.reports.any());
+    }
+
+    #[test]
+    fn probe_read_kernel_gracefully_fails() {
+        let mut k = kernel();
+        let dst = k.mm.kmalloc(8).unwrap();
+        k.mm.checked_write(dst, 8, u64::MAX).unwrap();
+        let mut e = env();
+        let r = call_helper(
+            &mut k,
+            ids::PROBE_READ_KERNEL,
+            [dst, 8, 0x10, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(r as i64, -errno::EFAULT);
+        assert!(!k.reports.any(), "no KASAN splat for nofault probe");
+        assert_eq!(k.mm.checked_read(dst, 8).unwrap(), 0, "dst zeroed");
+    }
+
+    #[test]
+    fn map_sum_values_counts_elements() {
+        let mut k = kernel();
+        let map_id = {
+            let mut maps = std::mem::take(&mut k.maps);
+            let id = maps
+                .create(
+                    &mut k.mm,
+                    MapDef {
+                        map_type: MapType::Hash,
+                        key_size: 4,
+                        value_size: 8,
+                        max_entries: 8,
+                    },
+                )
+                .unwrap();
+            k.maps = maps;
+            id
+        };
+        let map_ptr = k.maps.get(map_id).unwrap().struct_addr;
+        // Insert two elements through the helper path.
+        let key = k.mm.kmalloc(4).unwrap();
+        let val = k.mm.kmalloc(8).unwrap();
+        let mut e = env();
+        for (kv, vv) in [(1u64, 10u64), (2, 20)] {
+            k.mm.checked_write(key, 4, kv).unwrap();
+            k.mm.checked_write(val, 8, vv).unwrap();
+            let r = call_helper(
+                &mut k,
+                ids::MAP_UPDATE_ELEM,
+                [map_ptr, key, val, 0, 0],
+                &mut e,
+                &mut no_fire(),
+            );
+            assert_eq!(r, 0);
+        }
+        let sum = call_helper(
+            &mut k,
+            ids::MAP_SUM_VALUES,
+            [map_ptr, 0, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(sum, 30);
+    }
+
+    #[test]
+    fn map_sum_values_nmi_bug9_reports_oob() {
+        let mut k = Kernel::new(BugSet::with(&[BugId::HashBucketOob]));
+        let map_id = {
+            let mut maps = std::mem::take(&mut k.maps);
+            let id = maps
+                .create(
+                    &mut k.mm,
+                    MapDef {
+                        map_type: MapType::Hash,
+                        key_size: 4,
+                        value_size: 8,
+                        max_entries: 4,
+                    },
+                )
+                .unwrap();
+            k.maps = maps;
+            id
+        };
+        let map_ptr = k.maps.get(map_id).unwrap().struct_addr;
+        let mut e = env();
+        e.in_nmi = true;
+        call_helper(
+            &mut k,
+            ids::MAP_SUM_VALUES,
+            [map_ptr, 0, 0, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert!(k
+            .reports
+            .reports()
+            .iter()
+            .any(|r| matches!(r, KernelReport::Kasan { .. })));
+    }
+
+    #[test]
+    fn ringbuf_output_and_contention_fire() {
+        let mut k = kernel();
+        let map_id = {
+            let mut maps = std::mem::take(&mut k.maps);
+            let id = maps
+                .create(
+                    &mut k.mm,
+                    MapDef {
+                        map_type: MapType::RingBuf,
+                        key_size: 0,
+                        value_size: 0,
+                        max_entries: 256,
+                    },
+                )
+                .unwrap();
+            k.maps = maps;
+            id
+        };
+        let map_ptr = k.maps.get(map_id).unwrap().struct_addr;
+        let data = k.mm.kmalloc(16).unwrap();
+        let mut e = env();
+        // No consumer: no fire.
+        let r = call_helper(
+            &mut k,
+            ids::RINGBUF_OUTPUT,
+            [map_ptr, data, 16, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(r, 16);
+        // With a consumer, the hook runs while the lock is held.
+        k.tracepoint_attach(Tracepoint::ContentionBegin);
+        let mut fired = false;
+        let mut hook = |k: &mut Kernel, tp: Tracepoint| {
+            assert_eq!(tp, Tracepoint::ContentionBegin);
+            assert!(k.lockdep.holds(LockId::Ringbuf));
+            fired = true;
+        };
+        call_helper(
+            &mut k,
+            ids::RINGBUF_OUTPUT,
+            [map_ptr, data, 16, 0, 0],
+            &mut e,
+            &mut hook,
+        );
+        assert!(fired);
+        assert_eq!(k.lockdep.held_count(), 0);
+    }
+
+    #[test]
+    fn tail_call_sets_request() {
+        let mut k = kernel();
+        let map_id = {
+            let mut maps = std::mem::take(&mut k.maps);
+            let id = maps
+                .create(
+                    &mut k.mm,
+                    MapDef {
+                        map_type: MapType::ProgArray,
+                        key_size: 4,
+                        value_size: 4,
+                        max_entries: 4,
+                    },
+                )
+                .unwrap();
+            k.maps = maps;
+            id
+        };
+        // Install prog id 5 at slot 2 (slot stores id + 1).
+        if let Some(m) = k.maps.get_mut(map_id) {
+            if let MapStorage::ProgArray { slots } = &mut m.storage {
+                slots[2] = 6;
+            }
+        }
+        let map_ptr = k.maps.get(map_id).unwrap().struct_addr;
+        let mut e = env();
+        let r = call_helper(
+            &mut k,
+            ids::TAIL_CALL,
+            [0, map_ptr, 2, 0, 0],
+            &mut e,
+            &mut no_fire(),
+        );
+        assert_eq!(r, 0);
+        assert_eq!(e.tail_call, Some((map_id, 2)));
+        // Empty slot: ENOENT, no request.
+        let mut e2 = env();
+        let r = call_helper(
+            &mut k,
+            ids::TAIL_CALL,
+            [0, map_ptr, 1, 0, 0],
+            &mut e2,
+            &mut no_fire(),
+        );
+        assert_eq!(r as i64, -errno::ENOENT);
+        assert_eq!(e2.tail_call, None);
+    }
+}

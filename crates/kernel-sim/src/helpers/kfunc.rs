@@ -1,0 +1,170 @@
+//! Kernel functions (kfuncs) callable from eBPF.
+//!
+//! kfuncs are ordinary kernel functions exposed through BTF ids; their
+//! argument/return contracts are looser than helper prototypes and are
+//! validated by a separate verifier path (`check_kfunc_call`) — the path
+//! bug #3 lives in.
+
+use serde::{Deserialize, Serialize};
+
+use crate::btf::{ids as btf_ids, BtfTypeId};
+use crate::kernel::Kernel;
+
+/// A kfunc BTF id.
+pub type KfuncId = u32;
+
+/// Well-known kfunc ids.
+pub mod ids {
+    use super::KfuncId;
+
+    /// `bpf_task_acquire(struct task_struct *p)`.
+    pub const TASK_ACQUIRE: KfuncId = 1;
+    /// `bpf_task_release(struct task_struct *p)`.
+    pub const TASK_RELEASE: KfuncId = 2;
+    /// `bvf_ktime_coarse_ns(void)` — returns an *unbounded* scalar; the
+    /// kfunc whose return-state handling bug #3 corrupts.
+    pub const KTIME_COARSE: KfuncId = 3;
+    /// `bvf_cpu_slot(void)` — returns a scalar the contract bounds to
+    /// `[0, 63]`.
+    pub const CPU_SLOT: KfuncId = 4;
+}
+
+/// Return contract of a kfunc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KfuncRet {
+    /// Unbounded scalar.
+    Scalar,
+    /// Scalar within `[0, max]` by contract.
+    BoundedScalar {
+        /// Inclusive upper bound.
+        max: u64,
+    },
+    /// Trusted BTF pointer.
+    PtrToBtfId(BtfTypeId),
+    /// Nothing.
+    Void,
+}
+
+/// Argument contract of a kfunc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KfuncArg {
+    /// A trusted BTF pointer of the given type.
+    PtrToBtfId(BtfTypeId),
+    /// Any scalar.
+    Scalar,
+}
+
+/// One kfunc descriptor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KfuncDesc {
+    /// BTF id used in the `call` instruction.
+    pub id: KfuncId,
+    /// Function name.
+    pub name: &'static str,
+    /// Argument contracts.
+    pub args: Vec<KfuncArg>,
+    /// Return contract.
+    pub ret: KfuncRet,
+    /// Whether a successful call acquires a reference (task_acquire).
+    pub acquires_ref: bool,
+    /// Whether the call releases the reference held by argument 0.
+    pub releases_ref: bool,
+}
+
+/// The kfunc table of the simulated kernel.
+pub fn kfunc_table() -> Vec<KfuncDesc> {
+    vec![
+        KfuncDesc {
+            id: ids::TASK_ACQUIRE,
+            name: "bpf_task_acquire",
+            args: vec![KfuncArg::PtrToBtfId(btf_ids::TASK_STRUCT)],
+            ret: KfuncRet::PtrToBtfId(btf_ids::TASK_STRUCT),
+            acquires_ref: true,
+            releases_ref: false,
+        },
+        KfuncDesc {
+            id: ids::TASK_RELEASE,
+            name: "bpf_task_release",
+            args: vec![KfuncArg::PtrToBtfId(btf_ids::TASK_STRUCT)],
+            ret: KfuncRet::Void,
+            acquires_ref: false,
+            releases_ref: true,
+        },
+        KfuncDesc {
+            id: ids::KTIME_COARSE,
+            name: "bvf_ktime_coarse_ns",
+            args: vec![],
+            ret: KfuncRet::Scalar,
+            acquires_ref: false,
+            releases_ref: false,
+        },
+        KfuncDesc {
+            id: ids::CPU_SLOT,
+            name: "bvf_cpu_slot",
+            args: vec![],
+            ret: KfuncRet::BoundedScalar { max: 63 },
+            acquires_ref: false,
+            releases_ref: false,
+        },
+    ]
+}
+
+/// Looks up a kfunc descriptor by id.
+pub fn kfunc_desc(id: KfuncId) -> Option<KfuncDesc> {
+    kfunc_table().into_iter().find(|d| d.id == id)
+}
+
+/// Executes a kfunc; returns the `R0` value.
+pub fn call_kfunc(k: &mut Kernel, id: KfuncId, args: [u64; 5]) -> u64 {
+    k.enter_routine();
+    let ret = match id {
+        ids::TASK_ACQUIRE => args[0],
+        ids::TASK_RELEASE => 0,
+        // Deliberately large and variable: far outside any stale bound a
+        // buggy verifier might have kept for R0 (bug #3's trigger).
+        ids::KTIME_COARSE => k.ktime_get_ns() | 0x1000,
+        ids::CPU_SLOT => (k.prandom_u32() % 64) as u64,
+        _ => 0,
+    };
+    k.leave_routine();
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_consistent() {
+        let table = kfunc_table();
+        let mut ids: Vec<_> = table.iter().map(|d| d.id).collect();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(kfunc_desc(ids::TASK_ACQUIRE).unwrap().acquires_ref);
+        assert!(kfunc_desc(ids::TASK_RELEASE).unwrap().releases_ref);
+        assert!(kfunc_desc(999).is_none());
+    }
+
+    #[test]
+    fn ktime_coarse_exceeds_small_bounds() {
+        let mut k = Kernel::default();
+        let v = call_kfunc(&mut k, ids::KTIME_COARSE, [0; 5]);
+        assert!(v > 4096, "the bug #3 trigger needs large return values");
+    }
+
+    #[test]
+    fn cpu_slot_respects_contract() {
+        let mut k = Kernel::default();
+        for _ in 0..100 {
+            assert!(call_kfunc(&mut k, ids::CPU_SLOT, [0; 5]) <= 63);
+        }
+    }
+
+    #[test]
+    fn task_acquire_returns_its_argument() {
+        let mut k = Kernel::default();
+        let t = k.current_task();
+        assert_eq!(call_kfunc(&mut k, ids::TASK_ACQUIRE, [t, 0, 0, 0, 0]), t);
+    }
+}

@@ -1,0 +1,9 @@
+//! eBPF helper functions: prototypes, implementations, and kfuncs.
+
+pub mod asan;
+pub mod impls;
+pub mod kfunc;
+pub mod proto;
+
+pub use impls::{call_helper, resolve_map, HelperEnv};
+pub use proto::{helper_proto, helper_protos, ArgType, FuncProto, HelperId, RetType};

@@ -1,0 +1,46 @@
+//! Simulated Linux kernel substrate for BVF.
+//!
+//! This crate stands in for the parts of Linux the paper's system runs
+//! against: a physical memory pool with a KASAN-style shadow, a slab-like
+//! allocator with redzones and quarantine, eBPF maps resident in pool
+//! memory, helper functions and kfuncs, tracepoints with program
+//! re-entrancy, a lockdep-style locking validator, the BPF dispatcher, and
+//! BTF type information.
+//!
+//! Two properties carry the paper's whole methodology and are preserved
+//! exactly:
+//!
+//! 1. **JITed program code is uninstrumented** — raw accesses into pool
+//!    memory succeed silently even into redzones and freed chunks
+//!    ([`mem::MemPool::raw_read`]), so a verifier correctness bug does
+//!    *not* announce itself unless BVF's sanitation dispatches the access
+//!    to a checked kernel function.
+//! 2. **Kernel routines are instrumented** — helpers, map operations and
+//!    the `bpf_asan_*` sanitizing functions all go through the shadow
+//!    ([`alloc::Mm::checked_read`]), and the locking validator watches
+//!    every lock, so indicator #2 bugs surface as [`report::KernelReport`]s.
+//!
+//! The defects of the paper's Table 2 are implemented as toggleable bugs
+//! ([`bugs::BugId`]) in the corresponding subsystems.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod btf;
+pub mod bugs;
+pub mod dispatcher;
+pub mod helpers;
+pub mod kasan;
+pub mod kernel;
+pub mod lockdep;
+pub mod map;
+pub mod mem;
+pub mod progtype;
+pub mod report;
+pub mod tracepoint;
+
+pub use alloc::Mm;
+pub use bugs::{BugId, BugSet};
+pub use kernel::Kernel;
+pub use report::{KasanKind, KernelReport, LockdepKind, ReportOrigin};
+pub use tracepoint::{AttachPoint, Tracepoint};

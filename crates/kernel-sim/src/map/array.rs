@@ -1,0 +1,138 @@
+//! Array map: `u32` keys into contiguous value storage.
+
+use crate::alloc::Mm;
+use crate::mem::KERNEL_BASE;
+
+use super::{LookupFault, MapDef, MapError, MapStorage};
+
+/// Creates array storage: one contiguous allocation for all values.
+pub fn create(mm: &mut Mm, def: &MapDef) -> Result<MapStorage, MapError> {
+    if def.key_size != 4 || def.value_size == 0 || def.max_entries == 0 {
+        return Err(MapError::InvalidDef);
+    }
+    let total = def.value_size as usize * def.max_entries as usize;
+    let values_addr = mm.kvmalloc(total).map_err(|_| MapError::NoMemory)?;
+    Ok(MapStorage::Array { values_addr })
+}
+
+fn read_key(mm: &Mm, key_addr: u64) -> Result<u32, LookupFault> {
+    mm.checked_read(key_addr, 4)
+        .map(|v| v as u32)
+        .map_err(LookupFault::BadAccess)
+}
+
+/// Value lookup: returns the pool address of the element, or `Miss` for an
+/// out-of-range key (the helper converts that to a NULL return).
+pub fn lookup(
+    mm: &mut Mm,
+    def: &MapDef,
+    values_addr: u64,
+    key_addr: u64,
+) -> Result<u64, LookupFault> {
+    let key = read_key(mm, key_addr)?;
+    if key >= def.max_entries {
+        return Err(LookupFault::Miss);
+    }
+    Ok(values_addr + key as u64 * def.value_size as u64)
+}
+
+/// Copies `value_size` bytes from `value_addr` into the element.
+pub fn update(
+    mm: &mut Mm,
+    def: &MapDef,
+    values_addr: u64,
+    key_addr: u64,
+    value_addr: u64,
+) -> Result<(), LookupFault> {
+    let key = read_key(mm, key_addr)?;
+    if key >= def.max_entries {
+        return Err(LookupFault::Miss);
+    }
+    let dst = values_addr + key as u64 * def.value_size as u64;
+    copy_checked(mm, dst, value_addr, def.value_size as u64)
+}
+
+/// Checked byte copy inside the pool, as instrumented kernel code does it.
+pub(crate) fn copy_checked(mm: &mut Mm, dst: u64, src: u64, len: u64) -> Result<(), LookupFault> {
+    for i in 0..len {
+        let b = mm
+            .checked_read(src + i, 1)
+            .map_err(LookupFault::BadAccess)?;
+        mm.checked_write(dst + i, 1, b)
+            .map_err(LookupFault::BadAccess)?;
+    }
+    let _ = KERNEL_BASE;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapType;
+
+    fn setup() -> (Mm, MapDef, u64) {
+        let mut mm = Mm::new(1 << 16);
+        let def = MapDef {
+            map_type: MapType::Array,
+            key_size: 4,
+            value_size: 16,
+            max_entries: 4,
+        };
+        let storage = create(&mut mm, &def).unwrap();
+        let MapStorage::Array { values_addr } = storage else {
+            panic!()
+        };
+        (mm, def, values_addr)
+    }
+
+    fn stack_key(mm: &mut Mm, key: u32) -> u64 {
+        let addr = mm.kmalloc(4).unwrap();
+        mm.checked_write(addr, 4, key as u64).unwrap();
+        addr
+    }
+
+    #[test]
+    fn lookup_in_range() {
+        let (mut mm, def, values) = setup();
+        let k = stack_key(&mut mm, 2);
+        let v = lookup(&mut mm, &def, values, k).unwrap();
+        assert_eq!(v, values + 32);
+        // The element is fully accessible.
+        assert!(mm.checked_read(v, 8).is_ok());
+    }
+
+    #[test]
+    fn lookup_out_of_range_misses() {
+        let (mut mm, def, values) = setup();
+        let k = stack_key(&mut mm, 4);
+        assert_eq!(lookup(&mut mm, &def, values, k), Err(LookupFault::Miss));
+    }
+
+    #[test]
+    fn lookup_with_bad_key_pointer_reports() {
+        let (mut mm, def, values) = setup();
+        assert!(matches!(
+            lookup(&mut mm, &def, values, 0x10),
+            Err(LookupFault::BadAccess(_))
+        ));
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let (mut mm, def, values) = setup();
+        let k = stack_key(&mut mm, 1);
+        let src = mm.kmalloc(16).unwrap();
+        mm.checked_write(src, 8, 0xabcd).unwrap();
+        update(&mut mm, &def, values, k, src).unwrap();
+        let v = lookup(&mut mm, &def, values, k).unwrap();
+        assert_eq!(mm.checked_read(v, 8).unwrap(), 0xabcd);
+    }
+
+    #[test]
+    fn value_area_has_redzone_past_end() {
+        let (mm, def, values) = setup();
+        let end = values + def.value_size as u64 * def.max_entries as u64;
+        assert!(mm.kasan_check(end, 1).is_err());
+        assert!(mm.kasan_check(end - 1, 1).is_ok());
+    }
+}

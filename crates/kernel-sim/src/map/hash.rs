@@ -1,0 +1,447 @@
+//! Hash map with chained buckets, fully resident in pool memory.
+//!
+//! Layout:
+//!
+//! - bucket table: `n_buckets` 8-byte head pointers (one allocation);
+//! - node: `next (8) | hash (8) | key (padded to 8) | value (value_size)`,
+//!   one allocation per element.
+//!
+//! Elements are individually allocated and freed, so a program holding a
+//! stale value pointer after delete is a real use-after-free in the
+//! shadow. Bucket locking goes through [`Lockdep`]; in NMI context the
+//! lock is only tried (`htab_lock_bucket` semantics), and the **bug #9**
+//! defect lives in the iteration code's trylock-failure path.
+
+use crate::alloc::Mm;
+use crate::kasan::BadAccess;
+use crate::lockdep::{LockId, Lockdep};
+
+use super::{hash_key, pad8, LookupFault, MapDef, MapError, MapStorage};
+
+/// Creates hash storage: the bucket head table.
+pub fn create(mm: &mut Mm, def: &MapDef) -> Result<MapStorage, MapError> {
+    if def.key_size == 0 || def.value_size == 0 || def.max_entries == 0 {
+        return Err(MapError::InvalidDef);
+    }
+    let n_buckets = def.max_entries.next_power_of_two().max(2);
+    let bucket_table = mm
+        .kvmalloc(n_buckets as usize * 8)
+        .map_err(|_| MapError::NoMemory)?;
+    Ok(MapStorage::Hash {
+        bucket_table,
+        n_buckets,
+        count: 0,
+    })
+}
+
+fn node_key_off() -> u64 {
+    16
+}
+
+fn node_value_off(def: &MapDef) -> u64 {
+    16 + pad8(def.key_size) as u64
+}
+
+fn node_size(def: &MapDef) -> usize {
+    (16 + pad8(def.key_size) + def.value_size) as usize
+}
+
+fn read_key_bytes(mm: &Mm, key_addr: u64, len: u32) -> Result<Vec<u8>, LookupFault> {
+    let mut out = Vec::with_capacity(len as usize);
+    for i in 0..len as u64 {
+        out.push(
+            mm.checked_read(key_addr + i, 1)
+                .map_err(LookupFault::BadAccess)? as u8,
+        );
+    }
+    Ok(out)
+}
+
+fn bucket_of(hash: u64, n_buckets: u32) -> u64 {
+    hash & (n_buckets as u64 - 1)
+}
+
+fn keys_equal(mm: &Mm, node: u64, key: &[u8]) -> Result<bool, BadAccess> {
+    for (i, &b) in key.iter().enumerate() {
+        if mm.checked_read(node + node_key_off() + i as u64, 1)? as u8 != b {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn find_node(
+    mm: &Mm,
+    def: &MapDef,
+    bucket_table: u64,
+    n_buckets: u32,
+    key: &[u8],
+    hash: u64,
+) -> Result<(u64, u64), LookupFault> {
+    // Returns (prev_link_addr, node_addr); node_addr == 0 when not found.
+    let link = bucket_table + bucket_of(hash, n_buckets) * 8;
+    let mut prev = link;
+    let mut node = mm.checked_read(link, 8).map_err(LookupFault::BadAccess)?;
+    while node != 0 {
+        let nhash = mm
+            .checked_read(node + 8, 8)
+            .map_err(LookupFault::BadAccess)?;
+        if nhash == hash && keys_equal(mm, node, key).map_err(LookupFault::BadAccess)? {
+            return Ok((prev, node));
+        }
+        prev = node;
+        node = mm.checked_read(node, 8).map_err(LookupFault::BadAccess)?;
+    }
+    let _ = def;
+    Ok((prev, 0))
+}
+
+fn lock_bucket(lockdep: &mut Lockdep) -> Result<(), LookupFault> {
+    // Single-threaded simulation: acquisition only fails on re-entrancy,
+    // which lockdep reports through the kernel facade; map code treats it
+    // as busy.
+    lockdep
+        .acquire(LockId::HashBucket)
+        .map_err(|_| LookupFault::Busy)
+}
+
+fn unlock_bucket(lockdep: &mut Lockdep) {
+    let _ = lockdep.release(LockId::HashBucket);
+}
+
+/// Value lookup; returns the pool address of the value or `Miss`.
+pub fn lookup(
+    mm: &mut Mm,
+    lockdep: &mut Lockdep,
+    def: &MapDef,
+    bucket_table: u64,
+    n_buckets: u32,
+    key_addr: u64,
+) -> Result<u64, LookupFault> {
+    let key = read_key_bytes(mm, key_addr, def.key_size)?;
+    let hash = hash_key(&key);
+    lock_bucket(lockdep)?;
+    let res = find_node(mm, def, bucket_table, n_buckets, &key, hash);
+    unlock_bucket(lockdep);
+    match res? {
+        (_, 0) => Err(LookupFault::Miss),
+        (_, node) => Ok(node + node_value_off(def)),
+    }
+}
+
+/// Insert or overwrite an element.
+#[allow(clippy::too_many_arguments)]
+pub fn update(
+    mm: &mut Mm,
+    lockdep: &mut Lockdep,
+    def: &MapDef,
+    bucket_table: u64,
+    n_buckets: u32,
+    count: &mut u32,
+    key_addr: u64,
+    value_addr: u64,
+) -> Result<(), LookupFault> {
+    let key = read_key_bytes(mm, key_addr, def.key_size)?;
+    let hash = hash_key(&key);
+    lock_bucket(lockdep)?;
+    let found = find_node(mm, def, bucket_table, n_buckets, &key, hash);
+    let result = (|| {
+        let (_, node) = found?;
+        if node != 0 {
+            // Overwrite in place.
+            return super::array::copy_checked(
+                mm,
+                node + node_value_off(def),
+                value_addr,
+                def.value_size as u64,
+            );
+        }
+        if *count >= def.max_entries {
+            return Err(LookupFault::Full);
+        }
+        let new_node = mm
+            .kmalloc(node_size(def))
+            .map_err(|_| LookupFault::NoMemory)?;
+        let link = bucket_table + bucket_of(hash, n_buckets) * 8;
+        let head = mm.checked_read(link, 8).map_err(LookupFault::BadAccess)?;
+        mm.checked_write(new_node, 8, head)
+            .map_err(LookupFault::BadAccess)?;
+        mm.checked_write(new_node + 8, 8, hash)
+            .map_err(LookupFault::BadAccess)?;
+        for (i, &b) in key.iter().enumerate() {
+            mm.checked_write(new_node + node_key_off() + i as u64, 1, b as u64)
+                .map_err(LookupFault::BadAccess)?;
+        }
+        super::array::copy_checked(
+            mm,
+            new_node + node_value_off(def),
+            value_addr,
+            def.value_size as u64,
+        )?;
+        mm.checked_write(link, 8, new_node)
+            .map_err(LookupFault::BadAccess)?;
+        *count += 1;
+        Ok(())
+    })();
+    unlock_bucket(lockdep);
+    result
+}
+
+/// Delete an element; its node is freed (and poisoned).
+pub fn delete(
+    mm: &mut Mm,
+    lockdep: &mut Lockdep,
+    def: &MapDef,
+    bucket_table: u64,
+    n_buckets: u32,
+    count: &mut u32,
+    key_addr: u64,
+) -> Result<(), LookupFault> {
+    let key = read_key_bytes(mm, key_addr, def.key_size)?;
+    let hash = hash_key(&key);
+    lock_bucket(lockdep)?;
+    let result = (|| {
+        let (prev, node) = find_node(mm, def, bucket_table, n_buckets, &key, hash)?;
+        if node == 0 {
+            return Err(LookupFault::Miss);
+        }
+        let next = mm.checked_read(node, 8).map_err(LookupFault::BadAccess)?;
+        mm.checked_write(prev, 8, next)
+            .map_err(LookupFault::BadAccess)?;
+        mm.kfree(node);
+        *count = count.saturating_sub(1);
+        Ok(())
+    })();
+    unlock_bucket(lockdep);
+    result
+}
+
+/// Iterates every element, calling `visit(value_addr)`.
+///
+/// In NMI context the per-bucket lock can only be *tried*. The fixed code
+/// aborts the walk with `Busy` on trylock failure. The **bug #9** variant
+/// instead continues with a corrupted bucket index: it reads the head of
+/// bucket `n_buckets` — one past the table — which KASAN flags as an
+/// out-of-bounds read inside a kernel routine (indicator #2).
+pub fn for_each(
+    mm: &mut Mm,
+    lockdep: &mut Lockdep,
+    def: &MapDef,
+    bucket_table: u64,
+    n_buckets: u32,
+    in_nmi: bool,
+    bug9: bool,
+    visit: &mut dyn FnMut(&mut Mm, u64),
+) -> Result<u32, LookupFault> {
+    let mut visited = 0;
+    let mut b = 0u64;
+    while b < n_buckets as u64 {
+        // NMI cannot spin on the bucket lock: trylock. We model trylock
+        // failure as deterministic in NMI (the lock may be held by the
+        // interrupted context).
+        let lock_ok = if in_nmi {
+            !in_nmi_trylock_fails()
+        } else {
+            lock_bucket(lockdep).is_ok()
+        };
+        if in_nmi && !lock_ok {
+            if bug9 {
+                // Buggy failure path: "skip" the bucket by bumping the
+                // index, but read the head first — with the *bumped* index.
+                b += 1;
+                let head_addr = bucket_table + b * 8;
+                // When the failure happens at the last bucket this reads
+                // one past the table.
+                let _ = mm
+                    .checked_read(head_addr, 8)
+                    .map_err(LookupFault::BadAccess)?;
+                continue;
+            }
+            return Err(LookupFault::Busy);
+        }
+        let link = bucket_table + b * 8;
+        let mut node = mm.checked_read(link, 8).map_err(LookupFault::BadAccess)?;
+        while node != 0 {
+            visit(mm, node + node_value_off(def));
+            visited += 1;
+            node = mm.checked_read(node, 8).map_err(LookupFault::BadAccess)?;
+        }
+        if !in_nmi {
+            unlock_bucket(lockdep);
+        }
+        b += 1;
+    }
+    Ok(visited)
+}
+
+/// Whether the NMI trylock fails; deterministic in the simulation.
+fn in_nmi_trylock_fails() -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{MapStorage, MapType};
+    use crate::report::KasanKind;
+
+    fn setup() -> (Mm, Lockdep, MapDef, u64, u32) {
+        let mut mm = Mm::new(1 << 17);
+        let def = MapDef {
+            map_type: MapType::Hash,
+            key_size: 8,
+            value_size: 16,
+            max_entries: 4,
+        };
+        let MapStorage::Hash {
+            bucket_table,
+            n_buckets,
+            ..
+        } = create(&mut mm, &def).unwrap()
+        else {
+            panic!()
+        };
+        (mm, Lockdep::new(), def, bucket_table, n_buckets)
+    }
+
+    fn put_key(mm: &mut Mm, key: u64) -> u64 {
+        let addr = mm.kmalloc(8).unwrap();
+        mm.checked_write(addr, 8, key).unwrap();
+        addr
+    }
+
+    fn put_value(mm: &mut Mm, v: u64) -> u64 {
+        let addr = mm.kmalloc(16).unwrap();
+        mm.checked_write(addr, 8, v).unwrap();
+        addr
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let mut count = 0;
+        let k = put_key(&mut mm, 0x42);
+        let v = put_value(&mut mm, 0x1234);
+        update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v).unwrap();
+        assert_eq!(count, 1);
+        let got = lookup(&mut mm, &mut ld, &def, table, nb, k).unwrap();
+        assert_eq!(mm.checked_read(got, 8).unwrap(), 0x1234);
+        delete(&mut mm, &mut ld, &def, table, nb, &mut count, k).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(
+            lookup(&mut mm, &mut ld, &def, table, nb, k),
+            Err(LookupFault::Miss)
+        );
+        assert_eq!(ld.held_count(), 0, "locks balanced");
+    }
+
+    #[test]
+    fn overwrite_existing_key() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let mut count = 0;
+        let k = put_key(&mut mm, 7);
+        let v1 = put_value(&mut mm, 1);
+        let v2 = put_value(&mut mm, 2);
+        update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v1).unwrap();
+        update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v2).unwrap();
+        assert_eq!(count, 1, "overwrite does not grow the map");
+        let got = lookup(&mut mm, &mut ld, &def, table, nb, k).unwrap();
+        assert_eq!(mm.checked_read(got, 8).unwrap(), 2);
+    }
+
+    #[test]
+    fn map_full() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let mut count = 0;
+        for i in 0..4u64 {
+            let k = put_key(&mut mm, i);
+            let v = put_value(&mut mm, i);
+            update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v).unwrap();
+        }
+        let k = put_key(&mut mm, 99);
+        let v = put_value(&mut mm, 99);
+        assert_eq!(
+            update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v),
+            Err(LookupFault::Full)
+        );
+    }
+
+    #[test]
+    fn deleted_value_is_uaf() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let mut count = 0;
+        let k = put_key(&mut mm, 5);
+        let v = put_value(&mut mm, 5);
+        update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v).unwrap();
+        let val_addr = lookup(&mut mm, &mut ld, &def, table, nb, k).unwrap();
+        delete(&mut mm, &mut ld, &def, table, nb, &mut count, k).unwrap();
+        let err = mm.kasan_check(val_addr, 8).unwrap_err();
+        assert_eq!(err.kind, KasanKind::UseAfterFree);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let mut count = 0;
+        for i in 0..3u64 {
+            let k = put_key(&mut mm, i);
+            let v = put_value(&mut mm, 100 + i);
+            update(&mut mm, &mut ld, &def, table, nb, &mut count, k, v).unwrap();
+        }
+        let mut seen = Vec::new();
+        let visited = for_each(
+            &mut mm,
+            &mut ld,
+            &def,
+            table,
+            nb,
+            false,
+            false,
+            &mut |mm, va| {
+                seen.push(mm.checked_read(va, 8).unwrap());
+            },
+        )
+        .unwrap();
+        assert_eq!(visited, 3);
+        seen.sort();
+        assert_eq!(seen, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn for_each_nmi_fixed_returns_busy() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let res = for_each(
+            &mut mm,
+            &mut ld,
+            &def,
+            table,
+            nb,
+            true,
+            false,
+            &mut |_, _| {},
+        );
+        assert_eq!(res, Err(LookupFault::Busy));
+    }
+
+    #[test]
+    fn for_each_nmi_bug9_reads_past_bucket_table() {
+        let (mut mm, mut ld, def, table, nb) = setup();
+        let res = for_each(
+            &mut mm,
+            &mut ld,
+            &def,
+            table,
+            nb,
+            true,
+            true,
+            &mut |_, _| {},
+        );
+        match res {
+            Err(LookupFault::BadAccess(bad)) => {
+                assert_eq!(bad.kind, KasanKind::Redzone);
+                assert_eq!(bad.bad_addr, table + nb as u64 * 8);
+            }
+            other => panic!("expected OOB, got {other:?}"),
+        }
+    }
+}

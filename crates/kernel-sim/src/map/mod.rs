@@ -1,0 +1,417 @@
+//! eBPF maps.
+//!
+//! All map storage lives inside the simulated kernel memory pool and is
+//! allocated through the KASAN-aware allocator, so map operations by
+//! kernel routines are genuinely shadow-checked, and map values handed to
+//! programs are real pool addresses with redzones behind them — an
+//! out-of-bounds program access past a map value is silently possible raw
+//! (as with JITed code) and detectable by BVF's sanitation.
+
+pub mod array;
+pub mod hash;
+pub mod ringbuf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::Mm;
+use crate::lockdep::Lockdep;
+
+/// Supported map types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MapType {
+    /// Array map: `u32` keys, contiguous value storage.
+    Array,
+    /// Hash map: arbitrary keys, chained buckets in pool memory.
+    Hash,
+    /// Ring buffer for program→user data transfer.
+    RingBuf,
+    /// Array of program references for `bpf_tail_call`.
+    ProgArray,
+}
+
+impl MapType {
+    /// All supported map types.
+    pub const ALL: [MapType; 4] = [
+        MapType::Array,
+        MapType::Hash,
+        MapType::RingBuf,
+        MapType::ProgArray,
+    ];
+}
+
+/// User-supplied map definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapDef {
+    /// Map type.
+    pub map_type: MapType,
+    /// Key size in bytes (4 for array/prog-array, 0 for ringbuf).
+    pub key_size: u32,
+    /// Value size in bytes (0 for ringbuf).
+    pub value_size: u32,
+    /// Maximum entries (buffer size for ringbuf, power of two).
+    pub max_entries: u32,
+}
+
+/// Errors from map creation and operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The definition is invalid for the map type.
+    InvalidDef,
+    /// Allocation failed.
+    NoMemory,
+    /// Key not present (delete/lookup miss where an error is surfaced).
+    NotFound,
+    /// The map is full.
+    Full,
+    /// The operation does not apply to this map type.
+    WrongType,
+    /// Lock acquisition failed (NMI trylock path).
+    Busy,
+}
+
+/// Runtime storage metadata, per map type.
+#[derive(Debug, Clone)]
+pub enum MapStorage {
+    /// Contiguous value area.
+    Array {
+        /// Pool address of `max_entries * value_size` bytes.
+        values_addr: u64,
+    },
+    /// Chained hash buckets.
+    Hash {
+        /// Pool address of the bucket head table (`n_buckets * 8` bytes).
+        bucket_table: u64,
+        /// Number of buckets (power of two).
+        n_buckets: u32,
+        /// Live element count.
+        count: u32,
+    },
+    /// Ring buffer.
+    RingBuf {
+        /// Pool address of the data area.
+        buf_addr: u64,
+        /// Buffer size in bytes (power of two).
+        size: u32,
+        /// Producer position.
+        head: u64,
+    },
+    /// Program reference slots.
+    ProgArray {
+        /// `prog_id + 1` per slot; 0 = empty.
+        slots: Vec<u32>,
+    },
+}
+
+/// One created map.
+#[derive(Debug, Clone)]
+pub struct BpfMap {
+    /// Map id (also its file descriptor in the simulated syscall layer).
+    pub id: u32,
+    /// The definition it was created with.
+    pub def: MapDef,
+    /// Pool address of the `struct bpf_map` kernel object; this is the
+    /// value `LD_IMM64 MAP_FD` instructions are rewritten to and what
+    /// helpers receive as their map argument.
+    pub struct_addr: u64,
+    /// Backing storage.
+    pub storage: MapStorage,
+}
+
+/// Size of the in-pool `struct bpf_map` object.
+pub const MAP_STRUCT_SIZE: usize = 24;
+
+/// The kernel's table of maps.
+#[derive(Debug, Clone, Default)]
+pub struct MapStore {
+    maps: Vec<BpfMap>,
+}
+
+impl MapStore {
+    /// Creates an empty store.
+    pub fn new() -> MapStore {
+        MapStore::default()
+    }
+
+    /// Creates a map from a definition, allocating its storage and its
+    /// in-pool `struct bpf_map` object.
+    pub fn create(&mut self, mm: &mut Mm, def: MapDef) -> Result<u32, MapError> {
+        let id = self.maps.len() as u32;
+        let storage = match def.map_type {
+            MapType::Array => array::create(mm, &def)?,
+            MapType::Hash => hash::create(mm, &def)?,
+            MapType::RingBuf => ringbuf::create(mm, &def)?,
+            MapType::ProgArray => {
+                if def.key_size != 4 || def.value_size != 4 || def.max_entries == 0 {
+                    return Err(MapError::InvalidDef);
+                }
+                MapStorage::ProgArray {
+                    slots: vec![0; def.max_entries as usize],
+                }
+            }
+        };
+        let struct_addr = mm
+            .kmalloc(MAP_STRUCT_SIZE)
+            .map_err(|_| MapError::NoMemory)?;
+        // `struct bpf_map`: id, type tag, key/value sizes, max entries.
+        let type_tag = def.map_type as u32 as u64;
+        let _ = mm.checked_write(struct_addr, 4, id as u64);
+        let _ = mm.checked_write(struct_addr + 4, 4, type_tag);
+        let _ = mm.checked_write(struct_addr + 8, 4, def.key_size as u64);
+        let _ = mm.checked_write(struct_addr + 12, 4, def.value_size as u64);
+        let _ = mm.checked_write(struct_addr + 16, 4, def.max_entries as u64);
+        self.maps.push(BpfMap {
+            id,
+            def,
+            struct_addr,
+            storage,
+        });
+        Ok(id)
+    }
+
+    /// Looks up a map by id.
+    pub fn get(&self, id: u32) -> Option<&BpfMap> {
+        self.maps.get(id as usize)
+    }
+
+    /// Mutable map lookup by id.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut BpfMap> {
+        self.maps.get_mut(id as usize)
+    }
+
+    /// Number of maps created.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether no maps exist.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Map value lookup returning the pool address of the value, or 0.
+    ///
+    /// `key` points at `key_size` bytes in pool memory (stack or map data);
+    /// the kernel routine reads it with checked accesses.
+    pub fn lookup_elem(
+        &mut self,
+        mm: &mut Mm,
+        lockdep: &mut Lockdep,
+        id: u32,
+        key_addr: u64,
+    ) -> Result<u64, LookupFault> {
+        let map = self.maps.get(id as usize).ok_or(LookupFault::NoMap)?;
+        match &map.storage {
+            MapStorage::Array { values_addr } => {
+                array::lookup(mm, &map.def, *values_addr, key_addr)
+            }
+            MapStorage::Hash {
+                bucket_table,
+                n_buckets,
+                ..
+            } => hash::lookup(mm, lockdep, &map.def, *bucket_table, *n_buckets, key_addr),
+            _ => Err(LookupFault::WrongType),
+        }
+    }
+
+    /// Map value update; value bytes are read from `value_addr`.
+    pub fn update_elem(
+        &mut self,
+        mm: &mut Mm,
+        lockdep: &mut Lockdep,
+        id: u32,
+        key_addr: u64,
+        value_addr: u64,
+    ) -> Result<(), LookupFault> {
+        let map = self.maps.get_mut(id as usize).ok_or(LookupFault::NoMap)?;
+        match &mut map.storage {
+            MapStorage::Array { values_addr } => {
+                array::update(mm, &map.def, *values_addr, key_addr, value_addr)
+            }
+            MapStorage::Hash {
+                bucket_table,
+                n_buckets,
+                count,
+            } => hash::update(
+                mm,
+                lockdep,
+                &map.def,
+                *bucket_table,
+                *n_buckets,
+                count,
+                key_addr,
+                value_addr,
+            ),
+            _ => Err(LookupFault::WrongType),
+        }
+    }
+
+    /// Map element delete (hash maps only).
+    pub fn delete_elem(
+        &mut self,
+        mm: &mut Mm,
+        lockdep: &mut Lockdep,
+        id: u32,
+        key_addr: u64,
+    ) -> Result<(), LookupFault> {
+        let map = self.maps.get_mut(id as usize).ok_or(LookupFault::NoMap)?;
+        match &mut map.storage {
+            MapStorage::Hash {
+                bucket_table,
+                n_buckets,
+                count,
+            } => hash::delete(
+                mm,
+                lockdep,
+                &map.def,
+                *bucket_table,
+                *n_buckets,
+                count,
+                key_addr,
+            ),
+            MapStorage::Array { .. } => Err(LookupFault::WrongType),
+            _ => Err(LookupFault::WrongType),
+        }
+    }
+}
+
+/// Failure modes of kernel-side map routines.
+///
+/// `BadAccess` carries a KASAN diagnosis raised *inside* the map code —
+/// e.g. reading a key pointer that a buggy verifier let through, or the
+/// bug #9 bucket-table overrun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupFault {
+    /// No such map.
+    NoMap,
+    /// Map type does not support the operation.
+    WrongType,
+    /// Element not found / key out of range (returns NULL to the program).
+    Miss,
+    /// The map is full.
+    Full,
+    /// Allocation failure.
+    NoMemory,
+    /// Lock trylock failure in NMI.
+    Busy,
+    /// Invalid memory touched inside the kernel routine.
+    BadAccess(crate::kasan::BadAccess),
+}
+
+pub(crate) fn pad8(v: u32) -> u32 {
+    v.next_multiple_of(8)
+}
+
+/// FNV-1a hash over key bytes, deterministic across runs.
+pub(crate) fn hash_key(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_each_map_type() {
+        let mut mm = Mm::new(1 << 18);
+        let mut store = MapStore::new();
+        let a = store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::Array,
+                    key_size: 4,
+                    value_size: 16,
+                    max_entries: 8,
+                },
+            )
+            .unwrap();
+        let h = store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::Hash,
+                    key_size: 8,
+                    value_size: 24,
+                    max_entries: 16,
+                },
+            )
+            .unwrap();
+        let r = store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::RingBuf,
+                    key_size: 0,
+                    value_size: 0,
+                    max_entries: 4096,
+                },
+            )
+            .unwrap();
+        let p = store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::ProgArray,
+                    key_size: 4,
+                    value_size: 4,
+                    max_entries: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!((a, h, r, p), (0, 1, 2, 3));
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn invalid_defs_rejected() {
+        let mut mm = Mm::new(1 << 18);
+        let mut store = MapStore::new();
+        assert!(store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::Array,
+                    key_size: 8,
+                    value_size: 16,
+                    max_entries: 8
+                }
+            )
+            .is_err());
+        assert!(store
+            .create(
+                &mut mm,
+                MapDef {
+                    map_type: MapType::Array,
+                    key_size: 4,
+                    value_size: 0,
+                    max_entries: 8
+                }
+            )
+            .is_err());
+        assert!(
+            store
+                .create(
+                    &mut mm,
+                    MapDef {
+                        map_type: MapType::RingBuf,
+                        key_size: 0,
+                        value_size: 0,
+                        max_entries: 1000
+                    }
+                )
+                .is_err(),
+            "ringbuf size must be a power of two"
+        );
+    }
+
+    #[test]
+    fn hash_key_deterministic() {
+        assert_eq!(hash_key(b"abc"), hash_key(b"abc"));
+        assert_ne!(hash_key(b"abc"), hash_key(b"abd"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Ring buffer map.
+//!
+//! `bpf_ringbuf_output` copies program data into the buffer under the
+//! ringbuf spinlock. Lock acquisition goes through the contention slow
+//! path: when a consumer exists for the `contention_begin` tracepoint the
+//! acquisition *fires it while holding the lock* (modeling another CPU
+//! contending and this CPU running the handler) — the re-entrancy at the
+//! heart of bug #5.
+
+use crate::alloc::Mm;
+
+use super::{LookupFault, MapDef, MapError, MapStorage};
+
+/// Creates ringbuf storage; `max_entries` is the buffer size and must be a
+/// non-zero power of two.
+pub fn create(mm: &mut Mm, def: &MapDef) -> Result<MapStorage, MapError> {
+    if def.key_size != 0
+        || def.value_size != 0
+        || def.max_entries == 0
+        || !def.max_entries.is_power_of_two()
+    {
+        return Err(MapError::InvalidDef);
+    }
+    let buf_addr = mm
+        .kvmalloc(def.max_entries as usize)
+        .map_err(|_| MapError::NoMemory)?;
+    Ok(MapStorage::RingBuf {
+        buf_addr,
+        size: def.max_entries,
+        head: 0,
+    })
+}
+
+/// Record header size (length field), as in the kernel's 8-byte header.
+pub const RECORD_HDR: u64 = 8;
+
+/// Copies `len` bytes from `data_addr` into the ring buffer.
+///
+/// The caller must hold the ringbuf lock. Returns the number of bytes
+/// committed.
+pub fn output(
+    mm: &mut Mm,
+    buf_addr: u64,
+    size: u32,
+    head: &mut u64,
+    data_addr: u64,
+    len: u64,
+) -> Result<u64, LookupFault> {
+    if len == 0 || len + RECORD_HDR > size as u64 {
+        return Err(LookupFault::Full);
+    }
+    let mask = size as u64 - 1;
+    // Header: record length.
+    let hdr_off = *head & mask;
+    mm.checked_write(buf_addr + hdr_off, 8, len)
+        .map_err(LookupFault::BadAccess)?;
+    for i in 0..len {
+        let b = mm
+            .checked_read(data_addr + i, 1)
+            .map_err(LookupFault::BadAccess)?;
+        let off = (*head + RECORD_HDR + i) & mask;
+        mm.checked_write(buf_addr + off, 1, b)
+            .map_err(LookupFault::BadAccess)?;
+    }
+    *head += RECORD_HDR + len;
+    Ok(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::MapType;
+
+    fn setup() -> (Mm, u64, u32) {
+        let mut mm = Mm::new(1 << 16);
+        let def = MapDef {
+            map_type: MapType::RingBuf,
+            key_size: 0,
+            value_size: 0,
+            max_entries: 256,
+        };
+        let MapStorage::RingBuf { buf_addr, size, .. } = create(&mut mm, &def).unwrap() else {
+            panic!()
+        };
+        (mm, buf_addr, size)
+    }
+
+    #[test]
+    fn output_copies_data() {
+        let (mut mm, buf, size) = setup();
+        let mut head = 0;
+        let data = mm.kmalloc(16).unwrap();
+        mm.checked_write(data, 8, 0xfeed).unwrap();
+        let n = output(&mut mm, buf, size, &mut head, data, 16).unwrap();
+        assert_eq!(n, 16);
+        assert_eq!(mm.checked_read(buf, 8).unwrap(), 16, "record header");
+        assert_eq!(mm.checked_read(buf + 8, 8).unwrap(), 0xfeed);
+        assert_eq!(head, 24);
+    }
+
+    #[test]
+    fn output_wraps_around() {
+        let (mut mm, buf, size) = setup();
+        let mut head = 0;
+        let data = mm.kmalloc(64).unwrap();
+        for _ in 0..10 {
+            output(&mut mm, buf, size, &mut head, data, 64).unwrap();
+        }
+        assert!(head > size as u64, "wrapped");
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let (mut mm, buf, size) = setup();
+        let mut head = 0;
+        let data = mm.kmalloc(16).unwrap();
+        assert_eq!(
+            output(&mut mm, buf, size, &mut head, data, 400),
+            Err(LookupFault::Full)
+        );
+        assert_eq!(
+            output(&mut mm, buf, size, &mut head, data, 0),
+            Err(LookupFault::Full)
+        );
+    }
+
+    #[test]
+    fn bad_data_pointer_reports() {
+        let (mut mm, buf, size) = setup();
+        let mut head = 0;
+        assert!(matches!(
+            output(&mut mm, buf, size, &mut head, 0x40, 8),
+            Err(LookupFault::BadAccess(_))
+        ));
+    }
+}

@@ -1,0 +1,439 @@
+//! eBPF program types and their context layouts.
+//!
+//! Each program type receives a different context structure; the verifier
+//! validates every context access against the layout declared here
+//! (offset, size, readability/writability, and special pointer-yielding
+//! fields such as packet `data`/`data_end`).
+//!
+//! Deviation from Linux: our `__sk_buff`/`xdp_md` expose `data`/`data_end`
+//! as 8-byte fields holding real addresses (the kernel uses 32-bit fields
+//! plus convert-ctx-access rewriting; we skip the rewrite layer and keep
+//! the verifier semantics identical).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tracepoint::Tracepoint;
+
+/// The type of an eBPF program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgType {
+    /// Classic socket filter over `__sk_buff`.
+    SocketFilter,
+    /// kprobe program over `pt_regs`.
+    Kprobe,
+    /// Tracepoint program over a raw event buffer.
+    Tracepoint,
+    /// XDP program over `xdp_md`.
+    Xdp,
+    /// perf-event program (runs in NMI context).
+    PerfEvent,
+    /// Traffic-control classifier over `__sk_buff`.
+    SchedCls,
+    /// Raw tracepoint program.
+    RawTracepoint,
+    /// cgroup skb program.
+    CgroupSkb,
+}
+
+impl ProgType {
+    /// All simulated program types.
+    pub const ALL: [ProgType; 8] = [
+        ProgType::SocketFilter,
+        ProgType::Kprobe,
+        ProgType::Tracepoint,
+        ProgType::Xdp,
+        ProgType::PerfEvent,
+        ProgType::SchedCls,
+        ProgType::RawTracepoint,
+        ProgType::CgroupSkb,
+    ];
+
+    /// Whether programs of this type may attach to the given tracepoint.
+    pub fn can_attach_tracepoint(self, _tp: Tracepoint) -> bool {
+        matches!(
+            self,
+            ProgType::Kprobe | ProgType::Tracepoint | ProgType::RawTracepoint
+        )
+    }
+
+    /// Whether this type's programs run in NMI context.
+    pub fn runs_in_nmi(self) -> bool {
+        self == ProgType::PerfEvent
+    }
+
+    /// Whether the context carries packet data pointers.
+    pub fn has_packet_data(self) -> bool {
+        matches!(
+            self,
+            ProgType::SocketFilter | ProgType::Xdp | ProgType::SchedCls | ProgType::CgroupSkb
+        )
+    }
+
+    /// The context layout for this program type.
+    pub fn ctx_layout(self) -> &'static CtxLayout {
+        match self {
+            ProgType::SocketFilter | ProgType::SchedCls | ProgType::CgroupSkb => &SK_BUFF_LAYOUT,
+            ProgType::Kprobe => &PT_REGS_LAYOUT,
+            ProgType::Tracepoint | ProgType::RawTracepoint => &TRACE_LAYOUT,
+            ProgType::Xdp => &XDP_MD_LAYOUT,
+            ProgType::PerfEvent => &PERF_EVENT_LAYOUT,
+        }
+    }
+}
+
+/// Special meaning of a context field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtxFieldKind {
+    /// Plain scalar data.
+    Scalar,
+    /// Loads yield `PTR_TO_PACKET` (start of packet data).
+    PacketData,
+    /// Loads yield `PTR_TO_PACKET_END`.
+    PacketEnd,
+}
+
+/// One accessible field of a program context.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CtxField {
+    /// Field name.
+    pub name: &'static str,
+    /// Byte offset within the context.
+    pub off: u32,
+    /// Field size in bytes; accesses must match exactly for special
+    /// fields and be size-aligned within scalar fields.
+    pub size: u32,
+    /// Special semantics.
+    pub kind: CtxFieldKind,
+    /// Whether programs may store to the field.
+    pub writable: bool,
+}
+
+/// Context layout: total size plus field rules.
+#[derive(Debug, Clone, Serialize)]
+pub struct CtxLayout {
+    /// Context size in bytes.
+    pub size: u32,
+    /// Accessible fields; offsets not covered by any field are invalid.
+    pub fields: &'static [CtxField],
+}
+
+/// Outcome of validating one context access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxAccess {
+    /// Scalar data access.
+    Scalar,
+    /// The load yields a packet-data pointer.
+    PacketData,
+    /// The load yields a packet-end pointer.
+    PacketEnd,
+}
+
+impl CtxLayout {
+    /// Validates an access of `size` bytes at `off`; `is_write` selects
+    /// store rules.
+    pub fn check_access(&self, off: u32, size: u32, is_write: bool) -> Result<CtxAccess, ()> {
+        let end = off.checked_add(size).ok_or(())?;
+        if end > self.size {
+            return Err(());
+        }
+        for f in self.fields {
+            if off >= f.off && end <= f.off + f.size {
+                if is_write && !f.writable {
+                    return Err(());
+                }
+                return match f.kind {
+                    CtxFieldKind::Scalar => Ok(CtxAccess::Scalar),
+                    CtxFieldKind::PacketData => {
+                        // Packet pointers must be loaded whole, never written.
+                        if is_write || off != f.off || size != f.size {
+                            Err(())
+                        } else {
+                            Ok(CtxAccess::PacketData)
+                        }
+                    }
+                    CtxFieldKind::PacketEnd => {
+                        if is_write || off != f.off || size != f.size {
+                            Err(())
+                        } else {
+                            Ok(CtxAccess::PacketEnd)
+                        }
+                    }
+                };
+            }
+        }
+        Err(())
+    }
+}
+
+/// Simplified `__sk_buff`.
+pub static SK_BUFF_LAYOUT: CtxLayout = CtxLayout {
+    size: 112,
+    fields: &[
+        CtxField {
+            name: "len",
+            off: 0,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "pkt_type",
+            off: 4,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "mark",
+            off: 8,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: true,
+        },
+        CtxField {
+            name: "queue_mapping",
+            off: 12,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: true,
+        },
+        CtxField {
+            name: "protocol",
+            off: 16,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "vlan_present",
+            off: 20,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "priority",
+            off: 24,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: true,
+        },
+        CtxField {
+            name: "ifindex",
+            off: 28,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "hash",
+            off: 32,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "cb",
+            off: 36,
+            size: 20,
+            kind: CtxFieldKind::Scalar,
+            writable: true,
+        },
+        CtxField {
+            name: "data",
+            off: 56,
+            size: 8,
+            kind: CtxFieldKind::PacketData,
+            writable: false,
+        },
+        CtxField {
+            name: "data_end",
+            off: 64,
+            size: 8,
+            kind: CtxFieldKind::PacketEnd,
+            writable: false,
+        },
+        CtxField {
+            name: "tstamp",
+            off: 72,
+            size: 8,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "wire_len",
+            off: 80,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+    ],
+};
+
+/// Simplified `xdp_md`.
+pub static XDP_MD_LAYOUT: CtxLayout = CtxLayout {
+    size: 40,
+    fields: &[
+        CtxField {
+            name: "data",
+            off: 0,
+            size: 8,
+            kind: CtxFieldKind::PacketData,
+            writable: false,
+        },
+        CtxField {
+            name: "data_end",
+            off: 8,
+            size: 8,
+            kind: CtxFieldKind::PacketEnd,
+            writable: false,
+        },
+        CtxField {
+            name: "data_meta",
+            off: 16,
+            size: 8,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "ingress_ifindex",
+            off: 24,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "rx_queue_index",
+            off: 28,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "egress_ifindex",
+            off: 32,
+            size: 4,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+    ],
+};
+
+/// Simplified `pt_regs` for kprobes: 21 readable 8-byte registers.
+pub static PT_REGS_LAYOUT: CtxLayout = CtxLayout {
+    size: 168,
+    fields: &[CtxField {
+        name: "regs",
+        off: 0,
+        size: 168,
+        kind: CtxFieldKind::Scalar,
+        writable: false,
+    }],
+};
+
+/// Raw tracepoint event buffer.
+pub static TRACE_LAYOUT: CtxLayout = CtxLayout {
+    size: 64,
+    fields: &[CtxField {
+        name: "args",
+        off: 0,
+        size: 64,
+        kind: CtxFieldKind::Scalar,
+        writable: false,
+    }],
+};
+
+/// `bpf_perf_event_data`.
+pub static PERF_EVENT_LAYOUT: CtxLayout = CtxLayout {
+    size: 32,
+    fields: &[
+        CtxField {
+            name: "regs",
+            off: 0,
+            size: 16,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "sample_period",
+            off: 16,
+            size: 8,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+        CtxField {
+            name: "addr",
+            off: 24,
+            size: 8,
+            kind: CtxFieldKind::Scalar,
+            writable: false,
+        },
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reads_within_fields() {
+        let l = ProgType::SocketFilter.ctx_layout();
+        assert_eq!(l.check_access(0, 4, false), Ok(CtxAccess::Scalar));
+        assert_eq!(l.check_access(36, 4, false), Ok(CtxAccess::Scalar));
+        assert_eq!(l.check_access(40, 8, false), Ok(CtxAccess::Scalar));
+    }
+
+    #[test]
+    fn write_rules_enforced() {
+        let l = ProgType::SocketFilter.ctx_layout();
+        assert_eq!(l.check_access(8, 4, true), Ok(CtxAccess::Scalar));
+        assert!(l.check_access(0, 4, true).is_err(), "len is read-only");
+        assert!(l.check_access(56, 8, true).is_err(), "data is read-only");
+    }
+
+    #[test]
+    fn packet_pointers_loaded_whole() {
+        let l = ProgType::Xdp.ctx_layout();
+        assert_eq!(l.check_access(0, 8, false), Ok(CtxAccess::PacketData));
+        assert_eq!(l.check_access(8, 8, false), Ok(CtxAccess::PacketEnd));
+        assert!(
+            l.check_access(0, 4, false).is_err(),
+            "partial load rejected"
+        );
+        assert!(l.check_access(4, 8, false).is_err(), "straddling rejected");
+    }
+
+    #[test]
+    fn out_of_bounds_and_gaps_rejected() {
+        let l = ProgType::Xdp.ctx_layout();
+        assert!(l.check_access(40, 1, false).is_err());
+        assert!(l.check_access(36, 8, false).is_err());
+        let skb = ProgType::SocketFilter.ctx_layout();
+        assert!(
+            skb.check_access(84, 4, false).is_err(),
+            "gap after wire_len"
+        );
+        assert!(skb.check_access(u32::MAX, 8, false).is_err(), "overflow");
+    }
+
+    #[test]
+    fn every_prog_type_has_layout() {
+        for pt in ProgType::ALL {
+            let l = pt.ctx_layout();
+            assert!(l.size > 0);
+            assert!(!l.fields.is_empty());
+            // Fields are in bounds.
+            for f in l.fields {
+                assert!(f.off + f.size <= l.size, "{:?} field {}", pt, f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn nmi_and_packet_classification() {
+        assert!(ProgType::PerfEvent.runs_in_nmi());
+        assert!(!ProgType::Kprobe.runs_in_nmi());
+        assert!(ProgType::Xdp.has_packet_data());
+        assert!(!ProgType::Kprobe.has_packet_data());
+    }
+}

@@ -1,0 +1,106 @@
+//! Tracepoints and program attach points.
+//!
+//! eBPF programs are attached to points in the kernel and re-invoked when
+//! those points are reached — including points reached *from helpers the
+//! program itself calls*, which is the re-entrancy the paper's bugs #4 and
+//! #5 exploit.
+
+use serde::{Deserialize, Serialize};
+
+/// A kernel tracepoint programs may attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tracepoint {
+    /// Fired when a lock acquisition starts contending
+    /// (`trace_contention_begin`): reached from inside lock slow paths.
+    ContentionBegin,
+    /// Fired by the `trace_printk` machinery itself; attaching here while
+    /// calling `bpf_trace_printk` recurses (bug #4).
+    TracePrintk,
+    /// Syscall-entry tracepoint; a benign, frequently fired point.
+    SysEnter,
+    /// Scheduler context-switch tracepoint.
+    SchedSwitch,
+    /// Software page-fault event, fired in NMI-like context.
+    PerfEventNmi,
+}
+
+impl Tracepoint {
+    /// All simulated tracepoints.
+    pub const ALL: [Tracepoint; 5] = [
+        Tracepoint::ContentionBegin,
+        Tracepoint::TracePrintk,
+        Tracepoint::SysEnter,
+        Tracepoint::SchedSwitch,
+        Tracepoint::PerfEventNmi,
+    ];
+
+    /// Whether handlers run in an NMI-like context (no sleeping, no
+    /// signal delivery, restricted helpers).
+    pub fn is_nmi_context(self) -> bool {
+        matches!(self, Tracepoint::PerfEventNmi)
+    }
+
+    /// The tracepoint name as exposed in tracefs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tracepoint::ContentionBegin => "lock:contention_begin",
+            Tracepoint::TracePrintk => "bpf_trace:bpf_trace_printk",
+            Tracepoint::SysEnter => "raw_syscalls:sys_enter",
+            Tracepoint::SchedSwitch => "sched:sched_switch",
+            Tracepoint::PerfEventNmi => "perf:nmi",
+        }
+    }
+}
+
+/// Where a program is attached — determines its execution context and
+/// which tracepoints re-trigger it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttachPoint {
+    /// Not attached; only run via `BPF_PROG_TEST_RUN`.
+    TestRun,
+    /// Attached to a tracepoint.
+    Tracepoint(Tracepoint),
+    /// Attached to a kprobe on a kernel function.
+    Kprobe,
+    /// Attached as an XDP program on a (possibly offloaded) device.
+    Xdp {
+        /// True when the program was loaded for device offload.
+        offloaded: bool,
+    },
+    /// Attached to a perf event firing in NMI context.
+    PerfEvent,
+    /// Attached to a socket filter.
+    SocketFilter,
+}
+
+impl AttachPoint {
+    /// Whether the program executes in NMI-like context.
+    pub fn is_nmi_context(self) -> bool {
+        match self {
+            AttachPoint::PerfEvent => true,
+            AttachPoint::Tracepoint(tp) => tp.is_nmi_context(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmi_classification() {
+        assert!(AttachPoint::PerfEvent.is_nmi_context());
+        assert!(AttachPoint::Tracepoint(Tracepoint::PerfEventNmi).is_nmi_context());
+        assert!(!AttachPoint::Tracepoint(Tracepoint::SysEnter).is_nmi_context());
+        assert!(!AttachPoint::Kprobe.is_nmi_context());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Tracepoint::ALL.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Tracepoint::ALL.len());
+    }
+}

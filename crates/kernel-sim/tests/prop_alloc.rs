@@ -1,0 +1,105 @@
+//! Property tests for the kernel memory manager: allocation invariants
+//! under arbitrary alloc/free interleavings.
+
+use bvf_kernel_sim::alloc::{Mm, KMALLOC_MAX_SIZE};
+use bvf_kernel_sim::mem::KERNEL_BASE;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    FreeIdx(usize),
+    WriteIdx(usize, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..KMALLOC_MAX_SIZE).prop_map(Op::Alloc),
+            any::<usize>().prop_map(Op::FreeIdx),
+            (any::<usize>(), any::<u8>()).prop_map(|(i, b)| Op::WriteIdx(i, b)),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// Live allocations never overlap, checked accesses inside them always
+    /// pass, accesses just outside always fail, and freed chunks are
+    /// poisoned.
+    #[test]
+    fn allocator_invariants(ops in arb_ops()) {
+        let mut mm = Mm::new(1 << 18);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(addr) = mm.kmalloc(size) {
+                        // No overlap with any live allocation.
+                        for (a, s) in &live {
+                            let disjoint = addr + size as u64 <= *a || *a + *s as u64 <= addr;
+                            prop_assert!(disjoint, "overlap: [{addr:#x};{size}] vs [{a:#x};{s}]");
+                        }
+                        // Fully accessible, zeroed.
+                        prop_assert!(mm.kasan_check(addr, size as u64).is_ok());
+                        prop_assert_eq!(mm.checked_read(addr, 1).unwrap(), 0);
+                        // One byte past the end is invalid.
+                        prop_assert!(mm.kasan_check(addr + size as u64, 1).is_err());
+                        prop_assert!(mm.kasan_check(addr - 1, 1).is_err());
+                        live.push((addr, size));
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (addr, size) = live.remove(i % live.len());
+                        prop_assert!(mm.kfree(addr));
+                        // Freed memory is poisoned.
+                        prop_assert!(mm.kasan_check(addr, size.min(8) as u64).is_err());
+                        // Double free is rejected.
+                        prop_assert!(!mm.kfree(addr));
+                    }
+                }
+                Op::WriteIdx(i, b) => {
+                    if !live.is_empty() {
+                        let (addr, size) = live[i % live.len()];
+                        let off = (b as usize) % size;
+                        mm.checked_write(addr + off as u64, 1, b as u64).unwrap();
+                        prop_assert_eq!(
+                            mm.checked_read(addr + off as u64, 1).unwrap(),
+                            b as u64
+                        );
+                    }
+                }
+            }
+        }
+
+        // Every remaining live allocation is still fully valid.
+        for (addr, size) in live {
+            prop_assert!(mm.kasan_check(addr, size as u64).is_ok());
+            prop_assert_eq!(mm.alloc_size(addr), Some(size));
+        }
+    }
+
+    /// Raw pool access is total over the mapped range and never touches
+    /// the shadow: poisoned bytes are readable raw (the JIT property).
+    #[test]
+    fn raw_access_total_in_pool(off in 0u64..(1 << 16) - 8, v in any::<u64>()) {
+        let mut mm = Mm::new(1 << 16);
+        let addr = KERNEL_BASE + off;
+        prop_assert!(mm.pool.raw_write(addr, 8, v));
+        prop_assert_eq!(mm.pool.raw_read(addr, 8), Some(v));
+        // The same location is unallocated as far as KASAN is concerned.
+        prop_assert!(mm.kasan_check(addr, 8).is_err());
+    }
+
+    /// kmemdup round-trips content for any byte string under the cap.
+    #[test]
+    fn kmemdup_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let mut mm = Mm::new(1 << 18);
+        let addr = mm.kmemdup(&data).unwrap();
+        for (i, b) in data.iter().enumerate() {
+            prop_assert_eq!(mm.checked_read(addr + i as u64, 1).unwrap(), *b as u64);
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! The `bpf(2)` syscall façade: program load, map create, attach,
+//! test-run, and the attach-time validations whose absence constitutes
+//! bugs #4 and #5. Bug #8 (xlated-instruction duplication via `kmemdup`)
+//! and bug #11 (offloaded program run on the host) live here too.
+
+use std::collections::HashMap;
+
+use bvf_isa::Program;
+use bvf_kernel_sim::alloc::KMALLOC_MAX_SIZE;
+use bvf_kernel_sim::helpers::proto::{helper_proto, ids as helper_ids};
+use bvf_kernel_sim::map::{MapDef, MapStorage};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
+use bvf_kernel_sim::{BugId, BugSet, Kernel, KernelReport};
+use bvf_verifier::{verify, InsnMeta, VerifierError, VerifierOpts};
+
+use crate::interp::{
+    exec_program, fire_tracepoint, AttachTable, ExecImage, ExecResult, ProgRegistry, TriggerCtx,
+};
+
+/// Default packet size for test runs of packet-carrying program types.
+pub const TEST_PACKET_LEN: u64 = 64;
+
+/// A loaded program and its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct LoadedProg {
+    /// Program id (index in the registry).
+    pub id: u32,
+    /// The verified program (pre-instrumentation, "xlated").
+    pub xlated: bvf_verifier::VerifiedProgram,
+    /// Instrumentation statistics when sanitation was applied.
+    pub sanitize_stats: Option<bvf_verifier::SanitizeStats>,
+    /// Whether the program was loaded for device offload.
+    pub offloaded: bool,
+    /// Where it is attached.
+    pub attach: Option<AttachPoint>,
+}
+
+/// Errors surfaced by the syscall layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BpfError {
+    /// The verifier rejected the program.
+    Verifier(VerifierError),
+    /// A plain errno (attach conflicts, invalid arguments, ...).
+    Errno {
+        /// errno value.
+        errno: i32,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl BpfError {
+    fn errno(errno: i32, reason: impl Into<String>) -> BpfError {
+        BpfError::Errno {
+            errno,
+            reason: reason.into(),
+        }
+    }
+
+    /// The errno this error maps to at the syscall boundary.
+    pub fn errno_value(&self) -> i32 {
+        match self {
+            BpfError::Verifier(e) => e.kind.errno(),
+            BpfError::Errno { errno, .. } => *errno,
+        }
+    }
+}
+
+impl std::fmt::Display for BpfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BpfError::Verifier(e) => write!(f, "{e}"),
+            BpfError::Errno { errno, reason } => write!(f, "errno {errno}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BpfError {}
+
+/// The outcome of one test run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Execution result.
+    pub exec: ExecResult,
+    /// Kernel reports collected during the run (drained).
+    pub reports: Vec<KernelReport>,
+}
+
+/// The BPF subsystem façade: one simulated kernel plus its loaded
+/// programs.
+pub struct Bpf {
+    /// The simulated kernel.
+    pub kernel: Kernel,
+    /// Loaded program bookkeeping.
+    pub progs: Vec<LoadedProg>,
+    /// Execution images (indexed like `progs`).
+    images: ProgRegistry,
+    /// Attachment table.
+    attach_table: AttachTable,
+    /// Verifier options for this "boot".
+    pub opts: VerifierOpts,
+    /// Whether BVF's sanitation instrumentation is enabled (the Kconfig
+    /// toggle from the paper's patches).
+    pub sanitize: bool,
+}
+
+impl Bpf {
+    /// Boots a kernel with the given defects and verifier options.
+    pub fn new(bugs: BugSet, opts: VerifierOpts, sanitize: bool) -> Bpf {
+        Bpf {
+            kernel: Kernel::new(bugs),
+            progs: Vec::new(),
+            images: Vec::new(),
+            attach_table: HashMap::new(),
+            opts,
+            sanitize,
+        }
+    }
+
+    /// `BPF_MAP_CREATE`.
+    pub fn map_create(&mut self, def: MapDef) -> Result<u32, BpfError> {
+        let mut maps = std::mem::take(&mut self.kernel.maps);
+        let res = maps.create(&mut self.kernel.mm, def);
+        self.kernel.maps = maps;
+        res.map_err(|e| BpfError::errno(22, format!("map create failed: {e:?}")))
+    }
+
+    /// `BPF_MAP_UPDATE_ELEM` from user space (key/value as byte slices).
+    pub fn map_update(&mut self, map_id: u32, key: &[u8], value: &[u8]) -> Result<(), BpfError> {
+        let (kaddr, vaddr) = self.stage_user_buffers(key, value)?;
+        let mut maps = std::mem::take(&mut self.kernel.maps);
+        let res = maps.update_elem(
+            &mut self.kernel.mm,
+            &mut self.kernel.lockdep,
+            map_id,
+            kaddr,
+            vaddr,
+        );
+        self.kernel.maps = maps;
+        self.kernel.mm.kfree(kaddr);
+        self.kernel.mm.kfree(vaddr);
+        res.map_err(|e| BpfError::errno(22, format!("map update failed: {e:?}")))
+    }
+
+    /// Installs a program into a prog-array slot (tail-call plumbing).
+    pub fn prog_array_set(
+        &mut self,
+        map_id: u32,
+        index: u32,
+        prog_id: u32,
+    ) -> Result<(), BpfError> {
+        if prog_id as usize >= self.progs.len() {
+            return Err(BpfError::errno(9, "bad prog fd"));
+        }
+        let Some(map) = self.kernel.maps.get_mut(map_id) else {
+            return Err(BpfError::errno(9, "bad map fd"));
+        };
+        match &mut map.storage {
+            MapStorage::ProgArray { slots } => {
+                let slot = slots
+                    .get_mut(index as usize)
+                    .ok_or_else(|| BpfError::errno(22, "index out of range"))?;
+                *slot = prog_id + 1;
+                Ok(())
+            }
+            _ => Err(BpfError::errno(22, "not a prog array")),
+        }
+    }
+
+    fn stage_user_buffers(&mut self, key: &[u8], value: &[u8]) -> Result<(u64, u64), BpfError> {
+        let kaddr = self
+            .kernel
+            .mm
+            .kmalloc(key.len().max(1))
+            .map_err(|_| BpfError::errno(12, "oom"))?;
+        let vaddr = self
+            .kernel
+            .mm
+            .kmalloc(value.len().max(1))
+            .map_err(|_| BpfError::errno(12, "oom"))?;
+        let koff = (kaddr - bvf_kernel_sim::mem::KERNEL_BASE) as usize;
+        let voff = (vaddr - bvf_kernel_sim::mem::KERNEL_BASE) as usize;
+        self.kernel.mm.pool.write_bytes(koff, key);
+        self.kernel.mm.pool.write_bytes(voff, value);
+        Ok((kaddr, vaddr))
+    }
+
+    /// `BPF_PROG_LOAD`: verification, rewrite, optional sanitation.
+    pub fn prog_load(
+        &mut self,
+        prog: &Program,
+        prog_type: ProgType,
+        offloaded: bool,
+    ) -> Result<u32, BpfError> {
+        let outcome = verify(&self.kernel, prog, prog_type, &self.opts);
+        let vprog = outcome.result.map_err(BpfError::Verifier)?;
+
+        let (image_prog, image_meta, stats) = if self.sanitize {
+            let (p, m, s) =
+                bvf_verifier::instrument(&vprog).map_err(|e| BpfError::errno(22, e.to_string()))?;
+            (p, m, Some(s))
+        } else {
+            (vprog.prog.clone(), vprog.insn_meta.clone(), None)
+        };
+
+        let id = self.progs.len() as u32;
+        self.progs.push(LoadedProg {
+            id,
+            xlated: vprog,
+            sanitize_stats: stats,
+            offloaded,
+            attach: None,
+        });
+        self.images.push(ExecImage {
+            prog: image_prog,
+            meta: image_meta,
+            prog_type,
+        });
+        Ok(id)
+    }
+
+    /// Coverage-carrying load: like [`Bpf::prog_load`] but always returns
+    /// the verifier coverage, as the fuzzer's feedback collection does.
+    pub fn prog_load_with_cov(
+        &mut self,
+        prog: &Program,
+        prog_type: ProgType,
+    ) -> (Result<u32, BpfError>, bvf_verifier::Coverage) {
+        let outcome = verify(&self.kernel, prog, prog_type, &self.opts);
+        let cov = outcome.cov;
+        match outcome.result {
+            Err(e) => (Err(BpfError::Verifier(e)), cov),
+            Ok(vprog) => {
+                let (image_prog, image_meta, stats) = if self.sanitize {
+                    match bvf_verifier::instrument(&vprog) {
+                        Ok((p, m, s)) => (p, m, Some(s)),
+                        Err(e) => return (Err(BpfError::errno(22, e.to_string())), cov),
+                    }
+                } else {
+                    (vprog.prog.clone(), vprog.insn_meta.clone(), None)
+                };
+                let id = self.progs.len() as u32;
+                let prog_type = vprog.prog_type;
+                self.progs.push(LoadedProg {
+                    id,
+                    xlated: vprog,
+                    sanitize_stats: stats,
+                    offloaded: false,
+                    attach: None,
+                });
+                self.images.push(ExecImage {
+                    prog: image_prog,
+                    meta: image_meta,
+                    prog_type,
+                });
+                (Ok(id), cov)
+            }
+        }
+    }
+
+    /// `BPF_OBJ_GET_INFO_BY_FD`-style retrieval of the rewritten (xlated)
+    /// instructions — the syscall bug #8 lives in.
+    ///
+    /// The buggy kernel duplicates the instruction buffer with
+    /// `kmemdup()`, which fails (with a `WARN`) once the program exceeds
+    /// the `kmalloc` size cap; the fixed kernel uses `kvmemdup()`.
+    pub fn prog_get_xlated(&mut self, prog_id: u32) -> Result<Vec<u8>, BpfError> {
+        let prog = self
+            .progs
+            .get(prog_id as usize)
+            .ok_or_else(|| BpfError::errno(9, "bad prog fd"))?;
+        let bytes = prog.xlated.prog.to_bytes();
+        let dup = if self.kernel.has_bug(BugId::SyscallKmemdup) {
+            let r = self.kernel.mm.kmemdup(&bytes);
+            if r.is_err() && bytes.len() > KMALLOC_MAX_SIZE {
+                self.kernel.warn(format!(
+                    "bpf_insn_prepare_dump: kmemdup of {} bytes failed (kmalloc cap)",
+                    bytes.len()
+                ));
+            }
+            r
+        } else {
+            self.kernel.mm.kvmemdup(&bytes)
+        };
+        match dup {
+            Ok(addr) => {
+                self.kernel.mm.kfree(addr);
+                Ok(bytes)
+            }
+            Err(_) => Err(BpfError::errno(14, "instruction dump failed")),
+        }
+    }
+
+    /// `BPF_PROG_ATTACH` / perf-event attach: attach-time validation.
+    ///
+    /// The fixed kernel refuses the two re-entrant shapes of bugs #4/#5:
+    /// a program calling `bpf_trace_printk` cannot attach to the
+    /// `trace_printk` tracepoint, and a program calling a lock-acquiring
+    /// helper cannot attach to `contention_begin`.
+    pub fn prog_attach(&mut self, prog_id: u32, point: AttachPoint) -> Result<(), BpfError> {
+        let prog = self
+            .progs
+            .get(prog_id as usize)
+            .ok_or_else(|| BpfError::errno(9, "bad prog fd"))?;
+        let prog_type = self.images[prog_id as usize].prog_type;
+
+        if let AttachPoint::Tracepoint(tp) = point {
+            if !prog_type.can_attach_tracepoint(tp) {
+                return Err(BpfError::errno(
+                    22,
+                    format!("program type {prog_type:?} cannot attach to tracepoints"),
+                ));
+            }
+            if tp == Tracepoint::TracePrintk
+                && prog.xlated.used_helpers.contains(&helper_ids::TRACE_PRINTK)
+                && !self.kernel.has_bug(BugId::TracePrintkDeadlock)
+            {
+                return Err(BpfError::errno(
+                    22,
+                    "programs calling bpf_trace_printk cannot attach to its tracepoint",
+                ));
+            }
+            if tp == Tracepoint::ContentionBegin && !self.kernel.has_bug(BugId::ContentionBeginLock)
+            {
+                let acquires_lock = prog
+                    .xlated
+                    .used_helpers
+                    .iter()
+                    .filter_map(|id| helper_proto(*id))
+                    .any(|p| p.acquires_lock.is_some());
+                if acquires_lock {
+                    return Err(BpfError::errno(
+                        22,
+                        "lock-acquiring programs cannot attach to contention_begin",
+                    ));
+                }
+            }
+            self.kernel.tracepoint_attach(tp);
+            self.attach_table.entry(tp).or_default().push(prog_id);
+        }
+
+        if let AttachPoint::Xdp { .. } = point {
+            if prog_type != ProgType::Xdp {
+                return Err(BpfError::errno(22, "not an XDP program"));
+            }
+            let buggy = self.kernel.has_bug(BugId::DispatcherNullDeref);
+            self.kernel.dispatcher.update(prog_id, buggy);
+        }
+
+        self.progs[prog_id as usize].attach = Some(point);
+        Ok(())
+    }
+
+    fn make_trigger(&mut self, prog_id: u32, in_nmi: bool) -> Result<TriggerCtx, BpfError> {
+        let prog_type = self.images[prog_id as usize].prog_type;
+        let layout = prog_type.ctx_layout();
+        let ctx_addr = self
+            .kernel
+            .mm
+            .kmalloc(layout.size as usize)
+            .map_err(|_| BpfError::errno(12, "oom"))?;
+        let mut trig = TriggerCtx {
+            ctx_addr,
+            packet_addr: 0,
+            packet_len: 0,
+            in_nmi,
+        };
+        if prog_type.has_packet_data() {
+            let pkt = self
+                .kernel
+                .mm
+                .kmalloc(TEST_PACKET_LEN as usize)
+                .map_err(|_| BpfError::errno(12, "oom"))?;
+            for i in 0..TEST_PACKET_LEN {
+                let _ = self.kernel.mm.checked_write(pkt + i, 1, (i * 7 + 1) & 0xff);
+            }
+            trig.packet_addr = pkt;
+            trig.packet_len = TEST_PACKET_LEN;
+            // Publish data/data_end into the context.
+            let (data_off, end_off, len_off) = match prog_type {
+                ProgType::Xdp => (0u64, 8u64, u64::MAX),
+                _ => (56, 64, 0),
+            };
+            let _ = self.kernel.mm.checked_write(ctx_addr + data_off, 8, pkt);
+            let _ = self
+                .kernel
+                .mm
+                .checked_write(ctx_addr + end_off, 8, pkt + TEST_PACKET_LEN);
+            if len_off != u64::MAX {
+                let _ = self
+                    .kernel
+                    .mm
+                    .checked_write(ctx_addr + len_off, 4, TEST_PACKET_LEN);
+            }
+        }
+        Ok(trig)
+    }
+
+    fn release_trigger(&mut self, trig: TriggerCtx) {
+        self.kernel.mm.kfree(trig.ctx_addr);
+        if trig.packet_addr != 0 {
+            self.kernel.mm.kfree(trig.packet_addr);
+        }
+    }
+
+    /// `BPF_PROG_TEST_RUN`.
+    pub fn test_run(&mut self, prog_id: u32) -> Result<RunReport, BpfError> {
+        let prog = self
+            .progs
+            .get(prog_id as usize)
+            .ok_or_else(|| BpfError::errno(9, "bad prog fd"))?;
+        if prog.offloaded {
+            if self.kernel.has_bug(BugId::XdpDeviceOnHost) {
+                // Bug #11: the device-offloaded program runs in the host
+                // environment it was never set up for.
+                self.kernel.reports.record(KernelReport::EnvMismatch {
+                    reason: "offloaded XDP program executed on the host".to_string(),
+                });
+            } else {
+                return Err(BpfError::errno(95, "cannot test-run offloaded programs"));
+            }
+        }
+        let prog_type = self.images[prog_id as usize].prog_type;
+        let in_nmi = prog_type.runs_in_nmi()
+            || matches!(
+                self.progs[prog_id as usize].attach,
+                Some(AttachPoint::PerfEvent)
+            );
+        let trig = self.make_trigger(prog_id, in_nmi)?;
+        let exec = exec_program(
+            &mut self.kernel,
+            &self.images,
+            &self.attach_table,
+            prog_id,
+            trig,
+            0,
+        );
+        self.release_trigger(trig);
+        let reports = self.kernel.end_execution();
+        Ok(RunReport { exec, reports })
+    }
+
+    /// Simulates the kernel reaching an attach point (a contended lock, a
+    /// trace event): all programs attached there run.
+    pub fn trigger_tracepoint(&mut self, tp: Tracepoint) -> Vec<KernelReport> {
+        fire_tracepoint(&mut self.kernel, &self.images, &self.attach_table, tp, 0);
+        self.kernel.end_execution()
+    }
+
+    /// Simulates a packet arriving at the XDP hook: the dispatcher runs.
+    pub fn xdp_receive(&mut self) -> Vec<KernelReport> {
+        match self.kernel.dispatcher.run() {
+            bvf_kernel_sim::dispatcher::DispatchResult::Run(prog_id) => {
+                if let Ok(trig) = self.make_trigger(prog_id, false) {
+                    exec_program(
+                        &mut self.kernel,
+                        &self.images,
+                        &self.attach_table,
+                        prog_id,
+                        trig,
+                        0,
+                    );
+                    self.release_trigger(trig);
+                }
+            }
+            bvf_kernel_sim::dispatcher::DispatchResult::NullImage => {
+                // Bug #7's crash: the trampoline dispatches through a null
+                // function pointer.
+                self.kernel.enter_routine();
+                self.kernel.report_page_fault(0, false);
+                self.kernel.leave_routine();
+            }
+            bvf_kernel_sim::dispatcher::DispatchResult::Pass => {}
+        }
+        self.kernel.end_execution()
+    }
+
+    /// Access to a loaded program's execution image (tests, benches).
+    pub fn image(&self, prog_id: u32) -> Option<&ExecImage> {
+        self.images.get(prog_id as usize)
+    }
+}
+
+/// Convenience: an `InsnMeta` vector sized for a program with no metadata
+/// (used when executing hand-built images in tests).
+pub fn empty_meta(prog: &Program) -> Vec<InsnMeta> {
+    vec![InsnMeta::default(); prog.insn_count()]
+}

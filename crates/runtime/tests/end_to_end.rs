@@ -1,0 +1,670 @@
+//! End-to-end tests: load → verify → (sanitize) → execute, reproducing
+//! the full causal chain of every Table 2 defect and the core properties
+//! the paper's methodology rests on.
+
+use bvf_isa::{asm, AluOp, JmpOp, Program, Reg, Size};
+use bvf_kernel_sim::btf::ids as btf_ids;
+use bvf_kernel_sim::helpers::proto::ids as helper;
+use bvf_kernel_sim::map::{MapDef, MapType};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
+use bvf_kernel_sim::{BugId, BugSet, KasanKind, KernelReport, LockdepKind, ReportOrigin};
+use bvf_runtime::{Bpf, HaltReason};
+use bvf_verifier::VerifierOpts;
+
+fn bpf_with(bugs: &[BugId], sanitize: bool) -> Bpf {
+    let mut b = Bpf::new(BugSet::with(bugs), VerifierOpts::default(), sanitize);
+    // Standard map set: array(0), hash(1), ringbuf(2), prog array(3).
+    b.map_create(MapDef {
+        map_type: MapType::Array,
+        key_size: 4,
+        value_size: 16,
+        max_entries: 4,
+    })
+    .unwrap();
+    b.map_create(MapDef {
+        map_type: MapType::Hash,
+        key_size: 8,
+        value_size: 16,
+        max_entries: 8,
+    })
+    .unwrap();
+    b.map_create(MapDef {
+        map_type: MapType::RingBuf,
+        key_size: 0,
+        value_size: 0,
+        max_entries: 4096,
+    })
+    .unwrap();
+    b.map_create(MapDef {
+        map_type: MapType::ProgArray,
+        key_size: 4,
+        value_size: 4,
+        max_entries: 4,
+    })
+    .unwrap();
+    b
+}
+
+fn ret_const(v: i32) -> Program {
+    Program::from_insns(vec![asm::mov64_imm(Reg::R0, v), asm::exit()])
+}
+
+// ---- basic execution ---------------------------------------------------------
+
+#[test]
+fn minimal_program_runs() {
+    let mut b = bpf_with(&[], false);
+    let id = b
+        .prog_load(&ret_const(42), ProgType::SocketFilter, false)
+        .unwrap();
+    let run = b.test_run(id).unwrap();
+    assert_eq!(run.exec.r0, Some(42));
+    assert_eq!(run.exec.halt, HaltReason::Exit);
+    assert!(run.reports.is_empty());
+}
+
+#[test]
+fn arithmetic_and_loops_execute() {
+    // Sum 1..=10 in a bounded loop.
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R0, 0),
+        asm::mov64_imm(Reg::R6, 0),
+        asm::alu64_imm(AluOp::Add, Reg::R6, 1),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R6),
+        asm::jmp_imm(JmpOp::Jlt, Reg::R6, 10, -3),
+        asm::exit(),
+    ]);
+    let mut b = bpf_with(&[], false);
+    let id = b.prog_load(&p, ProgType::SocketFilter, false).unwrap();
+    assert_eq!(b.test_run(id).unwrap().exec.r0, Some(55));
+}
+
+#[test]
+fn map_update_then_lookup_through_program() {
+    // User space puts a value; the program reads it back.
+    let mut b = bpf_with(&[], false);
+    b.map_update(
+        0,
+        &1u32.to_le_bytes(),
+        &0xabcdu64
+            .to_le_bytes()
+            .iter()
+            .chain([0u8; 8].iter())
+            .copied()
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 1));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 1));
+    insns.push(asm::ldx_mem(Size::Dw, Reg::R0, Reg::R0, 0));
+    insns.push(asm::exit());
+    let id = b
+        .prog_load(&Program::from_insns(insns), ProgType::SocketFilter, false)
+        .unwrap();
+    let run = b.test_run(id).unwrap();
+    assert_eq!(run.exec.r0, Some(0xabcd));
+    assert!(run.reports.is_empty());
+}
+
+#[test]
+fn program_writes_visible_across_runs() {
+    // The program increments a map counter on each run.
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 0));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 3));
+    insns.push(asm::ldx_mem(Size::Dw, Reg::R1, Reg::R0, 0));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R1, 1));
+    insns.push(asm::stx_mem(Size::Dw, Reg::R0, Reg::R1, 0));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    let mut b = bpf_with(&[], true);
+    let id = b
+        .prog_load(&Program::from_insns(insns), ProgType::SocketFilter, false)
+        .unwrap();
+    for _ in 0..3 {
+        let run = b.test_run(id).unwrap();
+        assert_eq!(run.exec.halt, HaltReason::Exit);
+        assert!(run.reports.is_empty(), "{:?}", run.reports);
+    }
+}
+
+#[test]
+fn sanitation_preserves_semantics() {
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 2));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 2));
+    insns.push(asm::st_mem(Size::Dw, Reg::R0, 0, 77));
+    insns.push(asm::ldx_mem(Size::Dw, Reg::R0, Reg::R0, 0));
+    insns.push(asm::exit());
+    let p = Program::from_insns(insns);
+
+    let mut plain = bpf_with(&[], false);
+    let mut sanitized = bpf_with(&[], true);
+    let a = plain.prog_load(&p, ProgType::SocketFilter, false).unwrap();
+    let bb = sanitized
+        .prog_load(&p, ProgType::SocketFilter, false)
+        .unwrap();
+    let ra = plain.test_run(a).unwrap();
+    let rb = sanitized.test_run(bb).unwrap();
+    assert_eq!(ra.exec.r0, rb.exec.r0);
+    assert_eq!(ra.exec.r0, Some(77));
+    assert!(rb.reports.is_empty());
+    // The sanitized image is strictly larger.
+    let stats = sanitized.progs[bb as usize].sanitize_stats.unwrap();
+    assert!(stats.insns_after > stats.insns_before);
+}
+
+#[test]
+fn tail_call_chains() {
+    let mut b = bpf_with(&[], false);
+    // Target program returns 99.
+    let target = b
+        .prog_load(&ret_const(99), ProgType::SocketFilter, false)
+        .unwrap();
+    b.prog_array_set(3, 1, target).unwrap();
+    // Caller: tail_call(ctx, map3, 1); r0 = 1 (reached only on failure).
+    let mut insns = vec![];
+    insns.push(asm::mov64_reg(Reg::R6, Reg::R1));
+    insns.push(asm::mov64_reg(Reg::R1, Reg::R6));
+    insns.extend(asm::ld_map_fd(Reg::R2, 3));
+    insns.push(asm::mov64_imm(Reg::R3, 1));
+    insns.push(asm::call_helper(helper::TAIL_CALL as i32));
+    insns.push(asm::mov64_imm(Reg::R0, 1));
+    insns.push(asm::exit());
+    let caller = b
+        .prog_load(&Program::from_insns(insns), ProgType::SocketFilter, false)
+        .unwrap();
+    let run = b.test_run(caller).unwrap();
+    assert_eq!(run.exec.r0, Some(99), "tail call transferred control");
+}
+
+#[test]
+fn subprog_call_executes() {
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R1, 20),
+        asm::call_pseudo(1),
+        asm::exit(),
+        asm::mov64_reg(Reg::R0, Reg::R1),
+        asm::alu64_imm(AluOp::Add, Reg::R0, 22),
+        asm::exit(),
+    ]);
+    let mut b = bpf_with(&[], true);
+    let id = b.prog_load(&p, ProgType::SocketFilter, false).unwrap();
+    assert_eq!(b.test_run(id).unwrap().exec.r0, Some(42));
+}
+
+// ---- indicator #1: invalid load/store caught by sanitation ----------------------
+
+fn nullness_prog() -> Program {
+    // The Listing 2 shape (bug #1).
+    let mut insns = Vec::new();
+    insns.extend(asm::ld_btf_id(Reg::R6, btf_ids::DEBUG_OBJ));
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 99)); // key 99: lookup misses → null
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_reg(JmpOp::Jne, Reg::R0, Reg::R6, 1));
+    insns.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    Program::from_insns(insns)
+}
+
+#[test]
+fn bug1_nullness_propagation_caught_by_sanitizer() {
+    // Fixed kernel rejects at load.
+    let mut fixed = bpf_with(&[], true);
+    assert!(fixed
+        .prog_load(&nullness_prog(), ProgType::Kprobe, false)
+        .is_err());
+
+    // Buggy kernel loads it; at runtime both pointers are null, the
+    // equal branch is taken, and the deref traps in the sanitizer.
+    let mut buggy = bpf_with(&[BugId::NullnessPropagation], true);
+    let id = buggy
+        .prog_load(&nullness_prog(), ProgType::Kprobe, false)
+        .unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert_eq!(run.exec.halt, HaltReason::SanitizerTrap);
+    assert!(
+        run.reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Kasan {
+                kind: KasanKind::NullDeref,
+                origin: ReportOrigin::ProgramAccess,
+                ..
+            }
+        )),
+        "{:?}",
+        run.reports
+    );
+}
+
+#[test]
+fn bug2_task_oob_silent_without_sanitation() {
+    // task_struct is 128 bytes; read 8 bytes at offset 124.
+    let p = Program::from_insns(vec![
+        asm::call_helper(helper::GET_CURRENT_TASK_BTF as i32),
+        asm::ldx_mem(Size::Dw, Reg::R0, Reg::R0, 124),
+        asm::exit(),
+    ]);
+    // Unsanitized buggy kernel: the access lands in a redzone — silent.
+    let mut plain = bpf_with(&[BugId::TaskStructOob], false);
+    let id = plain.prog_load(&p, ProgType::Kprobe, false).unwrap();
+    let run = plain.test_run(id).unwrap();
+    assert_eq!(run.exec.halt, HaltReason::Exit, "silent corruption path");
+    assert!(run.reports.is_empty());
+
+    // Sanitized buggy kernel: KASAN flags the redzone read (indicator #1).
+    let mut san = bpf_with(&[BugId::TaskStructOob], true);
+    let id = san.prog_load(&p, ProgType::Kprobe, false).unwrap();
+    let run = san.test_run(id).unwrap();
+    assert_eq!(run.exec.halt, HaltReason::SanitizerTrap);
+    assert!(
+        run.reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Kasan {
+                kind: KasanKind::Redzone,
+                origin: ReportOrigin::ProgramAccess,
+                ..
+            }
+        )),
+        "{:?}",
+        run.reports
+    );
+}
+
+#[test]
+fn cve_2022_23222_alu_on_nullable() {
+    // Listing 1 shape: ALU on a nullable map-value pointer, then deref.
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 99)); // miss → null
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R0, 8)); // ALU on nullable!
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 8, 1)); // null+8 == 8 → deref
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    // This cmp confuses the buggy verifier's belief about nullness the
+    // same way the CVE does; keep the deref unconditional after the ALU.
+    let p = {
+        let mut v = insns.clone();
+        v.truncate(v.len() - 2); // drop the cmp scaffolding
+        v.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0));
+        v.push(asm::mov64_imm(Reg::R0, 0));
+        v.push(asm::exit());
+        Program::from_insns(v)
+    };
+    let mut fixed = bpf_with(&[], true);
+    assert!(fixed.prog_load(&p, ProgType::SocketFilter, false).is_err());
+
+    let mut buggy = bpf_with(&[BugId::CveAluOnNullablePtr], true);
+    // The deref still needs the maybe_null cleared to pass the buggy
+    // verifier... the CVE works because after `r0 += 8` a comparison with
+    // 8 convinces the verifier r0 is null. Build exactly that.
+    let mut v = Vec::new();
+    v.push(asm::mov64_imm(Reg::R0, 0));
+    v.extend(asm::ld_map_fd(Reg::R1, 0));
+    v.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    v.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    v.push(asm::st_mem(Size::W, Reg::R2, 0, 99));
+    v.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    v.push(asm::alu64_imm(AluOp::Add, Reg::R0, 8));
+    // if r0 != 0: the non-null branch clears maybe_null — but at runtime
+    // r0 = null + 8 = 8 ≠ 0, so the "non-null" branch runs with a bogus
+    // pointer whose deref hits the null page at offset 8.
+    v.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 1));
+    v.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, -8));
+    v.push(asm::mov64_imm(Reg::R0, 0));
+    v.push(asm::exit());
+    let p2 = Program::from_insns(v);
+    let id = buggy.prog_load(&p2, ProgType::SocketFilter, false).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert_eq!(
+        run.exec.halt,
+        HaltReason::SanitizerTrap,
+        "{:?}",
+        run.reports
+    );
+    assert!(run.reports.iter().any(|r| matches!(
+        r,
+        KernelReport::Kasan {
+            kind: KasanKind::NullDeref,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn bug3_kfunc_stale_bounds_runtime_oob() {
+    use bvf_kernel_sim::helpers::kfunc::ids as kf;
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 4)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 1));
+    insns.push(asm::call_kfunc(kf::KTIME_COARSE as i32));
+    insns.push(asm::mov64_reg(Reg::R7, Reg::R0));
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, 3));
+    insns.push(asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R7));
+    insns.push(asm::ldx_mem(Size::B, Reg::R3, Reg::R0, 0));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    let p = Program::from_insns(insns);
+
+    let mut fixed = bpf_with(&[], true);
+    assert!(fixed.prog_load(&p, ProgType::Kprobe, false).is_err());
+
+    let mut buggy = bpf_with(&[BugId::KfuncBacktrack], true);
+    let id = buggy.prog_load(&p, ProgType::Kprobe, false).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    // The kfunc returns a huge value; map_value + huge lands far outside
+    // the allocation — sanitizer (or page fault) catches it.
+    assert!(matches!(
+        run.exec.halt,
+        HaltReason::SanitizerTrap | HaltReason::PageFault
+    ));
+    assert!(!run.reports.is_empty());
+}
+
+// ---- indicator #2: kernel routines driven into invalid states -------------------
+
+fn trace_printk_prog() -> Program {
+    let mut insns = vec![
+        asm::st_mem(Size::Dw, Reg::R10, -8, 0x6d76_6221), // some fmt bytes
+        asm::mov64_reg(Reg::R1, Reg::R10),
+        asm::alu64_imm(AluOp::Add, Reg::R1, -8),
+        asm::mov64_imm(Reg::R2, 8),
+        asm::mov64_imm(Reg::R3, 0),
+        asm::call_helper(helper::TRACE_PRINTK as i32),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ];
+    insns.rotate_left(0);
+    Program::from_insns(insns)
+}
+
+#[test]
+fn bug4_trace_printk_recursion_deadlock() {
+    // Fixed kernel refuses the attach.
+    let mut fixed = bpf_with(&[], true);
+    let id = fixed
+        .prog_load(&trace_printk_prog(), ProgType::Kprobe, false)
+        .unwrap();
+    let err = fixed
+        .prog_attach(id, AttachPoint::Tracepoint(Tracepoint::TracePrintk))
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot attach"));
+
+    // Buggy kernel allows it; triggering the tracepoint deadlocks.
+    let mut buggy = bpf_with(&[BugId::TracePrintkDeadlock], true);
+    let id = buggy
+        .prog_load(&trace_printk_prog(), ProgType::Kprobe, false)
+        .unwrap();
+    buggy
+        .prog_attach(id, AttachPoint::Tracepoint(Tracepoint::TracePrintk))
+        .unwrap();
+    let reports = buggy.trigger_tracepoint(Tracepoint::TracePrintk);
+    assert!(
+        reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Lockdep {
+                kind: LockdepKind::InconsistentState | LockdepKind::RecursiveAcquire,
+                origin: ReportOrigin::KernelRoutine,
+                ..
+            }
+        )),
+        "{reports:?}"
+    );
+}
+
+fn ringbuf_output_prog() -> Program {
+    let mut insns = vec![asm::st_mem(Size::Dw, Reg::R10, -8, 7)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 2));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::mov64_imm(Reg::R3, 8));
+    insns.push(asm::mov64_imm(Reg::R4, 0));
+    insns.push(asm::call_helper(helper::RINGBUF_OUTPUT as i32));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    Program::from_insns(insns)
+}
+
+#[test]
+fn bug5_contention_begin_inconsistent_lock_state() {
+    // Fixed: attach refused for lock-acquiring programs.
+    let mut fixed = bpf_with(&[], true);
+    let id = fixed
+        .prog_load(&ringbuf_output_prog(), ProgType::Kprobe, false)
+        .unwrap();
+    assert!(fixed
+        .prog_attach(id, AttachPoint::Tracepoint(Tracepoint::ContentionBegin))
+        .is_err());
+
+    // Buggy: attach allowed; Figure 2's re-entrancy follows.
+    let mut buggy = bpf_with(&[BugId::ContentionBeginLock], true);
+    let id = buggy
+        .prog_load(&ringbuf_output_prog(), ProgType::Kprobe, false)
+        .unwrap();
+    buggy
+        .prog_attach(id, AttachPoint::Tracepoint(Tracepoint::ContentionBegin))
+        .unwrap();
+    let reports = buggy.trigger_tracepoint(Tracepoint::ContentionBegin);
+    assert!(
+        reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Lockdep {
+                kind: LockdepKind::InconsistentState,
+                ..
+            }
+        )),
+        "{reports:?}"
+    );
+}
+
+#[test]
+fn bug6_send_signal_nmi_panic() {
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R1, 9),
+        asm::call_helper(helper::SEND_SIGNAL as i32),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    let mut fixed = bpf_with(&[], true);
+    assert!(fixed.prog_load(&p, ProgType::PerfEvent, false).is_err());
+
+    let mut buggy = bpf_with(&[BugId::SignalSendPanic], true);
+    let id = buggy.prog_load(&p, ProgType::PerfEvent, false).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert!(run
+        .reports
+        .iter()
+        .any(|r| matches!(r, KernelReport::Panic { .. })));
+    assert_eq!(run.exec.halt, HaltReason::FatalReport);
+}
+
+#[test]
+fn bug7_dispatcher_null_deref() {
+    let mut buggy = bpf_with(&[BugId::DispatcherNullDeref], true);
+    let xdp = Program::from_insns(vec![asm::mov64_imm(Reg::R0, 2), asm::exit()]);
+    let id = buggy.prog_load(&xdp, ProgType::Xdp, false).unwrap();
+    buggy
+        .prog_attach(id, AttachPoint::Xdp { offloaded: false })
+        .unwrap();
+    let reports = buggy.xdp_receive();
+    assert!(
+        reports.iter().any(|r| matches!(
+            r,
+            KernelReport::PageFault {
+                addr: 0,
+                origin: ReportOrigin::KernelRoutine,
+                ..
+            }
+        )),
+        "{reports:?}"
+    );
+
+    // Fixed kernel: attach then receive works.
+    let mut fixed = bpf_with(&[], true);
+    let id = fixed.prog_load(&xdp, ProgType::Xdp, false).unwrap();
+    fixed
+        .prog_attach(id, AttachPoint::Xdp { offloaded: false })
+        .unwrap();
+    assert!(fixed.xdp_receive().is_empty());
+}
+
+#[test]
+fn bug8_kmemdup_warn_on_large_programs() {
+    // Build a large (but valid) program: > KMALLOC_MAX_SIZE/8 slots.
+    let n = (bvf_kernel_sim::alloc::KMALLOC_MAX_SIZE / 8) + 8;
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    for _ in 0..n {
+        insns.push(asm::alu64_imm(AluOp::Add, Reg::R0, 1));
+    }
+    insns.push(asm::exit());
+    let p = Program::from_insns(insns);
+
+    let mut buggy = bpf_with(&[BugId::SyscallKmemdup], false);
+    let id = buggy.prog_load(&p, ProgType::SocketFilter, false).unwrap();
+    let res = buggy.prog_get_xlated(id);
+    assert!(res.is_err(), "kmemdup path fails past the kmalloc cap");
+    let reports = buggy.kernel.end_execution();
+    assert!(
+        reports
+            .iter()
+            .any(|r| matches!(r, KernelReport::Warn { .. })),
+        "{reports:?}"
+    );
+
+    // Fixed kernel (kvmemdup): succeeds.
+    let mut fixed = bpf_with(&[], false);
+    let id = fixed.prog_load(&p, ProgType::SocketFilter, false).unwrap();
+    assert!(fixed.prog_get_xlated(id).is_ok());
+    assert!(fixed.kernel.end_execution().is_empty());
+}
+
+#[test]
+fn bug9_hash_iteration_oob_in_nmi() {
+    let mut insns = asm::ld_map_fd(Reg::R1, 1).to_vec();
+    insns.push(asm::call_helper(helper::MAP_SUM_VALUES as i32));
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    let p = Program::from_insns(insns);
+
+    let mut buggy = bpf_with(&[BugId::HashBucketOob], true);
+    let id = buggy.prog_load(&p, ProgType::PerfEvent, false).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert!(
+        run.reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Kasan {
+                origin: ReportOrigin::KernelRoutine,
+                ..
+            }
+        )),
+        "{:?}",
+        run.reports
+    );
+
+    // Fixed kernel: the NMI trylock failure aborts cleanly (EBUSY).
+    let mut fixed = bpf_with(&[], true);
+    let id = fixed.prog_load(&p, ProgType::PerfEvent, false).unwrap();
+    let run = fixed.test_run(id).unwrap();
+    assert!(run.reports.is_empty(), "{:?}", run.reports);
+}
+
+#[test]
+fn bug10_irq_work_double_acquire() {
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R1, 0),
+        asm::call_helper(helper::QUEUE_WORK as i32),
+        asm::mov64_imm(Reg::R1, 0),
+        asm::call_helper(helper::QUEUE_WORK as i32),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    let mut buggy = bpf_with(&[BugId::IrqWorkLock], true);
+    let id = buggy.prog_load(&p, ProgType::Kprobe, false).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert!(
+        run.reports.iter().any(|r| matches!(
+            r,
+            KernelReport::Lockdep {
+                kind: LockdepKind::RecursiveAcquire,
+                ..
+            }
+        )),
+        "{:?}",
+        run.reports
+    );
+
+    let mut fixed = bpf_with(&[], true);
+    let id = fixed.prog_load(&p, ProgType::Kprobe, false).unwrap();
+    let run = fixed.test_run(id).unwrap();
+    assert!(run.reports.is_empty());
+}
+
+#[test]
+fn bug11_offloaded_program_on_host() {
+    let xdp = Program::from_insns(vec![asm::mov64_imm(Reg::R0, 2), asm::exit()]);
+    let mut buggy = bpf_with(&[BugId::XdpDeviceOnHost], false);
+    let id = buggy.prog_load(&xdp, ProgType::Xdp, true).unwrap();
+    let run = buggy.test_run(id).unwrap();
+    assert!(run
+        .reports
+        .iter()
+        .any(|r| matches!(r, KernelReport::EnvMismatch { .. })));
+
+    let mut fixed = bpf_with(&[], false);
+    let id = fixed.prog_load(&xdp, ProgType::Xdp, true).unwrap();
+    assert!(
+        fixed.test_run(id).is_err(),
+        "fixed kernel refuses host runs"
+    );
+}
+
+// ---- packet programs -------------------------------------------------------------
+
+#[test]
+fn xdp_packet_access_executes() {
+    let p = Program::from_insns(vec![
+        asm::ldx_mem(Size::Dw, Reg::R2, Reg::R1, 0),
+        asm::ldx_mem(Size::Dw, Reg::R3, Reg::R1, 8),
+        asm::mov64_reg(Reg::R4, Reg::R2),
+        asm::alu64_imm(AluOp::Add, Reg::R4, 4),
+        asm::jmp_reg(JmpOp::Jgt, Reg::R4, Reg::R3, 2),
+        asm::ldx_mem(Size::W, Reg::R0, Reg::R2, 0),
+        asm::exit(),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    let mut b = bpf_with(&[], true);
+    let id = b.prog_load(&p, ProgType::Xdp, false).unwrap();
+    let run = b.test_run(id).unwrap();
+    assert_eq!(run.exec.halt, HaltReason::Exit);
+    assert!(run.reports.is_empty(), "{:?}", run.reports);
+    assert!(run.exec.r0.is_some());
+    assert_ne!(run.exec.r0, Some(0), "read real packet bytes");
+}

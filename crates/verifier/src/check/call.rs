@@ -1,0 +1,499 @@
+//! Helper and kfunc call checking (`check_helper_call` /
+//! `check_kfunc_call`).
+//!
+//! Every argument register is validated against the callee's prototype;
+//! the return register is retyped; references are acquired/released; and
+//! two injected defects live here: the missing NMI restriction on
+//! `bpf_send_signal` (bug #6) and the stale return-state handling for
+//! kfunc calls (bug #3).
+
+use bvf_isa::{Reg, Size};
+use bvf_kernel_sim::helpers::kfunc::{kfunc_desc, KfuncArg, KfuncRet};
+use bvf_kernel_sim::helpers::proto::{helper_proto, ArgType, FuncProto, RetType};
+use bvf_kernel_sim::BugId;
+
+use crate::check::mem::AccessKind;
+use crate::cov::Cat;
+use crate::env::Verifier;
+use crate::errors::VerifierError;
+use crate::state::VerifierState;
+use crate::types::{RegState, RegType};
+
+const ARG_REGS: [Reg; 5] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+
+impl<'a> Verifier<'a> {
+    /// Checks a helper call instruction.
+    pub(crate) fn check_helper_call(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        helper_id: i32,
+    ) -> Result<(), VerifierError> {
+        if helper_id < 0 {
+            self.cov.hit(Cat::Error, 240, 0);
+            return Err(VerifierError::invalid(pc, "invalid helper id"));
+        }
+        let id = helper_id as u32;
+        let Some(proto) = helper_proto(id) else {
+            self.cov.hit(Cat::Error, 241, id.min(512));
+            return Err(VerifierError::invalid(
+                pc,
+                format!("invalid func unknown#{id}"),
+            ));
+        };
+        if !self.opts.version.helper_available(id) {
+            self.cov.hit(Cat::Error, 242, id);
+            return Err(VerifierError::invalid(
+                pc,
+                format!(
+                    "helper {} not available in {}",
+                    proto.name,
+                    self.opts.version.name()
+                ),
+            ));
+        }
+        if !proto.allowed_for(self.prog_type) {
+            self.cov.hit(Cat::Error, 243, id);
+            return Err(VerifierError::invalid(
+                pc,
+                format!(
+                    "unknown func {} for program type {:?}",
+                    proto.name, self.prog_type
+                ),
+            ));
+        }
+        // Bug #6 site: the fixed verifier refuses NMI-unsafe helpers in
+        // programs that can run in NMI context.
+        if proto.nmi_unsafe && self.prog_type.runs_in_nmi() && !self.has_bug(BugId::SignalSendPanic)
+        {
+            self.cov.hit(Cat::Error, 244, id);
+            return Err(VerifierError::invalid(
+                pc,
+                format!("helper {} not allowed in NMI program types", proto.name),
+            ));
+        }
+
+        // Validate arguments left to right, remembering the map argument
+        // for key/value size resolution.
+        let mut map_id: Option<u32> = None;
+        let mut sizes: [Option<u64>; 5] = [None; 5];
+        for (i, arg) in proto.args.iter().enumerate() {
+            let Some(arg) = arg else { break };
+            let reg = ARG_REGS[i];
+            self.cov.hit(Cat::HelperArg, id, i as u32);
+            self.check_helper_arg(state, pc, &proto, *arg, reg, i, &mut map_id, &mut sizes)?;
+        }
+
+        // Reference release, if declared.
+        if let Some(ref_arg) = proto.releases_ref_arg {
+            let ref_id = state.cur().reg(ARG_REGS[ref_arg]).ref_obj_id;
+            self.cov.hit(Cat::RefTrack, id, 1);
+            if ref_id == 0 || !state.release_ref(ref_id) {
+                self.cov.hit(Cat::Error, 245, 0);
+                return Err(VerifierError::invalid(
+                    pc,
+                    format!("release of unowned reference in {}", proto.name),
+                ));
+            }
+        }
+
+        // Clobber caller-saved registers, then install the return value.
+        state.cur_mut().clobber_caller_saved();
+        let r0 = self.helper_ret_state(state, pc, &proto, map_id, &sizes)?;
+        *state.cur_mut().reg_mut(Reg::R0) = r0;
+        self.used_helpers.insert(id);
+        self.cov.hit(Cat::HelperOk, id, 0);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_helper_arg(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        proto: &FuncProto,
+        arg: ArgType,
+        reg: Reg,
+        arg_idx: usize,
+        map_id: &mut Option<u32>,
+        sizes: &mut [Option<u64>; 5],
+    ) -> Result<(), VerifierError> {
+        self.check_reg_init(state, reg, pc)?;
+        let r = *state.cur().reg(reg);
+        if r.maybe_null && !matches!(arg, ArgType::Anything) {
+            self.cov.hit(Cat::Error, 246, 0);
+            return Err(VerifierError::access(
+                pc,
+                format!(
+                    "R{} type={}_or_null expected valid pointer for {}",
+                    reg.as_u8(),
+                    r.typ.name(),
+                    proto.name
+                ),
+            ));
+        }
+        match arg {
+            ArgType::Anything => Ok(()),
+            ArgType::ConstMapPtr(required_type) => match r.typ {
+                RegType::ConstPtrToMap { map_id: m } => {
+                    if let Some(rt) = required_type {
+                        let actual = self.kernel.maps.get(m).map(|mp| mp.def.map_type);
+                        if actual != Some(rt) {
+                            self.cov.hit(Cat::Error, 247, 0);
+                            return Err(VerifierError::invalid(
+                                pc,
+                                format!("{} requires a {:?} map", proto.name, rt),
+                            ));
+                        }
+                    }
+                    *map_id = Some(m);
+                    Ok(())
+                }
+                _ => {
+                    self.cov.hit(Cat::Error, 248, 0);
+                    Err(VerifierError::access(
+                        pc,
+                        format!(
+                            "R{} type={} expected=map_ptr in {}",
+                            reg.as_u8(),
+                            r.typ.name(),
+                            proto.name
+                        ),
+                    ))
+                }
+            },
+            ArgType::PtrToMapKey => {
+                let key_size = map_id
+                    .and_then(|m| self.kernel.maps.get(m))
+                    .map(|m| m.def.key_size)
+                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing"))?;
+                self.check_mem_region(state, pc, reg, key_size as u64, AccessKind::Read)
+            }
+            ArgType::PtrToMapValue => {
+                let value_size = map_id
+                    .and_then(|m| self.kernel.maps.get(m))
+                    .map(|m| m.def.value_size)
+                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing"))?;
+                self.check_mem_region(state, pc, reg, value_size as u64, AccessKind::Read)
+            }
+            ArgType::ConstSize { allow_zero } => {
+                if r.typ != RegType::Scalar {
+                    self.cov.hit(Cat::Error, 249, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("R{} expected size scalar", reg.as_u8()),
+                    ));
+                }
+                let min = r.umin;
+                let max = r.umax;
+                if (!allow_zero && min == 0) || max > 1 << 20 {
+                    self.cov.hit(Cat::Error, 250, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("R{} invalid size bounds [{min}, {max}]", reg.as_u8()),
+                    ));
+                }
+                sizes[arg_idx] = Some(max);
+                Ok(())
+            }
+            ArgType::PtrToMem { size_arg } | ArgType::PtrToUninitMem { size_arg } => {
+                // The size argument is validated after (kernel pairs them
+                // mem-then-size); peek at the size register's bounds now.
+                let size_reg = ARG_REGS[size_arg];
+                let size_state = *state.cur().reg(size_reg);
+                if size_state.typ != RegType::Scalar {
+                    self.cov.hit(Cat::Error, 251, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("R{} expected size scalar", size_reg.as_u8()),
+                    ));
+                }
+                let needed = size_state.umax;
+                if needed > 1 << 20 {
+                    self.cov.hit(Cat::Error, 252, 0);
+                    return Err(VerifierError::access(pc, "unbounded memory size"));
+                }
+                let kind = if matches!(arg, ArgType::PtrToUninitMem { .. }) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                self.check_mem_region(state, pc, reg, needed, kind)
+            }
+            ArgType::PtrToCtx => {
+                if r.typ != RegType::PtrToCtx || r.off != 0 {
+                    self.cov.hit(Cat::Error, 253, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!(
+                            "R{} type={} expected=ctx in {}",
+                            reg.as_u8(),
+                            r.typ.name(),
+                            proto.name
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            ArgType::PtrToBtfId(expected) => match r.typ {
+                RegType::PtrToBtfId { btf_id } if btf_id == expected && r.off == 0 => Ok(()),
+                _ => {
+                    self.cov.hit(Cat::Error, 254, 0);
+                    Err(VerifierError::access(
+                        pc,
+                        format!(
+                            "R{} type={} expected=ptr_to_btf_id in {}",
+                            reg.as_u8(),
+                            r.typ.name(),
+                            proto.name
+                        ),
+                    ))
+                }
+            },
+            ArgType::PtrToAllocMem => match r.typ {
+                RegType::PtrToMem { alloc: true, .. } if r.ref_obj_id != 0 => Ok(()),
+                _ => {
+                    self.cov.hit(Cat::Error, 255, 0);
+                    Err(VerifierError::access(
+                        pc,
+                        format!(
+                            "R{} type={} expected=alloc_mem in {}",
+                            reg.as_u8(),
+                            r.typ.name(),
+                            proto.name
+                        ),
+                    ))
+                }
+            },
+        }
+    }
+
+    /// Validates that `size` bytes through the pointer in `reg` are
+    /// readable (or writable); a multi-purpose `check_helper_mem_access`.
+    pub(crate) fn check_mem_region(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        reg: Reg,
+        size: u64,
+        kind: AccessKind,
+    ) -> Result<(), VerifierError> {
+        if size == 0 {
+            return Ok(());
+        }
+        let r = *state.cur().reg(reg);
+        match r.typ {
+            RegType::PtrToStack => {
+                // The region is [off, off+size); every byte must be valid
+                // stack and (for reads) initialized.
+                if !r.has_const_offset() {
+                    self.cov.hit(Cat::Error, 256, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        "variable stack access prohibited",
+                    ));
+                }
+                let base_off = r.off as i64 + r.var_off.value as i64;
+                if base_off >= 0
+                    || base_off < -(bvf_isa::reg::STACK_SIZE as i64)
+                    || base_off + size as i64 > 0
+                {
+                    self.cov.hit(Cat::Error, 257, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("invalid indirect access to stack off={base_off} size={size}"),
+                    ));
+                }
+                // Check/mark byte by byte through the regular stack path
+                // (the relative offset composes with the pointer's own
+                // offset inside check_access).
+                for i in 0..size {
+                    self.check_access(state, pc, reg, i as i16, Size::B, kind)?;
+                }
+                Ok(())
+            }
+            RegType::PtrToMapValue { map_id } => {
+                let vs = self
+                    .kernel
+                    .maps
+                    .get(map_id)
+                    .map(|m| m.def.value_size as i64)
+                    .unwrap_or(0);
+                let lo = r.off as i64 + if r.has_const_offset() { 0 } else { r.smin };
+                let hi = r.off as i64
+                    + if r.has_const_offset() {
+                        0
+                    } else {
+                        r.umax as i64
+                    }
+                    + size as i64;
+                if lo < 0 || hi > vs {
+                    self.cov.hit(Cat::Error, 258, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("invalid indirect access to map value off={lo} size={size}"),
+                    ));
+                }
+                Ok(())
+            }
+            RegType::PtrToMem { size: ms, .. } => {
+                let lo = r.off as i64;
+                let hi = r.off as i64 + size as i64;
+                if lo < 0 || hi > ms as i64 || !r.has_const_offset() {
+                    self.cov.hit(Cat::Error, 259, 0);
+                    return Err(VerifierError::access(
+                        pc,
+                        format!("invalid indirect access to mem off={lo} size={size}"),
+                    ));
+                }
+                Ok(())
+            }
+            _ => {
+                self.cov.hit(Cat::Error, 260, 0);
+                Err(VerifierError::access(
+                    pc,
+                    format!("R{} type={} expected=mem region", reg.as_u8(), r.typ.name()),
+                ))
+            }
+        }
+    }
+
+    fn helper_ret_state(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        proto: &FuncProto,
+        map_id: Option<u32>,
+        sizes: &[Option<u64>; 5],
+    ) -> Result<RegState, VerifierError> {
+        Ok(match proto.ret {
+            RetType::Integer | RetType::Void => RegState::unknown_scalar(),
+            RetType::PtrToMapValueOrNull => {
+                let map_id = map_id
+                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing for ret"))?;
+                let mut r = RegState::pointer(RegType::PtrToMapValue { map_id });
+                r.maybe_null = true;
+                r.id = self.new_id();
+                r
+            }
+            RetType::PtrToBtfId(btf_id) => RegState::pointer(RegType::PtrToBtfId { btf_id }),
+            RetType::PtrToAllocMemOrNull { size_arg } => {
+                let size = sizes[size_arg].unwrap_or(0) as u32;
+                let mut r = RegState::pointer(RegType::PtrToMem { size, alloc: true });
+                r.maybe_null = true;
+                r.id = self.new_id();
+                if proto.acquires_ref {
+                    let ref_id = state.acquire_ref(&mut self.next_id, pc);
+                    r.ref_obj_id = ref_id;
+                    self.cov.hit(Cat::RefTrack, proto.id, 0);
+                }
+                r
+            }
+        })
+    }
+
+    /// Checks a kfunc call instruction.
+    pub(crate) fn check_kfunc_call(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        kfunc_id: i32,
+    ) -> Result<(), VerifierError> {
+        if !self.opts.version.has_kfuncs() {
+            self.cov.hit(Cat::Error, 261, 0);
+            return Err(VerifierError::invalid(
+                pc,
+                format!("kfunc calls not supported in {}", self.opts.version.name()),
+            ));
+        }
+        let Some(desc) = kfunc_desc(kfunc_id as u32) else {
+            self.cov.hit(Cat::Error, 262, (kfunc_id as u32).min(64));
+            return Err(VerifierError::invalid(
+                pc,
+                format!("kernel btf_id {kfunc_id} is not a kernel function"),
+            ));
+        };
+        self.cov.hit(Cat::Kfunc, desc.id, 0);
+
+        let mut released = false;
+        for (i, arg) in desc.args.iter().enumerate() {
+            let reg = ARG_REGS[i];
+            self.check_reg_init(state, reg, pc)?;
+            let r = *state.cur().reg(reg);
+            match arg {
+                KfuncArg::Scalar => {
+                    if r.typ != RegType::Scalar {
+                        self.cov.hit(Cat::Error, 263, 0);
+                        return Err(VerifierError::access(
+                            pc,
+                            format!("R{} expected scalar for {}", reg.as_u8(), desc.name),
+                        ));
+                    }
+                }
+                KfuncArg::PtrToBtfId(expected) => match r.typ {
+                    RegType::PtrToBtfId { btf_id } if btf_id == *expected && !r.maybe_null => {
+                        if desc.releases_ref {
+                            if r.ref_obj_id == 0 || !state.release_ref(r.ref_obj_id) {
+                                self.cov.hit(Cat::Error, 264, 0);
+                                return Err(VerifierError::invalid(
+                                    pc,
+                                    format!("release of unowned reference in {}", desc.name),
+                                ));
+                            }
+                            released = true;
+                        }
+                    }
+                    _ => {
+                        self.cov.hit(Cat::Error, 265, 0);
+                        return Err(VerifierError::access(
+                            pc,
+                            format!(
+                                "R{} type={} expected trusted btf ptr for {}",
+                                reg.as_u8(),
+                                r.typ.name(),
+                                desc.name
+                            ),
+                        ));
+                    }
+                },
+            }
+        }
+        let _ = released;
+
+        let old_r0 = *state.cur().reg(Reg::R0);
+        state.cur_mut().clobber_caller_saved();
+        let r0 = match desc.ret {
+            KfuncRet::Void => RegState::unknown_scalar(),
+            KfuncRet::Scalar => {
+                if self.has_bug(BugId::KfuncBacktrack) && old_r0.typ == RegType::Scalar {
+                    // Bug #3: the kfunc-call handling fails to reset the
+                    // return register's tracked state, so stale bounds
+                    // from before the call survive into later checks
+                    // (the paper's verifier backtracking defect).
+                    self.cov.hit(Cat::Kfunc, desc.id, 9);
+                    old_r0
+                } else {
+                    RegState::unknown_scalar()
+                }
+            }
+            KfuncRet::BoundedScalar { max } => {
+                let mut r = RegState::unknown_scalar();
+                r.umin = 0;
+                r.umax = max;
+                r.normalize();
+                r
+            }
+            KfuncRet::PtrToBtfId(btf_id) => {
+                let mut r = RegState::pointer(RegType::PtrToBtfId { btf_id });
+                if desc.acquires_ref {
+                    r.ref_obj_id = state.acquire_ref(&mut self.next_id, pc);
+                    self.cov.hit(Cat::RefTrack, 1000 + desc.id, 0);
+                }
+                r
+            }
+        };
+        *state.cur_mut().reg_mut(Reg::R0) = r0;
+        self.used_kfuncs.insert(desc.id);
+        Ok(())
+    }
+}

@@ -1,0 +1,596 @@
+//! Conditional jump analysis (`check_cond_jmp_op`).
+//!
+//! Handles branch-taken evaluation, range refinement in both branches
+//! (`reg_set_min_max`), null-pointer branch resolution
+//! (`mark_ptr_or_null_regs`), packet-range discovery
+//! (`find_good_pkt_pointers`), and the jump-equality **nullness
+//! propagation** pass in which bug #1 lives.
+
+use bvf_isa::decode::SourceOperandValue;
+use bvf_isa::{InsnKind, JmpOp, Reg};
+use bvf_kernel_sim::BugId;
+
+use crate::cov::Cat;
+use crate::env::Verifier;
+use crate::errors::VerifierError;
+use crate::state::VerifierState;
+use crate::types::{RegState, RegType};
+
+/// Outcome of analyzing a conditional jump.
+pub(crate) enum JumpOutcome {
+    /// Only the fall-through path is live.
+    FallthroughOnly,
+    /// Only the jump path is live.
+    JumpOnly,
+    /// Both paths are live; the second state is the jump branch.
+    Both(Box<VerifierState>),
+}
+
+impl<'a> Verifier<'a> {
+    /// Analyzes a conditional jump, refining `state` into the
+    /// fall-through version and returning the branch disposition.
+    pub(crate) fn check_cond_jmp(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        kind: &InsnKind,
+    ) -> Result<JumpOutcome, VerifierError> {
+        let InsnKind::JmpCond {
+            op, is32, dst, src, ..
+        } = *kind
+        else {
+            unreachable!("non-conditional jump routed to check_cond_jmp");
+        };
+        self.check_reg_init(state, dst, pc)?;
+        let dst_state = *state.cur().reg(dst);
+        let (src_state, src_reg) = match src {
+            SourceOperandValue::Reg(r) => {
+                self.check_reg_init(state, r, pc)?;
+                (*state.cur().reg(r), Some(r))
+            }
+            SourceOperandValue::Imm(i) => (RegState::known_scalar(i as i64 as u64), None),
+        };
+        self.cov.hit(
+            Cat::JmpRefine,
+            op as u32,
+            (is32 as u32) << 1 | src_reg.is_some() as u32,
+        );
+
+        // Pointer comparisons: only a restricted set is meaningful.
+        if dst_state.typ.is_pointer() || src_state.typ.is_pointer() {
+            return self.pointer_cond_jmp(state, pc, op, is32, dst, dst_state, src_reg, src_state);
+        }
+
+        // Scalar vs scalar/imm: decide or refine.
+        if let Some(taken) = branch_taken(op, is32, &dst_state, &src_state) {
+            self.cov.hit(Cat::BranchTaken, op as u32, taken as u32);
+            return Ok(if taken {
+                JumpOutcome::JumpOnly
+            } else {
+                JumpOutcome::FallthroughOnly
+            });
+        }
+
+        // Both branches live: refine dst (and reg src) in each, then
+        // propagate the refinement to every register linked by a shared
+        // scalar id (`find_equal_scalars`).
+        let mut jump_state = state.clone();
+        {
+            let (mut d_t, mut s_t) = (dst_state, src_state);
+            reg_set_min_max(op, is32, true, &mut d_t, &mut s_t);
+            *jump_state.cur_mut().reg_mut(dst) = d_t;
+            if let Some(r) = src_reg {
+                *jump_state.cur_mut().reg_mut(r) = s_t;
+            }
+            find_equal_scalars(&mut jump_state, &d_t);
+            find_equal_scalars(&mut jump_state, &s_t);
+        }
+        {
+            let (mut d_f, mut s_f) = (dst_state, src_state);
+            reg_set_min_max(op, is32, false, &mut d_f, &mut s_f);
+            *state.cur_mut().reg_mut(dst) = d_f;
+            if let Some(r) = src_reg {
+                *state.cur_mut().reg_mut(r) = s_f;
+            }
+            find_equal_scalars(state, &d_f);
+            find_equal_scalars(state, &s_f);
+        }
+        self.cov
+            .hit(Cat::JmpRefine, 500, (dst_state.id != 0) as u32);
+        Ok(JumpOutcome::Both(Box::new(jump_state)))
+    }
+
+    /// Pointer-involving conditional jumps.
+    #[allow(clippy::too_many_arguments)]
+    fn pointer_cond_jmp(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        op: JmpOp,
+        is32: bool,
+        dst: Reg,
+        dst_state: RegState,
+        src_reg: Option<Reg>,
+        src_state: RegState,
+    ) -> Result<JumpOutcome, VerifierError> {
+        if is32 {
+            self.cov.hit(Cat::Error, 230, 0);
+            return Err(VerifierError::access(
+                pc,
+                "32-bit pointer comparison prohibited",
+            ));
+        }
+
+        // Packet-range discovery: `if data + N > data_end` style checks.
+        if let Some(outcome) = self.packet_range_jmp(state, op, dst, dst_state, src_state) {
+            return Ok(outcome);
+        }
+
+        // Null checks: nullable pointer compared (JEQ/JNE) against zero.
+        let zero_cmp = src_state.const_value() == Some(0);
+
+        // Unprivileged: any pointer comparison other than a null check
+        // leaks pointer bits into the control flow.
+        if self.opts.unprivileged && !(zero_cmp && matches!(op, JmpOp::Jeq | JmpOp::Jne)) {
+            self.cov.hit(Cat::Error, 231, 0);
+            return Err(VerifierError::access(
+                pc,
+                format!("R{} pointer comparison prohibited", dst.as_u8()),
+            ));
+        }
+        if dst_state.maybe_null && zero_cmp && matches!(op, JmpOp::Jeq | JmpOp::Jne) {
+            self.cov.hit(Cat::NullTrack, 1, (op == JmpOp::Jeq) as u32);
+            let mut jump_state = state.clone();
+            // JEQ: jump branch = null, fallthrough = non-null.
+            // JNE: jump branch = non-null, fallthrough = null.
+            let (null_state, nonnull_state) = if op == JmpOp::Jeq {
+                (&mut jump_state, state)
+            } else {
+                (state, &mut jump_state)
+            };
+            // In the null branch an acquired reference (e.g. a failed
+            // ringbuf reserve) is gone: drop it from the tracked set.
+            if dst_state.ref_obj_id != 0 {
+                null_state.release_ref(dst_state.ref_obj_id);
+            }
+            mark_ptr_or_null_regs(null_state, dst_state.id, true);
+            mark_ptr_or_null_regs(nonnull_state, dst_state.id, false);
+            return Ok(JumpOutcome::Both(Box::new(jump_state)));
+        }
+
+        // Register-to-register equality between pointers: nullness
+        // propagation (the pass bug #1 corrupts).
+        if let Some(r) = src_reg {
+            if matches!(op, JmpOp::Jeq | JmpOp::Jne)
+                && dst_state.typ.is_pointer()
+                && src_state.typ.is_pointer()
+            {
+                return Ok(
+                    self.nullness_propagation_jmp(state, pc, op, dst, dst_state, r, src_state)
+                );
+            }
+        }
+
+        // Any other pointer comparison: no refinement, both branches live.
+        if dst_state.typ.is_pointer() && src_state.typ == RegType::Scalar && !zero_cmp {
+            // Comparing a pointer against an arbitrary scalar leaks the
+            // pointer value; the kernel allows it for privileged, learning
+            // nothing.
+            self.cov.hit(Cat::JmpRefine, 400, 0);
+        }
+        Ok(JumpOutcome::Both(Box::new(state.clone())))
+    }
+
+    /// The jump-equality nullness-propagation pass.
+    ///
+    /// For `if rX == rY` where both are pointers and exactly one is
+    /// nullable: in the branch where they are equal, if the other pointer
+    /// is known non-null, the nullable one must be non-null too — so the
+    /// verifier clears its `maybe_null`.
+    ///
+    /// The *fixed* pass (Listing 3 of the paper) skips the propagation
+    /// when the non-nullable side is a `PTR_TO_BTF_ID`, because such
+    /// pointers are untracked-null: the type system calls them non-null
+    /// but they may well be null at runtime. The **bug #1** variant omits
+    /// that filter.
+    fn nullness_propagation_jmp(
+        &mut self,
+        state: &mut VerifierState,
+        _pc: usize,
+        op: JmpOp,
+        _dst: Reg,
+        dst_state: RegState,
+        _src: Reg,
+        src_state: RegState,
+    ) -> JumpOutcome {
+        let (nullable, other) = if dst_state.maybe_null && !src_state.maybe_null {
+            (dst_state, src_state)
+        } else if src_state.maybe_null && !dst_state.maybe_null {
+            (src_state, dst_state)
+        } else {
+            self.cov.hit(Cat::NullTrack, 2, 0);
+            return JumpOutcome::Both(Box::new(state.clone()));
+        };
+
+        let other_is_btf = matches!(other.typ, RegType::PtrToBtfId { .. });
+        let propagate = if self.has_bug(BugId::NullnessPropagation) {
+            // Buggy: propagate for every pointer type.
+            true
+        } else {
+            // Fixed: PTR_TO_BTF_ID comparisons teach us nothing.
+            !other_is_btf
+        };
+        self.cov.hit(Cat::NullTrack, 3, propagate as u32);
+
+        let mut jump_state = state.clone();
+        if propagate {
+            // Equal-path: the nullable pointer inherits the other's
+            // non-nullness.
+            let equal_state = if op == JmpOp::Jeq {
+                &mut jump_state
+            } else {
+                &mut *state
+            };
+            equal_state.for_each_reg_with_id(nullable.id, |r| {
+                r.maybe_null = false;
+            });
+        }
+        JumpOutcome::Both(Box::new(jump_state))
+    }
+
+    /// `find_good_pkt_pointers`: comparisons between a packet pointer and
+    /// `pkt_end` establish a verified accessible range.
+    fn packet_range_jmp(
+        &mut self,
+        state: &mut VerifierState,
+        op: JmpOp,
+        _dst: Reg,
+        dst_state: RegState,
+        src_state: RegState,
+    ) -> Option<JumpOutcome> {
+        // Normalize to (pkt, op, pkt_end): `pkt < end`, `end > pkt`, etc.
+        let (pkt, rel) = match (dst_state.typ, src_state.typ) {
+            (RegType::PtrToPacket, RegType::PtrToPacketEnd) => (dst_state, op),
+            (RegType::PtrToPacketEnd, RegType::PtrToPacket) => {
+                let flipped = match op {
+                    JmpOp::Jgt => JmpOp::Jlt,
+                    JmpOp::Jge => JmpOp::Jle,
+                    JmpOp::Jlt => JmpOp::Jgt,
+                    JmpOp::Jle => JmpOp::Jge,
+                    other => other,
+                };
+                (src_state, flipped)
+            }
+            _ => return None,
+        };
+
+        // The range is only derivable from a constant-offset pointer.
+        if !pkt.has_const_offset() || pkt.id == 0 {
+            return None;
+        }
+        // `pkt <= end` (or <): in the true branch, everything below the
+        // pointer's current fixed offset is accessible.
+        let range = pkt.off.clamp(0, u16::MAX as i32) as u16;
+        let mut jump_state = state.clone();
+        match rel {
+            JmpOp::Jle | JmpOp::Jlt => {
+                // True (jump) branch: pkt+off is within packet.
+                jump_state.for_each_reg_with_id(pkt.id, |r| {
+                    if r.typ == RegType::PtrToPacket {
+                        r.pkt_range = r.pkt_range.max(range);
+                    }
+                });
+                self.cov.hit(Cat::PktRange, (range as u32).min(64), 1);
+            }
+            JmpOp::Jgt | JmpOp::Jge => {
+                // False (fallthrough) branch is the safe one.
+                state.for_each_reg_with_id(pkt.id, |r| {
+                    if r.typ == RegType::PtrToPacket {
+                        r.pkt_range = r.pkt_range.max(range);
+                    }
+                });
+                self.cov.hit(Cat::PktRange, (range as u32).min(64), 2);
+            }
+            _ => return Some(JumpOutcome::Both(Box::new(jump_state))),
+        }
+        Some(JumpOutcome::Both(Box::new(jump_state)))
+    }
+}
+
+/// `find_equal_scalars`: copies a refined scalar state to every register
+/// sharing its link id (established by 64-bit scalar moves).
+fn find_equal_scalars(state: &mut VerifierState, refined: &RegState) {
+    if refined.id == 0 || refined.typ != RegType::Scalar {
+        return;
+    }
+    state.for_each_reg_with_id(refined.id, |r| {
+        if r.typ == RegType::Scalar {
+            *r = *refined;
+        }
+    });
+}
+
+/// Resolves `mark_ptr_or_null_regs`: all registers sharing `id` become a
+/// known-zero scalar (null branch) or lose `maybe_null` (non-null branch).
+fn mark_ptr_or_null_regs(state: &mut VerifierState, id: u32, is_null: bool) {
+    state.for_each_reg_with_id(id, |r| {
+        if is_null {
+            *r = RegState::known_scalar(0);
+        } else {
+            r.maybe_null = false;
+        }
+    });
+}
+
+/// `is_branch_taken`: decides a comparison when the ranges do not overlap
+/// or the values are known. Returns `None` when both outcomes are possible.
+pub(crate) fn branch_taken(op: JmpOp, is32: bool, dst: &RegState, src: &RegState) -> Option<bool> {
+    let (dumin, dumax, dsmin, dsmax) = if is32 {
+        (
+            dst.u32_min as u64,
+            dst.u32_max as u64,
+            dst.s32_min as i64,
+            dst.s32_max as i64,
+        )
+    } else {
+        (dst.umin, dst.umax, dst.smin, dst.smax)
+    };
+    let (sumin, sumax, ssmin, ssmax) = if is32 {
+        (
+            src.u32_min as u64,
+            src.u32_max as u64,
+            src.s32_min as i64,
+            src.s32_max as i64,
+        )
+    } else {
+        (src.umin, src.umax, src.smin, src.smax)
+    };
+
+    match op {
+        JmpOp::Jeq => {
+            if dumin == dumax && sumin == sumax && dumin == sumin && dsmin == dsmax {
+                Some(true)
+            } else if dumax < sumin || dumin > sumax || dsmax < ssmin || dsmin > ssmax {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        JmpOp::Jne => branch_taken(JmpOp::Jeq, is32, dst, src).map(|t| !t),
+        JmpOp::Jgt => {
+            if dumin > sumax {
+                Some(true)
+            } else if dumax <= sumin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        JmpOp::Jge => {
+            if dumin >= sumax {
+                Some(true)
+            } else if dumax < sumin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        JmpOp::Jlt => branch_taken(JmpOp::Jge, is32, dst, src).map(|t| !t),
+        JmpOp::Jle => branch_taken(JmpOp::Jgt, is32, dst, src).map(|t| !t),
+        JmpOp::Jsgt => {
+            if dsmin > ssmax {
+                Some(true)
+            } else if dsmax <= ssmin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        JmpOp::Jsge => {
+            if dsmin >= ssmax {
+                Some(true)
+            } else if dsmax < ssmin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        JmpOp::Jslt => branch_taken(JmpOp::Jsge, is32, dst, src).map(|t| !t),
+        JmpOp::Jsle => branch_taken(JmpOp::Jsgt, is32, dst, src).map(|t| !t),
+        JmpOp::Jset => {
+            // dst & src != 0?
+            if let (Some(d), Some(s)) = (dst.const_value(), src.const_value()) {
+                let (d, s) = if is32 {
+                    (d as u32 as u64, s as u32 as u64)
+                } else {
+                    (d, s)
+                };
+                Some(d & s != 0)
+            } else {
+                None
+            }
+        }
+        JmpOp::Ja | JmpOp::Call | JmpOp::Exit => None,
+    }
+}
+
+/// `reg_set_min_max`: refines both operand registers for the chosen
+/// branch direction of a comparison.
+pub(crate) fn reg_set_min_max(
+    op: JmpOp,
+    is32: bool,
+    taken: bool,
+    dst: &mut RegState,
+    src: &mut RegState,
+) {
+    // Translate (op, taken=false) into the complementary relation so the
+    // refinement below only handles "relation holds".
+    let rel = if taken {
+        op
+    } else {
+        match op {
+            JmpOp::Jeq => JmpOp::Jne,
+            JmpOp::Jne => JmpOp::Jeq,
+            JmpOp::Jgt => JmpOp::Jle,
+            JmpOp::Jge => JmpOp::Jlt,
+            JmpOp::Jlt => JmpOp::Jge,
+            JmpOp::Jle => JmpOp::Jgt,
+            JmpOp::Jsgt => JmpOp::Jsle,
+            JmpOp::Jsge => JmpOp::Jslt,
+            JmpOp::Jslt => JmpOp::Jsge,
+            JmpOp::Jsle => JmpOp::Jsgt,
+            other => other,
+        }
+    };
+
+    match rel {
+        JmpOp::Jeq => {
+            // Both now describe the same value: intersect knowledge.
+            if is32 {
+                let lo = dst.u32_min.max(src.u32_min);
+                let hi = dst.u32_max.min(src.u32_max);
+                if lo <= hi {
+                    dst.u32_min = lo;
+                    src.u32_min = lo;
+                    dst.u32_max = hi;
+                    src.u32_max = hi;
+                }
+                let var = dst.var_off.subreg().intersect(src.var_off.subreg());
+                dst.var_off = dst.var_off.with_subreg(var);
+                src.var_off = src.var_off.with_subreg(var);
+            } else {
+                let lo = dst.umin.max(src.umin);
+                let hi = dst.umax.min(src.umax);
+                if lo <= hi {
+                    dst.umin = lo;
+                    src.umin = lo;
+                    dst.umax = hi;
+                    src.umax = hi;
+                }
+                let slo = dst.smin.max(src.smin);
+                let shi = dst.smax.min(src.smax);
+                if slo <= shi {
+                    dst.smin = slo;
+                    src.smin = slo;
+                    dst.smax = shi;
+                    src.smax = shi;
+                }
+                let var = dst.var_off.intersect(src.var_off);
+                dst.var_off = var;
+                src.var_off = var;
+            }
+        }
+        JmpOp::Jne => {
+            // Only useful when one side is a constant at a range edge.
+            if let Some(c) = src.const_value() {
+                if is32 {
+                    let c = c as u32;
+                    if dst.u32_min == c && dst.u32_min < u32::MAX {
+                        dst.u32_min += 1;
+                    } else if dst.u32_max == c && dst.u32_max > 0 {
+                        dst.u32_max -= 1;
+                    }
+                } else if dst.umin == c && dst.umin < u64::MAX {
+                    dst.umin += 1;
+                } else if dst.umax == c && dst.umax > 0 {
+                    dst.umax -= 1;
+                }
+            }
+        }
+        JmpOp::Jgt => {
+            if is32 {
+                dst.u32_min = dst.u32_min.max(src.u32_min.saturating_add(1));
+                src.u32_max = src.u32_max.min(dst.u32_max.saturating_sub(1));
+            } else {
+                dst.umin = dst.umin.max(src.umin.saturating_add(1));
+                src.umax = src.umax.min(dst.umax.saturating_sub(1));
+            }
+        }
+        JmpOp::Jge => {
+            if is32 {
+                dst.u32_min = dst.u32_min.max(src.u32_min);
+                src.u32_max = src.u32_max.min(dst.u32_max);
+            } else {
+                dst.umin = dst.umin.max(src.umin);
+                src.umax = src.umax.min(dst.umax);
+            }
+        }
+        JmpOp::Jlt => {
+            if is32 {
+                dst.u32_max = dst.u32_max.min(src.u32_max.saturating_sub(1));
+                src.u32_min = src.u32_min.max(dst.u32_min.saturating_add(1));
+            } else {
+                dst.umax = dst.umax.min(src.umax.saturating_sub(1));
+                src.umin = src.umin.max(dst.umin.saturating_add(1));
+            }
+        }
+        JmpOp::Jle => {
+            if is32 {
+                dst.u32_max = dst.u32_max.min(src.u32_max);
+                src.u32_min = src.u32_min.max(dst.u32_min);
+            } else {
+                dst.umax = dst.umax.min(src.umax);
+                src.umin = src.umin.max(dst.umin);
+            }
+        }
+        JmpOp::Jsgt => {
+            if is32 {
+                dst.s32_min = dst.s32_min.max(src.s32_min.saturating_add(1));
+                src.s32_max = src.s32_max.min(dst.s32_max.saturating_sub(1));
+            } else {
+                dst.smin = dst.smin.max(src.smin.saturating_add(1));
+                src.smax = src.smax.min(dst.smax.saturating_sub(1));
+            }
+        }
+        JmpOp::Jsge => {
+            if is32 {
+                dst.s32_min = dst.s32_min.max(src.s32_min);
+                src.s32_max = src.s32_max.min(dst.s32_max);
+            } else {
+                dst.smin = dst.smin.max(src.smin);
+                src.smax = src.smax.min(dst.smax);
+            }
+        }
+        JmpOp::Jslt => {
+            if is32 {
+                dst.s32_max = dst.s32_max.min(src.s32_max.saturating_sub(1));
+                src.s32_min = src.s32_min.max(dst.s32_min.saturating_add(1));
+            } else {
+                dst.smax = dst.smax.min(src.smax.saturating_sub(1));
+                src.smin = src.smin.max(dst.smin.saturating_add(1));
+            }
+        }
+        JmpOp::Jsle => {
+            if is32 {
+                dst.s32_max = dst.s32_max.min(src.s32_max);
+                src.s32_min = src.s32_min.max(dst.s32_min);
+            } else {
+                dst.smax = dst.smax.min(src.smax);
+                src.smin = src.smin.max(dst.smin);
+            }
+        }
+        JmpOp::Jset | JmpOp::Ja | JmpOp::Call | JmpOp::Exit => {}
+    }
+
+    for r in [dst, src] {
+        if !r.bounds_sane() {
+            // Contradictory branch: dead in practice; widen to stay sound.
+            r.mark_unbounded();
+        }
+        if r.typ == RegType::Scalar {
+            r.normalize();
+            // When the upper 32 bits are known zero, a 32-bit refinement
+            // bounds the 64-bit value too (`__reg_combine_32_into_64`).
+            let hi = r.var_off.clear_subreg();
+            if hi.is_const() && hi.value == 0 {
+                r.umin = r.umin.max(r.u32_min as u64);
+                r.umax = r.umax.min(r.u32_max as u64);
+                if r.umin > r.umax {
+                    r.umin = r.u32_min as u64;
+                    r.umax = r.u32_max as u64;
+                }
+                r.normalize();
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Verifier rejection diagnostics.
+
+use serde::{Deserialize, Serialize};
+
+/// Category of a verifier rejection, mapped to the errno the `bpf(2)`
+/// syscall would return — the acceptance-rate experiment (§6.3) inspects
+/// these, with `EACCES` and `EINVAL` dominating for random generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Malformed program or instruction (`EINVAL`).
+    Invalid,
+    /// A safety property was violated (`EACCES`).
+    Access,
+    /// Resource limits exceeded (`E2BIG`).
+    TooBig,
+    /// Feature not available in this kernel version (`EOPNOTSUPP`).
+    NotSupported,
+}
+
+impl ErrorKind {
+    /// The errno value the syscall layer surfaces.
+    pub fn errno(self) -> i32 {
+        match self {
+            ErrorKind::Invalid => 22,
+            ErrorKind::Access => 13,
+            ErrorKind::TooBig => 7,
+            ErrorKind::NotSupported => 95,
+        }
+    }
+
+    /// The errno's symbolic name.
+    pub fn errno_name(self) -> &'static str {
+        match self {
+            ErrorKind::Invalid => "EINVAL",
+            ErrorKind::Access => "EACCES",
+            ErrorKind::TooBig => "E2BIG",
+            ErrorKind::NotSupported => "EOPNOTSUPP",
+        }
+    }
+}
+
+/// One verifier rejection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifierError {
+    /// Rejection category.
+    pub kind: ErrorKind,
+    /// Instruction index the rejection fired at.
+    pub insn_idx: usize,
+    /// Kernel-log style message.
+    pub msg: String,
+}
+
+impl VerifierError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+        VerifierError {
+            kind,
+            insn_idx,
+            msg: msg.into(),
+        }
+    }
+
+    /// `EINVAL`-class error.
+    pub fn invalid(insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+        VerifierError::new(ErrorKind::Invalid, insn_idx, msg)
+    }
+
+    /// `EACCES`-class error.
+    pub fn access(insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+        VerifierError::new(ErrorKind::Access, insn_idx, msg)
+    }
+}
+
+impl std::fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "insn {}: {} ({})",
+            self.insn_idx,
+            self.msg,
+            self.kind.errno_name()
+        )
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(ErrorKind::Invalid.errno(), 22);
+        assert_eq!(ErrorKind::Access.errno(), 13);
+        assert_eq!(ErrorKind::Invalid.errno_name(), "EINVAL");
+        assert_eq!(ErrorKind::Access.errno_name(), "EACCES");
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = VerifierError::access(4, "invalid mem access 'map_value_or_null'");
+        assert!(e.to_string().contains("insn 4"));
+        assert!(e.to_string().contains("EACCES"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Verifier states: stack slots, function frames, and whole-path states.
+
+use serde::{Deserialize, Serialize};
+
+use bvf_isa::reg::STACK_SIZE;
+use bvf_isa::Reg;
+
+use crate::types::{RegState, RegType};
+
+/// Number of 8-byte stack slots per frame.
+pub const STACK_SLOTS: usize = (STACK_SIZE as usize) / 8;
+
+/// Maximum call depth for bpf-to-bpf calls.
+pub const MAX_CALL_FRAMES: usize = 8;
+
+/// Classification of one stack byte (`STACK_*` in the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackByte {
+    /// Never written.
+    Invalid,
+    /// Part of a spilled register.
+    Spill,
+    /// Written with arbitrary data.
+    Misc,
+    /// Known zero.
+    Zero,
+}
+
+/// One 8-byte stack slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackSlot {
+    /// Per-byte classification; index 0 is the lowest address.
+    pub bytes: [StackByte; 8],
+    /// The register state spilled here (meaningful when all bytes are
+    /// [`StackByte::Spill`]).
+    pub spilled: RegState,
+}
+
+impl Default for StackSlot {
+    fn default() -> Self {
+        StackSlot {
+            bytes: [StackByte::Invalid; 8],
+            spilled: RegState::not_init(),
+        }
+    }
+}
+
+impl StackSlot {
+    /// Whether the whole slot holds one spilled register.
+    pub fn is_full_spill(&self) -> bool {
+        self.bytes.iter().all(|b| *b == StackByte::Spill)
+    }
+
+    /// Whether every byte has been initialized somehow.
+    pub fn all_initialized(&self) -> bool {
+        self.bytes.iter().all(|b| *b != StackByte::Invalid)
+    }
+}
+
+/// State of one call frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuncState {
+    /// Register states, indexed by register number (includes `Ax`).
+    pub regs: Vec<RegState>,
+    /// Stack slots; slot `i` covers bytes `[-8*(i+1), -8*i)` relative to
+    /// the frame pointer.
+    pub stack: Vec<StackSlot>,
+    /// Instruction index to return to (caller's call insn + 1); 0 for the
+    /// main frame.
+    pub callsite: usize,
+    /// Subprogram entry instruction of this frame.
+    pub subprog_start: usize,
+}
+
+impl FuncState {
+    /// A fresh frame with all registers uninitialized.
+    pub fn new(subprog_start: usize, callsite: usize) -> FuncState {
+        FuncState {
+            regs: vec![RegState::not_init(); 12],
+            stack: vec![StackSlot::default(); STACK_SLOTS],
+            callsite,
+            subprog_start,
+        }
+    }
+
+    /// The entry frame: `R1` = context, `R10` = frame pointer.
+    pub fn entry() -> FuncState {
+        let mut f = FuncState::new(0, 0);
+        f.regs[Reg::R1.index()] = RegState::pointer(RegType::PtrToCtx);
+        f.regs[Reg::R10.index()] = RegState::pointer(RegType::PtrToStack);
+        f
+    }
+
+    /// Read access to a register state.
+    pub fn reg(&self, r: Reg) -> &RegState {
+        &self.regs[r.index()]
+    }
+
+    /// Mutable access to a register state.
+    pub fn reg_mut(&mut self, r: Reg) -> &mut RegState {
+        &mut self.regs[r.index()]
+    }
+
+    /// Converts a frame-pointer-relative offset to `(slot, byte)` indices.
+    ///
+    /// Valid offsets are `-512..=-1`.
+    pub fn stack_index(off: i32) -> Option<(usize, usize)> {
+        if !(-STACK_SIZE..0).contains(&off) {
+            return None;
+        }
+        let from_bottom = (off + STACK_SIZE) as usize; // 0..512
+        let slot = STACK_SLOTS - 1 - from_bottom / 8;
+        let byte = from_bottom % 8;
+        Some((slot, byte))
+    }
+
+    /// Marks caller-saved registers clobbered after a helper/kfunc call.
+    pub fn clobber_caller_saved(&mut self) {
+        for r in [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5] {
+            self.regs[r.index()] = RegState::not_init();
+        }
+    }
+}
+
+/// A tracked acquired reference (ringbuf record, task reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefState {
+    /// Reference id (matches `RegState::ref_obj_id`).
+    pub id: u32,
+    /// Instruction index of the acquiring call (for diagnostics).
+    pub insn_idx: usize,
+}
+
+/// Full verifier state for one explored path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifierState {
+    /// Call frames; the last one is current.
+    pub frames: Vec<FuncState>,
+    /// Acquired, not-yet-released references.
+    pub acquired_refs: Vec<RefState>,
+}
+
+impl VerifierState {
+    /// Entry state of the main program.
+    pub fn entry() -> VerifierState {
+        VerifierState {
+            frames: vec![FuncState::entry()],
+            acquired_refs: Vec::new(),
+        }
+    }
+
+    /// The current (innermost) frame.
+    pub fn cur(&self) -> &FuncState {
+        self.frames.last().expect("at least one frame")
+    }
+
+    /// Mutable current frame.
+    pub fn cur_mut(&mut self) -> &mut FuncState {
+        self.frames.last_mut().expect("at least one frame")
+    }
+
+    /// Current call depth (0 = main).
+    pub fn depth(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Registers a newly acquired reference and returns its id.
+    pub fn acquire_ref(&mut self, next_id: &mut u32, insn_idx: usize) -> u32 {
+        *next_id += 1;
+        let id = *next_id;
+        self.acquired_refs.push(RefState { id, insn_idx });
+        id
+    }
+
+    /// Releases a reference; false if it was not held.
+    pub fn release_ref(&mut self, id: u32) -> bool {
+        let before = self.acquired_refs.len();
+        self.acquired_refs.retain(|r| r.id != id);
+        let released = self.acquired_refs.len() != before;
+        if released {
+            // Invalidate every register (in all frames) that held it.
+            for f in &mut self.frames {
+                for r in &mut f.regs {
+                    if r.ref_obj_id == id {
+                        *r = RegState::not_init();
+                    }
+                }
+                for s in &mut f.stack {
+                    if s.spilled.ref_obj_id == id {
+                        *s = StackSlot::default();
+                    }
+                }
+            }
+        }
+        released
+    }
+
+    /// Marks every register in every frame that shares `id` — used when a
+    /// null check resolves a nullable pointer.
+    pub fn for_each_reg_with_id(&mut self, id: u32, mut f: impl FnMut(&mut RegState)) {
+        for frame in &mut self.frames {
+            for r in &mut frame.regs {
+                if r.id == id && r.id != 0 {
+                    f(r);
+                }
+            }
+            for s in &mut frame.stack {
+                if s.is_full_spill() && s.spilled.id == id && id != 0 {
+                    f(&mut s.spilled);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_state_regs() {
+        let st = VerifierState::entry();
+        assert_eq!(st.cur().reg(Reg::R1).typ, RegType::PtrToCtx);
+        assert_eq!(st.cur().reg(Reg::R10).typ, RegType::PtrToStack);
+        assert_eq!(st.cur().reg(Reg::R0).typ, RegType::NotInit);
+        assert_eq!(st.depth(), 0);
+    }
+
+    #[test]
+    fn stack_index_mapping() {
+        // fp-8 is the highest slot, byte 0.
+        assert_eq!(FuncState::stack_index(-8), Some((0, 0)));
+        assert_eq!(FuncState::stack_index(-1), Some((0, 7)));
+        assert_eq!(FuncState::stack_index(-9), Some((1, 7)));
+        assert_eq!(FuncState::stack_index(-16), Some((1, 0)));
+        assert_eq!(FuncState::stack_index(-512), Some((63, 0)));
+        assert_eq!(FuncState::stack_index(0), None);
+        assert_eq!(FuncState::stack_index(-513), None);
+        assert_eq!(FuncState::stack_index(8), None);
+    }
+
+    #[test]
+    fn ref_acquire_release() {
+        let mut st = VerifierState::entry();
+        let mut next = 0;
+        let id = st.acquire_ref(&mut next, 3);
+        assert_eq!(id, 1);
+        st.cur_mut().reg_mut(Reg::R0).ref_obj_id = id;
+        assert!(st.release_ref(id));
+        assert_eq!(st.cur().reg(Reg::R0).typ, RegType::NotInit);
+        assert!(!st.release_ref(id), "double release detected");
+    }
+
+    #[test]
+    fn id_correlation_touches_spills() {
+        let mut st = VerifierState::entry();
+        let mut r = RegState::pointer(RegType::PtrToMapValue { map_id: 0 });
+        r.maybe_null = true;
+        r.id = 7;
+        *st.cur_mut().reg_mut(Reg::R3) = r;
+        st.cur_mut().stack[0] = StackSlot {
+            bytes: [StackByte::Spill; 8],
+            spilled: r,
+        };
+        let mut count = 0;
+        st.for_each_reg_with_id(7, |reg| {
+            reg.maybe_null = false;
+            count += 1;
+        });
+        assert_eq!(count, 2);
+        assert!(!st.cur().reg(Reg::R3).maybe_null);
+        assert!(!st.cur().stack[0].spilled.maybe_null);
+    }
+
+    #[test]
+    fn clobber_caller_saved() {
+        let mut f = FuncState::entry();
+        *f.reg_mut(Reg::R6) = RegState::known_scalar(1);
+        *f.reg_mut(Reg::R3) = RegState::known_scalar(2);
+        f.clobber_caller_saved();
+        assert_eq!(f.reg(Reg::R3).typ, RegType::NotInit);
+        assert_eq!(f.reg(Reg::R6).const_value(), Some(1), "callee-saved kept");
+        assert_eq!(f.reg(Reg::R10).typ, RegType::PtrToStack);
+    }
+}

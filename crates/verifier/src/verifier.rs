@@ -1,0 +1,455 @@
+//! The main verification driver (`do_check` and friends).
+
+use bvf_isa::opcode::pseudo;
+use bvf_isa::{CallTarget, InsnKind, Program, Reg};
+use bvf_kernel_sim::map::MapType;
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::Kernel;
+
+use crate::check::jump::JumpOutcome;
+use crate::cov::{Cat, Coverage};
+use crate::env::{VerifiedProgram, Verifier, VerifierOpts};
+use crate::errors::VerifierError;
+use std::rc::Rc;
+
+use crate::prune::states_equal;
+use crate::state::{FuncState, VerifierState, MAX_CALL_FRAMES};
+use crate::types::{RegState, RegType};
+
+/// Maximum states remembered per prune point.
+const MAX_STATES_PER_POINT: usize = 32;
+
+/// A prune-point state on the current exploration path, used for
+/// infinite-loop detection (the analog of `states_maybe_looping`): if the
+/// path returns to the same instruction in a state subsumed by one of its
+/// own ancestors, the loop can make no progress.
+struct PathNode {
+    pc: usize,
+    state: VerifierState,
+    parent: Option<Rc<PathNode>>,
+}
+
+// Long exploration paths build long parent chains; drop them iteratively
+// so deep programs cannot overflow the host stack.
+impl Drop for PathNode {
+    fn drop(&mut self) {
+        let mut next = self.parent.take();
+        while let Some(rc) = next {
+            match Rc::try_unwrap(rc) {
+                Ok(mut node) => next = node.parent.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// How many ancestors the loop detector examines per prune point; an
+/// abstract loop revisits its head frequently, so a bounded window
+/// suffices and keeps pathological paths linear.
+const LOOP_SCAN_WINDOW: usize = 256;
+
+/// The outcome of a load attempt: the verdict plus the coverage the
+/// attempt produced (available for rejected programs too — the fuzzer's
+/// feedback does not depend on acceptance).
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// Accept (with the rewritten program) or reject.
+    pub result: Result<VerifiedProgram, VerifierError>,
+    /// Verifier branch coverage exercised by this program.
+    pub cov: Coverage,
+}
+
+/// Verifies `prog` for `prog_type` against the kernel's tables.
+pub fn verify(
+    kernel: &Kernel,
+    prog: &Program,
+    prog_type: ProgType,
+    opts: &VerifierOpts,
+) -> VerifyOutcome {
+    let mut v = Verifier::new(kernel, prog, prog_type, opts.clone());
+    let result = v.run();
+    VerifyOutcome { result, cov: v.cov }
+}
+
+impl<'a> Verifier<'a> {
+    /// Runs all verification passes; on success the program is rewritten.
+    pub(crate) fn run(&mut self) -> Result<VerifiedProgram, VerifierError> {
+        // Unprivileged loads are limited to the socket-filter class.
+        if self.opts.unprivileged
+            && !matches!(self.prog_type, ProgType::SocketFilter | ProgType::CgroupSkb)
+        {
+            self.cov.hit(Cat::Error, 17, 0);
+            return Err(VerifierError::access(
+                0,
+                format!(
+                    "program type {:?} not allowed for unprivileged users",
+                    self.prog_type
+                ),
+            ));
+        }
+        // Pass 0: structural checks (decode validity, jump targets,
+        // register ranges, proper ending).
+        let starts = bvf_isa::validate_structure(&self.prog).map_err(|e| {
+            self.cov.hit(Cat::Error, 1, 0);
+            VerifierError::invalid(0, e.to_string())
+        })?;
+        self.insn_starts = starts;
+
+        // Pass 1: discover subprograms and prune points.
+        self.scan_structure()?;
+
+        // Pass 2: the main symbolic walk.
+        self.do_check()?;
+
+        // Pass 3: rewrite (pseudo resolution + fixups).
+        self.do_fixups()?;
+
+        Ok(VerifiedProgram {
+            prog: self.prog.clone(),
+            prog_type: self.prog_type,
+            insn_meta: self.insn_meta.clone(),
+            used_helpers: self.used_helpers.clone(),
+            used_kfuncs: self.used_kfuncs.clone(),
+            used_maps: self.used_maps.clone(),
+            insns_processed: self.insn_processed,
+            log: std::mem::take(&mut self.log),
+        })
+    }
+
+    fn scan_structure(&mut self) -> Result<(), VerifierError> {
+        let mut pc = 0;
+        while pc < self.prog.insn_count() {
+            let (kind, slots) = self.prog.decode_at(pc).expect("validated");
+            match kind {
+                InsnKind::JmpCond { off, .. } => {
+                    let target = (pc as i64 + 1 + off as i64) as usize;
+                    self.prune_points.insert(target);
+                    self.prune_points.insert(pc + 1);
+                }
+                InsnKind::Ja { off } => {
+                    let target = (pc as i64 + 1 + off as i64) as usize;
+                    self.prune_points.insert(target);
+                }
+                InsnKind::Call {
+                    target: CallTarget::Pseudo(off),
+                } => {
+                    let target = (pc as i64 + 1 + off as i64) as usize;
+                    self.subprog_starts.insert(target);
+                    self.prune_points.insert(target);
+                    self.cov.hit(Cat::Subprog, 0, 0);
+                }
+                _ => {}
+            }
+            pc += slots;
+        }
+        Ok(())
+    }
+
+    fn do_check(&mut self) -> Result<(), VerifierError> {
+        let mut worklist: Vec<(VerifierState, usize, Option<Rc<PathNode>>)> =
+            vec![(VerifierState::entry(), 0, None)];
+
+        while let Some((mut state, mut pc, mut trace)) = worklist.pop() {
+            'path: loop {
+                self.insn_processed += 1;
+                if self.insn_processed > self.opts.insn_limit {
+                    self.cov.hit(Cat::Error, 2, 0);
+                    return Err(VerifierError::invalid(
+                        pc,
+                        format!(
+                            "BPF program is too large. Processed {} insn",
+                            self.insn_processed
+                        ),
+                    ));
+                }
+                if pc >= self.prog.insn_count() || !self.insn_starts[pc] {
+                    self.cov.hit(Cat::Error, 3, 0);
+                    return Err(VerifierError::invalid(pc, "fell off the end of program"));
+                }
+
+                // Loop detection, then pruning.
+                if self.prune_points.contains(&pc) {
+                    let mut node = trace.as_ref();
+                    let mut scanned = 0;
+                    while let Some(n) = node {
+                        scanned += 1;
+                        if scanned > LOOP_SCAN_WINDOW {
+                            break;
+                        }
+                        if n.pc == pc && states_equal(&n.state, &state) {
+                            self.cov.hit(Cat::Error, 16, 0);
+                            return Err(VerifierError::invalid(
+                                pc,
+                                format!("infinite loop detected at insn {pc}"),
+                            ));
+                        }
+                        node = n.parent.as_ref();
+                    }
+                    let seen = self.explored.entry(pc).or_default();
+                    if seen.iter().any(|old| states_equal(old, &state)) {
+                        self.cov.hit(Cat::Prune, 0, 1);
+                        break 'path;
+                    }
+                    self.cov.hit(Cat::Prune, 0, 0);
+                    if seen.len() < MAX_STATES_PER_POINT {
+                        seen.push(state.clone());
+                    }
+                    trace = Some(Rc::new(PathNode {
+                        pc,
+                        state: state.clone(),
+                        parent: trace.take(),
+                    }));
+                }
+
+                let (kind, slots) = self.prog.decode_at(pc).expect("validated");
+                self.cov
+                    .hit(Cat::InsnClass, self.prog.insns()[pc].code as u32 & 0x07, 0);
+                self.logln(|| format!("{pc}: {}", bvf_isa::disasm::format_insn(pc, &kind)));
+
+                match kind {
+                    InsnKind::AluReg { .. }
+                    | InsnKind::AluImm { .. }
+                    | InsnKind::Neg { .. }
+                    | InsnKind::Endian { .. } => {
+                        self.check_alu(&mut state, pc, &kind)?;
+                        pc += slots;
+                    }
+                    InsnKind::LdImm64 {
+                        dst,
+                        src_pseudo,
+                        imm64,
+                    } => {
+                        self.check_ld_imm64(&mut state, pc, dst, src_pseudo, imm64)?;
+                        pc += slots;
+                    }
+                    InsnKind::LdAbs { .. } | InsnKind::LdInd { .. } => {
+                        self.check_ld_legacy(&mut state, pc, &kind)?;
+                        pc += slots;
+                    }
+                    InsnKind::Ldx { .. }
+                    | InsnKind::St { .. }
+                    | InsnKind::Stx { .. }
+                    | InsnKind::Atomic { .. } => {
+                        self.check_mem(&mut state, pc, &kind)?;
+                        pc += slots;
+                    }
+                    InsnKind::Ja { off } => {
+                        pc = (pc as i64 + 1 + off as i64) as usize;
+                    }
+                    InsnKind::JmpCond { off, .. } => {
+                        let target = (pc as i64 + 1 + off as i64) as usize;
+                        match self.check_cond_jmp(&mut state, pc, &kind)? {
+                            JumpOutcome::FallthroughOnly => pc += 1,
+                            JumpOutcome::JumpOnly => pc = target,
+                            JumpOutcome::Both(jump_state) => {
+                                worklist.push((*jump_state, target, trace.clone()));
+                                pc += 1;
+                            }
+                        }
+                    }
+                    InsnKind::Call { target } => match target {
+                        CallTarget::Helper(id) => {
+                            // `bpf_tail_call` transfers control but also
+                            // falls through on failure; state-wise it is a
+                            // plain helper returning a scalar.
+                            self.check_helper_call(&mut state, pc, id)?;
+                            pc += 1;
+                        }
+                        CallTarget::Kfunc(id) => {
+                            self.check_kfunc_call(&mut state, pc, id)?;
+                            pc += 1;
+                        }
+                        CallTarget::Pseudo(off) => {
+                            let target = (pc as i64 + 1 + off as i64) as usize;
+                            self.enter_subprog(&mut state, pc, target)?;
+                            pc = target;
+                        }
+                    },
+                    InsnKind::Exit => {
+                        if state.depth() > 0 {
+                            pc = self.return_from_subprog(&mut state, pc)?;
+                            continue 'path;
+                        }
+                        self.check_main_exit(&state, pc)?;
+                        break 'path;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_ld_imm64(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        dst: Reg,
+        src_pseudo: u8,
+        imm64: u64,
+    ) -> Result<(), VerifierError> {
+        self.cov.hit(Cat::Pseudo, src_pseudo as u32, 0);
+        let out = match src_pseudo {
+            pseudo::NONE => RegState::known_scalar(imm64),
+            pseudo::MAP_FD => {
+                let fd = imm64 as u32;
+                let Some(map) = self.kernel.maps.get(fd) else {
+                    self.cov.hit(Cat::Error, 4, 0);
+                    return Err(VerifierError::invalid(pc, format!("fd {fd} is not a map")));
+                };
+                self.used_maps.insert(map.id);
+                RegState::pointer(RegType::ConstPtrToMap { map_id: map.id })
+            }
+            pseudo::MAP_VALUE => {
+                let fd = imm64 as u32;
+                let off = (imm64 >> 32) as u32;
+                let Some(map) = self.kernel.maps.get(fd) else {
+                    self.cov.hit(Cat::Error, 4, 0);
+                    return Err(VerifierError::invalid(pc, format!("fd {fd} is not a map")));
+                };
+                if map.def.map_type != MapType::Array {
+                    self.cov.hit(Cat::Error, 5, 0);
+                    return Err(VerifierError::invalid(
+                        pc,
+                        "direct value access only supported for array maps",
+                    ));
+                }
+                if off >= map.def.value_size {
+                    self.cov.hit(Cat::Error, 6, 0);
+                    return Err(VerifierError::invalid(
+                        pc,
+                        format!(
+                            "direct value offset {off} beyond value_size {}",
+                            map.def.value_size
+                        ),
+                    ));
+                }
+                self.used_maps.insert(map.id);
+                let mut r = RegState::pointer(RegType::PtrToMapValue { map_id: map.id });
+                r.off = off as i32;
+                r
+            }
+            pseudo::BTF_ID => {
+                let btf_id = imm64 as u32;
+                if self.kernel.btf.type_by_id(btf_id).is_none() {
+                    self.cov.hit(Cat::Error, 7, btf_id.min(16));
+                    return Err(VerifierError::invalid(
+                        pc,
+                        format!("ldimm64 unable to resolve btf_id {btf_id}"),
+                    ));
+                }
+                // Trusted per the type system — not marked maybe_null even
+                // though the object may be null at runtime (the seed of
+                // bug #1).
+                RegState::pointer(RegType::PtrToBtfId { btf_id })
+            }
+            other => {
+                self.cov.hit(Cat::Error, 8, other as u32);
+                return Err(VerifierError::invalid(
+                    pc,
+                    format!("unknown ldimm64 src_reg {other}"),
+                ));
+            }
+        };
+        *state.cur_mut().reg_mut(dst) = out;
+        Ok(())
+    }
+
+    fn check_ld_legacy(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        kind: &InsnKind,
+    ) -> Result<(), VerifierError> {
+        if !matches!(
+            self.prog_type,
+            ProgType::SocketFilter | ProgType::SchedCls | ProgType::CgroupSkb
+        ) {
+            self.cov.hit(Cat::Error, 9, 0);
+            return Err(VerifierError::invalid(
+                pc,
+                "BPF_LD_[ABS|IND] instructions not allowed for this program type",
+            ));
+        }
+        if let InsnKind::LdInd { src, .. } = kind {
+            self.check_reg_init(state, *src, pc)?;
+        }
+        // The legacy loads implicitly use ctx in R6 per ABI... our ABI
+        // keeps R1; they clobber caller-saved regs and load into R0.
+        state.cur_mut().clobber_caller_saved();
+        *state.cur_mut().reg_mut(Reg::R0) = RegState::unknown_scalar();
+        Ok(())
+    }
+
+    fn enter_subprog(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+        target: usize,
+    ) -> Result<(), VerifierError> {
+        self.cov.hit(Cat::Subprog, 0, 1);
+        if state.frames.len() >= MAX_CALL_FRAMES {
+            self.cov.hit(Cat::Error, 10, 0);
+            return Err(VerifierError::invalid(
+                pc,
+                format!("the call stack of {MAX_CALL_FRAMES} frames is too deep"),
+            ));
+        }
+        if target >= self.prog.insn_count() || !self.insn_starts[target] {
+            self.cov.hit(Cat::Error, 11, 0);
+            return Err(VerifierError::invalid(pc, "invalid subprog call target"));
+        }
+        let mut callee = FuncState::new(target, pc + 1);
+        // Arguments R1..R5 are passed; R10 is the callee's own frame.
+        for r in Reg::ARGS {
+            callee.regs[r.index()] = *state.cur().reg(r);
+        }
+        callee.regs[Reg::R10.index()] = RegState::pointer(RegType::PtrToStack);
+        state.frames.push(callee);
+        Ok(())
+    }
+
+    fn return_from_subprog(
+        &mut self,
+        state: &mut VerifierState,
+        pc: usize,
+    ) -> Result<usize, VerifierError> {
+        let callee = state.frames.pop().expect("depth checked");
+        let r0 = callee.regs[Reg::R0.index()];
+        if r0.typ != RegType::Scalar {
+            self.cov.hit(Cat::Error, 12, 0);
+            return Err(VerifierError::invalid(
+                pc,
+                "At callback/subprog exit the register R0 must be a scalar",
+            ));
+        }
+        self.cov.hit(Cat::Subprog, 0, 2);
+        let caller = state.cur_mut();
+        caller.clobber_caller_saved();
+        caller.regs[Reg::R0.index()] = r0;
+        Ok(callee.callsite)
+    }
+
+    fn check_main_exit(&mut self, state: &VerifierState, pc: usize) -> Result<(), VerifierError> {
+        let r0 = state.cur().reg(Reg::R0);
+        if r0.typ == RegType::NotInit {
+            self.cov.hit(Cat::Error, 13, 0);
+            return Err(VerifierError::access(pc, "R0 !read_ok"));
+        }
+        if r0.typ != RegType::Scalar {
+            self.cov.hit(Cat::Error, 14, 0);
+            return Err(VerifierError::access(
+                pc,
+                format!("At program exit the register R0 has type {}", r0.typ.name()),
+            ));
+        }
+        if let Some(r) = state.acquired_refs.first() {
+            self.cov.hit(Cat::Error, 15, 0);
+            return Err(VerifierError::invalid(
+                pc,
+                format!("Unreleased reference id={} alloc_insn={}", r.id, r.insn_idx),
+            ));
+        }
+        self.cov.hit(Cat::InsnClass, 100, 0);
+        Ok(())
+    }
+}

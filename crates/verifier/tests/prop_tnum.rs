@@ -1,0 +1,137 @@
+//! Property tests: tnum algebra and bounds-maintenance soundness.
+//!
+//! The central soundness property of the abstract domain: for any abstract
+//! values and any concrete members of them, the concrete result of an
+//! operation is a member of the abstract result.
+
+use bvf_verifier::types::RegState;
+use bvf_verifier::Tnum;
+use proptest::prelude::*;
+
+/// An arbitrary well-formed tnum plus one concrete member of it.
+fn tnum_with_member() -> impl Strategy<Value = (Tnum, u64)> {
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(value, mask, pick)| {
+        let value = value & !mask; // enforce the invariant
+        let member = value | (pick & mask);
+        (Tnum::new(value, mask), member)
+    })
+}
+
+proptest! {
+    #[test]
+    fn member_containment((t, m) in tnum_with_member()) {
+        prop_assert!(t.contains(m));
+    }
+
+    #[test]
+    fn add_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.add(b).contains(x.wrapping_add(y)));
+    }
+
+    #[test]
+    fn sub_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.sub(b).contains(x.wrapping_sub(y)));
+    }
+
+    #[test]
+    fn mul_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.mul(b).contains(x.wrapping_mul(y)));
+    }
+
+    #[test]
+    fn and_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.and(b).contains(x & y));
+    }
+
+    #[test]
+    fn or_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.or(b).contains(x | y));
+    }
+
+    #[test]
+    fn xor_sound((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        prop_assert!(a.xor(b).contains(x ^ y));
+    }
+
+    #[test]
+    fn shifts_sound((a, x) in tnum_with_member(), s in 0u8..64) {
+        prop_assert!(a.lshift(s).contains(x << s));
+        prop_assert!(a.rshift(s).contains(x >> s));
+        prop_assert!(a.arshift(s, 64).contains(((x as i64) >> s) as u64));
+    }
+
+    #[test]
+    fn arshift32_sound((a, x) in tnum_with_member(), s in 0u8..32) {
+        let concrete = ((x as u32 as i32) >> s) as u32 as u64;
+        prop_assert!(a.cast32().arshift(s, 32).contains(concrete));
+    }
+
+    #[test]
+    fn range_sound(lo in any::<u64>(), hi in any::<u64>(), pick in any::<u64>()) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let t = Tnum::range(lo, hi);
+        let member = lo + pick % (hi - lo).wrapping_add(1).max(1);
+        if member >= lo && member <= hi {
+            prop_assert!(t.contains(member), "{t} must contain {member} in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn intersect_sound((a, x) in tnum_with_member(), b_seed in any::<u64>()) {
+        // Build b as a widening of x so x ∈ a ∩ b.
+        let b = Tnum::new(x & !b_seed, b_seed);
+        prop_assert!(b.contains(x));
+        prop_assert!(a.intersect(b).contains(x));
+    }
+
+    #[test]
+    fn union_contains_both((a, x) in tnum_with_member(), (b, y) in tnum_with_member()) {
+        let u = a.union(b);
+        prop_assert!(u.contains(x));
+        prop_assert!(u.contains(y));
+    }
+
+    #[test]
+    fn subset_reflexive_and_unknown_top((a, x) in tnum_with_member()) {
+        prop_assert!(a.is_subset_of(a));
+        prop_assert!(a.is_subset_of(Tnum::UNKNOWN));
+        prop_assert!(Tnum::const_val(x).is_subset_of(a));
+    }
+
+    #[test]
+    fn cast_members((a, x) in tnum_with_member(), size in 1u8..=8) {
+        let keep = if size >= 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+        prop_assert!(a.cast(size).contains(x & keep));
+    }
+
+    #[test]
+    fn subreg_roundtrip((a, x) in tnum_with_member()) {
+        let rebuilt = a.clear_subreg().with_subreg(a.subreg());
+        prop_assert!(rebuilt.contains(x));
+    }
+}
+
+proptest! {
+    /// Normalization never loses members: a register whose bounds and tnum
+    /// both admit value v still admits v after normalize().
+    #[test]
+    fn normalize_keeps_members((t, m) in tnum_with_member()) {
+        let mut r = RegState::unknown_scalar();
+        r.var_off = t;
+        r.normalize();
+        prop_assert!(r.var_off.contains(m));
+        prop_assert!(r.umin <= m && m <= r.umax);
+        let sm = m as i64;
+        prop_assert!(r.smin <= sm && sm <= r.smax);
+    }
+
+    /// known_scalar is exactly the singleton abstraction.
+    #[test]
+    fn known_scalar_is_singleton(v in any::<u64>()) {
+        let r = RegState::known_scalar(v);
+        prop_assert_eq!(r.const_value(), Some(v));
+        prop_assert!(r.bounds_sane());
+        prop_assert_eq!(r.umin, v);
+        prop_assert_eq!(r.umax, v);
+    }
+}

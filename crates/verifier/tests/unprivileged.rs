@@ -1,0 +1,161 @@
+//! Unprivileged-mode verification tests: pointer-leak and
+//! pointer-comparison restrictions (§2 of the paper discusses how many
+//! deployments run unprivileged eBPF with stricter verifier rules).
+
+use bvf_isa::{asm, AluOp, JmpOp, Program, Reg, Size};
+use bvf_kernel_sim::helpers::proto::ids as helper;
+use bvf_kernel_sim::map::{MapDef, MapType};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::{BugSet, Kernel};
+use bvf_verifier::{verify, VerifierOpts};
+
+fn kernel() -> Kernel {
+    let mut k = Kernel::new(BugSet::none());
+    let mut maps = std::mem::take(&mut k.maps);
+    maps.create(
+        &mut k.mm,
+        MapDef {
+            map_type: MapType::Array,
+            key_size: 4,
+            value_size: 16,
+            max_entries: 4,
+        },
+    )
+    .unwrap();
+    k.maps = maps;
+    k
+}
+
+fn unpriv() -> VerifierOpts {
+    VerifierOpts {
+        unprivileged: true,
+        ..Default::default()
+    }
+}
+
+fn check(k: &Kernel, prog: &Program, pt: ProgType, opts: &VerifierOpts) -> Result<(), String> {
+    verify(k, prog, pt, opts)
+        .result
+        .map(|_| ())
+        .map_err(|e| e.msg)
+}
+
+fn lookup_then(extra: Vec<bvf_isa::Insn>) -> Program {
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 1));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, extra.len() as i16 + 1));
+    insns.extend(extra);
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    Program::from_insns(insns)
+}
+
+#[test]
+fn benign_program_loads_unprivileged() {
+    let p = lookup_then(vec![asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0)]);
+    check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).expect("benign program");
+}
+
+#[test]
+fn prog_type_gate() {
+    let p = Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()]);
+    let err = check(&kernel(), &p, ProgType::Kprobe, &unpriv()).unwrap_err();
+    assert!(err.contains("not allowed for unprivileged"), "{err}");
+    check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).expect("socket filter allowed");
+    check(&kernel(), &p, ProgType::Kprobe, &VerifierOpts::default())
+        .expect("privileged kprobe allowed");
+}
+
+#[test]
+fn pointer_store_to_map_rejected() {
+    // Leak the stack pointer into a map value.
+    let p = lookup_then(vec![asm::stx_mem(Size::Dw, Reg::R0, Reg::R10, 0)]);
+    let err = check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).unwrap_err();
+    assert!(err.contains("leaks addr"), "{err}");
+    check(
+        &kernel(),
+        &p,
+        ProgType::SocketFilter,
+        &VerifierOpts::default(),
+    )
+    .expect("privileged may spill pointers");
+}
+
+#[test]
+fn pointer_spill_to_stack_still_allowed() {
+    let p = Program::from_insns(vec![
+        asm::stx_mem(Size::Dw, Reg::R10, Reg::R1, -8),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).expect("stack spills fine");
+}
+
+#[test]
+fn pointer_comparison_rejected() {
+    let p = Program::from_insns(vec![
+        asm::mov64_reg(Reg::R2, Reg::R10),
+        asm::jmp_reg(JmpOp::Jgt, Reg::R2, Reg::R1, 0),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    let err = check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).unwrap_err();
+    assert!(err.contains("pointer comparison prohibited"), "{err}");
+    check(
+        &kernel(),
+        &p,
+        ProgType::SocketFilter,
+        &VerifierOpts::default(),
+    )
+    .expect("privileged comparison fine");
+}
+
+#[test]
+fn null_check_still_allowed() {
+    let p = lookup_then(vec![asm::ldx_mem(Size::B, Reg::R3, Reg::R0, 0)]);
+    check(&kernel(), &p, ProgType::SocketFilter, &unpriv())
+        .expect("null checks are the allowed pointer comparison");
+}
+
+#[test]
+fn partial_pointer_copy_rejected() {
+    let p = Program::from_insns(vec![asm::mov32_reg(Reg::R0, Reg::R10), asm::exit()]);
+    let err = check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).unwrap_err();
+    assert!(err.contains("partial copy of pointer"), "{err}");
+}
+
+#[test]
+fn pointer_subtraction_rejected() {
+    let p = Program::from_insns(vec![
+        asm::mov64_reg(Reg::R2, Reg::R10),
+        asm::mov64_reg(Reg::R3, Reg::R10),
+        asm::alu64_reg(AluOp::Sub, Reg::R2, Reg::R3),
+        asm::mov64_imm(Reg::R0, 0),
+        asm::exit(),
+    ]);
+    let err = check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).unwrap_err();
+    assert!(err.contains("pointer subtraction prohibited"), "{err}");
+}
+
+#[test]
+fn unknown_sign_pointer_arithmetic_rejected() {
+    // r4 is a signed-unknown scalar; r0 += r4 is rejected unprivileged.
+    let p = lookup_then(vec![
+        asm::ldx_mem(Size::Dw, Reg::R4, Reg::R0, 0),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+    ]);
+    let err = check(&kernel(), &p, ProgType::SocketFilter, &unpriv()).unwrap_err();
+    assert!(err.contains("unknown sign"), "{err}");
+    // With a mask establishing the sign, it passes (and a deref bound).
+    let ok = lookup_then(vec![
+        asm::ldx_mem(Size::Dw, Reg::R4, Reg::R0, 0),
+        asm::alu64_imm(AluOp::And, Reg::R4, 7),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    check(&kernel(), &ok, ProgType::SocketFilter, &unpriv()).expect("known-sign arithmetic fine");
+}

@@ -1,0 +1,61 @@
+//! Verification-log tests: with logging enabled the verifier narrates the
+//! instructions it walks, kernel-log style.
+
+use bvf_isa::{asm, Program, Reg, Size};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::{BugSet, Kernel};
+use bvf_verifier::{verify, VerifierOpts};
+
+#[test]
+fn log_records_walked_instructions() {
+    let k = Kernel::new(BugSet::none());
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R1, 7),
+        asm::stx_mem(Size::Dw, Reg::R10, Reg::R1, -8),
+        asm::ldx_mem(Size::Dw, Reg::R0, Reg::R10, -8),
+        asm::exit(),
+    ]);
+    let opts = VerifierOpts {
+        log: true,
+        ..Default::default()
+    };
+    let out = verify(&k, &p, ProgType::SocketFilter, &opts);
+    let vprog = out.result.expect("accepts");
+    assert!(!vprog.log.is_empty());
+    let text = vprog.log.join("\n");
+    assert!(text.contains("r1 = 7"), "{text}");
+    assert!(text.contains("*(u64 *)(r10 -8) = r1"), "{text}");
+    assert!(text.contains("exit"), "{text}");
+}
+
+#[test]
+fn log_disabled_by_default() {
+    let k = Kernel::new(BugSet::none());
+    let p = Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()]);
+    let out = verify(&k, &p, ProgType::SocketFilter, &VerifierOpts::default());
+    assert!(out.result.unwrap().log.is_empty());
+}
+
+#[test]
+fn log_covers_both_branches() {
+    let k = Kernel::new(BugSet::none());
+    let p = Program::from_insns(vec![
+        asm::mov64_imm(Reg::R0, 0),
+        asm::ldx_mem(Size::W, Reg::R2, Reg::R1, 0),
+        asm::jmp_imm(bvf_isa::JmpOp::Jeq, Reg::R2, 0, 1),
+        asm::mov64_imm(Reg::R0, 1),
+        asm::exit(),
+    ]);
+    let opts = VerifierOpts {
+        log: true,
+        ..Default::default()
+    };
+    let out = verify(&k, &p, ProgType::SocketFilter, &opts);
+    let text = out.result.unwrap().log.join("\n");
+    // Both the fall-through (r0 = 1) and the jump path appear.
+    assert!(text.contains("r0 = 1"), "{text}");
+    assert!(
+        text.matches("exit").count() >= 2,
+        "both paths reach exit:\n{text}"
+    );
+}

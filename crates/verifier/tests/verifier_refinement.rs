@@ -1,0 +1,208 @@
+//! Verifier range-refinement tests: conditional-jump bounds, 32-bit
+//! refinements, equal-scalar propagation, and spill precision.
+
+use bvf_isa::{asm, AluOp, JmpOp, Program, Reg, Size};
+use bvf_kernel_sim::helpers::proto::ids as helper;
+use bvf_kernel_sim::map::{MapDef, MapType};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::{BugSet, Kernel};
+use bvf_verifier::{verify, VerifierOpts};
+
+fn kernel() -> Kernel {
+    let mut k = Kernel::new(BugSet::none());
+    let mut maps = std::mem::take(&mut k.maps);
+    maps.create(
+        &mut k.mm,
+        MapDef {
+            map_type: MapType::Array,
+            key_size: 4,
+            value_size: 16,
+            max_entries: 4,
+        },
+    )
+    .unwrap();
+    k.maps = maps;
+    k
+}
+
+fn accepts(k: &Kernel, prog: &Program) {
+    let out = verify(k, prog, ProgType::SocketFilter, &VerifierOpts::default());
+    if let Err(e) = &out.result {
+        panic!("expected accept, got: {e}\n{}", prog.dump());
+    }
+}
+
+fn rejects(k: &Kernel, prog: &Program) {
+    let out = verify(k, prog, ProgType::SocketFilter, &VerifierOpts::default());
+    assert!(out.result.is_err(), "expected reject\n{}", prog.dump());
+}
+
+/// Builds: lookup (always guarded), then `body` operating on R0 as a
+/// non-null map-value pointer with an unknown scalar in R4 (loaded from
+/// the value), ending with exit.
+fn with_lookup_and_unknown(body: Vec<bvf_isa::Insn>) -> Program {
+    let mut insns = vec![asm::mov64_imm(Reg::R0, 0)];
+    insns.extend(asm::ld_map_fd(Reg::R1, 0));
+    insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+    insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+    insns.push(asm::st_mem(Size::W, Reg::R2, 0, 1));
+    insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+    insns.push(asm::jmp_imm(JmpOp::Jeq, Reg::R0, 0, body.len() as i16 + 1));
+    insns.push(asm::ldx_mem(Size::W, Reg::R4, Reg::R0, 0));
+    insns.extend(body);
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    // Fix the guard offset: it must skip the r4 load plus the body.
+    let guard = insns
+        .iter()
+        .position(|i| bvf_isa::Class::of(i.code).is_jmp() && i.off != 0)
+        .unwrap();
+    let exit_target = insns.len() - 2; // the mov r0,0 before exit
+    insns[guard].off = (exit_target - guard - 1) as i16;
+    Program::from_insns(insns)
+}
+
+#[test]
+fn unsigned_upper_bound_refinement() {
+    // if r4 > 8: skip; else r0[r4] is within a 16-byte value for 1 byte.
+    let p = with_lookup_and_unknown(vec![
+        asm::jmp_imm(JmpOp::Jgt, Reg::R4, 8, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn refinement_too_loose_rejected() {
+    // Bound 16 still allows off 16 + 1 byte = 17 > 16.
+    let p = with_lookup_and_unknown(vec![
+        asm::jmp_imm(JmpOp::Jgt, Reg::R4, 16, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    rejects(&kernel(), &p);
+}
+
+#[test]
+fn signed_refinement_requires_lower_bound_too() {
+    // `if r4 s> 8 skip` leaves smin unbounded (negative) — reject.
+    let p = with_lookup_and_unknown(vec![
+        asm::jmp_imm(JmpOp::Jsgt, Reg::R4, 8, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    // R4 was loaded as u32 so it is actually non-negative; the verifier
+    // knows u32 loads are within [0, u32::MAX] and smin >= 0 after the
+    // 64-bit deduction — combined with s> 8 skip it gets [0, 8]: accept.
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn jmp32_refinement_bounds_64bit_access() {
+    let p = with_lookup_and_unknown(vec![
+        asm::jmp32_imm(JmpOp::Jgt, Reg::R4, 8, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    // A 32-bit bound on a zero-extended 32-bit load bounds the 64-bit
+    // value as well.
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn jset_learns_nothing_but_is_legal() {
+    let p = with_lookup_and_unknown(vec![asm::jmp_imm(JmpOp::Jset, Reg::R4, 8, 0)]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn equal_scalar_refinement_propagates_through_mov() {
+    // r5 = r4 (link); bound r5; use r4 — find_equal_scalars must carry
+    // the refinement over.
+    let p = with_lookup_and_unknown(vec![
+        asm::mov64_reg(Reg::R5, Reg::R4),
+        asm::jmp_imm(JmpOp::Jgt, Reg::R5, 8, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R6, Reg::R0, 0),
+    ]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn equal_scalar_link_severed_by_alu() {
+    // After r5 += 1 the registers no longer hold the same value; bounding
+    // r5 must NOT bound r4.
+    let p = with_lookup_and_unknown(vec![
+        asm::mov64_reg(Reg::R5, Reg::R4),
+        asm::alu64_imm(AluOp::Add, Reg::R5, 1),
+        asm::jmp_imm(JmpOp::Jgt, Reg::R5, 8, 2),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R6, Reg::R0, 0),
+    ]);
+    rejects(&kernel(), &p);
+}
+
+#[test]
+fn spilled_scalar_bounds_survive_fill() {
+    // Bound r4, spill it, fill into r5, use r5 as an offset.
+    let p = with_lookup_and_unknown(vec![
+        asm::jmp_imm(JmpOp::Jgt, Reg::R4, 8, 4),
+        asm::stx_mem(Size::Dw, Reg::R10, Reg::R4, -16),
+        asm::ldx_mem(Size::Dw, Reg::R5, Reg::R10, -16),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R5),
+        asm::ldx_mem(Size::B, Reg::R6, Reg::R0, 0),
+    ]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn and_mask_bounds_offset() {
+    let p = with_lookup_and_unknown(vec![
+        asm::alu64_imm(AluOp::And, Reg::R4, 15),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn modulo_bounds_offset() {
+    let p = with_lookup_and_unknown(vec![
+        asm::alu64_imm(AluOp::Mod, Reg::R4, 8),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::Dw, Reg::R5, Reg::R0, 0),
+    ]);
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn rsh_bounds_offset() {
+    let p = with_lookup_and_unknown(vec![
+        asm::alu64_imm(AluOp::Rsh, Reg::R4, 29),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::Dw, Reg::R5, Reg::R0, 0),
+    ]);
+    // u32 >> 29 gives [0, 7]; +8 bytes fits in 16.
+    accepts(&kernel(), &p);
+}
+
+#[test]
+fn multiplication_overflow_unbounded() {
+    let p = with_lookup_and_unknown(vec![
+        asm::alu64_imm(AluOp::And, Reg::R4, 7),
+        asm::alu64_imm(AluOp::Mul, Reg::R4, 4),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::B, Reg::R5, Reg::R0, 0),
+    ]);
+    // [0,7] * 4 = [0,28]: exceeds the 16-byte value — must reject.
+    rejects(&kernel(), &p);
+    let ok = with_lookup_and_unknown(vec![
+        asm::alu64_imm(AluOp::And, Reg::R4, 3),
+        asm::alu64_imm(AluOp::Mul, Reg::R4, 4),
+        asm::alu64_reg(AluOp::Add, Reg::R0, Reg::R4),
+        asm::ldx_mem(Size::W, Reg::R5, Reg::R0, 0),
+    ]);
+    // [0,3] * 4 = [0,12]; +4 = 16: fits exactly.
+    accepts(&kernel(), &ok);
+}

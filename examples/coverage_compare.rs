@@ -1,0 +1,62 @@
+//! A quick interactive version of the §6.3 coverage comparison: run each
+//! generator for a small budget and watch verifier coverage grow.
+//!
+//! ```sh
+//! cargo run --release -p bvf-examples --bin coverage_compare [iterations]
+//! ```
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::{run_campaign, CampaignConfig};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1500);
+
+    println!("{iters} iterations per generator, all Table 2 defects injected\n");
+    let mut final_cov = Vec::new();
+    for tool in [
+        GeneratorKind::Bvf,
+        GeneratorKind::Syzkaller,
+        GeneratorKind::BuzzerAluJmp,
+        GeneratorKind::BuzzerRandom,
+    ] {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(tool, iters, 2024)
+        };
+        let r = run_campaign(&cfg);
+        println!(
+            "{:16} acceptance {:5.1}%  coverage {:5}  findings {:2}  corpus {:4}",
+            tool.name(),
+            100.0 * r.acceptance_rate(),
+            r.coverage.len(),
+            r.findings.len(),
+            r.corpus_len
+        );
+        // A tiny ASCII growth curve.
+        let max = r.timeline.iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+        let curve: String = r
+            .timeline
+            .iter()
+            .map(|(_, c)| {
+                let lvl = (c * 8 / max).min(7);
+                [' ', '.', ':', '-', '=', '+', '*', '#'][lvl]
+            })
+            .collect();
+        println!("{:16} |{curve}|", "");
+        final_cov.push((tool, r.coverage.len()));
+    }
+
+    let bvf = final_cov[0].1 as f64;
+    println!();
+    for (tool, cov) in &final_cov[1..] {
+        println!(
+            "BVF covers {:+.1}% more verifier logic than {}",
+            100.0 * (bvf - *cov as f64) / (*cov as f64).max(1.0),
+            tool.name()
+        );
+    }
+    println!("\npaper (48h, kcov branches): +17.5% over Syzkaller, +541% over Buzzer");
+}

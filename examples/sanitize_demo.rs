@@ -1,0 +1,75 @@
+//! Demonstrates the memory-access sanitation (paper §4.2, Figure 5):
+//! before/after instrumentation disassembly, and the silent-corruption
+//! vs. caught-by-sanitizer contrast on bug #2.
+//!
+//! ```sh
+//! cargo run -p bvf-examples --bin sanitize_demo
+//! ```
+
+use bvf_isa::{asm, Program, Reg, Size};
+use bvf_kernel_sim::helpers::proto::ids as helper;
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::{BugId, BugSet};
+use bvf_runtime::{Bpf, HaltReason};
+use bvf_verifier::VerifierOpts;
+
+fn oob_task_read() -> Program {
+    // task_struct is 128 bytes; reading 8 bytes at offset 124 runs past
+    // the object — accepted only under the bug #2 defect.
+    Program::from_insns(vec![
+        asm::call_helper(helper::GET_CURRENT_TASK_BTF as i32),
+        asm::ldx_mem(Size::Dw, Reg::R0, Reg::R0, 124),
+        asm::exit(),
+    ])
+}
+
+fn main() {
+    let bugs = BugSet::with(&[BugId::TaskStructOob]);
+
+    // 1. Show the instrumentation itself.
+    let mut bpf = Bpf::new(bugs.clone(), VerifierOpts::default(), true);
+    let prog = oob_task_read();
+    println!("original program:\n{}", prog.dump());
+    let id = bpf
+        .prog_load(&prog, ProgType::Kprobe, false)
+        .expect("the buggy verifier accepts the OOB read");
+    let image = bpf.image(id).unwrap();
+    println!(
+        "after verification + sanitation (Figure 5 shape):\n{}",
+        image.prog.dump()
+    );
+    let stats = bpf.progs[id as usize].sanitize_stats.unwrap();
+    println!(
+        "instrumentation: {} -> {} insns ({:.2}x), {} mem checks, {} skipped R10-const\n",
+        stats.insns_before,
+        stats.insns_after,
+        stats.footprint_factor(),
+        stats.mem_checks,
+        stats.skipped_stack_const
+    );
+
+    // 2. Unsanitized execution: the out-of-bounds read lands in a KASAN
+    // redzone — mapped memory, so JITed code succeeds *silently*.
+    let mut plain = Bpf::new(bugs.clone(), VerifierOpts::default(), false);
+    let id = plain.prog_load(&prog, ProgType::Kprobe, false).unwrap();
+    let run = plain.test_run(id).unwrap();
+    println!(
+        "without sanitation: halt={:?}, reports={} (the corruption is silent!)",
+        run.exec.halt,
+        run.reports.len()
+    );
+    assert_eq!(run.exec.halt, HaltReason::Exit);
+
+    // 3. Sanitized execution: bpf_asan_load8 consults the shadow and
+    // reports the redzone hit before the access — indicator #1.
+    let run = bpf.test_run(id).unwrap();
+    println!("with sanitation   : halt={:?}", run.exec.halt);
+    for r in &run.reports {
+        println!("  {}", r.summary());
+    }
+    assert_eq!(run.exec.halt, HaltReason::SanitizerTrap);
+    println!(
+        "\nThis is why the paper's oracle needs its own sanitation: the verifier's\n\
+         mistake would otherwise be unobservable to a fuzzer."
+    );
+}

@@ -1,0 +1,56 @@
+//! Support utilities shared by the cross-crate integration tests.
+
+use bvf_isa::Program;
+use bvf_kernel_sim::map::{MapDef, MapType};
+use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::BugSet;
+use bvf_runtime::Bpf;
+use bvf_verifier::VerifierOpts;
+
+/// Boots a kernel with the standard four-map setup used across tests.
+pub fn bpf_with(bugs: BugSet, sanitize: bool) -> Bpf {
+    let mut b = Bpf::new(bugs, VerifierOpts::default(), sanitize);
+    for def in [
+        MapDef {
+            map_type: MapType::Array,
+            key_size: 4,
+            value_size: 16,
+            max_entries: 4,
+        },
+        MapDef {
+            map_type: MapType::Hash,
+            key_size: 8,
+            value_size: 16,
+            max_entries: 8,
+        },
+        MapDef {
+            map_type: MapType::RingBuf,
+            key_size: 0,
+            value_size: 0,
+            max_entries: 4096,
+        },
+        MapDef {
+            map_type: MapType::ProgArray,
+            key_size: 4,
+            value_size: 4,
+            max_entries: 4,
+        },
+    ] {
+        b.map_create(def).expect("standard maps");
+    }
+    b
+}
+
+/// Loads and test-runs a program, asserting a clean accept + run.
+pub fn load_and_run_clean(bpf: &mut Bpf, prog: &Program, prog_type: ProgType) -> u64 {
+    let id = bpf
+        .prog_load(prog, prog_type, false)
+        .unwrap_or_else(|e| panic!("verifier rejected: {e}\n{}", prog.dump()));
+    let run = bpf.test_run(id).expect("test_run");
+    assert!(
+        run.reports.is_empty(),
+        "unexpected reports: {:?}",
+        run.reports
+    );
+    run.exec.r0.expect("program must exit")
+}
