@@ -14,8 +14,8 @@
 //! Usage: `ablation [--iters N]`
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig};
-use bvf_bench::{arg_usize, render_table, save_json};
+use bvf::fuzz::CampaignConfig;
+use bvf_bench::{arg_usize, render_table, run_campaign_with_stats, save_json};
 use bvf_kernel_sim::BugId;
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
     let mut json = Vec::new();
     for (name, cfg) in configs {
         eprintln!("running {name} ({iters} iterations)...");
-        let r = run_campaign(&cfg);
+        let (r, stats) = run_campaign_with_stats(&cfg);
         let verifier_bugs = r.found_bugs.iter().filter(|b| b.is_verifier_bug()).count();
         rows.push(vec![
             name.to_string(),
@@ -57,9 +57,8 @@ fn main() {
         ]);
         json.push(serde_json::json!({
             "config": name,
-            "bugs": r.found_bugs.iter().map(|b| b.name()).collect::<Vec<_>>(),
-            "acceptance": r.acceptance_rate(),
-            "coverage": r.coverage.len(),
+            // The shared CampaignStats schema (as in `bvf fuzz --json-out`).
+            "stats": serde_json::to_value(&stats).unwrap(),
         }));
         let _ = BugId::ALL;
     }

@@ -11,8 +11,8 @@
 //! Usage: `acceptance_rate [--iters N]`
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig};
-use bvf_bench::{arg_usize, render_table, save_json};
+use bvf::fuzz::CampaignConfig;
+use bvf_bench::{arg_usize, render_table, run_campaign_with_stats, save_json};
 
 fn main() {
     let iters = arg_usize("--iters", 2_000);
@@ -31,7 +31,7 @@ fn main() {
             ..CampaignConfig::new(tool, iters, 31)
         };
         eprintln!("running {} ({iters} programs)...", tool.name());
-        let r = run_campaign(&cfg);
+        let (r, stats) = run_campaign_with_stats(&cfg);
         let errnos: Vec<String> = r
             .errno_histogram
             .iter()
@@ -53,13 +53,9 @@ fn main() {
             format!("{:.1}%", 100.0 * r.alu_jmp_share),
             format!("{:.0}", r.avg_prog_len),
         ]);
-        json.push(serde_json::json!({
-            "tool": tool.name(),
-            "acceptance": r.acceptance_rate(),
-            "errnos": r.errno_histogram,
-            "alu_jmp_share": r.alu_jmp_share,
-            "avg_prog_len": r.avg_prog_len,
-        }));
+        // One CampaignStats document per tool — the same schema
+        // `bvf fuzz --json-out` writes.
+        json.push(serde_json::to_value(&stats).unwrap());
     }
 
     println!("\n§6.3 acceptance-rate analysis ({iters} programs per tool)\n");

@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig};
-use bvf_bench::{arg_usize, render_table, save_json};
+use bvf::fuzz::CampaignConfig;
+use bvf_bench::{arg_usize, render_table, run_campaign_with_stats, save_json};
 use bvf_kernel_sim::BugId;
 
 fn main() {
@@ -27,6 +27,8 @@ fn main() {
 
     // bug -> tool -> earliest iteration found (across seeds).
     let mut first_found: BTreeMap<BugId, BTreeMap<GeneratorKind, usize>> = BTreeMap::new();
+    // Per-campaign CampaignStats documents (shared --json-out schema).
+    let mut campaigns = Vec::new();
 
     for tool in tools {
         for seed in 0..seeds {
@@ -35,7 +37,11 @@ fn main() {
                 "running {} seed {seed} ({iters} iterations)...",
                 tool.name()
             );
-            let r = run_campaign(&cfg);
+            let (r, stats) = run_campaign_with_stats(&cfg);
+            campaigns.push(serde_json::json!({
+                "tool": tool.name(),
+                "stats": serde_json::to_value(&stats).unwrap(),
+            }));
             for f in &r.findings {
                 for bug in &f.culprits {
                     let entry = first_found
@@ -154,6 +160,6 @@ fn main() {
 
     save_json(
         "table2_bugs.json",
-        &serde_json::json!({ "iters": iters, "seeds": seeds, "bugs": json_bugs }),
+        &serde_json::json!({ "iters": iters, "seeds": seeds, "bugs": json_bugs, "campaigns": campaigns }),
     );
 }

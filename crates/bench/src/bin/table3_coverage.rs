@@ -13,8 +13,8 @@
 //! Usage: `table3_coverage [--iters N] [--seeds K] [--series]`
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig};
-use bvf_bench::{arg_flag, arg_usize, render_table, save_json};
+use bvf::fuzz::CampaignConfig;
+use bvf_bench::{arg_flag, arg_usize, render_table, run_campaign_with_stats, save_json};
 use bvf_verifier::KernelVersion;
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
     ];
 
     // (version, tool) -> (mean final coverage, mean timeline).
-    let mut results: Vec<(KernelVersion, GeneratorKind, f64, Vec<(usize, f64)>)> = Vec::new();
+    type Row = (KernelVersion, GeneratorKind, f64, Vec<(usize, f64)>);
+    let mut results: Vec<Row> = Vec::new();
+    // Per-campaign CampaignStats documents (shared --json-out schema).
+    let mut campaigns = Vec::new();
 
     for version in KernelVersion::ALL {
         for tool in tools {
@@ -44,9 +47,13 @@ fn main() {
                     tool.name(),
                     version.name()
                 );
-                let r = run_campaign(&cfg);
+                let (r, stats) = run_campaign_with_stats(&cfg);
                 finals.push(r.coverage.len() as f64);
                 timelines.push(r.timeline);
+                campaigns.push(serde_json::json!({
+                    "version": version.name(),
+                    "stats": serde_json::to_value(&stats).unwrap(),
+                }));
             }
             let mean = finals.iter().sum::<f64>() / finals.len() as f64;
             // Average the timelines point-wise.
@@ -132,6 +139,7 @@ fn main() {
             "final_coverage": c,
             "timeline": tl,
         })).collect::<Vec<_>>(),
+        "campaigns": campaigns,
     });
     save_json("table3_coverage.json", &json);
 }

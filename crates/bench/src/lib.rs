@@ -7,6 +7,20 @@
 use std::io::Write;
 use std::path::Path;
 
+use bvf::fuzz::{run_campaign_with_telemetry, CampaignConfig, CampaignResult};
+use bvf_telemetry::{CampaignStats, Telemetry};
+
+/// Runs one campaign with metrics telemetry and returns the result plus
+/// its [`CampaignStats`] document — the same schema `bvf fuzz
+/// --json-out` emits, so `bench_results/*.json` and campaign dumps are
+/// interchangeable for plotting.
+pub fn run_campaign_with_stats(cfg: &CampaignConfig) -> (CampaignResult, CampaignStats) {
+    let mut tel = Telemetry::null();
+    let r = run_campaign_with_telemetry(cfg, &mut tel);
+    let stats = r.to_stats(cfg.seed, std::mem::take(&mut tel.registry));
+    (r, stats)
+}
+
 /// Renders a fixed-width text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -91,7 +91,7 @@ pub fn syzkaller_generate(rng: &mut StdRng) -> Scenario {
             Size::Dw,
             Reg::R3,
             Reg::R0,
-            rng.gen_range(-4..6) * 4,
+            rng.gen_range(-4..6i16) * 4,
         ));
         // Perturb one random field of one random instruction.
         let i = rng.gen_range(0..snippet.len());
@@ -129,23 +129,23 @@ pub fn syzkaller_generate(rng: &mut StdRng) -> Scenario {
             }
             5 => insns.push(asm::mov64_imm(dst, rng.gen_range(-4096..4096))),
             6 => {
-                let size = Size::ALL[rng.gen_range(0..4)];
+                let size = Size::ALL[rng.gen_range(0..4usize)];
                 // Half the loads go through the template's r1 (the ctx),
                 // half through whatever register.
                 let base = if rng.gen_bool(0.5) { Reg::R1 } else { src };
                 insns.push(asm::ldx_mem(size, dst, base, rng.gen_range(-16..64)));
             }
             7 => {
-                let size = Size::ALL[rng.gen_range(0..4)];
+                let size = Size::ALL[rng.gen_range(0..4usize)];
                 let base = if rng.gen_bool(0.5) { Reg::R10 } else { src };
                 insns.push(asm::stx_mem(size, base, dst, rng.gen_range(-32..16)));
             }
             8 => {
-                let size = Size::ALL[rng.gen_range(0..4)];
+                let size = Size::ALL[rng.gen_range(0..4usize)];
                 insns.push(asm::st_mem(
                     size,
                     Reg::R10,
-                    -(rng.gen_range(1..16) * 4),
+                    -(rng.gen_range(1..16i16) * 4),
                     rng.gen(),
                 ));
             }

@@ -3,7 +3,9 @@
 //! ```text
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
-//!             [--no-sanitize] [--no-triage] [--save-findings DIR]
+//!             [--no-sanitize] [--no-triage] [--no-feedback]
+//!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
+//!             [--snapshot-every N] [--save-findings DIR]
 //! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
 //! bvf disasm  <scenario.json | program.bin>
 //! bvf bugs    # list injectable defects
@@ -12,23 +14,29 @@
 //! Findings saved by `fuzz --save-findings` are replayable scenario JSON
 //! files; `replay` re-executes one deterministically and prints the
 //! verifier verdict, kernel reports, and differential triage.
+//! `--trace-out` writes one JSONL event per campaign step and
+//! `--json-out` writes the machine-readable `CampaignStats` summary
+//! (the same schema the bench binaries emit).
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::exit;
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig};
+use bvf::fuzz::{run_campaign_with_telemetry, CampaignConfig};
 use bvf::oracle::{judge, triage};
 use bvf::scenario::{run_scenario, Scenario};
 use bvf_kernel_sim::{BugId, BugSet};
+use bvf_telemetry::{JsonlSink, NullSink, Telemetry, TraceSink};
 use bvf_verifier::KernelVersion;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
-         [--no-sanitize] [--no-triage] [--save-findings DIR]\n  \
+         [--no-sanitize] [--no-triage] [--no-feedback]\n             \
+         [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
+         [--snapshot-every N] [--save-findings DIR]\n  \
          bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n  \
          bvf disasm <scenario.json|program.bin>\n  \
          bvf bugs"
@@ -52,6 +60,22 @@ impl Args {
     }
 }
 
+/// Edit distance for the `parse_bugs` "did you mean" suggestions.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(prev + 1);
+        }
+    }
+    row[b.len()]
+}
+
 fn parse_bugs(spec: &str) -> BugSet {
     match spec {
         "all" => BugSet::all(),
@@ -61,13 +85,24 @@ fn parse_bugs(spec: &str) -> BugSet {
                 BugId::ALL.iter().map(|b| (b.name(), *b)).collect();
             let mut set = BugSet::none();
             for part in list.split(',') {
-                match by_name
-                    .iter()
-                    .find(|(n, _)| **n == part || n.contains(part))
-                {
-                    Some((_, bug)) => set.enable(*bug),
+                match by_name.get(part) {
+                    Some(bug) => set.enable(*bug),
                     None => {
-                        eprintln!("unknown bug {part:?}; see `bvf bugs`");
+                        // Exact names only: a substring match here once
+                        // silently enabled the wrong defect ("bug1"
+                        // matched bug10 and bug11 first). Suggest the
+                        // closest names instead.
+                        let mut candidates: Vec<&str> = by_name.keys().copied().collect();
+                        candidates.sort_by_key(|n| (!n.contains(part), levenshtein(n, part)));
+                        eprintln!(
+                            "unknown bug {part:?}; closest: {}  (see `bvf bugs`)",
+                            candidates
+                                .iter()
+                                .take(3)
+                                .copied()
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
                         exit(2);
                     }
                 }
@@ -147,6 +182,26 @@ fn cmd_fuzz(args: &Args) {
         .unwrap_or(KernelVersion::BpfNext);
     cfg.sanitize = !args.flag("--no-sanitize");
     cfg.triage = !args.flag("--no-triage");
+    cfg.feedback = !args.flag("--no-feedback");
+    if let Some(n) = args.opt("--snapshot-every").and_then(|v| v.parse().ok()) {
+        cfg.snapshot_every = std::cmp::max(n, 1);
+    }
+
+    let sink: Box<dyn TraceSink> = match args.opt("--trace-out") {
+        Some(path) => {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                exit(1);
+            });
+            Box::new(JsonlSink::new(std::io::BufWriter::new(f)))
+        }
+        None => Box::new(NullSink),
+    };
+    let stats_every: usize = args
+        .opt("--stats-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or((iters / 100).max(1));
+    let mut tel = Telemetry::new(sink).with_progress_every(stats_every);
 
     eprintln!(
         "fuzzing: {} iterations, generator {}, {} defects injected, sanitation {}",
@@ -155,7 +210,7 @@ fn cmd_fuzz(args: &Args) {
         cfg.bugs.iter().count(),
         if cfg.sanitize { "on" } else { "off" }
     );
-    let r = run_campaign(&cfg);
+    let r = run_campaign_with_telemetry(&cfg, &mut tel);
     println!(
         "iterations {}  accepted {} ({:.1}%)  coverage {}  corpus {}",
         r.iterations,
@@ -164,6 +219,22 @@ fn cmd_fuzz(args: &Args) {
         r.coverage.len(),
         r.corpus_len
     );
+    for (phase, name) in [
+        ("structure", "verify.structure_ns"),
+        ("do_check", "verify.do_check_ns"),
+        ("prune", "verify.prune_ns"),
+        ("fixup", "verify.fixup_ns"),
+        ("sanitize", "verify.sanitize_ns"),
+    ] {
+        if let Some(h) = tel.registry.histogram(name).filter(|h| !h.is_empty()) {
+            println!(
+                "  {phase:9} mean {:>9.0} ns  p50 {:>9} ns  p99 {:>9} ns",
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+    }
     for rec in &r.findings {
         println!(
             "\nfinding at iteration {} — indicator {:?}, culprits {:?}",
@@ -179,12 +250,33 @@ fn cmd_fuzz(args: &Args) {
 
     if let Some(dir) = args.opt("--save-findings") {
         std::fs::create_dir_all(dir).expect("create findings dir");
-        for (i, rec) in r.findings.iter().enumerate() {
-            let path = Path::new(dir).join(format!("finding-{i:03}.json"));
+        // Seed-qualified names let campaigns share a directory; refuse
+        // to overwrite before writing anything rather than midway.
+        let paths: Vec<_> = (0..r.findings.len())
+            .map(|i| Path::new(dir).join(format!("finding-s{seed}-{i:03}.json")))
+            .collect();
+        if let Some(existing) = paths.iter().find(|p| p.exists()) {
+            eprintln!(
+                "refusing to overwrite {} (same seed already saved here; pick another directory or seed)",
+                existing.display()
+            );
+            exit(1);
+        }
+        for (path, rec) in paths.iter().zip(&r.findings) {
             let json = serde_json::to_string_pretty(&rec.finding.scenario).unwrap();
-            std::fs::write(&path, json).expect("write finding");
+            std::fs::write(path, json).expect("write finding");
             println!("saved {}", path.display());
         }
+    }
+
+    if let Some(path) = args.opt("--json-out") {
+        let stats = r.to_stats(seed, tel.registry.clone());
+        let json = serde_json::to_string_pretty(&stats).unwrap();
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write stats file {path}: {e}");
+            exit(1);
+        });
+        eprintln!("stats written to {path}");
     }
 }
 

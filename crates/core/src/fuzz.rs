@@ -8,11 +8,15 @@
 //! differentially to the injected defect that causes them.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bvf_kernel_sim::{BugId, BugSet, KernelReport};
+use bvf_telemetry::profile::elapsed_ns;
+use bvf_telemetry::stats::STATS_SCHEMA_VERSION;
+use bvf_telemetry::{CampaignStats, GenSource, Registry, Telemetry, TraceEvent};
 use bvf_verifier::{Coverage, KernelVersion};
 
 use crate::baseline::{
@@ -111,6 +115,34 @@ impl CampaignResult {
             self.accepted as f64 / self.iterations as f64
         }
     }
+
+    /// The stable machine-readable summary of this campaign
+    /// ([`CampaignStats`]), shared by `bvf fuzz --json-out` and the
+    /// bench binaries. `metrics` is the registry the campaign's
+    /// [`Telemetry`] accumulated (pass a fresh one if none was kept).
+    pub fn to_stats(&self, seed: u64, metrics: Registry) -> CampaignStats {
+        CampaignStats {
+            schema: STATS_SCHEMA_VERSION,
+            generator: self.generator.name().to_string(),
+            seed,
+            iterations: self.iterations,
+            accepted: self.accepted,
+            acceptance_rate: self.acceptance_rate(),
+            coverage_points: self.coverage.len(),
+            corpus_len: self.corpus_len,
+            findings: self.findings.len(),
+            found_bugs: self
+                .found_bugs
+                .iter()
+                .map(|b| b.name().to_string())
+                .collect(),
+            errno_histogram: self.errno_histogram.clone(),
+            alu_jmp_share: self.alu_jmp_share,
+            avg_prog_len: self.avg_prog_len,
+            timeline: self.timeline.clone(),
+            metrics,
+        }
+    }
 }
 
 fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> String {
@@ -178,6 +210,17 @@ fn mutate(rng: &mut StdRng, base: &Scenario) -> Scenario {
 
 /// Runs one fuzzing campaign.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_with_telemetry(cfg, &mut Telemetry::null())
+}
+
+/// Runs one fuzzing campaign, recording metrics, trace events, and live
+/// progress into `tel`.
+///
+/// Telemetry is strictly observational: no campaign decision (corpus
+/// retention, dedup, triage) reads a timestamp or metric back, so the
+/// returned [`CampaignResult`] is bit-identical whatever sink `tel`
+/// carries — `campaigns_are_deterministic` asserts exactly this.
+pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) -> CampaignResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let structured = StructuredGen::new(GenConfig {
         version: cfg.version,
@@ -202,47 +245,117 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
         // does not).
         let uses_feedback =
             cfg.feedback && matches!(cfg.generator, GeneratorKind::Bvf | GeneratorKind::Syzkaller);
-        let scenario = if uses_feedback && !corpus.is_empty() && rng.gen_bool(0.4) {
+        let (scenario, source) = if uses_feedback && !corpus.is_empty() && rng.gen_bool(0.4) {
             let base = &corpus[rng.gen_range(0..corpus.len())];
-            mutate(&mut rng, base)
+            (mutate(&mut rng, base), GenSource::Mutation)
         } else {
-            match cfg.generator {
+            let fresh = match cfg.generator {
                 GeneratorKind::Bvf => structured.generate(&mut rng),
                 GeneratorKind::Syzkaller => syzkaller_generate(&mut rng),
                 GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut rng),
                 GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut rng),
-            }
+            };
+            (fresh, GenSource::Fresh)
         };
         alu_share_sum += alu_jmp_fraction(&scenario.prog);
         len_sum += scenario.prog.insn_count();
 
+        tel.registry.inc("iterations");
+        tel.registry
+            .record("gen.prog_len", scenario.prog.insn_count() as u64);
+        if tel.trace_on() {
+            tel.emit(&TraceEvent::Gen {
+                iter,
+                source,
+                prog_len: scenario.prog.insn_count(),
+            });
+        }
+
         let outcome = run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize);
         match &outcome.load {
-            Ok(_) => accepted += 1,
+            Ok(_) => {
+                accepted += 1;
+                tel.registry.inc("verify.accepted");
+            }
             Err(e) => {
+                tel.registry.inc("verify.rejected");
                 *errno_histogram.entry(e.errno_value()).or_insert(0) += 1;
             }
         }
+        outcome.timings.record_into(&mut tel.registry, "verify");
 
         // Coverage feedback: keep programs that exercised new verifier
         // logic.
-        if coverage.has_new(&outcome.cov) {
-            coverage.merge(&outcome.cov);
+        let new_cov = if coverage.has_new(&outcome.cov) {
+            let new_points = coverage.merge(&outcome.cov);
             if uses_feedback && corpus.len() < 4096 {
                 corpus.push(scenario.clone());
+            }
+            new_points
+        } else {
+            0
+        };
+        if tel.trace_on() {
+            tel.emit(&TraceEvent::Verify {
+                iter,
+                accepted: outcome.load.is_ok(),
+                errno: outcome.load.as_ref().err().map(|e| e.errno_value()),
+                insns_processed: outcome.verifier_insns,
+                new_cov,
+                cov_total: coverage.len(),
+                do_check_ns: outcome.timings.do_check_ns,
+                total_ns: outcome.timings.total_ns(),
+            });
+        }
+
+        if let Some(halt) = outcome.halt {
+            tel.registry.record("exec.steps", outcome.exec_steps);
+            tel.registry.add("exec.helper_calls", outcome.helper_calls);
+            tel.registry.add("exec.kfunc_calls", outcome.kfunc_calls);
+            if tel.trace_on() {
+                tel.emit(&TraceEvent::Exec {
+                    iter,
+                    steps: outcome.exec_steps,
+                    helper_calls: outcome.helper_calls,
+                    halt: format!("{halt:?}"),
+                });
             }
         }
 
         // Oracle.
         if let Some(finding) = judge(&scenario, &outcome) {
             let sig = report_signature(finding.indicator, &finding.reports);
-            if seen_signatures.insert(sig) {
+            let fresh_sig = seen_signatures.insert(sig.clone());
+            tel.registry.inc("oracle.flagged");
+            if !fresh_sig {
+                tel.registry.inc("oracle.dedup_hits");
+            }
+            if tel.trace_on() {
+                tel.emit(&TraceEvent::Oracle {
+                    iter,
+                    indicator: format!("{:?}", finding.indicator),
+                    dedup_hit: !fresh_sig,
+                });
+            }
+            if fresh_sig {
+                let t0 = Instant::now();
                 let culprits = if cfg.triage {
                     triage(&finding, &cfg.bugs, cfg.version, cfg.sanitize)
                 } else {
                     Vec::new()
                 };
+                let triage_ns = elapsed_ns(t0);
+                tel.registry.record("oracle.triage_ns", triage_ns);
                 found_bugs.extend(culprits.iter().copied());
+                if tel.trace_on() {
+                    tel.emit(&TraceEvent::Finding {
+                        iter,
+                        indicator: format!("{:?}", finding.indicator),
+                        signature: sig,
+                        culprits: culprits.iter().map(|b| b.name().to_string()).collect(),
+                        triage_ns,
+                    });
+                }
                 findings.push(FindingRecord {
                     finding,
                     culprits,
@@ -253,8 +366,30 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 
         if iter % cfg.snapshot_every == 0 || iter + 1 == cfg.iterations {
             timeline.push((iter, coverage.len()));
+            if tel.trace_on() {
+                tel.emit(&TraceEvent::Snapshot {
+                    iter,
+                    coverage: coverage.len(),
+                    accepted,
+                    findings: findings.len(),
+                    corpus: corpus.len(),
+                });
+            }
         }
+        tel.progress(
+            iter,
+            cfg.iterations,
+            accepted,
+            coverage.len(),
+            findings.len(),
+            corpus.len(),
+        );
     }
+
+    tel.registry.set_gauge("corpus_len", corpus.len() as i64);
+    tel.registry
+        .set_gauge("coverage_points", coverage.len() as i64);
+    tel.finish();
 
     CampaignResult {
         generator: cfg.generator,
@@ -320,6 +455,25 @@ mod tests {
         assert_eq!(a.accepted, b.accepted);
         assert_eq!(a.coverage, b.coverage);
         assert_eq!(a.findings.len(), b.findings.len());
+
+        // Telemetry is observational: a campaign tracing into a JSONL
+        // sink must be bit-identical to one with the null sink.
+        let mut tel = Telemetry::new(Box::new(bvf_telemetry::JsonlSink::new(Vec::new())));
+        let c = run_campaign_with_telemetry(&cfg, &mut tel);
+        assert_eq!(a.accepted, c.accepted);
+        assert_eq!(a.coverage, c.coverage);
+        assert_eq!(a.errno_histogram, c.errno_histogram);
+        assert_eq!(a.timeline, c.timeline);
+        assert_eq!(a.corpus_len, c.corpus_len);
+        assert_eq!(a.findings.len(), c.findings.len());
+        assert_eq!(a.found_bugs, c.found_bugs);
+        // And the registry really did observe the run.
+        assert_eq!(tel.registry.counter("iterations"), 30);
+        assert_eq!(tel.registry.counter("verify.accepted"), a.accepted as u64);
+        assert!(tel
+            .registry
+            .histogram("verify.do_check_ns")
+            .is_some_and(|h| h.count == 30));
     }
 
     #[test]

@@ -273,8 +273,7 @@ impl StructuredGen {
             let filler = rng.gen_range(280..420);
             let exit_keep = st.insns.pop();
             for i in 0..filler {
-                st.insns
-                    .push(asm::alu64_imm(AluOp::Add, Reg::R0, (i & 0xff) as i32));
+                st.insns.push(asm::alu64_imm(AluOp::Add, Reg::R0, i & 0xff));
             }
             if !st.reg_type(Reg::R0).is_scalar() {
                 st.insns.push(asm::mov64_imm(Reg::R0, 0));
@@ -622,7 +621,7 @@ impl StructuredGen {
                             // Probe the object boundary with a wide read:
                             // offsets in the last 8 bytes, 4-byte aligned,
                             // so the access may straddle the object end.
-                            (Size::Dw, obj_size - rng.gen_range(1..=2) * 4)
+                            (Size::Dw, obj_size - rng.gen_range(1..=2i16) * 4)
                         } else {
                             (size, rng.gen_range(0..(obj_size / step).max(1)) * step)
                         };
@@ -1148,6 +1147,7 @@ impl StructuredGen {
             st.insns[guard_idx].off = body_len as i16;
             // Merge states: a register differing across paths whose
             // pre-branch state was Uninit stays Uninit.
+            #[allow(clippy::needless_range_loop)]
             for i in 0..10 {
                 if st.regs[i] != before[i] {
                     st.regs[i] = if before[i] == GType::Uninit {

@@ -14,6 +14,7 @@ use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugSet, KernelReport};
 use bvf_runtime::{Bpf, BpfError, HaltReason};
+use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
 
 /// Memory pool size used for fuzzing kernels (smaller than the default
@@ -109,6 +110,14 @@ pub struct ScenarioOutcome {
     pub attach_rejected: bool,
     /// Instructions processed by the verifier.
     pub verifier_insns: usize,
+    /// Wall time per verifier/rewrite phase for this load attempt.
+    pub timings: PhaseTimings,
+    /// Interpreter steps executed (test-run trigger only; 0 otherwise).
+    pub exec_steps: u64,
+    /// Helper invocations during execution (test-run trigger only).
+    pub helper_calls: u64,
+    /// Kfunc invocations during execution (test-run trigger only).
+    pub kfunc_calls: u64,
 }
 
 impl ScenarioOutcome {
@@ -139,7 +148,7 @@ pub fn run_scenario(
         let _ = bpf.map_update(*fd, key, value);
     }
 
-    let (load, cov) = bpf.prog_load_with_cov(&scenario.prog, scenario.prog_type);
+    let (load, cov, timings) = bpf.prog_load_with_cov(&scenario.prog, scenario.prog_type);
     let load = match (load, scenario.offloaded) {
         (Ok(id), true) => {
             bpf.progs[id as usize].offloaded = true;
@@ -155,6 +164,9 @@ pub fn run_scenario(
     let mut reports = Vec::new();
     let mut halt = None;
     let mut attach_rejected = false;
+    let mut exec_steps = 0u64;
+    let mut helper_calls = 0u64;
+    let mut kfunc_calls = 0u64;
 
     if let Ok(id) = load {
         match scenario.trigger {
@@ -162,6 +174,9 @@ pub fn run_scenario(
                 Ok(run) => {
                     reports.extend(run.reports);
                     halt = Some(run.exec.halt);
+                    exec_steps = run.exec.steps;
+                    helper_calls = run.exec.helper_calls;
+                    kfunc_calls = run.exec.kfunc_calls;
                 }
                 Err(_) => {
                     reports.extend(bpf.kernel.end_execution());
@@ -196,6 +211,10 @@ pub fn run_scenario(
         halt,
         attach_rejected,
         verifier_insns,
+        timings,
+        exec_steps,
+        helper_calls,
+        kfunc_calls,
     }
 }
 

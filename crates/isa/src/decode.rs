@@ -54,7 +54,7 @@ impl AtomicOp {
             0x40 => AtomicOp::Or { fetch: false },
             0x50 => AtomicOp::And { fetch: false },
             0xa0 => AtomicOp::Xor { fetch: false },
-            x if x == 0x00 | FETCH => AtomicOp::Add { fetch: true },
+            x if x == FETCH => AtomicOp::Add { fetch: true },
             x if x == 0x40 | FETCH => AtomicOp::Or { fetch: true },
             x if x == 0x50 | FETCH => AtomicOp::And { fetch: true },
             x if x == 0xa0 | FETCH => AtomicOp::Xor { fetch: true },
@@ -67,7 +67,7 @@ impl AtomicOp {
     /// Encodes the atomic op into the `imm` field value.
     pub fn to_imm(self) -> i32 {
         match self {
-            AtomicOp::Add { fetch } => 0x00 | fetch as i32,
+            AtomicOp::Add { fetch } => fetch as i32,
             AtomicOp::Or { fetch } => 0x40 | fetch as i32,
             AtomicOp::And { fetch } => 0x50 | fetch as i32,
             AtomicOp::Xor { fetch } => 0xa0 | fetch as i32,

@@ -80,7 +80,7 @@ impl Program {
     /// Parses a program from the flat byte format; the length must be a
     /// multiple of eight.
     pub fn from_bytes(bytes: &[u8]) -> Option<Program> {
-        if bytes.len() % 8 != 0 {
+        if !bytes.len().is_multiple_of(8) {
             return None;
         }
         let insns = bytes

@@ -129,7 +129,7 @@ impl Mm {
         self.shadow.unpoison(data_off, size);
         // Poison the alignment tail plus trailing redzone.
         let tail_off = data_off + size.next_multiple_of(8);
-        if size % 8 == 0 {
+        if size.is_multiple_of(8) {
             self.shadow
                 .poison(tail_off, chunk_off + chunk_len - tail_off, POISON_REDZONE);
         } else {

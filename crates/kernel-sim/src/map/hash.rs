@@ -223,6 +223,7 @@ pub fn delete(
 /// instead continues with a corrupted bucket index: it reads the head of
 /// bucket `n_buckets` — one past the table — which KASAN flags as an
 /// out-of-bounds read inside a kernel routine (indicator #2).
+#[allow(clippy::too_many_arguments)]
 pub fn for_each(
     mm: &mut Mm,
     lockdep: &mut Lockdep,

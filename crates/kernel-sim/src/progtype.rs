@@ -130,7 +130,9 @@ pub enum CtxAccess {
 
 impl CtxLayout {
     /// Validates an access of `size` bytes at `off`; `is_write` selects
-    /// store rules.
+    /// store rules. The error is deliberately unit: the verifier turns
+    /// every miss into its own diagnostics.
+    #[allow(clippy::result_unit_err)]
     pub fn check_access(&self, off: u32, size: u32, is_write: bool) -> Result<CtxAccess, ()> {
         let end = off.checked_add(size).ok_or(())?;
         if end > self.size {

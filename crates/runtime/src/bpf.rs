@@ -12,7 +12,10 @@ use bvf_kernel_sim::map::{MapDef, MapStorage};
 use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugId, BugSet, Kernel, KernelReport};
+use bvf_telemetry::profile::elapsed_ns;
+use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{verify, InsnMeta, VerifierError, VerifierOpts};
+use std::time::Instant;
 
 use crate::interp::{
     exec_program, fire_tracepoint, AttachTable, ExecImage, ExecResult, ProgRegistry, TriggerCtx,
@@ -221,21 +224,27 @@ impl Bpf {
     }
 
     /// Coverage-carrying load: like [`Bpf::prog_load`] but always returns
-    /// the verifier coverage, as the fuzzer's feedback collection does.
+    /// the verifier coverage and phase timings, as the fuzzer's feedback
+    /// collection does. The sanitation rewrite is billed to
+    /// `sanitize_ns`.
     pub fn prog_load_with_cov(
         &mut self,
         prog: &Program,
         prog_type: ProgType,
-    ) -> (Result<u32, BpfError>, bvf_verifier::Coverage) {
+    ) -> (Result<u32, BpfError>, bvf_verifier::Coverage, PhaseTimings) {
         let outcome = verify(&self.kernel, prog, prog_type, &self.opts);
         let cov = outcome.cov;
+        let mut timings = outcome.timings;
         match outcome.result {
-            Err(e) => (Err(BpfError::Verifier(e)), cov),
+            Err(e) => (Err(BpfError::Verifier(e)), cov, timings),
             Ok(vprog) => {
                 let (image_prog, image_meta, stats) = if self.sanitize {
-                    match bvf_verifier::instrument(&vprog) {
+                    let t0 = Instant::now();
+                    let instrumented = bvf_verifier::instrument(&vprog);
+                    timings.sanitize_ns = elapsed_ns(t0);
+                    match instrumented {
                         Ok((p, m, s)) => (p, m, Some(s)),
-                        Err(e) => return (Err(BpfError::errno(22, e.to_string())), cov),
+                        Err(e) => return (Err(BpfError::errno(22, e.to_string())), cov, timings),
                     }
                 } else {
                     (vprog.prog.clone(), vprog.insn_meta.clone(), None)
@@ -254,7 +263,7 @@ impl Bpf {
                     meta: image_meta,
                     prog_type,
                 });
-                (Ok(id), cov)
+                (Ok(id), cov, timings)
             }
         }
     }

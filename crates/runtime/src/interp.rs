@@ -94,6 +94,10 @@ pub struct ExecResult {
     pub steps: u64,
     /// Why execution stopped.
     pub halt: HaltReason,
+    /// Real helper invocations (sanitizer check calls excluded).
+    pub helper_calls: u64,
+    /// Kfunc invocations.
+    pub kfunc_calls: u64,
 }
 
 struct Frame {
@@ -119,6 +123,8 @@ pub fn exec_program(
             r0: None,
             steps,
             halt: HaltReason::DepthLimit,
+            helper_calls: 0,
+            kfunc_calls: 0,
         };
     }
     let Some(image) = progs.get(prog_id as usize) else {
@@ -126,6 +132,8 @@ pub fn exec_program(
             r0: None,
             steps,
             halt: HaltReason::BadInstruction,
+            helper_calls: 0,
+            kfunc_calls: 0,
         };
     };
     let mut image = image;
@@ -136,6 +144,8 @@ pub fn exec_program(
             r0: None,
             steps,
             halt: HaltReason::FatalReport,
+            helper_calls: 0,
+            kfunc_calls: 0,
         };
     };
 
@@ -158,6 +168,8 @@ pub fn exec_program(
     let mut frames: Vec<Frame> = Vec::new();
     let mut stacks = vec![stack0];
     let mut tail_calls = 0u32;
+    let mut helper_calls = 0u64;
+    let mut kfunc_calls = 0u64;
     let mut pc = 0usize;
     let mut halt = HaltReason::Exit;
     let mut r0_out = None;
@@ -262,12 +274,11 @@ pub fn exec_program(
                     .mm
                     .pool
                     .raw_write(addr, size.bytes() as u64, imm as i64 as u64)
+                    && !meta.ex_handled
                 {
-                    if !meta.ex_handled {
-                        kernel.report_page_fault(addr, true);
-                        halt = HaltReason::PageFault;
-                        break 'run;
-                    }
+                    kernel.report_page_fault(addr, true);
+                    halt = HaltReason::PageFault;
+                    break 'run;
                 }
             }
             InsnKind::Stx {
@@ -281,12 +292,11 @@ pub fn exec_program(
                     .mm
                     .pool
                     .raw_write(addr, size.bytes() as u64, regs[src.index()])
+                    && !meta.ex_handled
                 {
-                    if !meta.ex_handled {
-                        kernel.report_page_fault(addr, true);
-                        halt = HaltReason::PageFault;
-                        break 'run;
-                    }
+                    kernel.report_page_fault(addr, true);
+                    halt = HaltReason::PageFault;
+                    break 'run;
                 }
             }
             InsnKind::Atomic {
@@ -381,6 +391,7 @@ pub fn exec_program(
                     regs[Reg::R0.index()] = 0;
                 }
                 CallTarget::Helper(id) => {
+                    helper_calls += 1;
                     let args = [
                         regs[Reg::R1.index()],
                         regs[Reg::R2.index()],
@@ -408,6 +419,7 @@ pub fn exec_program(
                     }
                 }
                 CallTarget::Kfunc(id) => {
+                    kfunc_calls += 1;
                     let args = [
                         regs[Reg::R1.index()],
                         regs[Reg::R2.index()],
@@ -473,6 +485,8 @@ pub fn exec_program(
         r0: r0_out,
         steps,
         halt,
+        helper_calls,
+        kfunc_calls,
     }
 }
 
@@ -563,24 +577,12 @@ fn alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
             AluOp::Add => dst.wrapping_add(src),
             AluOp::Sub => dst.wrapping_sub(src),
             AluOp::Mul => dst.wrapping_mul(src),
-            AluOp::Div => {
-                if src == 0 {
-                    0
-                } else {
-                    dst / src
-                }
-            }
+            AluOp::Div => dst.checked_div(src).unwrap_or(0),
             AluOp::Or => dst | src,
             AluOp::And => dst & src,
             AluOp::Lsh => dst.wrapping_shl(src as u32 & 63),
             AluOp::Rsh => dst.wrapping_shr(src as u32 & 63),
-            AluOp::Mod => {
-                if src == 0 {
-                    dst
-                } else {
-                    dst % src
-                }
-            }
+            AluOp::Mod => dst.checked_rem(src).unwrap_or(dst),
             AluOp::Xor => dst ^ src,
             AluOp::Mov => src,
             AluOp::Arsh => ((dst as i64).wrapping_shr(src as u32 & 63)) as u64,
@@ -593,24 +595,12 @@ fn alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
             AluOp::Add => d.wrapping_add(s),
             AluOp::Sub => d.wrapping_sub(s),
             AluOp::Mul => d.wrapping_mul(s),
-            AluOp::Div => {
-                if s == 0 {
-                    0
-                } else {
-                    d / s
-                }
-            }
+            AluOp::Div => d.checked_div(s).unwrap_or(0),
             AluOp::Or => d | s,
             AluOp::And => d & s,
             AluOp::Lsh => d.wrapping_shl(s & 31),
             AluOp::Rsh => d.wrapping_shr(s & 31),
-            AluOp::Mod => {
-                if s == 0 {
-                    d
-                } else {
-                    d % s
-                }
-            }
+            AluOp::Mod => d.checked_rem(s).unwrap_or(d),
             AluOp::Xor => d ^ s,
             AluOp::Mov => s,
             AluOp::Arsh => ((d as i32).wrapping_shr(s & 31)) as u32,

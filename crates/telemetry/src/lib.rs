@@ -1,0 +1,162 @@
+//! Campaign observability for the BVF reproduction.
+//!
+//! The paper's whole evaluation (Tables 2–3, Figure 6) is built on
+//! observing campaign dynamics — acceptance rate, coverage growth,
+//! time-to-finding — so the fuzzing loop must be measurable without
+//! perturbing it. This crate provides the three layers every consumer
+//! shares:
+//!
+//! - a [`metrics::Registry`] of counters, gauges, and log-scale
+//!   histograms (zero heavy deps, hand-rolled like the rest of the
+//!   workspace);
+//! - a structured event trace ([`trace::TraceSink`]) with JSONL and null
+//!   implementations, emitting per-iteration events with monotonic
+//!   timestamps that stay **out** of every dedup/determinism path;
+//! - phase-profiling primitives ([`profile::PhaseTimings`]) filled in by
+//!   `bvf-verifier` (do_check / prune / fixup) and `bvf-runtime`
+//!   (sanitation instrumentation), surfaced as histograms.
+//!
+//! [`stats::CampaignStats`] is the stable machine-readable summary
+//! schema shared by `bvf fuzz --json-out` and the `crates/bench`
+//! binaries.
+//!
+//! Timestamps and wall-clock durations recorded here are observational
+//! only: campaign control flow (corpus retention, dedup, triage) never
+//! reads them, so a campaign with tracing enabled is bit-identical to
+//! one with the null sink.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+pub mod stats;
+pub mod trace;
+
+pub use metrics::{Histogram, Registry};
+pub use profile::PhaseTimings;
+pub use stats::CampaignStats;
+pub use trace::{GenSource, JsonlSink, NullSink, TraceEvent, TraceSink};
+
+use std::io::IsTerminal;
+use std::time::Instant;
+
+/// The telemetry bundle one campaign threads through its loop: the
+/// metrics registry, the event sink, and an optional live progress
+/// meter. [`Telemetry::null`] is the zero-overhead default.
+pub struct Telemetry {
+    /// Counters, gauges, and histograms accumulated by the campaign.
+    pub registry: Registry,
+    sink: Box<dyn TraceSink>,
+    progress: Option<Progress>,
+}
+
+struct Progress {
+    every: usize,
+    epoch: Instant,
+    is_tty: bool,
+    printed: bool,
+}
+
+impl Telemetry {
+    /// Telemetry that records metrics but traces nowhere and prints
+    /// nothing.
+    pub fn null() -> Telemetry {
+        Telemetry::new(Box::new(NullSink))
+    }
+
+    /// Telemetry tracing into `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Telemetry {
+        Telemetry {
+            registry: Registry::default(),
+            sink,
+            progress: None,
+        }
+    }
+
+    /// Enables a live one-line progress report on stderr every `every`
+    /// iterations (0 disables it).
+    pub fn with_progress_every(mut self, every: usize) -> Telemetry {
+        self.progress = (every > 0).then(|| Progress {
+            every,
+            epoch: Instant::now(),
+            is_tty: std::io::stderr().is_terminal(),
+            printed: false,
+        });
+        self
+    }
+
+    /// Whether emitting trace events does anything — lets hot loops skip
+    /// building event payloads for the null sink.
+    pub fn trace_on(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// Emits one trace event.
+    pub fn emit(&mut self, event: &TraceEvent) {
+        self.sink.emit(event);
+    }
+
+    /// Flushes the sink and finishes the progress line (if one is being
+    /// overwritten in place).
+    pub fn finish(&mut self) {
+        if let Some(p) = &mut self.progress {
+            if p.is_tty && p.printed {
+                eprintln!();
+            }
+        }
+        self.sink.flush();
+    }
+
+    /// Ticks the progress meter; prints a one-line report when `iter` is
+    /// on the configured cadence (or is the final iteration).
+    #[allow(clippy::too_many_arguments)]
+    pub fn progress(
+        &mut self,
+        iter: usize,
+        total: usize,
+        accepted: usize,
+        coverage: usize,
+        findings: usize,
+        corpus: usize,
+    ) {
+        let Some(p) = &mut self.progress else { return };
+        let done = iter + 1;
+        if !done.is_multiple_of(p.every) && done != total {
+            return;
+        }
+        let secs = p.epoch.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let line = format!(
+            "[{:3.0}%] iter {done}/{total}  acc {:.1}%  cov {coverage}  findings {findings}  corpus {corpus}  {rate:.0} it/s",
+            100.0 * done as f64 / total.max(1) as f64,
+            100.0 * accepted as f64 / done.max(1) as f64,
+        );
+        if p.is_tty {
+            eprint!("\r\x1b[2K{line}");
+            p.printed = true;
+        } else {
+            eprintln!("{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_telemetry_traces_nothing() {
+        let mut tel = Telemetry::null();
+        assert!(!tel.trace_on());
+        tel.emit(&TraceEvent::Snapshot {
+            iter: 0,
+            coverage: 1,
+            accepted: 1,
+            findings: 0,
+            corpus: 0,
+        });
+        tel.registry.inc("iterations");
+        assert_eq!(tel.registry.counter("iterations"), 1);
+        tel.finish();
+    }
+}

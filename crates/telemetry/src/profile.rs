@@ -1,0 +1,100 @@
+//! Phase profiling: per-program wall-time of the verifier's passes and
+//! the sanitation rewrite.
+//!
+//! The timings are filled in by `bvf-verifier` (structure scan,
+//! `do_check`, the pruning work inside it, fixup) and `bvf-runtime`
+//! (the `instrument` pass), and surfaced by the campaign as log-scale
+//! histograms. They are observational only: nothing in verification or
+//! campaign control flow reads them back.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Registry;
+
+/// Wall-clock nanoseconds spent in each verification/rewrite phase for
+/// one program load attempt. Phases a load never reached (e.g. fixup
+/// after a rejection) stay 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Structural validation + subprogram/prune-point discovery.
+    pub structure_ns: u64,
+    /// The main symbolic walk (`do_check`), pruning included.
+    pub do_check_ns: u64,
+    /// Time inside `do_check` spent on prune-point bookkeeping
+    /// (loop-detection scans and `states_equal` comparisons).
+    pub prune_ns: u64,
+    /// The rewrite pass (`resolve_pseudo_ldimm64` / misc fixups).
+    pub fixup_ns: u64,
+    /// BVF's sanitation instrumentation (applied after verification).
+    pub sanitize_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Total wall time across all phases (prune is a subset of
+    /// `do_check` and is not double-counted).
+    pub fn total_ns(&self) -> u64 {
+        self.structure_ns + self.do_check_ns + self.fixup_ns + self.sanitize_ns
+    }
+
+    /// Records each phase into `reg` as histograms named
+    /// `<prefix>.<phase>_ns`, plus `<prefix>.total_ns`.
+    pub fn record_into(&self, reg: &mut Registry, prefix: &str) {
+        reg.record(&format!("{prefix}.structure_ns"), self.structure_ns);
+        reg.record(&format!("{prefix}.do_check_ns"), self.do_check_ns);
+        reg.record(&format!("{prefix}.prune_ns"), self.prune_ns);
+        reg.record(&format!("{prefix}.fixup_ns"), self.fixup_ns);
+        reg.record(&format!("{prefix}.sanitize_ns"), self.sanitize_ns);
+        reg.record(&format!("{prefix}.total_ns"), self.total_ns());
+    }
+}
+
+/// Nanoseconds elapsed since `start`, saturated into `u64`.
+pub fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_exclude_prune_subset() {
+        let t = PhaseTimings {
+            structure_ns: 10,
+            do_check_ns: 100,
+            prune_ns: 40,
+            fixup_ns: 5,
+            sanitize_ns: 20,
+        };
+        assert_eq!(t.total_ns(), 135);
+    }
+
+    #[test]
+    fn record_into_names_every_phase() {
+        let mut reg = Registry::new();
+        let t = PhaseTimings {
+            do_check_ns: 7,
+            ..Default::default()
+        };
+        t.record_into(&mut reg, "verify");
+        for name in [
+            "verify.structure_ns",
+            "verify.do_check_ns",
+            "verify.prune_ns",
+            "verify.fixup_ns",
+            "verify.sanitize_ns",
+            "verify.total_ns",
+        ] {
+            assert_eq!(reg.histogram(name).map(|h| h.count), Some(1), "{name}");
+        }
+        assert_eq!(reg.histogram("verify.do_check_ns").unwrap().sum, 7);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let t0 = std::time::Instant::now();
+        let a = elapsed_ns(t0);
+        let b = elapsed_ns(t0);
+        assert!(b >= a);
+    }
+}

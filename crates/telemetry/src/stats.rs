@@ -1,0 +1,86 @@
+//! The stable machine-readable campaign summary.
+//!
+//! [`CampaignStats`] is the one JSON schema shared by
+//! `bvf fuzz --json-out`, the `crates/bench` binaries (so
+//! `bench_results/*.json` carry the same shape), and any downstream
+//! plotting. `schema` is bumped whenever a field changes meaning.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Registry;
+
+/// Current value of [`CampaignStats::schema`].
+pub const STATS_SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated, serializable results of one fuzzing campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Schema version of this document.
+    pub schema: u32,
+    /// Driving generator name (`BVF`, `Syzkaller`, ...).
+    pub generator: String,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Programs accepted by the verifier.
+    pub accepted: usize,
+    /// Acceptance rate in `[0, 1]`.
+    pub acceptance_rate: f64,
+    /// Final accumulated verifier coverage points.
+    pub coverage_points: usize,
+    /// Corpus size at the end.
+    pub corpus_len: usize,
+    /// Number of deduplicated findings.
+    pub findings: usize,
+    /// Names of the injected defects discovered (triage union).
+    pub found_bugs: Vec<String>,
+    /// Rejection errno → count.
+    pub errno_histogram: BTreeMap<i32, usize>,
+    /// Mean ALU/JMP instruction share of generated programs.
+    pub alu_jmp_share: f64,
+    /// Mean generated program length (slots).
+    pub avg_prog_len: f64,
+    /// Coverage growth: `(iteration, covered_points)`.
+    pub timeline: Vec<(usize, usize)>,
+    /// Counters, gauges, and histograms accumulated during the run —
+    /// including the per-phase verifier timing histograms
+    /// (`verify.do_check_ns`, `verify.prune_ns`, ...).
+    pub metrics: Registry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let mut metrics = Registry::new();
+        metrics.inc("iterations");
+        metrics.record("verify.do_check_ns", 1234);
+        let stats = CampaignStats {
+            schema: STATS_SCHEMA_VERSION,
+            generator: "BVF".to_string(),
+            seed: 42,
+            iterations: 10,
+            accepted: 5,
+            acceptance_rate: 0.5,
+            coverage_points: 321,
+            corpus_len: 4,
+            findings: 1,
+            found_bugs: vec!["nullness_propagation".to_string()],
+            errno_histogram: BTreeMap::from([(13, 3), (22, 2)]),
+            alu_jmp_share: 0.4,
+            avg_prog_len: 30.0,
+            timeline: vec![(0, 10), (9, 321)],
+            metrics,
+        };
+        let json = serde_json::to_string_pretty(&stats).unwrap();
+        let back: CampaignStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        // Integer map keys survive JSON's string-keyed objects.
+        assert_eq!(back.errno_histogram.get(&13), Some(&3));
+    }
+}

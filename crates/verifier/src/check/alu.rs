@@ -391,13 +391,12 @@ impl<'a> Verifier<'a> {
                     ),
                 ));
             }
-            RegType::PtrToCtx => {
+            RegType::PtrToCtx
                 // Only constant offsets keep a ctx pointer usable.
-                if scalar.const_value().is_none() {
+                if scalar.const_value().is_none() => {
                     self.cov.hit(Cat::Error, 112, 0);
                     return Err(VerifierError::access(pc, "variable ctx access prohibited"));
                 }
-            }
             _ => {}
         }
 
@@ -464,7 +463,7 @@ impl<'a> Verifier<'a> {
             out.smin = out.smin.saturating_add(smin);
             out.smax = out.smax.saturating_add(smax);
             out.umin = out.umin.checked_add(umin).unwrap_or(0);
-            out.umax = out.umax.checked_add(umax).unwrap_or(u64::MAX);
+            out.umax = out.umax.saturating_add(umax);
             if out.umin > out.umax {
                 out.umin = 0;
                 out.umax = u64::MAX;

@@ -193,6 +193,7 @@ impl<'a> Verifier<'a> {
     /// pointers are untracked-null: the type system calls them non-null
     /// but they may well be null at runtime. The **bug #1** variant omits
     /// that filter.
+    #[allow(clippy::too_many_arguments)]
     fn nullness_propagation_jmp(
         &mut self,
         state: &mut VerifierState,

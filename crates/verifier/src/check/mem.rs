@@ -385,6 +385,7 @@ impl<'a> Verifier<'a> {
 
     /// Bounds check for map values and sized memory regions, including the
     /// variable part of the pointer.
+    #[allow(clippy::too_many_arguments)]
     fn check_bounded_region(
         &mut self,
         pc: usize,

@@ -192,6 +192,9 @@ pub struct Verifier<'a> {
     /// derivable limit — the runtime check is dropped (the kernel's
     /// `REASON_PATHS` situation).
     pub(crate) alu_limit_state: HashMap<usize, Option<AluLimitMeta>>,
+    /// Wall-time per verification phase; observational only — no pass
+    /// reads it back, so timing noise cannot change a verdict.
+    pub timings: bvf_telemetry::PhaseTimings,
 }
 
 impl<'a> Verifier<'a> {
@@ -222,6 +225,7 @@ impl<'a> Verifier<'a> {
             subprog_starts: BTreeSet::new(),
             stack_spill_candidate: None,
             alu_limit_state: HashMap::new(),
+            timings: bvf_telemetry::PhaseTimings::default(),
         }
     }
 

@@ -53,7 +53,7 @@ impl<'a> Verifier<'a> {
                         let map = self.kernel.maps.get(imm64 as u32).ok_or_else(|| {
                             VerifierError::invalid(pc, format!("fd {} is not a map", imm64 as u32))
                         })?;
-                        let off = (imm64 >> 32) as u64;
+                        let off = imm64 >> 32;
                         match &map.storage {
                             MapStorage::Array { values_addr } => Some(values_addr + off),
                             _ => {

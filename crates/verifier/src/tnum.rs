@@ -99,7 +99,9 @@ impl Tnum {
         }
     }
 
-    /// Addition (`tnum_add`).
+    /// Addition (`tnum_add`). Named after the kernel function it
+    /// mirrors, not the `Add` trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, b: Tnum) -> Tnum {
         let sm = self.mask.wrapping_add(b.mask);
         let sv = self.value.wrapping_add(b.value);
@@ -113,6 +115,7 @@ impl Tnum {
     }
 
     /// Subtraction (`tnum_sub`).
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, b: Tnum) -> Tnum {
         let dv = self.value.wrapping_sub(b.value);
         let alpha = dv.wrapping_add(self.mask);
@@ -157,6 +160,7 @@ impl Tnum {
     }
 
     /// Multiplication (`tnum_mul`, the half-multiply formulation).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, b: Tnum) -> Tnum {
         let mut a = self;
         let mut b = b;

@@ -15,6 +15,9 @@ use std::rc::Rc;
 use crate::prune::states_equal;
 use crate::state::{FuncState, VerifierState, MAX_CALL_FRAMES};
 use crate::types::{RegState, RegType};
+use bvf_telemetry::profile::elapsed_ns;
+use bvf_telemetry::PhaseTimings;
+use std::time::Instant;
 
 /// Maximum states remembered per prune point.
 const MAX_STATES_PER_POINT: usize = 32;
@@ -57,6 +60,9 @@ pub struct VerifyOutcome {
     pub result: Result<VerifiedProgram, VerifierError>,
     /// Verifier branch coverage exercised by this program.
     pub cov: Coverage,
+    /// Wall time per verification phase; phases a rejected load never
+    /// reached stay 0. Observational only — nothing reads it back.
+    pub timings: PhaseTimings,
 }
 
 /// Verifies `prog` for `prog_type` against the kernel's tables.
@@ -68,7 +74,11 @@ pub fn verify(
 ) -> VerifyOutcome {
     let mut v = Verifier::new(kernel, prog, prog_type, opts.clone());
     let result = v.run();
-    VerifyOutcome { result, cov: v.cov }
+    VerifyOutcome {
+        result,
+        cov: v.cov,
+        timings: v.timings,
+    }
 }
 
 impl<'a> Verifier<'a> {
@@ -88,21 +98,33 @@ impl<'a> Verifier<'a> {
             ));
         }
         // Pass 0: structural checks (decode validity, jump targets,
-        // register ranges, proper ending).
-        let starts = bvf_isa::validate_structure(&self.prog).map_err(|e| {
-            self.cov.hit(Cat::Error, 1, 0);
-            VerifierError::invalid(0, e.to_string())
-        })?;
-        self.insn_starts = starts;
-
-        // Pass 1: discover subprograms and prune points.
-        self.scan_structure()?;
+        // register ranges, proper ending), then pass 1: discover
+        // subprograms and prune points. Timed together as "structure",
+        // with the phase recorded before `?` so rejected loads keep it.
+        let t0 = Instant::now();
+        let structure = bvf_isa::validate_structure(&self.prog)
+            .map_err(|e| {
+                self.cov.hit(Cat::Error, 1, 0);
+                VerifierError::invalid(0, e.to_string())
+            })
+            .and_then(|starts| {
+                self.insn_starts = starts;
+                self.scan_structure()
+            });
+        self.timings.structure_ns = elapsed_ns(t0);
+        structure?;
 
         // Pass 2: the main symbolic walk.
-        self.do_check()?;
+        let t0 = Instant::now();
+        let checked = self.do_check();
+        self.timings.do_check_ns = elapsed_ns(t0);
+        checked?;
 
         // Pass 3: rewrite (pseudo resolution + fixups).
-        self.do_fixups()?;
+        let t0 = Instant::now();
+        let fixed = self.do_fixups();
+        self.timings.fixup_ns = elapsed_ns(t0);
+        fixed?;
 
         Ok(VerifiedProgram {
             prog: self.prog.clone(),
@@ -167,8 +189,11 @@ impl<'a> Verifier<'a> {
                     return Err(VerifierError::invalid(pc, "fell off the end of program"));
                 }
 
-                // Loop detection, then pruning.
+                // Loop detection, then pruning. The whole block is billed
+                // to `prune_ns` (a subset of `do_check_ns`), so each of
+                // its three exits records the elapsed time first.
                 if self.prune_points.contains(&pc) {
+                    let prune_t0 = Instant::now();
                     let mut node = trace.as_ref();
                     let mut scanned = 0;
                     while let Some(n) = node {
@@ -178,6 +203,7 @@ impl<'a> Verifier<'a> {
                         }
                         if n.pc == pc && states_equal(&n.state, &state) {
                             self.cov.hit(Cat::Error, 16, 0);
+                            self.timings.prune_ns += elapsed_ns(prune_t0);
                             return Err(VerifierError::invalid(
                                 pc,
                                 format!("infinite loop detected at insn {pc}"),
@@ -188,6 +214,7 @@ impl<'a> Verifier<'a> {
                     let seen = self.explored.entry(pc).or_default();
                     if seen.iter().any(|old| states_equal(old, &state)) {
                         self.cov.hit(Cat::Prune, 0, 1);
+                        self.timings.prune_ns += elapsed_ns(prune_t0);
                         break 'path;
                     }
                     self.cov.hit(Cat::Prune, 0, 0);
@@ -199,6 +226,7 @@ impl<'a> Verifier<'a> {
                         state: state.clone(),
                         parent: trace.take(),
                     }));
+                    self.timings.prune_ns += elapsed_ns(prune_t0);
                 }
 
                 let (kind, slots) = self.prog.decode_at(pc).expect("validated");

@@ -4,8 +4,9 @@
 //! the same campaign finds nothing.
 //!
 //! Budgets are tuned per defect from the calibration run in
-//! `bench_results/table2_bugs.json` (seed 11); the bench harness
-//! demonstrates seed-independence at larger budgets.
+//! `bench_results/table2_bugs.json` (seed 11) against the vendored RNG's
+//! stream; the bench harness demonstrates seed-independence at larger
+//! budgets.
 
 use bvf::baseline::GeneratorKind;
 use bvf::fuzz::{run_campaign, CampaignConfig};
@@ -50,7 +51,7 @@ fn bug1_nullness_propagation_rediscovered() {
 
 #[test]
 fn bug2_task_struct_oob_rediscovered() {
-    assert_bug_found(BugId::TaskStructOob, 300);
+    assert_bug_found(BugId::TaskStructOob, 1200);
 }
 
 #[test]
@@ -100,7 +101,7 @@ fn bug10_irq_work_rediscovered() {
 
 #[test]
 fn bug11_xdp_on_host_rediscovered() {
-    assert_bug_found(BugId::XdpDeviceOnHost, 100);
+    assert_bug_found(BugId::XdpDeviceOnHost, 400);
 }
 
 #[test]
@@ -109,7 +110,7 @@ fn indicator_classification_matches_table2() {
     // indicator #2; bug 8 at the syscall level.
     use bvf::Indicator;
     let expectations = [
-        (BugId::CveAluOnNullablePtr, Indicator::One, 1700),
+        (BugId::CveAluOnNullablePtr, Indicator::One, 3400),
         (BugId::SignalSendPanic, Indicator::Two, 400),
         (BugId::SyscallKmemdup, Indicator::Syscall, 150),
     ];

@@ -1,0 +1,358 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the sampling half of the proptest API this workspace uses:
+//! [`Strategy`] with `prop_map`, `any::<T>()`, integer-range strategies,
+//! tuple strategies, [`collection::vec`], `prop_oneof!`, and the
+//! [`proptest!`] test macro. Each test runs a fixed number of cases from
+//! a deterministic per-test seed. There is **no shrinking** — a failing
+//! case panics with the sampled inputs via the assertion message.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of sampled cases per `proptest!` test function.
+pub const CASES: usize = 192;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            // The cast is a no-op for the 64-bit instantiations.
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Always produces clones of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// The strategy built by [`prop_oneof!`]: picks one branch uniformly.
+pub struct OneOf<V> {
+    /// The candidate strategies.
+    pub options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A size bound for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// A deterministic per-test seed derived from the test path, so distinct
+/// tests explore distinct streams but every run repeats exactly.
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::OneOf { options }
+    }};
+}
+
+/// Asserts inside a `proptest!` body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng =
+                <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{seed_for, TestRng};
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = (0u8..16).sample(&mut rng);
+            assert!(v < 16);
+            let w = (1usize..80).sample(&mut rng);
+            assert!((1..80).contains(&w));
+            let _ = any::<i16>().sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        #[derive(Clone, PartialEq)]
+        enum Which {
+            A,
+            B,
+            C,
+        }
+        let s = prop_oneof![
+            (0u8..4).prop_map(|_| Which::A),
+            any::<bool>().prop_map(|_| Which::B),
+            Just(Which::C),
+        ];
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut hits = [false; 3];
+        for _ in 0..256 {
+            match s.sample(&mut rng) {
+                Which::A => hits[0] = true,
+                Which::B => hits[1] = true,
+                Which::C => hits[2] = true,
+            }
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let s = crate::collection::vec(any::<u8>(), 1..9);
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((1..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_path() {
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+        assert_eq!(seed_for("x"), seed_for("x"));
+    }
+
+    proptest! {
+        /// The macro itself: tuple + map + multiple args.
+        #[test]
+        fn macro_smoke(x in 0u8..16, (a, b) in (any::<u8>(), 1u16..5)) {
+            prop_assert!(x < 16);
+            prop_assert!((1..5).contains(&b), "b = {b}, a = {a}");
+            prop_assert_eq!(x % 16, x);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the narrow slice of the rand 0.8 API it actually
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen_range` (over `Range` / `RangeInclusive` of the
+//! primitive integer types), `gen_bool`, and `gen`.
+//!
+//! The generator is a SplitMix64 core — statistically fine for fuzzing and
+//! tests, deterministic per seed, but **not** stream-compatible with the
+//! real `rand` crate and not cryptographically secure.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core producing 64 random bits per step.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's raw output,
+/// mirroring `rand::distributions::Standard` coverage for primitives.
+pub trait Random {
+    /// Samples one uniformly distributed value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            // The cast is a no-op for the 64-bit instantiations.
+            #[allow(clippy::unnecessary_cast)]
+            fn random<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range. Panics when empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                // `span` can be 2^64 for a full-width inclusive range;
+                // u128 arithmetic keeps the modulus exact.
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience extension methods over any [`RngCore`], mirroring
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Samples a uniformly distributed value of a primitive type.
+    fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Pre-mix so that small seeds (0, 1, 2, ...) do not start in
+            // visibly correlated states.
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v: i32 = rng.gen_range(-16..16);
+            assert!((-16..16).contains(&v));
+            let u: usize = rng.gen_range(1..210);
+            assert!((1..210).contains(&u));
+            let w: u64 = rng.gen_range(3..=8);
+            assert!((3..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+        assert!((0..64).all(|_| !rng.gen_bool(0.0)));
+        let heads = (0..4000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((1600..2400).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Must not panic (span is 2^64).
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let v: u8 = rng.gen_range(0..=255);
+        let _ = v;
+    }
+}

@@ -1,0 +1,85 @@
+//! Helper functions the derive-generated code calls.
+//!
+//! The derive macro emits struct literals whose fields are filled by
+//! [`field`]; the concrete `Deserialize` impl for each field is chosen by
+//! type inference at the call site, which is what lets the macro avoid
+//! parsing field types entirely.
+
+use crate::{Deserialize, Error, Map, Serialize, Value};
+
+/// A "wrong kind of value" error.
+pub fn type_error(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+/// Interprets `v` as an object, labelled with the type being built.
+pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Map, Error> {
+    v.as_object()
+        .ok_or_else(|| Error::custom(format!("{ty}: expected object, got {}", v.kind())))
+}
+
+/// Interprets `v` as an array, labelled with the variant being built.
+pub fn as_array<'v>(v: &'v Value, ty: &str) -> Result<&'v Vec<Value>, Error> {
+    v.as_array()
+        .ok_or_else(|| Error::custom(format!("{ty}: expected array, got {}", v.kind())))
+}
+
+/// Pulls one named field out of an object. A missing key deserializes as
+/// `null`, which succeeds exactly for `Option` fields.
+pub fn field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, Error> {
+    let v = obj.get(name).unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| Error::custom(format!("field {name:?}: {e}")))
+}
+
+/// Deserializes one element of a tuple-variant payload array.
+pub fn element<T: Deserialize>(items: &[Value], i: usize) -> Result<T, Error> {
+    let v = items.get(i).unwrap_or(&Value::Null);
+    T::from_value(v).map_err(|e| Error::custom(format!("element {i}: {e}")))
+}
+
+/// Deserializes a newtype-variant payload.
+pub fn newtype<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+/// Checks a tuple-variant payload arity.
+pub fn arity(items: &[Value], want: usize, ty: &str) -> Result<(), Error> {
+    if items.len() == want {
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "{ty}: expected {want} elements, got {}",
+            items.len()
+        )))
+    }
+}
+
+/// The single `{"Variant": payload}` entry of an externally tagged enum.
+pub fn single_entry<'v>(m: &'v Map, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+    let mut it = m.iter();
+    match (it.next(), it.next()) {
+        (Some((k, v)), None) => Ok((k.as_str(), v)),
+        _ => Err(Error::custom(format!(
+            "{ty}: expected single-key variant object, got {} keys",
+            m.len()
+        ))),
+    }
+}
+
+/// An "unknown variant" error.
+pub fn unknown_variant(ty: &str, got: &str) -> Error {
+    Error::custom(format!("{ty}: unknown variant {got:?}"))
+}
+
+/// Builds the `{"Variant": payload}` form of an externally tagged enum
+/// (used by derived `Serialize` impls).
+pub fn tagged(variant: &str, payload: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(variant.to_string(), payload);
+    Value::Object(m)
+}
+
+/// Serializes one struct field into a map under construction.
+pub fn insert_field<T: Serialize + ?Sized>(m: &mut Map, name: &str, v: &T) {
+    m.insert(name.to_string(), v.to_value());
+}

@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors a small value-based serialization framework under
+//! the familiar crate names. Instead of serde's streaming
+//! `Serializer`/`Visitor` machinery, everything funnels through one
+//! dynamic [`Value`] tree:
+//!
+//! - [`Serialize`] renders `self` into a [`Value`];
+//! - [`Deserialize`] rebuilds `Self` from a borrowed [`Value`].
+//!
+//! The `serde_json` stand-in supplies the JSON text layer on top, and the
+//! `derive` feature re-exports `#[derive(Serialize, Deserialize)]` macros
+//! generating externally-tagged enum representations compatible with
+//! serde's defaults (unit variant → `"Name"`, newtype → `{"Name": v}`,
+//! tuple → `{"Name": [..]}`, struct variant → `{"Name": {..}}`).
+//! `#[serde(...)]` attributes are **not** supported; types that need a
+//! custom representation implement the traits by hand.
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A deserialization (or, rarely, serialization) failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying the given message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a dynamic value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree, or explains why it cannot.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // The cast is a no-op for the 64-bit instantiation.
+            #[allow(clippy::unnecessary_cast)]
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // The cast is a no-op for the 64-bit instantiation.
+            #[allow(clippy::unnecessary_cast)]
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Map/set key types: rendered as JSON object keys (strings).
+pub trait MapKey: Sized {
+    /// The string form used as the JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<String, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<$t, Error> {
+                s.parse::<$t>()
+                    .map_err(|e| Error::custom(format!("invalid integer key {s:?}: {e}")))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = match v {
+                    Value::Number(n) => n.as_u64(),
+                    _ => None,
+                };
+                let n = n.ok_or_else(|| de::type_error(stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = match v {
+                    Value::Number(n) => n.as_i64(),
+                    _ => None,
+                };
+                let n = n.ok_or_else(|| de::type_error(stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(de::type_error("f64", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::type_error("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+/// Deserializing `&'static str` leaks the parsed string. The workspace
+/// only derives `Deserialize` on a few descriptor types with `&'static
+/// str` names, and never actually feeds them back through JSON in hot
+/// paths; the leak makes those derives compile without a lifetime story.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+/// Same leak-based story as `&'static str`, for static slices.
+impl<T: Deserialize> Deserialize for &'static [T] {
+    fn from_value(v: &Value) -> Result<&'static [T], Error> {
+        Vec::<T>::from_value(v).map(|xs| &*Box::leak(xs.into_boxed_slice()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<(), Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(de::type_error("null", other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), Error> {
+                let items = match v {
+                    Value::Array(items) if items.len() == $len => items,
+                    Value::Array(items) => {
+                        return Err(Error::custom(format!(
+                            "expected {}-tuple, got array of {}", $len, items.len()
+                        )))
+                    }
+                    other => return Err(de::type_error("tuple (array)", other)),
+                };
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeMap<K, V>, Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::type_error("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey + Ord + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_value(v: &Value) -> Result<std::collections::HashMap<K, V>, Error> {
+        match v {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(de::type_error("object", other)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeSet<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize + Ord + std::hash::Hash + Eq> Deserialize for std::collections::HashSet<T> {
+    fn from_value(v: &Value) -> Result<std::collections::HashSet<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::type_error("array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u8::from_value(&42u8.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        assert_eq!(f64::from_value(&0.5f64.to_value()), Ok(0.5));
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into())];
+        assert_eq!(Vec::<(u32, String)>::from_value(&v.to_value()), Ok(v));
+
+        let m = BTreeMap::from([(-3i32, 10usize), (5, 20)]);
+        let mv = m.to_value();
+        // Integer keys become JSON strings.
+        match &mv {
+            Value::Object(o) => assert!(o.contains_key("-3")),
+            other => panic!("not an object: {other:?}"),
+        }
+        assert_eq!(BTreeMap::<i32, usize>::from_value(&mv), Ok(m));
+
+        let s = BTreeSet::from([3u64, 1, 2]);
+        assert_eq!(BTreeSet::<u64>::from_value(&s.to_value()), Ok(s));
+
+        let hs: HashSet<u64> = HashSet::from([9, 4, 6]);
+        // HashSet serializes sorted.
+        assert_eq!(
+            hs.to_value(),
+            Value::Array(vec![4u64.to_value(), 6u64.to_value(), 9u64.to_value()])
+        );
+    }
+
+    #[test]
+    fn option_and_arrays() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&7u32.to_value()), Ok(Some(7)));
+        let arr = [1u8, 2, 3];
+        assert_eq!(<[u8; 3]>::from_value(&arr.to_value()), Ok(arr));
+        assert!(<[u8; 4]>::from_value(&arr.to_value()).is_err());
+    }
+
+    #[test]
+    fn static_str_leak_path() {
+        let v = Value::String("leaked".to_string());
+        let s: &'static str = <&'static str>::from_value(&v).unwrap();
+        assert_eq!(s, "leaked");
+    }
+}

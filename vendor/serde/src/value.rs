@@ -1,0 +1,224 @@
+//! The dynamic value tree every (de)serialization funnels through.
+//!
+//! Mirrors `serde_json::Value` closely enough that the `serde_json`
+//! stand-in simply re-exports these types.
+
+use std::collections::BTreeMap;
+
+/// A JSON-shaped object map. Keys are sorted (BTreeMap), which makes
+/// every serialization deterministic.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON number: unsigned, signed-negative, or floating point.
+///
+/// Construction is canonical — non-negative integers always take the
+/// `PosInt` form — so derived equality means numeric equality for
+/// integers. Floats compare bitwise-as-f64 (`0.5 == 0.5`, `NaN != NaN`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float (never produced for values that parsed as integers).
+    Float(f64),
+}
+
+impl Number {
+    /// A number from an unsigned integer.
+    pub fn from_u64(v: u64) -> Number {
+        Number::PosInt(v)
+    }
+
+    /// A number from a signed integer (canonicalized).
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    /// A number from a float.
+    pub fn from_f64(v: f64) -> Number {
+        Number::Float(v)
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(v) => i64::try_from(*v).ok(),
+            Number::NegInt(v) => Some(*v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert lossily beyond 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(v) => *v as f64,
+            Number::NegInt(v) => *v as f64,
+            Number::Float(v) => *v,
+        }
+    }
+}
+
+/// A dynamically typed JSON-shaped value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object (keys sorted).
+    Object(Map),
+}
+
+impl Value {
+    /// Object member by key, array element by `get("0")`-style keys not
+    /// supported — use [`Value::Array`] indexing for those.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; missing keys and non-objects yield `Null`, like
+    /// `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Element access; out-of-range and non-arrays yield `Null`.
+    fn index(&self, i: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_canonicalization() {
+        assert_eq!(Number::from_i64(5), Number::from_u64(5));
+        assert_eq!(Number::from_i64(-5).as_i64(), Some(-5));
+        assert_eq!(Number::from_u64(u64::MAX).as_i64(), None);
+        assert_eq!(Number::from_f64(0.5).as_u64(), None);
+    }
+
+    #[test]
+    fn index_is_total() {
+        let mut m = Map::new();
+        m.insert("a".to_string(), Value::Bool(true));
+        let v = Value::Object(m);
+        assert_eq!(v["a"], Value::Bool(true));
+        assert_eq!(v["missing"], Value::Null);
+        assert_eq!(v[3], Value::Null);
+        let a = Value::Array(vec![Value::Null, Value::Bool(false)]);
+        assert_eq!(a[1], Value::Bool(false));
+        assert_eq!(a["x"], Value::Null);
+    }
+}

@@ -1,0 +1,423 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stand-in.
+//!
+//! No `syn`/`quote` are available offline, so the input is parsed by
+//! hand from the raw token stream and the impl is generated as a string.
+//! Two tricks keep this tractable:
+//!
+//! - Field **types are never parsed**: generated `Deserialize` code
+//!   fills each field with `serde::de::field(obj, "name")?` inside a
+//!   struct literal, letting type inference pick the right impl.
+//! - Enums use serde's default externally tagged representation, so
+//!   codegen only needs variant names and arities.
+//!
+//! `#[serde(...)]` attributes are rejected with a compile error — types
+//! needing a custom representation implement the traits by hand.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `#[derive]` input turned out to be.
+enum Kind {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(A, B);` — arity.
+    TupleStruct(usize),
+    /// `struct S { a: A, ... }` — field names.
+    Struct(Vec<String>),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Skips attributes at `i`, panicking on `#[serde(...)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let is_serde = g.stream().into_iter().next().is_some_and(
+                            |t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "serde"),
+                        );
+                        if is_serde {
+                            panic!(
+                                "#[serde(...)] attributes are not supported by the vendored \
+                                 derive; implement Serialize/Deserialize by hand"
+                            );
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                panic!("malformed attribute");
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a token slice on top-level commas. When `track_angles` is set,
+/// commas inside `<...>` generic arguments are not split points (needed
+/// for field types); `->` is recognized so its `>` does not unbalance
+/// the depth.
+fn split_commas(tokens: &[TokenTree], track_angles: bool) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if track_angles && p.as_char() == '-' => {
+                // `->`: consume both tokens without touching depth.
+                cur.push(tokens[i].clone());
+                if matches!(tokens.get(i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                    cur.push(tokens[i + 1].clone());
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if track_angles && p.as_char() == '<' => {
+                depth += 1;
+                cur.push(tokens[i].clone());
+            }
+            TokenTree::Punct(p) if track_angles && p.as_char() == '>' => {
+                depth -= 1;
+                cur.push(tokens[i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            t => cur.push(t.clone()),
+        }
+        i += 1;
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts named-field names from the tokens of a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_commas(&tokens, true)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_vis(&chunk, skip_attrs(&chunk, 0));
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a paren (tuple) group.
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    split_commas(&tokens, true)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    // Variant payloads are token groups (atomic), so plain top-level
+    // comma splitting is safe even with `= 1 << 3` discriminants.
+    split_commas(&tokens, false)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let i = skip_attrs(&chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let payload = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    match parse_tuple_arity(g.stream()) {
+                        1 => Payload::Newtype,
+                        n => Payload::Tuple(n),
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Struct(parse_named_fields(g.stream()))
+                }
+                // `= discriminant` or nothing.
+                _ => Payload::Unit,
+            };
+            Variant { name, payload }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic types ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(parse_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::de::insert_field(&mut __m, \"{f}\", &self.{f});\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Payload::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => \
+                         ::serde::de::tagged(\"{vn}\", ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::de::tagged(\"{vn}\", \
+                             ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "::serde::de::insert_field(&mut __m, \"{f}\", {f});\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             {inserts}\
+                             ::serde::de::tagged(\"{vn}\", ::serde::Value::Object(__m))\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+             __other => ::core::result::Result::Err(::serde::de::type_error(\"null\", __other)),\n\
+             }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::de::newtype(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::element(__items, {i})?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de::as_array(__v, \"{name}\")?;\n\
+                 ::serde::de::arity(__items, {n}, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "let __obj = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Payload::Newtype => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::de::newtype(__payload)?)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de::element(__items, {i})?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = ::serde::de::as_array(__payload, \"{name}::{vn}\")?;\n\
+                             ::serde::de::arity(__items, {n}, \"{name}::{vn}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de::field(__obj, \"{f}\")?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = ::serde::de::as_object(__payload, \"{name}::{vn}\")?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::de::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) => {{\n\
+                 let (__tag, __payload) = ::serde::de::single_entry(__m, \"{name}\")?;\n\
+                 match __tag {{\n\
+                 {payload_arms}\
+                 __other => ::core::result::Result::Err(\
+                 ::serde::de::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"{name}: expected string or object, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<{name}, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Derives the vendored value-based `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored value-based `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl failed to parse")
+}

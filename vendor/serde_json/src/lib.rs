@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the vendored `serde` crate's [`Value`] tree and adds the
+//! JSON text layer: a recursive-descent parser, compact and pretty
+//! printers, the `to_*`/`from_*` entry points, and a simplified [`json!`]
+//! macro (values must be Rust expressions — nest `json!` calls for
+//! object/array literals inside objects, which is what this workspace
+//! does anyway).
+
+#![warn(missing_docs)]
+
+use std::io::Write;
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+mod parse;
+mod print;
+
+pub use parse::from_str_value;
+
+/// Renders any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes to a human-readable, two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Serializes compact JSON into a writer.
+pub fn to_writer<W: Write, T: serde::Serialize>(mut w: W, value: &T) -> Result<(), Error> {
+    w.write_all(print::compact(&value.to_value()).as_bytes())
+        .map_err(|e| Error::custom(format!("write failed: {e}")))
+}
+
+/// Parses a typed value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse::from_str_value(s)?)
+}
+
+/// Parses a typed value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from a literal. Object values and array elements
+/// are Rust expressions serialized through [`serde::Serialize`]; nest
+/// `json!` calls for inner JSON object literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        let mut __m = $crate::Map::new();
+        $( __m.insert(($key).to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(__m)
+    }};
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let iters = 500usize;
+        let tools = vec![json!({ "name": "bvf", "rate": 0.98 })];
+        let v =
+            json!({ "iters": iters, "tools": tools, "ok": true, "none": (), "nested": [1, 2, 3] });
+        assert_eq!(v["iters"].as_u64(), Some(500));
+        assert_eq!(v["tools"][0]["name"].as_str(), Some("bvf"));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["none"].is_null());
+        assert_eq!(v["nested"][2].as_u64(), Some(3));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7u8).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn string_roundtrip_all_shapes() {
+        let v = json!({
+            "s": "he\"llo\n\t\\ ☃",
+            "neg": -42,
+            "big": u64::MAX,
+            "f": 2.5,
+            "intlike": 30.0f64,
+            "arr": [true, false],
+            "obj": json!({ "k": 1 })
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        // Float values keep a decimal point so they stay floats.
+        assert!(text.contains("30.0"));
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v: Value = from_str(r#"{"a": "Aé😀", "b": [1e3, -2.5e-1]}"#).unwrap();
+        assert_eq!(v["a"].as_str(), Some("Aé😀"));
+        assert_eq!(v["b"][0].as_f64(), Some(1000.0));
+        assert_eq!(v["b"][1].as_f64(), Some(-0.25));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn writer_and_slice() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &json!({ "x": 1 })).unwrap();
+        let v: Value = from_slice(&buf).unwrap();
+        assert_eq!(v["x"].as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Compact and pretty JSON printers.
+
+use serde::value::{Number, Value};
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                // `{:?}` keeps a `.0` on integral floats, so the value
+                // parses back as a float (serde_json prints `30.0` too).
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // JSON has no NaN/Infinity; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => push_number(out, n),
+        Value::String(s) => push_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                push_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// One-line JSON.
+pub fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Two-space-indented JSON.
+pub fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
