@@ -1,0 +1,127 @@
+//! **Throughput scaling of the sharded campaign orchestrator**.
+//!
+//! Runs the same logical campaign at increasing worker counts and
+//! reports executions per second, speedup over the 1-worker run, and
+//! scaling efficiency (speedup / workers). Also cross-checks that the
+//! merged finding set is reproducible at every worker count: each
+//! configuration runs twice and the runs must agree.
+//!
+//! On a single-core host the expected result is flat (efficiency
+//! ~1/workers): the workers time-slice one CPU. The JSON records
+//! `available_parallelism` so a result file is interpretable without
+//! knowing the machine.
+//!
+//! Usage: `throughput [--iters N] [--seed S] [--workers 1,2,4,8] [--quick]`
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::CampaignConfig;
+use bvf_bench::{arg_flag, arg_usize, render_table, save_json};
+use bvf_campaign::{run_sharded, ParallelConfig};
+
+fn arg_worker_list(default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| {
+            spec.split(',')
+                .filter_map(|p| p.parse().ok())
+                .filter(|&w| w >= 1)
+                .collect()
+        })
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let iters = arg_usize("--iters", if quick { 2_000 } else { 20_000 });
+    let seed = arg_usize("--seed", 41) as u64;
+    let workers = arg_worker_list(if quick { &[1, 2] } else { &[1, 2, 4, 8] });
+
+    let cfg = CampaignConfig::new(GeneratorKind::Bvf, iters, seed);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "throughput: {iters} iterations, seed {seed}, worker counts {workers:?}, {cores} CPUs available"
+    );
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut base_rate = 0.0f64;
+    for &w in &workers {
+        let pcfg = ParallelConfig::new(w);
+        let a = run_sharded(&cfg, &pcfg);
+        let b = run_sharded(&cfg, &pcfg);
+        let sig = |o: &bvf_campaign::ParallelOutcome| {
+            o.result
+                .findings
+                .iter()
+                .map(|f| (f.iteration, f.signature.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            sig(&a),
+            sig(&b),
+            "merged findings not reproducible at {w} workers"
+        );
+        assert_eq!(a.result.accepted, b.result.accepted);
+        assert_eq!(a.result.coverage.len(), b.result.coverage.len());
+
+        let secs = a.wall_ns as f64 / 1e9;
+        let rate = iters as f64 / secs;
+        if w == workers[0] {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        let efficiency = speedup / (w as f64 / workers[0] as f64);
+        eprintln!(
+            "{w} workers: {rate:.0} execs/s  speedup {speedup:.2}x  efficiency {efficiency:.2}  findings {}",
+            a.result.findings.len()
+        );
+        rows.push(vec![
+            w.to_string(),
+            format!("{rate:.0}"),
+            format!("{speedup:.2}x"),
+            format!("{efficiency:.2}"),
+            a.result.findings.len().to_string(),
+            a.result.coverage.len().to_string(),
+        ]);
+        points.push(serde_json::json!({
+            "workers": w,
+            "wall_ns": a.wall_ns,
+            "execs_per_sec": rate,
+            "speedup": speedup,
+            "efficiency": efficiency,
+            "findings": a.result.findings.len(),
+            "accepted": a.result.accepted,
+            "coverage_points": a.result.coverage.len(),
+            "reproducible": true,
+        }));
+    }
+
+    println!("\nsharded campaign throughput ({iters} iterations per point)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Workers",
+                "Execs/sec",
+                "Speedup",
+                "Efficiency",
+                "Findings",
+                "Coverage"
+            ],
+            &rows
+        )
+    );
+
+    save_json(
+        "throughput.json",
+        &serde_json::json!({
+            "iters": iters,
+            "seed": seed,
+            "available_parallelism": cores,
+            "quick": quick,
+            "points": points,
+        }),
+    );
+}

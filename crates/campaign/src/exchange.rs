@@ -1,0 +1,154 @@
+//! Barrier-synchronized corpus exchange between campaign shards.
+//!
+//! Coverage feedback is what separates BVF and Syzkaller from blind
+//! generation, and a sharded campaign would waste it if each shard's
+//! corpus stayed private: a scenario that unlocked new verifier logic
+//! on shard 2 is a good mutation base on every shard. The obvious fix —
+//! workers pushing entries into each other's corpora whenever they feel
+//! like it — destroys run-to-run determinism, because what a worker
+//! mutates would then depend on OS scheduling.
+//!
+//! Instead, exchange happens at **epochs**: every worker runs a fixed
+//! number of local iterations, then all workers rendezvous at a
+//! barrier. Each publishes the corpus entries it retained since the
+//! last epoch into every peer's bounded channel, a second barrier phase
+//! separates sending from draining, and every worker imports the
+//! received batches **sorted by sender id**. Every input a worker's RNG
+//! stream ever sees is therefore a deterministic function of
+//! `(campaign_seed, workers, iterations)` — never of thread timing.
+//!
+//! The channels are bounded ([`mpsc::sync_channel`]) with capacity for
+//! one batch per peer: the barrier protocol guarantees an inbox is
+//! drained before the next epoch's sends, so a send can never block,
+//! and the bound caps memory if that invariant is ever broken (the
+//! sender would park instead of queueing unboundedly).
+
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Barrier};
+
+use bvf::scenario::Scenario;
+
+/// One batch published by a worker in one epoch: `(sender, entries)`.
+type Batch = (usize, Vec<Scenario>);
+
+/// One worker's endpoint of the all-to-all exchange fabric.
+pub struct ExchangePort {
+    me: usize,
+    /// Senders into every peer's inbox (self excluded).
+    peers: Vec<SyncSender<Batch>>,
+    inbox: Receiver<Batch>,
+    barrier: Arc<Barrier>,
+}
+
+/// Builds the exchange fabric for `workers` shards: one bounded inbox
+/// per worker and a shared epoch barrier. Returns one port per worker,
+/// in worker-id order.
+pub fn ports(workers: usize) -> Vec<ExchangePort> {
+    assert!(workers >= 1);
+    let barrier = Arc::new(Barrier::new(workers));
+    let (txs, rxs): (Vec<SyncSender<Batch>>, Vec<Receiver<Batch>>) =
+        (0..workers).map(|_| mpsc::sync_channel(workers)).unzip();
+    rxs.into_iter()
+        .enumerate()
+        .map(|(me, inbox)| ExchangePort {
+            me,
+            peers: txs
+                .iter()
+                .enumerate()
+                .filter(|&(w, _)| w != me)
+                .map(|(_, tx)| tx.clone())
+                .collect(),
+            inbox,
+            barrier: Arc::clone(&barrier),
+        })
+        .collect()
+}
+
+impl ExchangePort {
+    /// This port's worker id.
+    pub fn worker(&self) -> usize {
+        self.me
+    }
+
+    /// Runs one exchange epoch: publishes `outgoing` to every peer,
+    /// waits for all workers to finish publishing, then returns the
+    /// entries received this epoch, ordered by sender id (and therefore
+    /// deterministic however the sends interleaved).
+    ///
+    /// Every worker must call `exchange` the same number of times —
+    /// the orchestrator derives the epoch count from the *largest*
+    /// shard so short shards still participate in every rendezvous.
+    pub fn exchange(&self, outgoing: Vec<Scenario>) -> Vec<Scenario> {
+        if !outgoing.is_empty() {
+            for tx in &self.peers {
+                // A send only fails if the peer's inbox was dropped,
+                // i.e. the peer panicked; its own join will report it.
+                let _ = tx.send((self.me, outgoing.clone()));
+            }
+        }
+        // Phase 1: all sends for this epoch are complete.
+        self.barrier.wait();
+        let mut batches: Vec<Batch> = self.inbox.try_iter().collect();
+        batches.sort_by_key(|&(sender, _)| sender);
+        // Phase 2: all inboxes are drained before the next epoch sends.
+        self.barrier.wait();
+        batches.into_iter().flat_map(|(_, b)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_isa::Program;
+    use bvf_kernel_sim::progtype::ProgType;
+
+    fn marker_scenario(len: usize) -> Scenario {
+        // A scenario whose program length encodes its origin, so tests
+        // can check ordering after the exchange.
+        let insns = vec![bvf_isa::asm::exit(); len];
+        Scenario::test_run(Program::from_insns(insns), ProgType::SocketFilter)
+    }
+
+    #[test]
+    fn exchange_is_all_to_all_and_sender_ordered() {
+        let ports = ports(3);
+        let handles: Vec<_> = ports
+            .into_iter()
+            .map(|port| {
+                std::thread::spawn(move || {
+                    let me = port.worker();
+                    // Worker w publishes one scenario of length w + 1.
+                    let got = port.exchange(vec![marker_scenario(me + 1)]);
+                    (me, got)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (me, got) = h.join().unwrap();
+            let lens: Vec<usize> = got.iter().map(|s| s.prog.insn_count()).collect();
+            // Everyone else's batch arrives, ordered by sender id.
+            let expected: Vec<usize> = (0..3).filter(|&w| w != me).map(|w| w + 1).collect();
+            assert_eq!(lens, expected, "worker {me}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing_and_still_rendezvous() {
+        let ports = ports(2);
+        let handles: Vec<_> = ports
+            .into_iter()
+            .map(|port| {
+                std::thread::spawn(move || {
+                    // Several epochs with nothing to publish must not
+                    // deadlock or deliver phantom entries.
+                    (0..5)
+                        .map(|_| port.exchange(Vec::new()).len())
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic sharded parallel campaign orchestration.
+//!
+//! The paper's campaigns ran for 72 hours because fuzzing throughput is
+//! the budget: oracle quality is bounded by how many verified programs
+//! flow through the generate → verify → execute → judge chain. This
+//! crate scales one logical campaign across N worker threads while
+//! keeping the two properties the evaluation methodology depends on:
+//!
+//! 1. **Serial identity** — a 1-worker sharded campaign produces a
+//!    [`bvf::fuzz::CampaignResult`] bit-identical to the serial
+//!    [`bvf::fuzz::run_campaign_with_telemetry`] path (worker 0 replays
+//!    the campaign RNG stream itself; see [`bvf::fuzz::stream_seed`]).
+//! 2. **Run-to-run reproducibility** — for a fixed
+//!    `(seed, workers, iterations)` triple the merged finding set is
+//!    identical across runs, however the OS schedules the threads.
+//!
+//! The moving parts, one module each:
+//!
+//! - [`shard`]: the cross-worker concurrent finding-signature set
+//!   (sharded mutexes) that lets exactly one worker pay for eager
+//!   differential triage per signature;
+//! - [`exchange`]: barrier-synchronized corpus exchange over bounded
+//!   channels, so coverage-interesting scenarios propagate between
+//!   shards at *deterministic* points in each shard's iteration stream;
+//! - [`progress`]: the single shared stderr writer that keeps
+//!   `--stats-every` output un-torn under N writers;
+//! - [`merge`]: deterministic merging of per-worker partial results —
+//!   signature-level dedup with merge-time triage of records whose
+//!   eager claim raced, registry folding, and worker-tagged trace
+//!   interleaving;
+//! - [`orchestrator`]: the driver tying it together with scoped
+//!   threads.
+
+#![warn(missing_docs)]
+
+pub mod exchange;
+pub mod merge;
+pub mod orchestrator;
+pub mod progress;
+pub mod shard;
+
+pub use merge::{interleave_traces, merge_outputs, MergeStats};
+pub use orchestrator::{run_sharded, ParallelConfig, ParallelOutcome, WorkerSummary};
+pub use progress::SharedProgress;
+pub use shard::ShardedSignatureSet;

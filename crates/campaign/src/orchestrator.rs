@@ -1,0 +1,314 @@
+//! The parallel campaign driver.
+//!
+//! [`run_sharded`] splits one logical campaign across N OS threads.
+//! Worker `w` owns global iterations `w, w+N, w+2N, ...` and the RNG
+//! stream [`stream_seed`]`(seed, w)`, runs the exact serial loop body
+//! ([`CampaignWorker::step`]) against its own simulated kernel state,
+//! and shares only two things with its peers: the concurrent
+//! finding-signature set (eager-triage dedup) and the barrier-epoch
+//! corpus exchange. Everything schedule-dependent is confined to
+//! observational telemetry; the merged [`CampaignResult`] is a pure
+//! function of `(config, workers)`.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bvf::fuzz::{
+    shard_iterations, stream_seed, CampaignConfig, CampaignResult, CampaignWorker, WorkerOutput,
+};
+use bvf_telemetry::profile::elapsed_ns;
+use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceSink};
+
+use crate::exchange::{self, ExchangePort};
+use crate::merge::{interleave_traces, merge_outputs, merge_registries};
+use crate::progress::SharedProgress;
+use crate::shard::ShardedSignatureSet;
+
+/// Parallelism and exchange knobs for one sharded campaign.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Local iterations per corpus-exchange epoch; 0 disables exchange.
+    /// Exchange also requires a feedback-driven generator and ≥ 2
+    /// workers to do anything.
+    pub exchange_every: usize,
+    /// Maximum corpus entries a worker publishes per epoch.
+    pub exchange_batch: usize,
+    /// Live progress cadence in completed global iterations (0 =
+    /// silent); output goes through one shared writer, never torn.
+    pub stats_every: usize,
+    /// Collect per-worker JSONL traces and interleave them into
+    /// [`ParallelOutcome::trace`].
+    pub trace: bool,
+}
+
+impl ParallelConfig {
+    /// Defaults for `workers` threads: exchange every 256 local
+    /// iterations, 8 entries per batch, no live stats, no trace.
+    pub fn new(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            exchange_every: 256,
+            exchange_batch: 8,
+            stats_every: 0,
+            trace: false,
+        }
+    }
+}
+
+/// Per-worker observability summary (wall time is observational and
+/// varies run to run; everything else is deterministic).
+#[derive(Debug, Clone)]
+pub struct WorkerSummary {
+    /// Shard id.
+    pub worker: usize,
+    /// The RNG stream seed this shard ran.
+    pub seed: u64,
+    /// Local iterations executed.
+    pub iterations: usize,
+    /// Programs the verifier accepted on this shard.
+    pub accepted: usize,
+    /// Locally deduplicated findings recorded.
+    pub findings: usize,
+    /// Local verifier coverage points.
+    pub coverage_points: usize,
+    /// Final local corpus size.
+    pub corpus_len: usize,
+    /// Shard wall time, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Everything one sharded campaign produces.
+pub struct ParallelOutcome {
+    /// The merged campaign result (deterministic for a fixed
+    /// `(config, workers)`).
+    pub result: CampaignResult,
+    /// Merged metrics across all shards, with campaign-level gauges
+    /// (`coverage_points`, `corpus_len`, `campaign.workers`) reflecting
+    /// the merged truth.
+    pub registry: Registry,
+    /// Worker-tagged trace, interleaved by `(iter, worker)`; `Some`
+    /// only when [`ParallelConfig::trace`] was set.
+    pub trace: Option<Vec<u8>>,
+    /// Per-shard summaries, in worker-id order.
+    pub workers: Vec<WorkerSummary>,
+    /// Campaign wall time, nanoseconds (observational).
+    pub wall_ns: u64,
+}
+
+/// A `Write` handle into a shared buffer; lets the worker's boxed trace
+/// sink write into memory the orchestrator can read back after the
+/// worker finishes.
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct ShardRun {
+    output: WorkerOutput,
+    registry: Registry,
+    trace: Option<Vec<u8>>,
+    wall_ns: u64,
+    seed: u64,
+}
+
+/// Runs one campaign sharded across `pcfg.workers` threads and merges
+/// the shards into one result. See the crate docs for the determinism
+/// guarantees.
+pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutcome {
+    let workers = pcfg.workers.max(1);
+    let t0 = Instant::now();
+    let trace_epoch = Instant::now();
+
+    let dedup = ShardedSignatureSet::new((workers * 4).next_power_of_two());
+    let progress = (pcfg.stats_every > 0)
+        .then(|| SharedProgress::new(cfg.iterations, pcfg.stats_every, workers));
+
+    // Corpus exchange only exists between ≥ 2 feedback-driven shards.
+    let feedback_generator = {
+        // Mirror CampaignWorker::uses_feedback without building a worker.
+        use bvf::baseline::GeneratorKind;
+        cfg.feedback && matches!(cfg.generator, GeneratorKind::Bvf | GeneratorKind::Syzkaller)
+    };
+    let exchange_on = pcfg.exchange_every > 0 && workers > 1 && feedback_generator;
+    let mut ports: Vec<Option<ExchangePort>> = if exchange_on {
+        exchange::ports(workers).into_iter().map(Some).collect()
+    } else {
+        (0..workers).map(|_| None).collect()
+    };
+
+    // Every worker participates in the same number of epochs, derived
+    // from the largest shard, so the exchange barriers always complete.
+    let epoch_len = pcfg.exchange_every.max(1);
+    let epochs = if exchange_on {
+        shard_iterations(cfg.iterations, 0, workers)
+            .div_ceil(epoch_len)
+            .max(1)
+    } else {
+        1
+    };
+
+    let mut runs: Vec<ShardRun> = std::thread::scope(|s| {
+        let dedup = &dedup;
+        let progress = progress.as_ref();
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cfg = cfg.clone();
+                let port = ports[w].take();
+                let pcfg = pcfg.clone();
+                s.spawn(move || {
+                    run_worker(
+                        cfg,
+                        w,
+                        workers,
+                        epochs,
+                        epoch_len,
+                        &pcfg,
+                        port,
+                        dedup,
+                        progress,
+                        trace_epoch,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    runs.sort_by_key(|r| r.output.worker);
+
+    if let Some(p) = &progress {
+        p.finish();
+    }
+
+    let summaries: Vec<WorkerSummary> = runs
+        .iter()
+        .map(|r| WorkerSummary {
+            worker: r.output.worker,
+            seed: r.seed,
+            iterations: r.output.iterations,
+            accepted: r.output.accepted,
+            findings: r.output.findings.len(),
+            coverage_points: r.output.coverage.len(),
+            corpus_len: r.output.corpus_len,
+            wall_ns: r.wall_ns,
+        })
+        .collect();
+
+    let mut registries = Vec::with_capacity(runs.len());
+    let mut outputs = Vec::with_capacity(runs.len());
+    let mut traces = Vec::new();
+    for r in runs {
+        registries.push(r.registry);
+        if let Some(t) = r.trace {
+            traces.push((r.output.worker, t));
+        }
+        outputs.push(r.output);
+    }
+
+    let (result, merge_stats) = merge_outputs(cfg, outputs);
+
+    let mut registry = merge_registries(registries);
+    // Per-shard gauges summed; overwrite the non-additive ones with the
+    // merged truth.
+    registry.set_gauge("corpus_len", result.corpus_len as i64);
+    registry.set_gauge("coverage_points", result.coverage.len() as i64);
+    registry.set_gauge("campaign.workers", workers as i64);
+    registry.add(
+        "merge.cross_worker_dupes",
+        merge_stats.cross_worker_dupes as u64,
+    );
+    registry.add("merge.triaged", merge_stats.merge_triaged as u64);
+
+    let trace = pcfg.trace.then(|| interleave_traces(traces));
+
+    ParallelOutcome {
+        result,
+        registry,
+        trace,
+        workers: summaries,
+        wall_ns: elapsed_ns(t0),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    cfg: CampaignConfig,
+    w: usize,
+    workers: usize,
+    epochs: usize,
+    epoch_len: usize,
+    pcfg: &ParallelConfig,
+    port: Option<ExchangePort>,
+    dedup: &ShardedSignatureSet,
+    progress: Option<&SharedProgress>,
+    trace_epoch: Instant,
+) -> ShardRun {
+    let t0 = Instant::now();
+    let seed = stream_seed(cfg.seed, w);
+    let buf = pcfg.trace.then(|| Arc::new(Mutex::new(Vec::new())));
+    let sink: Box<dyn TraceSink> = match &buf {
+        Some(b) => Box::new(
+            JsonlSink::new(SharedBuf(Arc::clone(b)))
+                .with_worker(w as u64)
+                .with_epoch(trace_epoch),
+        ),
+        None => Box::new(NullSink),
+    };
+    let mut tel = Telemetry::new(sink);
+    let mut worker = CampaignWorker::sharded(cfg, w, workers);
+
+    // Previous-tick snapshot for progress deltas.
+    let (mut p_acc, mut p_find, mut p_corp, mut p_cov) = (0usize, 0usize, 0usize, 0usize);
+    for epoch in 0..epochs {
+        let until = if port.is_some() {
+            ((epoch + 1) * epoch_len).min(worker.local_total())
+        } else {
+            worker.local_total()
+        };
+        while worker.local_done() < until && worker.step(&mut tel, dedup) {
+            if let Some(p) = progress {
+                let (acc, find, corp, cov) = (
+                    worker.accepted(),
+                    worker.findings_count(),
+                    worker.corpus_size(),
+                    worker.coverage_points(),
+                );
+                p.tick(acc - p_acc, find - p_find, corp - p_corp, cov - p_cov);
+                (p_acc, p_find, p_corp, p_cov) = (acc, find, corp, cov);
+            }
+        }
+        if let Some(port) = &port {
+            let outgoing = worker.drain_fresh_corpus(pcfg.exchange_batch);
+            let received = port.exchange(outgoing);
+            worker.inject_corpus(received);
+        }
+    }
+
+    let output = worker.into_output(&mut tel);
+    let registry = std::mem::take(&mut tel.registry);
+    drop(tel); // flushes and releases the sink's buffer handle
+    let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
+    ShardRun {
+        output,
+        registry,
+        trace,
+        wall_ns: elapsed_ns(t0),
+        seed,
+    }
+}

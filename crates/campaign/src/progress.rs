@@ -1,0 +1,142 @@
+//! The orchestrator-owned live progress writer.
+//!
+//! With N workers each printing their own `--stats-every` line, stderr
+//! interleaves mid-line and the output tears. Here the workers never
+//! touch stderr: they fold their per-iteration deltas into shared
+//! atomics, and whichever worker's tick crosses a reporting boundary
+//! renders **one whole line** under a single mutex — the only stderr
+//! writer in a parallel campaign.
+//!
+//! The counters are monotone sums across shards, so the line is always
+//! internally consistent enough for a progress meter; `cov` is the
+//! *sum* of per-shard coverage (shards overlap, so the union the final
+//! report prints is smaller) and is labelled `cov≤` to say so.
+
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Shared progress state for one parallel campaign.
+pub struct SharedProgress {
+    every: usize,
+    total: usize,
+    workers: usize,
+    done: AtomicUsize,
+    accepted: AtomicUsize,
+    findings: AtomicUsize,
+    corpus: AtomicUsize,
+    coverage: AtomicUsize,
+    line: Mutex<LineState>,
+}
+
+struct LineState {
+    epoch: Instant,
+    is_tty: bool,
+    printed: bool,
+}
+
+impl SharedProgress {
+    /// A progress meter reporting every `every` completed iterations of
+    /// a `total`-iteration, `workers`-way campaign.
+    pub fn new(total: usize, every: usize, workers: usize) -> SharedProgress {
+        SharedProgress {
+            every: every.max(1),
+            total,
+            workers,
+            done: AtomicUsize::new(0),
+            accepted: AtomicUsize::new(0),
+            findings: AtomicUsize::new(0),
+            corpus: AtomicUsize::new(0),
+            coverage: AtomicUsize::new(0),
+            line: Mutex::new(LineState {
+                epoch: Instant::now(),
+                is_tty: std::io::stderr().is_terminal(),
+                printed: false,
+            }),
+        }
+    }
+
+    /// Folds one completed iteration into the campaign totals; prints a
+    /// report line when the global completed count crosses the cadence.
+    /// Deltas are versus the worker's previous tick (they may be
+    /// negative for corpus only in theory — the corpus never shrinks —
+    /// so all deltas are non-negative in practice).
+    pub fn tick(
+        &self,
+        accepted_delta: usize,
+        findings_delta: usize,
+        corpus_delta: usize,
+        coverage_delta: usize,
+    ) {
+        self.accepted.fetch_add(accepted_delta, Ordering::Relaxed);
+        self.findings.fetch_add(findings_delta, Ordering::Relaxed);
+        self.corpus.fetch_add(corpus_delta, Ordering::Relaxed);
+        self.coverage.fetch_add(coverage_delta, Ordering::Relaxed);
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if done.is_multiple_of(self.every) || done == self.total {
+            self.report(done);
+        }
+    }
+
+    fn report(&self, done: usize) {
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        let findings = self.findings.load(Ordering::Relaxed);
+        let corpus = self.corpus.load(Ordering::Relaxed);
+        let coverage = self.coverage.load(Ordering::Relaxed);
+        let mut line = self.line.lock().expect("progress line poisoned");
+        let secs = line.epoch.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        let text = format!(
+            "[{:3.0}%] iter {done}/{}  acc {:.1}%  cov\u{2264}{coverage}  findings {findings}  corpus {corpus}  {rate:.0} it/s  ({} workers)",
+            100.0 * done as f64 / self.total.max(1) as f64,
+            self.total,
+            100.0 * accepted as f64 / done.max(1) as f64,
+            self.workers,
+        );
+        if line.is_tty {
+            eprint!("\r\x1b[2K{text}");
+            line.printed = true;
+        } else {
+            eprintln!("{text}");
+        }
+    }
+
+    /// Terminates an in-place progress line (tty mode) at campaign end.
+    pub fn finish(&self) {
+        let line = self.line.lock().expect("progress line poisoned");
+        if line.is_tty && line.printed {
+            eprintln!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate_across_threads() {
+        // Cadence and total chosen so no boundary is crossed: the test
+        // checks accumulation, not stderr output.
+        let p = std::sync::Arc::new(SharedProgress::new(1000, 1_000_000, 4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        p.tick(1, 0, 1, 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.done.load(Ordering::Relaxed), 100);
+        assert_eq!(p.accepted.load(Ordering::Relaxed), 100);
+        assert_eq!(p.corpus.load(Ordering::Relaxed), 100);
+        assert_eq!(p.coverage.load(Ordering::Relaxed), 200);
+        p.finish();
+    }
+}

@@ -1,0 +1,105 @@
+//! The cross-worker finding-signature set.
+//!
+//! Every worker deduplicates findings locally (that is part of the
+//! serial loop), but differential triage is expensive — it replays the
+//! finding's scenario once per injected defect — so when two shards
+//! trip over the same underlying bug only one of them should pay.
+//! [`ShardedSignatureSet`] is the concurrent claim registry: the first
+//! worker to [`claim`](ShardedSignatureSet::claim) a signature triages
+//! eagerly (in parallel with the other shards' fuzzing), later claimants
+//! record the finding untriaged and leave resolution to the merge
+//! phase, which re-triages deterministically if the racy winner's
+//! record is not the one that survives dedup.
+//!
+//! The set is sharded into independent mutexes keyed by signature hash,
+//! so claims from different workers rarely contend on the same lock.
+
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Mutex;
+
+use bvf::fuzz::GlobalDedup;
+
+/// A concurrent set of finding signatures, sharded across mutexes.
+pub struct ShardedSignatureSet {
+    shards: Vec<Mutex<HashSet<String>>>,
+}
+
+impl ShardedSignatureSet {
+    /// A set with `shards` independent locks (rounded up to at least 1).
+    pub fn new(shards: usize) -> ShardedSignatureSet {
+        ShardedSignatureSet {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashSet::new()))
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, sig: &str) -> &Mutex<HashSet<String>> {
+        let mut h = DefaultHasher::new();
+        sig.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Inserts `sig`; returns `true` iff it was not present (the caller
+    /// is the first in the campaign to claim it).
+    pub fn claim(&self, sig: &str) -> bool {
+        self.shard_of(sig)
+            .lock()
+            .expect("signature shard poisoned")
+            .insert(sig.to_string())
+    }
+
+    /// Total signatures claimed so far (locks every shard; intended for
+    /// post-campaign inspection, not the hot path).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("signature shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no signature has been claimed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl GlobalDedup for ShardedSignatureSet {
+    fn claim(&self, sig: &str) -> bool {
+        ShardedSignatureSet::claim(self, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_claim_wins_exactly_once() {
+        let set = ShardedSignatureSet::new(4);
+        assert!(set.claim("One:kasan"));
+        assert!(!set.claim("One:kasan"));
+        assert!(set.claim("Two:lockdep"));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_claims_have_one_winner_per_signature() {
+        let set = Arc::new(ShardedSignatureSet::new(8));
+        let sigs: Vec<String> = (0..64).map(|i| format!("sig-{i}")).collect();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let set = Arc::clone(&set);
+            let sigs = sigs.clone();
+            handles.push(std::thread::spawn(move || {
+                sigs.iter().filter(|s| set.claim(s)).count()
+            }));
+        }
+        let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every signature is won by exactly one thread.
+        assert_eq!(total_wins, sigs.len());
+        assert_eq!(set.len(), sigs.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! The two guarantees the orchestrator advertises, as tests:
+//!
+//! 1. `--workers 1` reproduces the serial campaign **exactly** — every
+//!    field of `CampaignResult`, including the floating-point means bit
+//!    for bit.
+//! 2. For any fixed `(seed, workers, iterations)` the merged result is
+//!    reproducible run-to-run, however the OS schedules the threads.
+//!
+//! Worker RNG streams are split per shard, so different worker counts
+//! legitimately explore different programs; what must never vary is the
+//! result of the *same* configuration.
+
+use bvf::baseline::GeneratorKind;
+use bvf::fuzz::{run_campaign, CampaignConfig, CampaignResult};
+use bvf_campaign::{run_sharded, ParallelConfig};
+
+fn config(iters: usize, seed: u64) -> CampaignConfig {
+    // Defaults: all bugs injected, sanitation + triage + feedback on —
+    // the full pipeline, so the test exercises finding dedup and triage
+    // merging, not just generation.
+    CampaignConfig::new(GeneratorKind::Bvf, iters, seed)
+}
+
+/// One finding reduced to its deterministic identity.
+type FindingKey = (usize, String, Vec<String>);
+
+/// The deterministic projection of a result: everything except wall
+/// time (which lives outside `CampaignResult` anyway).
+fn fingerprint(r: &CampaignResult) -> (Vec<FindingKey>, usize, usize, usize) {
+    (
+        r.findings
+            .iter()
+            .map(|f| {
+                (
+                    f.iteration,
+                    f.signature.clone(),
+                    f.culprits.iter().map(|c| format!("{c:?}")).collect(),
+                )
+            })
+            .collect(),
+        r.accepted,
+        r.coverage.len(),
+        r.corpus_len,
+    )
+}
+
+#[test]
+fn one_worker_matches_legacy_serial_path() {
+    let cfg = config(800, 20_240_601);
+    let serial = run_campaign(&cfg);
+    let sharded = run_sharded(&cfg, &ParallelConfig::new(1)).result;
+
+    assert_eq!(serial.generator, sharded.generator);
+    assert_eq!(serial.iterations, sharded.iterations);
+    assert_eq!(serial.accepted, sharded.accepted);
+    assert_eq!(serial.errno_histogram, sharded.errno_histogram);
+    assert_eq!(serial.coverage, sharded.coverage);
+    assert_eq!(serial.timeline, sharded.timeline);
+    assert_eq!(serial.found_bugs, sharded.found_bugs);
+    assert_eq!(serial.corpus_len, sharded.corpus_len);
+    // Means must match to the last bit: the merge folds raw sums and
+    // divides once, exactly like the serial path.
+    assert_eq!(
+        serial.alu_jmp_share.to_bits(),
+        sharded.alu_jmp_share.to_bits()
+    );
+    assert_eq!(
+        serial.avg_prog_len.to_bits(),
+        sharded.avg_prog_len.to_bits()
+    );
+
+    assert_eq!(serial.findings.len(), sharded.findings.len());
+    for (a, b) in serial.findings.iter().zip(&sharded.findings) {
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.culprits, b.culprits);
+        assert_eq!(a.finding.indicator, b.finding.indicator);
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic_at_every_worker_count() {
+    for workers in [1usize, 2, 4] {
+        let cfg = config(600, 97);
+        let pcfg = ParallelConfig::new(workers);
+        let a = run_sharded(&cfg, &pcfg);
+        let b = run_sharded(&cfg, &pcfg);
+        assert_eq!(
+            fingerprint(&a.result),
+            fingerprint(&b.result),
+            "result varied across runs at {workers} workers"
+        );
+        assert_eq!(
+            a.result.errno_histogram, b.result.errno_histogram,
+            "errno mix varied at {workers} workers"
+        );
+        assert_eq!(
+            a.result.timeline, b.result.timeline,
+            "timeline varied at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn worker_summaries_partition_the_campaign() {
+    let cfg = config(500, 3);
+    let outcome = run_sharded(&cfg, &ParallelConfig::new(4));
+    assert_eq!(outcome.workers.len(), 4);
+    let total: usize = outcome.workers.iter().map(|w| w.iterations).sum();
+    assert_eq!(total, cfg.iterations);
+    // Worker 0 replays the campaign seed's own stream; the others are
+    // split from it.
+    assert_eq!(outcome.workers[0].seed, cfg.seed);
+    for w in &outcome.workers[1..] {
+        assert_ne!(w.seed, cfg.seed);
+    }
+}
+
+#[test]
+fn merged_trace_is_iteration_ordered_and_worker_tagged() {
+    let cfg = config(200, 11);
+    let mut pcfg = ParallelConfig::new(2);
+    pcfg.trace = true;
+    let outcome = run_sharded(&cfg, &pcfg);
+    let trace = outcome.trace.expect("trace requested");
+    let text = String::from_utf8(trace).expect("trace is utf-8");
+    let mut prev = (0u64, 0u64);
+    let mut seen_workers = std::collections::BTreeSet::new();
+    let mut lines = 0usize;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+        let key = (v["iter"].as_u64().unwrap(), v["worker"].as_u64().unwrap());
+        assert!(key >= prev, "trace out of order: {prev:?} then {key:?}");
+        prev = key;
+        seen_workers.insert(key.1);
+        lines += 1;
+    }
+    assert!(lines >= cfg.iterations, "at least one event per iteration");
+    assert_eq!(seen_workers.len(), 2, "both workers contribute events");
+}

@@ -4,6 +4,7 @@
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
 //!             [--no-sanitize] [--no-triage] [--no-feedback]
+//!             [--workers N] [--exchange-every N]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
 //!             [--snapshot-every N] [--save-findings DIR]
 //! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
@@ -17,17 +18,24 @@
 //! `--trace-out` writes one JSONL event per campaign step and
 //! `--json-out` writes the machine-readable `CampaignStats` summary
 //! (the same schema the bench binaries emit).
+//!
+//! `--workers N` shards the campaign across N threads (0 = one per
+//! available CPU) with deterministic merged results; `--workers 1` (the
+//! default) runs the serial path unchanged. With multiple workers the
+//! trace is worker-tagged and interleaved by iteration, and progress
+//! lines go through one shared writer.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::exit;
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign_with_telemetry, CampaignConfig};
+use bvf::fuzz::{run_campaign_with_telemetry, CampaignConfig, CampaignResult};
 use bvf::oracle::{judge, triage};
 use bvf::scenario::{run_scenario, Scenario};
+use bvf_campaign::{run_sharded, ParallelConfig};
 use bvf_kernel_sim::{BugId, BugSet};
-use bvf_telemetry::{JsonlSink, NullSink, Telemetry, TraceSink};
+use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceSink};
 use bvf_verifier::KernelVersion;
 
 fn usage() -> ! {
@@ -35,6 +43,7 @@ fn usage() -> ! {
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
          [--no-sanitize] [--no-triage] [--no-feedback]\n             \
+         [--workers N] [--exchange-every N]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
          [--snapshot-every N] [--save-findings DIR]\n  \
          bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n  \
@@ -187,30 +196,74 @@ fn cmd_fuzz(args: &Args) {
         cfg.snapshot_every = std::cmp::max(n, 1);
     }
 
-    let sink: Box<dyn TraceSink> = match args.opt("--trace-out") {
-        Some(path) => {
-            let f = std::fs::File::create(path).unwrap_or_else(|e| {
-                eprintln!("cannot create trace file {path}: {e}");
-                exit(1);
-            });
-            Box::new(JsonlSink::new(std::io::BufWriter::new(f)))
-        }
-        None => Box::new(NullSink),
+    let workers = match args.opt("--workers").and_then(|v| v.parse::<usize>().ok()) {
+        Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(n) => n,
+        None => 1,
     };
+    let trace_path = args.opt("--trace-out");
     let stats_every: usize = args
         .opt("--stats-every")
         .and_then(|v| v.parse().ok())
         .unwrap_or((iters / 100).max(1));
-    let mut tel = Telemetry::new(sink).with_progress_every(stats_every);
 
     eprintln!(
-        "fuzzing: {} iterations, generator {}, {} defects injected, sanitation {}",
+        "fuzzing: {} iterations, generator {}, {} defects injected, sanitation {}{}",
         cfg.iterations,
         cfg.generator.name(),
         cfg.bugs.iter().count(),
-        if cfg.sanitize { "on" } else { "off" }
+        if cfg.sanitize { "on" } else { "off" },
+        if workers > 1 {
+            format!(", {workers} workers")
+        } else {
+            String::new()
+        }
     );
-    let r = run_campaign_with_telemetry(&cfg, &mut tel);
+
+    let (r, registry): (CampaignResult, Registry) = if workers > 1 {
+        let mut pcfg = ParallelConfig::new(workers);
+        pcfg.stats_every = stats_every;
+        pcfg.trace = trace_path.is_some();
+        if let Some(n) = args.opt("--exchange-every").and_then(|v| v.parse().ok()) {
+            pcfg.exchange_every = n;
+        }
+        let outcome = run_sharded(&cfg, &pcfg);
+        if let (Some(path), Some(trace)) = (trace_path, &outcome.trace) {
+            std::fs::write(path, trace).unwrap_or_else(|e| {
+                eprintln!("cannot write trace file {path}: {e}");
+                exit(1);
+            });
+        }
+        for w in &outcome.workers {
+            eprintln!(
+                "worker {}: seed {:#018x}  iters {}  accepted {}  findings {}  coverage {}  corpus {}  {:.2}s",
+                w.worker,
+                w.seed,
+                w.iterations,
+                w.accepted,
+                w.findings,
+                w.coverage_points,
+                w.corpus_len,
+                w.wall_ns as f64 / 1e9
+            );
+        }
+        (outcome.result, outcome.registry)
+    } else {
+        let sink: Box<dyn TraceSink> = match trace_path {
+            Some(path) => {
+                let f = std::fs::File::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    exit(1);
+                });
+                Box::new(JsonlSink::new(std::io::BufWriter::new(f)))
+            }
+            None => Box::new(NullSink),
+        };
+        let mut tel = Telemetry::new(sink).with_progress_every(stats_every);
+        let r = run_campaign_with_telemetry(&cfg, &mut tel);
+        let registry = std::mem::take(&mut tel.registry);
+        (r, registry)
+    };
     println!(
         "iterations {}  accepted {} ({:.1}%)  coverage {}  corpus {}",
         r.iterations,
@@ -226,7 +279,7 @@ fn cmd_fuzz(args: &Args) {
         ("fixup", "verify.fixup_ns"),
         ("sanitize", "verify.sanitize_ns"),
     ] {
-        if let Some(h) = tel.registry.histogram(name).filter(|h| !h.is_empty()) {
+        if let Some(h) = registry.histogram(name).filter(|h| !h.is_empty()) {
             println!(
                 "  {phase:9} mean {:>9.0} ns  p50 {:>9} ns  p99 {:>9} ns",
                 h.mean(),
@@ -270,7 +323,7 @@ fn cmd_fuzz(args: &Args) {
     }
 
     if let Some(path) = args.opt("--json-out") {
-        let stats = r.to_stats(seed, tel.registry.clone());
+        let stats = r.to_stats(seed, registry);
         let json = serde_json::to_string_pretty(&stats).unwrap();
         std::fs::write(path, json).unwrap_or_else(|e| {
             eprintln!("cannot write stats file {path}: {e}");

@@ -6,6 +6,15 @@
 //! into the corpus, and hands accepted-but-misbehaving programs to the
 //! oracle. Findings are deduplicated by report signature and triaged
 //! differentially to the injected defect that causes them.
+//!
+//! The loop body lives in [`CampaignWorker::step`], a reusable
+//! single-iteration API: the serial entry points ([`run_campaign`],
+//! [`run_campaign_with_telemetry`]) are exactly "one worker stepped to
+//! completion", and the `bvf-campaign` crate drives N workers — each
+//! with an independent RNG stream from [`stream_seed`] and a
+//! round-robin share of the global iteration space — over the same
+//! state machine, which is what makes `--workers 1` bit-identical to
+//! the serial path.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
@@ -69,14 +78,21 @@ impl CampaignConfig {
 }
 
 /// One deduplicated finding with its triage result.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FindingRecord {
     /// The finding itself.
     pub finding: Finding,
     /// Injected defects necessary for it (differential triage).
     pub culprits: Vec<BugId>,
-    /// Iteration at which it was first seen.
+    /// Global campaign iteration at which it was first seen.
     pub iteration: usize,
+    /// Ordering-stable dedup signature ([`report_signature`]).
+    pub signature: String,
+    /// Whether `culprits` was actually computed. `false` when triage is
+    /// disabled, or when a parallel worker lost the cross-worker claim
+    /// on this signature and deferred triage to the orchestrator's
+    /// merge phase.
+    pub triaged: bool,
 }
 
 /// Aggregated results of one campaign.
@@ -145,10 +161,17 @@ impl CampaignResult {
     }
 }
 
-fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> String {
-    let mut sig = format!("{indicator:?}");
-    if let Some(r) = reports.first() {
-        let kind = match r {
+/// The dedup signature of a finding: the indicator plus the **sorted,
+/// deduplicated** components of every report that fired.
+///
+/// Sorting matters for the parallel orchestrator: two workers can hit
+/// the same underlying defect with the kernel emitting its reports in a
+/// different arrival order (e.g. a KASAN splat racing a lockdep splat),
+/// and cross-worker dedup must still see one signature.
+pub fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> String {
+    let mut parts: Vec<String> = reports
+        .iter()
+        .map(|r| match r {
             KernelReport::Kasan {
                 kind,
                 origin,
@@ -163,11 +186,71 @@ fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> String {
             KernelReport::Warn { .. } => "warn".to_string(),
             KernelReport::AluLimitViolation { .. } => "alulimit".to_string(),
             KernelReport::EnvMismatch { .. } => "env".to_string(),
-        };
+        })
+        .collect();
+    parts.sort();
+    parts.dedup();
+    let mut sig = format!("{indicator:?}");
+    if !parts.is_empty() {
         sig.push(':');
-        sig.push_str(&kind);
+        sig.push_str(&parts.join("+"));
     }
     sig
+}
+
+/// The SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG stream seed for one worker of a sharded campaign,
+/// SplitMix-style: each worker id selects an independent, well-mixed
+/// stream of the campaign seed. Worker 0 receives the campaign seed
+/// itself, so a 1-worker sharded campaign replays the serial RNG stream
+/// bit for bit.
+pub fn stream_seed(campaign_seed: u64, worker: usize) -> u64 {
+    if worker == 0 {
+        campaign_seed
+    } else {
+        splitmix64(campaign_seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// How many global iterations the round-robin shard assignment gives
+/// `worker` out of `workers`: worker `w` owns global iterations
+/// `w, w + workers, w + 2*workers, ...` below `total`.
+pub fn shard_iterations(total: usize, worker: usize, workers: usize) -> usize {
+    assert!(workers > 0 && worker < workers);
+    if worker >= total {
+        0
+    } else {
+        1 + (total - worker - 1) / workers
+    }
+}
+
+/// Cross-worker finding dedup hook consulted by [`CampaignWorker::step`]
+/// the moment a *locally* fresh signature appears. The serial path uses
+/// [`NoGlobalDedup`]; the parallel orchestrator shares a concurrent
+/// signature set between workers so only the first worker to reach a
+/// signature pays for differential triage.
+pub trait GlobalDedup: Sync {
+    /// Claims `sig` globally; returns `true` iff this caller is the
+    /// first in the whole campaign to claim it (and should therefore
+    /// triage the finding eagerly).
+    fn claim(&self, sig: &str) -> bool;
+}
+
+/// The serial no-op dedup: every locally fresh signature is globally
+/// fresh.
+pub struct NoGlobalDedup;
+
+impl GlobalDedup for NoGlobalDedup {
+    fn claim(&self, _sig: &str) -> bool {
+        true
+    }
 }
 
 /// Mutates a corpus program: instruction duplication (the paper's
@@ -221,44 +304,200 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 /// returned [`CampaignResult`] is bit-identical whatever sink `tel`
 /// carries — `campaigns_are_deterministic` asserts exactly this.
 pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) -> CampaignResult {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let structured = StructuredGen::new(GenConfig {
-        version: cfg.version,
-        ..Default::default()
-    });
+    let mut worker = CampaignWorker::new(cfg.clone());
+    while worker.step(tel, &NoGlobalDedup) {}
+    worker.finish_serial(tel)
+}
 
-    let mut coverage = Coverage::new();
-    let mut corpus: Vec<Scenario> = Vec::new();
-    let mut timeline = Vec::new();
-    let mut errno_histogram: BTreeMap<i32, usize> = BTreeMap::new();
-    let mut accepted = 0usize;
-    let mut findings: Vec<FindingRecord> = Vec::new();
-    let mut seen_signatures: HashSet<String> = HashSet::new();
-    let mut found_bugs = BTreeSet::new();
-    let mut alu_share_sum = 0.0;
-    let mut len_sum = 0usize;
+/// The partial campaign state one shard hands back to the orchestrator
+/// for merging. The floating-point and length accumulators are exposed
+/// as raw *sums* (not means) so the merged means are computed by one
+/// final division — making a 1-worker merge arithmetically identical to
+/// the serial path.
+#[derive(Debug)]
+pub struct WorkerOutput {
+    /// Shard id (0-based).
+    pub worker: usize,
+    /// Local iterations this shard executed.
+    pub iterations: usize,
+    /// Programs the verifier accepted on this shard.
+    pub accepted: usize,
+    /// Rejection errno histogram of this shard.
+    pub errno_histogram: BTreeMap<i32, usize>,
+    /// Verifier coverage this shard accumulated.
+    pub coverage: Coverage,
+    /// Coverage snapshots `(global_iteration, local_covered_points)`.
+    pub timeline: Vec<(usize, usize)>,
+    /// Locally deduplicated findings (cross-worker dedup happens at
+    /// merge; records that lost the global triage claim have
+    /// `triaged == false`).
+    pub findings: Vec<FindingRecord>,
+    /// Defects this shard's eagerly triaged findings implicate.
+    pub found_bugs: BTreeSet<BugId>,
+    /// Sum of per-program ALU/JMP instruction shares.
+    pub alu_share_sum: f64,
+    /// Sum of generated program lengths (slots).
+    pub len_sum: usize,
+    /// Corpus size at the end (local retention + injected entries).
+    pub corpus_len: usize,
+}
 
-    for iter in 0..cfg.iterations {
+/// One campaign shard: the complete per-iteration state machine of the
+/// fuzzing loop, advanced one iteration at a time by [`step`].
+///
+/// A worker owns its RNG stream, coverage map, feedback corpus, and
+/// local finding dedup; nothing it touches is shared, so N workers run
+/// embarrassingly parallel between the orchestrator's exchange epochs.
+/// The serial campaign is the `worker 0 of 1` special case.
+///
+/// [`step`]: CampaignWorker::step
+pub struct CampaignWorker {
+    cfg: CampaignConfig,
+    worker: usize,
+    stride: usize,
+    local_total: usize,
+    local_done: usize,
+    snapshot_every: usize,
+    rng: StdRng,
+    structured: StructuredGen,
+    coverage: Coverage,
+    corpus: Vec<Scenario>,
+    /// Corpus entries below this index were already published to (or
+    /// received from) other shards; `drain_fresh_corpus` starts here.
+    publish_cursor: usize,
+    timeline: Vec<(usize, usize)>,
+    errno_histogram: BTreeMap<i32, usize>,
+    accepted: usize,
+    findings: Vec<FindingRecord>,
+    seen_signatures: HashSet<String>,
+    found_bugs: BTreeSet<BugId>,
+    alu_share_sum: f64,
+    len_sum: usize,
+}
+
+impl CampaignWorker {
+    /// The serial campaign worker: shard 0 of 1.
+    pub fn new(cfg: CampaignConfig) -> CampaignWorker {
+        CampaignWorker::sharded(cfg, 0, 1)
+    }
+
+    /// Shard `worker` of a `workers`-way campaign: owns global
+    /// iterations `worker, worker + workers, ...` and the RNG stream
+    /// [`stream_seed`]`(cfg.seed, worker)`.
+    pub fn sharded(cfg: CampaignConfig, worker: usize, workers: usize) -> CampaignWorker {
+        let local_total = shard_iterations(cfg.iterations, worker, workers);
+        // Snapshot cadence in *local* iterations, scaled so each shard
+        // snapshots about as often (in global iterations) as the serial
+        // campaign would; for 1 worker this is exactly the serial
+        // cadence.
+        let snapshot_every = (cfg.snapshot_every / workers).max(1);
+        let rng = StdRng::seed_from_u64(stream_seed(cfg.seed, worker));
+        let structured = StructuredGen::new(GenConfig {
+            version: cfg.version,
+            ..Default::default()
+        });
+        CampaignWorker {
+            worker,
+            stride: workers,
+            local_total,
+            local_done: 0,
+            snapshot_every,
+            rng,
+            structured,
+            coverage: Coverage::new(),
+            corpus: Vec::new(),
+            publish_cursor: 0,
+            timeline: Vec::new(),
+            errno_histogram: BTreeMap::new(),
+            accepted: 0,
+            findings: Vec::new(),
+            seen_signatures: HashSet::new(),
+            found_bugs: BTreeSet::new(),
+            alu_share_sum: 0.0,
+            len_sum: 0,
+            cfg,
+        }
+    }
+
+    /// Local iterations this shard owns in total.
+    pub fn local_total(&self) -> usize {
+        self.local_total
+    }
+
+    /// Local iterations executed so far.
+    pub fn local_done(&self) -> usize {
+        self.local_done
+    }
+
+    /// Programs accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Distinct coverage points accumulated so far.
+    pub fn coverage_points(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Locally deduplicated findings so far.
+    pub fn findings_count(&self) -> usize {
+        self.findings.len()
+    }
+
+    /// Current corpus size.
+    pub fn corpus_size(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Whether this campaign variant retains and mutates a feedback
+    /// corpus (BVF and Syzkaller do; Buzzer does not).
+    pub fn uses_feedback(&self) -> bool {
+        self.cfg.feedback
+            && matches!(
+                self.cfg.generator,
+                GeneratorKind::Bvf | GeneratorKind::Syzkaller
+            )
+    }
+
+    /// Runs one iteration: generate (or mutate), verify, execute, judge.
+    /// Returns `false` once the shard's iteration budget is exhausted
+    /// (without running anything).
+    ///
+    /// `global` is consulted once per *locally* fresh finding signature;
+    /// losing the global claim records the finding untriaged
+    /// (`triaged == false`) for the orchestrator's merge phase to
+    /// resolve deterministically.
+    pub fn step(&mut self, tel: &mut Telemetry, global: &dyn GlobalDedup) -> bool {
+        if self.local_done >= self.local_total {
+            return false;
+        }
+        let cfg = &self.cfg;
+        // The global iteration this shard step corresponds to; for the
+        // serial 1-worker case this is exactly `0, 1, 2, ...`.
+        let iter = self.worker + self.local_done * self.stride;
+        let local_iter = self.local_done;
+        self.local_done += 1;
+
         // Choose: fresh generation or corpus mutation. The feedback loop
         // mutates saved interesting programs 40% of the time once a
         // corpus exists (BVF and Syzkaller use coverage feedback; Buzzer
         // does not).
-        let uses_feedback =
-            cfg.feedback && matches!(cfg.generator, GeneratorKind::Bvf | GeneratorKind::Syzkaller);
-        let (scenario, source) = if uses_feedback && !corpus.is_empty() && rng.gen_bool(0.4) {
-            let base = &corpus[rng.gen_range(0..corpus.len())];
-            (mutate(&mut rng, base), GenSource::Mutation)
-        } else {
-            let fresh = match cfg.generator {
-                GeneratorKind::Bvf => structured.generate(&mut rng),
-                GeneratorKind::Syzkaller => syzkaller_generate(&mut rng),
-                GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut rng),
-                GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut rng),
+        let uses_feedback = self.uses_feedback();
+        let (scenario, source) =
+            if uses_feedback && !self.corpus.is_empty() && self.rng.gen_bool(0.4) {
+                let base = &self.corpus[self.rng.gen_range(0..self.corpus.len())];
+                (mutate(&mut self.rng, base), GenSource::Mutation)
+            } else {
+                let fresh = match cfg.generator {
+                    GeneratorKind::Bvf => self.structured.generate(&mut self.rng),
+                    GeneratorKind::Syzkaller => syzkaller_generate(&mut self.rng),
+                    GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut self.rng),
+                    GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut self.rng),
+                };
+                (fresh, GenSource::Fresh)
             };
-            (fresh, GenSource::Fresh)
-        };
-        alu_share_sum += alu_jmp_fraction(&scenario.prog);
-        len_sum += scenario.prog.insn_count();
+        self.alu_share_sum += alu_jmp_fraction(&scenario.prog);
+        self.len_sum += scenario.prog.insn_count();
 
         tel.registry.inc("iterations");
         tel.registry
@@ -274,22 +513,22 @@ pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) ->
         let outcome = run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize);
         match &outcome.load {
             Ok(_) => {
-                accepted += 1;
+                self.accepted += 1;
                 tel.registry.inc("verify.accepted");
             }
             Err(e) => {
                 tel.registry.inc("verify.rejected");
-                *errno_histogram.entry(e.errno_value()).or_insert(0) += 1;
+                *self.errno_histogram.entry(e.errno_value()).or_insert(0) += 1;
             }
         }
         outcome.timings.record_into(&mut tel.registry, "verify");
 
         // Coverage feedback: keep programs that exercised new verifier
         // logic.
-        let new_cov = if coverage.has_new(&outcome.cov) {
-            let new_points = coverage.merge(&outcome.cov);
-            if uses_feedback && corpus.len() < 4096 {
-                corpus.push(scenario.clone());
+        let new_cov = if self.coverage.has_new(&outcome.cov) {
+            let new_points = self.coverage.merge(&outcome.cov);
+            if uses_feedback && self.corpus.len() < 4096 {
+                self.corpus.push(scenario.clone());
             }
             new_points
         } else {
@@ -302,7 +541,7 @@ pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) ->
                 errno: outcome.load.as_ref().err().map(|e| e.errno_value()),
                 insns_processed: outcome.verifier_insns,
                 new_cov,
-                cov_total: coverage.len(),
+                cov_total: self.coverage.len(),
                 do_check_ns: outcome.timings.do_check_ns,
                 total_ns: outcome.timings.total_ns(),
             });
@@ -325,7 +564,7 @@ pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) ->
         // Oracle.
         if let Some(finding) = judge(&scenario, &outcome) {
             let sig = report_signature(finding.indicator, &finding.reports);
-            let fresh_sig = seen_signatures.insert(sig.clone());
+            let fresh_sig = self.seen_signatures.insert(sig.clone());
             tel.registry.inc("oracle.flagged");
             if !fresh_sig {
                 tel.registry.inc("oracle.dedup_hits");
@@ -338,71 +577,131 @@ pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) ->
                 });
             }
             if fresh_sig {
+                let claimed = global.claim(&sig);
+                if !claimed {
+                    tel.registry.inc("oracle.global_dedup_hits");
+                }
                 let t0 = Instant::now();
-                let culprits = if cfg.triage {
+                let triaged = cfg.triage && claimed;
+                let culprits = if triaged {
                     triage(&finding, &cfg.bugs, cfg.version, cfg.sanitize)
                 } else {
                     Vec::new()
                 };
                 let triage_ns = elapsed_ns(t0);
                 tel.registry.record("oracle.triage_ns", triage_ns);
-                found_bugs.extend(culprits.iter().copied());
+                self.found_bugs.extend(culprits.iter().copied());
                 if tel.trace_on() {
                     tel.emit(&TraceEvent::Finding {
                         iter,
                         indicator: format!("{:?}", finding.indicator),
-                        signature: sig,
+                        signature: sig.clone(),
                         culprits: culprits.iter().map(|b| b.name().to_string()).collect(),
                         triage_ns,
                     });
                 }
-                findings.push(FindingRecord {
+                self.findings.push(FindingRecord {
                     finding,
                     culprits,
                     iteration: iter,
+                    signature: sig,
+                    triaged,
                 });
             }
         }
 
-        if iter % cfg.snapshot_every == 0 || iter + 1 == cfg.iterations {
-            timeline.push((iter, coverage.len()));
+        if local_iter.is_multiple_of(self.snapshot_every) || local_iter + 1 == self.local_total {
+            self.timeline.push((iter, self.coverage.len()));
             if tel.trace_on() {
                 tel.emit(&TraceEvent::Snapshot {
                     iter,
-                    coverage: coverage.len(),
-                    accepted,
-                    findings: findings.len(),
-                    corpus: corpus.len(),
+                    coverage: self.coverage.len(),
+                    accepted: self.accepted,
+                    findings: self.findings.len(),
+                    corpus: self.corpus.len(),
                 });
             }
         }
         tel.progress(
             iter,
             cfg.iterations,
-            accepted,
-            coverage.len(),
-            findings.len(),
-            corpus.len(),
+            self.accepted,
+            self.coverage.len(),
+            self.findings.len(),
+            self.corpus.len(),
         );
+        true
     }
 
-    tel.registry.set_gauge("corpus_len", corpus.len() as i64);
-    tel.registry
-        .set_gauge("coverage_points", coverage.len() as i64);
-    tel.finish();
+    /// Returns (clones of) the corpus entries retained since the last
+    /// drain, up to `cap`, for publication to the other shards. Entries
+    /// beyond `cap` are skipped, not queued — the next epoch publishes
+    /// fresher material instead.
+    pub fn drain_fresh_corpus(&mut self, cap: usize) -> Vec<Scenario> {
+        let fresh: Vec<Scenario> = self.corpus[self.publish_cursor..]
+            .iter()
+            .take(cap)
+            .cloned()
+            .collect();
+        self.publish_cursor = self.corpus.len();
+        fresh
+    }
 
-    CampaignResult {
-        generator: cfg.generator,
-        iterations: cfg.iterations,
-        accepted,
-        errno_histogram,
-        coverage,
-        timeline,
-        findings,
-        found_bugs,
-        alu_jmp_share: alu_share_sum / cfg.iterations.max(1) as f64,
-        avg_prog_len: len_sum as f64 / cfg.iterations.max(1) as f64,
-        corpus_len: corpus.len(),
+    /// Appends corpus entries received from other shards (up to the
+    /// global 4096-entry retention cap). Injected entries are mutation
+    /// candidates but are never re-published by this shard — they were
+    /// interesting on the shard that found them.
+    pub fn inject_corpus(&mut self, entries: Vec<Scenario>) {
+        for s in entries {
+            if self.corpus.len() >= 4096 {
+                break;
+            }
+            self.corpus.push(s);
+        }
+        self.publish_cursor = self.corpus.len();
+    }
+
+    /// Finishes the shard: records final gauges, flushes `tel`, and
+    /// hands the partial state to the orchestrator.
+    pub fn into_output(self, tel: &mut Telemetry) -> WorkerOutput {
+        tel.registry
+            .set_gauge("corpus_len", self.corpus.len() as i64);
+        tel.registry
+            .set_gauge("coverage_points", self.coverage.len() as i64);
+        tel.finish();
+        WorkerOutput {
+            worker: self.worker,
+            iterations: self.local_done,
+            accepted: self.accepted,
+            errno_histogram: self.errno_histogram,
+            coverage: self.coverage,
+            timeline: self.timeline,
+            findings: self.findings,
+            found_bugs: self.found_bugs,
+            alu_share_sum: self.alu_share_sum,
+            len_sum: self.len_sum,
+            corpus_len: self.corpus.len(),
+        }
+    }
+
+    /// Finishes a serial (1-worker) campaign into a [`CampaignResult`].
+    pub fn finish_serial(self, tel: &mut Telemetry) -> CampaignResult {
+        let generator = self.cfg.generator;
+        let iterations = self.cfg.iterations;
+        let o = self.into_output(tel);
+        CampaignResult {
+            generator,
+            iterations,
+            accepted: o.accepted,
+            errno_histogram: o.errno_histogram,
+            coverage: o.coverage,
+            timeline: o.timeline,
+            findings: o.findings,
+            found_bugs: o.found_bugs,
+            alu_jmp_share: o.alu_share_sum / iterations.max(1) as f64,
+            avg_prog_len: o.len_sum as f64 / iterations.max(1) as f64,
+            corpus_len: o.corpus_len,
+        }
     }
 }
 
@@ -474,6 +773,101 @@ mod tests {
             .registry
             .histogram("verify.do_check_ns")
             .is_some_and(|h| h.count == 30));
+    }
+
+    #[test]
+    fn report_signature_is_ordering_stable() {
+        use bvf_kernel_sim::lockdep::LockId;
+        use bvf_kernel_sim::{KasanKind, LockdepKind, ReportOrigin};
+        let kasan = KernelReport::Kasan {
+            kind: KasanKind::OutOfBounds,
+            addr: 0x1000,
+            size: 8,
+            is_write: true,
+            origin: ReportOrigin::ProgramAccess,
+        };
+        let lockdep = KernelReport::Lockdep {
+            kind: LockdepKind::RecursiveAcquire,
+            lock: LockId::Ringbuf,
+            origin: ReportOrigin::KernelRoutine,
+        };
+        let panic = KernelReport::Panic {
+            reason: "boom".to_string(),
+        };
+        let fwd = [kasan.clone(), lockdep.clone(), panic.clone()];
+        let rev = [panic.clone(), kasan.clone(), lockdep.clone()];
+        assert_eq!(
+            report_signature(Indicator::One, &fwd),
+            report_signature(Indicator::One, &rev),
+            "cross-worker dedup must be insensitive to report arrival order"
+        );
+        // Duplicate reports collapse into one component.
+        let dup = [kasan.clone(), kasan.clone()];
+        assert_eq!(
+            report_signature(Indicator::One, &dup),
+            report_signature(Indicator::One, &[kasan]),
+        );
+        // Address/size details stay out of the signature (they vary per
+        // run); distinct indicators still separate.
+        assert_ne!(
+            report_signature(Indicator::One, &fwd),
+            report_signature(Indicator::Two, &fwd)
+        );
+    }
+
+    #[test]
+    fn stream_seeds_are_split() {
+        // Worker 0 replays the campaign seed itself.
+        assert_eq!(stream_seed(42, 0), 42);
+        // Other workers get well-separated streams, stable per id.
+        let seeds: Vec<u64> = (0..8).map(|w| stream_seed(42, w)).collect();
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), seeds.len());
+        assert_eq!(
+            seeds,
+            (0..8).map(|w| stream_seed(42, w)).collect::<Vec<_>>()
+        );
+        // Different campaign seeds give different streams for the same
+        // worker.
+        assert_ne!(stream_seed(42, 3), stream_seed(43, 3));
+    }
+
+    #[test]
+    fn shard_iterations_partition_the_campaign() {
+        for total in [0usize, 1, 7, 100, 101, 4096] {
+            for workers in [1usize, 2, 3, 4, 8] {
+                let per: Vec<usize> = (0..workers)
+                    .map(|w| shard_iterations(total, w, workers))
+                    .collect();
+                assert_eq!(per.iter().sum::<usize>(), total);
+                // Round-robin balance: shares differ by at most one.
+                let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stepped_worker_matches_run_campaign() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 40, 7)
+        };
+        let serial = run_campaign(&cfg);
+        let mut worker = CampaignWorker::new(cfg.clone());
+        let mut tel = Telemetry::null();
+        let mut steps = 0;
+        while worker.step(&mut tel, &NoGlobalDedup) {
+            steps += 1;
+        }
+        assert_eq!(steps, cfg.iterations);
+        let r = worker.finish_serial(&mut tel);
+        assert_eq!(r.accepted, serial.accepted);
+        assert_eq!(r.coverage, serial.coverage);
+        assert_eq!(r.errno_histogram, serial.errno_histogram);
+        assert_eq!(r.timeline, serial.timeline);
+        assert_eq!(r.corpus_len, serial.corpus_len);
+        assert_eq!(r.findings.len(), serial.findings.len());
     }
 
     #[test]

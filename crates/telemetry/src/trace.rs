@@ -312,10 +312,18 @@ impl TraceSink for NullSink {
 }
 
 /// Writes events as JSON Lines, one object per event, each stamped with
-/// `t_ns` — monotonic nanoseconds since the sink was created.
+/// `t_ns` — monotonic nanoseconds since the sink's epoch (creation time
+/// by default).
+///
+/// A parallel campaign gives every worker its own `JsonlSink` tagged
+/// with [`JsonlSink::with_worker`] and anchored to one shared epoch via
+/// [`JsonlSink::with_epoch`], so per-worker streams carry comparable
+/// timestamps and the orchestrator can interleave them into a single
+/// worker-attributed trace.
 pub struct JsonlSink<W: Write> {
     w: W,
     epoch: Instant,
+    worker: Option<u64>,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -324,7 +332,21 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             w,
             epoch: Instant::now(),
+            worker: None,
         }
+    }
+
+    /// Tags every emitted record with a `"worker": id` member.
+    pub fn with_worker(mut self, id: u64) -> JsonlSink<W> {
+        self.worker = Some(id);
+        self
+    }
+
+    /// Anchors `t_ns` to a caller-provided epoch instead of the sink's
+    /// creation time, so several sinks share one clock origin.
+    pub fn with_epoch(mut self, epoch: Instant) -> JsonlSink<W> {
+        self.epoch = epoch;
+        self
     }
 
     /// Consumes the sink, returning the writer.
@@ -341,6 +363,9 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         };
         let t_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
         value.insert("t_ns".to_string(), serde_json::json!(t_ns));
+        if let Some(w) = self.worker {
+            value.insert("worker".to_string(), serde_json::json!(w));
+        }
         let _ = serde_json::to_writer(&mut self.w, &value);
         let _ = self.w.write_all(b"\n");
     }
@@ -421,6 +446,28 @@ mod tests {
             let back: TraceEvent = serde_json::from_str(line).unwrap();
             assert_eq!(&back, original);
         }
+    }
+
+    #[test]
+    fn worker_tag_and_shared_epoch() {
+        let epoch = Instant::now();
+        let mut sink = JsonlSink::new(Vec::new()).with_worker(3).with_epoch(epoch);
+        for e in sample_events() {
+            sink.emit(&e);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["worker"].as_u64(), Some(3));
+            // The worker tag is an ignorable extra, like t_ns.
+            let _: TraceEvent = serde_json::from_str(line).unwrap();
+        }
+        // An untagged sink emits no worker member.
+        let mut plain = JsonlSink::new(Vec::new());
+        plain.emit(&sample_events()[0]);
+        let text = String::from_utf8(plain.into_inner()).unwrap();
+        let v: serde_json::Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert!(v.get("worker").is_none());
     }
 
     #[test]
