@@ -69,6 +69,7 @@ fn main() {
             BugId::HashBucketOob => ("Map", "Incorrect bucket iterating in the failure case of lock acquiring causes oob access"),
             BugId::IrqWorkLock => ("Helper", "Incorrect using of irq_work_queue in a helper function leads to lock bug"),
             BugId::XdpDeviceOnHost => ("XDP", "Incorrect execution env, attempt to run device eBPF program on the host"),
+            BugId::BoundsRefinement => ("Verifier", "Unsound scalar-OR bounds refinement tightens umax below reachable values (diff oracle)"),
         }
     };
 
@@ -151,9 +152,9 @@ fn main() {
         })
         .count();
     println!(
-        "BVF: {bvf_found}/12 defects ({bvf_verifier}/7 verifier correctness bugs incl. the CVE)"
+        "BVF: {bvf_found}/13 defects ({bvf_verifier}/8 verifier correctness bugs incl. the CVE and the diff-oracle bug)"
     );
-    println!("baselines: {base_found}/12 defects");
+    println!("baselines: {base_found}/13 defects");
     println!(
         "paper: BVF 11/11 (6 verifier correctness bugs); Syzkaller and Buzzer 0 within two weeks"
     );

@@ -11,7 +11,15 @@
 //! `available_parallelism` so a result file is interpretable without
 //! knowing the machine.
 //!
-//! Usage: `throughput [--iters N] [--seed S] [--workers 1,2,4,8] [--quick]`
+//! With `--diff-oracle` the binary instead measures the overhead of
+//! the abstract-vs-concrete differential oracle (Indicator #3):
+//! a paired 1-worker run with the oracle off and on — same seed, same
+//! iterations — reporting the slowdown from snapshot export, trace
+//! recording, and the membership check, next to the committed 1-core
+//! baseline rate (`bench_results/throughput_baseline_1core.json`) for
+//! cross-run context. Results go to `bench_results/throughput_diff.json`.
+//!
+//! Usage: `throughput [--iters N] [--seed S] [--workers 1,2,4,8] [--quick] [--diff-oracle]`
 
 use bvf::baseline::GeneratorKind;
 use bvf::fuzz::CampaignConfig;
@@ -32,10 +40,99 @@ fn arg_worker_list(default: &[usize]) -> Vec<usize> {
         .unwrap_or_else(|| default.to_vec())
 }
 
+/// The committed 1-core baseline's 1-worker rate, if the file is
+/// readable from the current directory.
+fn committed_baseline_rate() -> Option<f64> {
+    let text = std::fs::read_to_string("bench_results/throughput_baseline_1core.json").ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    v.get("points")?
+        .as_array()?
+        .iter()
+        .find(|p| p.get("workers").and_then(|w| w.as_u64()) == Some(1))?
+        .get("execs_per_sec")?
+        .as_f64()
+}
+
+/// `--diff-oracle` mode: paired 1-worker runs, oracle off vs on.
+fn diff_overhead(iters: usize, seed: u64, quick: bool) {
+    let pcfg = ParallelConfig::new(1);
+    let mut cfg = CampaignConfig::new(GeneratorKind::Bvf, iters, seed);
+    // Overhead is measured on the fixed kernel: with defects injected
+    // the oracle would also spend time on real divergences and triage,
+    // conflating detection cost with per-instruction checking cost.
+    cfg.bugs = bvf_kernel_sim::BugSet::none();
+    let off = run_sharded(&cfg, &pcfg);
+    cfg.diff_oracle = true;
+    let on = run_sharded(&cfg, &pcfg);
+
+    let rate = |wall_ns: u64| iters as f64 / (wall_ns as f64 / 1e9);
+    let rate_off = rate(off.wall_ns);
+    let rate_on = rate(on.wall_ns);
+    let slowdown = on.wall_ns as f64 / off.wall_ns as f64;
+    let d = &on.result.diff;
+
+    let mut rows = vec![
+        vec![
+            "off".to_string(),
+            format!("{rate_off:.0}"),
+            "1.00x".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "on".to_string(),
+            format!("{rate_on:.0}"),
+            format!("{slowdown:.2}x"),
+            format!("{} steps / {} regs", d.steps_checked, d.regs_checked),
+        ],
+    ];
+    let baseline = committed_baseline_rate();
+    if let Some(b) = baseline {
+        rows.push(vec![
+            "committed 1-core baseline".to_string(),
+            format!("{b:.0}"),
+            "-".to_string(),
+            "oracle off, 20k iters".to_string(),
+        ]);
+    }
+
+    println!("\ndifferential-oracle overhead ({iters} iterations, 1 worker)\n");
+    println!(
+        "{}",
+        render_table(&["Oracle", "Execs/sec", "Wall ratio", "Checked"], &rows)
+    );
+    assert_eq!(
+        d.divergences, 0,
+        "clean kernel must not diverge during the overhead run"
+    );
+
+    save_json(
+        "throughput_diff.json",
+        &serde_json::json!({
+            "iters": iters,
+            "seed": seed,
+            "quick": quick,
+            "execs_per_sec_off": rate_off,
+            "execs_per_sec_on": rate_on,
+            "wall_ns_off": off.wall_ns,
+            "wall_ns_on": on.wall_ns,
+            "slowdown": slowdown,
+            "steps_checked": d.steps_checked,
+            "regs_checked": d.regs_checked,
+            "steps_skipped_emitted": d.steps_skipped_emitted,
+            "divergences": d.divergences,
+            "committed_baseline_execs_per_sec": baseline,
+        }),
+    );
+}
+
 fn main() {
     let quick = arg_flag("--quick");
     let iters = arg_usize("--iters", if quick { 2_000 } else { 20_000 });
     let seed = arg_usize("--seed", 41) as u64;
+    if arg_flag("--diff-oracle") {
+        diff_overhead(iters, seed, quick);
+        return;
+    }
     let workers = arg_worker_list(if quick { &[1, 2] } else { &[1, 2, 4, 8] });
 
     let cfg = CampaignConfig::new(GeneratorKind::Bvf, iters, seed);

@@ -51,6 +51,7 @@ pub fn merge_outputs(
     let mut alu_share_sum = 0.0f64;
     let mut len_sum = 0usize;
     let mut corpus_len = 0usize;
+    let mut diff = bvf_diff::DiffStats::default();
     let mut candidates: Vec<FindingRecord> = Vec::new();
 
     for o in outputs {
@@ -63,6 +64,9 @@ pub fn merge_outputs(
         alu_share_sum += o.alu_share_sum;
         len_sum += o.len_sum;
         corpus_len += o.corpus_len;
+        // All diff counters are additive, so folding in worker order
+        // keeps the 1-worker merge identical to the serial path.
+        diff.merge(&o.diff);
         candidates.extend(o.findings);
     }
 
@@ -105,6 +109,7 @@ pub fn merge_outputs(
         alu_jmp_share: alu_share_sum / cfg.iterations.max(1) as f64,
         avg_prog_len: len_sum as f64 / cfg.iterations.max(1) as f64,
         corpus_len,
+        diff,
     };
     (result, stats)
 }

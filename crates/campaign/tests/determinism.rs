@@ -138,3 +138,55 @@ fn merged_trace_is_iteration_ordered_and_worker_tagged() {
     assert!(lines >= cfg.iterations, "at least one event per iteration");
     assert_eq!(seen_workers.len(), 2, "both workers contribute events");
 }
+
+#[test]
+fn one_worker_diff_oracle_matches_serial() {
+    // The differential oracle adds per-iteration snapshot/trace work
+    // and an extra counter stream; none of it may perturb the
+    // 1-worker-equals-serial guarantee, and the merged DiffStats must
+    // equal the serial sums field for field.
+    let mut cfg = config(600, 20_240_601);
+    cfg.diff_oracle = true;
+    let serial = run_campaign(&cfg);
+    let sharded = run_sharded(&cfg, &ParallelConfig::new(1)).result;
+
+    assert_eq!(fingerprint(&serial), fingerprint(&sharded));
+    assert_eq!(serial.errno_histogram, sharded.errno_histogram);
+    assert_eq!(serial.timeline, sharded.timeline);
+    assert_eq!(serial.found_bugs, sharded.found_bugs);
+
+    assert_eq!(serial.diff.steps_total, sharded.diff.steps_total);
+    assert_eq!(serial.diff.steps_checked, sharded.diff.steps_checked);
+    assert_eq!(
+        serial.diff.steps_skipped_emitted,
+        sharded.diff.steps_skipped_emitted
+    );
+    assert_eq!(
+        serial.diff.steps_skipped_unrecorded,
+        sharded.diff.steps_skipped_unrecorded
+    );
+    assert_eq!(serial.diff.regs_checked, sharded.diff.regs_checked);
+    assert_eq!(serial.diff.divergences, sharded.diff.divergences);
+    assert!(serial.diff.steps_checked > 0, "oracle must have run");
+}
+
+#[test]
+fn diff_campaigns_are_deterministic_across_worker_counts() {
+    for workers in [1usize, 2, 3] {
+        let mut cfg = config(400, 97);
+        cfg.diff_oracle = true;
+        let pcfg = ParallelConfig::new(workers);
+        let a = run_sharded(&cfg, &pcfg);
+        let b = run_sharded(&cfg, &pcfg);
+        assert_eq!(
+            fingerprint(&a.result),
+            fingerprint(&b.result),
+            "diff result varied across runs at {workers} workers"
+        );
+        assert_eq!(
+            a.result.diff.steps_checked, b.result.diff.steps_checked,
+            "diff stats varied at {workers} workers"
+        );
+        assert_eq!(a.result.diff.divergences, b.result.diff.divergences);
+    }
+}

@@ -3,21 +3,35 @@
 //! ```text
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
-//!             [--no-sanitize] [--no-triage] [--no-feedback]
+//!             [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]
 //!             [--workers N] [--exchange-every N]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
 //!             [--snapshot-every N] [--save-findings DIR]
 //! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
+//!             [--diff-oracle]
+//! bvf minimize <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
+//!             [--diff-oracle] [--out FILE]
 //! bvf disasm  <scenario.json | program.bin>
 //! bvf bugs    # list injectable defects
 //! ```
 //!
 //! Findings saved by `fuzz --save-findings` are replayable scenario JSON
 //! files; `replay` re-executes one deterministically and prints the
-//! verifier verdict, kernel reports, and differential triage.
+//! verifier verdict, kernel reports, the dedup signature, and
+//! differential triage. `minimize` delta-debugs a finding's program
+//! down to the instructions its signature depends on (non-essential
+//! units become `ja +0` no-ops, so slot counts and jump offsets are
+//! preserved) and writes the minimized scenario JSON.
 //! `--trace-out` writes one JSONL event per campaign step and
 //! `--json-out` writes the machine-readable `CampaignStats` summary
 //! (the same schema the bench binaries emit).
+//!
+//! `--diff-oracle` arms the abstract-vs-concrete differential oracle
+//! (Indicator #3): the verifier exports per-instruction abstract-state
+//! snapshots, the interpreter records a concrete register trace, and
+//! any concrete value escaping the proved abstract state is reported as
+//! a state divergence. Replay and minimize must be given the same flag
+//! to reproduce Indicator #3 findings.
 //!
 //! `--workers N` shards the campaign across N threads (0 = one per
 //! available CPU) with deterministic merged results; `--workers 1` (the
@@ -30,9 +44,10 @@ use std::path::Path;
 use std::process::exit;
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign_with_telemetry, CampaignConfig, CampaignResult};
+use bvf::fuzz::{report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult};
+use bvf::minimize::minimize_finding;
 use bvf::oracle::{judge, triage};
-use bvf::scenario::{run_scenario, Scenario};
+use bvf::scenario::{run_scenario, run_scenario_diff, Scenario};
 use bvf_campaign::{run_sharded, ParallelConfig};
 use bvf_kernel_sim::{BugId, BugSet};
 use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceSink};
@@ -42,11 +57,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
-         [--no-sanitize] [--no-triage] [--no-feedback]\n             \
+         [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]\n             \
          [--workers N] [--exchange-every N]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
          [--snapshot-every N] [--save-findings DIR]\n  \
-         bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n  \
+         bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize] [--diff-oracle]\n  \
+         bvf minimize <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n             \
+         [--diff-oracle] [--out FILE]\n  \
          bvf disasm <scenario.json|program.bin>\n  \
          bvf bugs"
     );
@@ -192,6 +209,7 @@ fn cmd_fuzz(args: &Args) {
     cfg.sanitize = !args.flag("--no-sanitize");
     cfg.triage = !args.flag("--no-triage");
     cfg.feedback = !args.flag("--no-feedback");
+    cfg.diff_oracle = args.flag("--diff-oracle");
     if let Some(n) = args.opt("--snapshot-every").and_then(|v| v.parse().ok()) {
         cfg.snapshot_every = std::cmp::max(n, 1);
     }
@@ -272,6 +290,17 @@ fn cmd_fuzz(args: &Args) {
         r.coverage.len(),
         r.corpus_len
     );
+    if cfg.diff_oracle {
+        println!(
+            "diff oracle: {} steps checked ({} regs), {} skipped (emitted {}, unrecorded {}), {} divergences",
+            r.diff.steps_checked,
+            r.diff.regs_checked,
+            r.diff.steps_skipped_emitted + r.diff.steps_skipped_unrecorded,
+            r.diff.steps_skipped_emitted,
+            r.diff.steps_skipped_unrecorded,
+            r.diff.divergences
+        );
+    }
     for (phase, name) in [
         ("structure", "verify.structure_ns"),
         ("do_check", "verify.do_check_ns"),
@@ -364,6 +393,7 @@ fn cmd_replay(args: &Args, path: &str) {
         .map(parse_version)
         .unwrap_or(KernelVersion::BpfNext);
     let sanitize = !args.flag("--no-sanitize");
+    let diff = args.flag("--diff-oracle");
 
     println!(
         "program ({:?}, trigger {:?}):\n{}",
@@ -371,7 +401,11 @@ fn cmd_replay(args: &Args, path: &str) {
         scenario.trigger,
         scenario.prog.dump()
     );
-    let out = run_scenario(&scenario, &bugs, version, sanitize);
+    let out = if diff {
+        run_scenario_diff(&scenario, &bugs, version, sanitize)
+    } else {
+        run_scenario(&scenario, &bugs, version, sanitize)
+    };
     match &out.load {
         Ok(_) => println!(
             "verifier: ACCEPTED ({} insns processed)",
@@ -385,19 +419,65 @@ fn cmd_replay(args: &Args, path: &str) {
     if let Some(h) = out.halt {
         println!("execution halted: {h:?}");
     }
+    if diff {
+        println!(
+            "diff oracle: {} steps checked ({} regs), {} divergences",
+            out.diff.steps_checked, out.diff.regs_checked, out.diff.divergences
+        );
+    }
     for r in &out.reports {
         println!("report: {}", r.summary());
     }
     if let Some(f) = judge(&scenario, &out) {
-        println!(
-            "\noracle: indicator {:?} triggered — running triage...",
-            f.indicator
-        );
+        // The exact string campaign dedup keys on, so a replayed finding
+        // can be matched against `fuzz` output byte for byte.
+        println!("\noracle: indicator {:?} triggered", f.indicator);
+        println!("signature: {}", report_signature(f.indicator, &f.reports));
+        println!("running triage...");
         let culprits = triage(&f, &bugs, version, sanitize);
         println!("culprits: {culprits:?}");
     } else {
         println!("\noracle: no finding");
     }
+}
+
+fn cmd_minimize(args: &Args, path: &str) {
+    let scenario = load_scenario(path);
+    let bugs = args
+        .opt("--bugs")
+        .map(parse_bugs)
+        .unwrap_or_else(BugSet::all);
+    let version = args
+        .opt("--version")
+        .map(parse_version)
+        .unwrap_or(KernelVersion::BpfNext);
+    let sanitize = !args.flag("--no-sanitize");
+    let diff = args.flag("--diff-oracle");
+
+    let out = match minimize_finding(&scenario, &bugs, version, sanitize, diff) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("cannot minimize: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "minimized: {} of {} instruction units kept ({} replays)",
+        out.units_kept, out.units_total, out.replays
+    );
+    println!("signature: {}", out.signature);
+    println!("{}", out.scenario.prog.dump());
+
+    let out_path = args
+        .opt("--out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{}.min.json", path.trim_end_matches(".json")));
+    let json = serde_json::to_string_pretty(&out.scenario).unwrap();
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        exit(1);
+    });
+    println!("saved {out_path}");
 }
 
 fn cmd_disasm(path: &str) {
@@ -415,6 +495,10 @@ fn main() {
         "fuzz" => cmd_fuzz(&args),
         "replay" => match argv.get(1) {
             Some(p) if !p.starts_with("--") => cmd_replay(&args, p),
+            _ => usage(),
+        },
+        "minimize" => match argv.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_minimize(&args, p),
             _ => usage(),
         },
         "disasm" => match argv.get(1) {

@@ -33,8 +33,10 @@ use crate::baseline::{
     GeneratorKind,
 };
 use crate::gen::{GenConfig, StructuredGen};
+use bvf_diff::DiffStats;
+
 use crate::oracle::{judge, triage, Finding, Indicator};
-use crate::scenario::{run_scenario, Scenario};
+use crate::scenario::{run_scenario, run_scenario_diff, Scenario};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -58,6 +60,10 @@ pub struct CampaignConfig {
     /// Whether coverage feedback (corpus retention + mutation) is
     /// enabled; disabled for the ablation study.
     pub feedback: bool,
+    /// Whether the abstract-vs-concrete differential oracle (Indicator
+    /// #3) is armed: verifier snapshots + interpreter traces + the
+    /// concretization-membership check on every executed program.
+    pub diff_oracle: bool,
 }
 
 impl CampaignConfig {
@@ -73,6 +79,7 @@ impl CampaignConfig {
             snapshot_every: (iterations / 64).max(1),
             triage: true,
             feedback: true,
+            diff_oracle: false,
         }
     }
 }
@@ -120,6 +127,9 @@ pub struct CampaignResult {
     pub avg_prog_len: f64,
     /// Corpus size at the end.
     pub corpus_len: usize,
+    /// Differential-oracle counters summed over all iterations (all
+    /// zero unless [`CampaignConfig::diff_oracle`] was set).
+    pub diff: DiffStats,
 }
 
 impl CampaignResult {
@@ -186,6 +196,9 @@ pub fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> Strin
             KernelReport::Warn { .. } => "warn".to_string(),
             KernelReport::AluLimitViolation { .. } => "alulimit".to_string(),
             KernelReport::EnvMismatch { .. } => "env".to_string(),
+            // Concrete values and instruction indices vary per program;
+            // the diverging register is what characterizes the defect.
+            KernelReport::StateDivergence { reg, .. } => format!("statediv:r{reg}"),
         })
         .collect();
     parts.sort();
@@ -340,6 +353,9 @@ pub struct WorkerOutput {
     pub len_sum: usize,
     /// Corpus size at the end (local retention + injected entries).
     pub corpus_len: usize,
+    /// Differential-oracle counters this shard accumulated; all fields
+    /// are additive, so the merge folds them by summation.
+    pub diff: DiffStats,
 }
 
 /// One campaign shard: the complete per-iteration state machine of the
@@ -373,6 +389,7 @@ pub struct CampaignWorker {
     found_bugs: BTreeSet<BugId>,
     alu_share_sum: f64,
     len_sum: usize,
+    diff: DiffStats,
 }
 
 impl CampaignWorker {
@@ -415,6 +432,7 @@ impl CampaignWorker {
             found_bugs: BTreeSet::new(),
             alu_share_sum: 0.0,
             len_sum: 0,
+            diff: DiffStats::default(),
             cfg,
         }
     }
@@ -510,7 +528,11 @@ impl CampaignWorker {
             });
         }
 
-        let outcome = run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize);
+        let outcome = if cfg.diff_oracle {
+            run_scenario_diff(&scenario, &cfg.bugs, cfg.version, cfg.sanitize)
+        } else {
+            run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize)
+        };
         match &outcome.load {
             Ok(_) => {
                 self.accepted += 1;
@@ -545,6 +567,24 @@ impl CampaignWorker {
                 do_check_ns: outcome.timings.do_check_ns,
                 total_ns: outcome.timings.total_ns(),
             });
+        }
+
+        if cfg.diff_oracle {
+            self.diff.merge(&outcome.diff);
+            tel.registry
+                .add("diff.steps_checked", outcome.diff.steps_checked);
+            tel.registry
+                .add("diff.regs_checked", outcome.diff.regs_checked);
+            tel.registry
+                .add("diff.divergences", outcome.diff.divergences);
+            if tel.trace_on() && outcome.diff.steps_total > 0 {
+                tel.emit(&TraceEvent::Diff {
+                    iter,
+                    steps_checked: outcome.diff.steps_checked,
+                    regs_checked: outcome.diff.regs_checked,
+                    divergence: outcome.diff.divergences > 0,
+                });
+            }
         }
 
         if let Some(halt) = outcome.halt {
@@ -681,6 +721,7 @@ impl CampaignWorker {
             alu_share_sum: self.alu_share_sum,
             len_sum: self.len_sum,
             corpus_len: self.corpus.len(),
+            diff: self.diff,
         }
     }
 
@@ -701,6 +742,7 @@ impl CampaignWorker {
             alu_jmp_share: o.alu_share_sum / iterations.max(1) as f64,
             avg_prog_len: o.len_sum as f64 / iterations.max(1) as f64,
             corpus_len: o.corpus_len,
+            diff: o.diff,
         }
     }
 }

@@ -36,11 +36,13 @@
 pub mod baseline;
 pub mod fuzz;
 pub mod gen;
+pub mod minimize;
 pub mod oracle;
 pub mod scenario;
 
 pub use baseline::GeneratorKind;
 pub use fuzz::{run_campaign, CampaignConfig, CampaignResult};
 pub use gen::{GenConfig, StructuredGen};
+pub use minimize::{minimize_finding, MinimizeOutcome};
 pub use oracle::{classify_report, judge, triage, Finding, Indicator};
-pub use scenario::{run_scenario, Scenario, ScenarioOutcome, Trigger};
+pub use scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome, Trigger};

@@ -1,0 +1,186 @@
+//! Finding minimization (`bvf minimize`): delta-debugs a finding's
+//! program down to the instructions its dedup signature depends on.
+//!
+//! The reduction never changes the program's slot count — removing
+//! slots would shift every jump offset and turn the minimization into a
+//! different-program search. Instead, instructions are *neutralized*:
+//! each decodable unit (one slot, or two for `ld_imm64`) is replaced by
+//! that many `ja +0` no-ops, which alter no register, touch no memory,
+//! and keep all control-flow offsets valid. [`bvf_diff::ddmin`] then
+//! finds a minimal set of units that must stay original for the replay
+//! to reproduce the exact [`report_signature`] the campaign
+//! deduplicated the finding under.
+
+use std::collections::HashSet;
+
+use bvf_isa::{asm, Program};
+use bvf_kernel_sim::BugSet;
+use bvf_verifier::KernelVersion;
+
+use crate::fuzz::report_signature;
+use crate::oracle::judge;
+use crate::scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome};
+
+/// What one minimization run produced.
+#[derive(Debug)]
+pub struct MinimizeOutcome {
+    /// The minimized scenario: the original with every non-essential
+    /// instruction unit neutralized to `ja +0`.
+    pub scenario: Scenario,
+    /// The preserved dedup signature (identical for the original and
+    /// the minimized scenario under the same replay configuration).
+    pub signature: String,
+    /// Decodable instruction units in the original program.
+    pub units_total: usize,
+    /// Units the minimized program keeps in original form.
+    pub units_kept: usize,
+    /// Scenario replays the delta-debugging loop performed.
+    pub replays: usize,
+}
+
+/// Decodable instruction units of `prog` as `(start_slot, slot_count)`
+/// pairs (`ld_imm64` occupies two slots, everything else one).
+fn units(prog: &Program) -> Vec<(usize, usize)> {
+    let insns = prog.insns();
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let width = if insns[pc].is_ld_imm64() && pc + 1 < insns.len() {
+            2
+        } else {
+            1
+        };
+        out.push((pc, width));
+        pc += width;
+    }
+    out
+}
+
+/// The scenario with every unit *not* in `keep` replaced by `ja +0`
+/// no-ops, slot for slot.
+fn neutralized(base: &Scenario, keep: &[(usize, usize)]) -> Scenario {
+    let kept: HashSet<usize> = keep.iter().map(|&(start, _)| start).collect();
+    let mut s = base.clone();
+    for (start, width) in units(&base.prog) {
+        if kept.contains(&start) {
+            continue;
+        }
+        for slot in start..start + width {
+            s.prog.insns_mut()[slot] = asm::ja(0);
+        }
+    }
+    s
+}
+
+/// Minimizes a finding's scenario while preserving its dedup signature.
+///
+/// The scenario is replayed under exactly the given configuration
+/// (`diff_oracle` must match how the finding was produced — an
+/// Indicator #3 finding only reproduces with the differential oracle
+/// armed). Fails if the scenario produces no finding at all under this
+/// configuration.
+pub fn minimize_finding(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+) -> Result<MinimizeOutcome, String> {
+    let run = |s: &Scenario| -> ScenarioOutcome {
+        if diff_oracle {
+            run_scenario_diff(s, bugs, version, sanitize)
+        } else {
+            run_scenario(s, bugs, version, sanitize)
+        }
+    };
+    let signature_of = |s: &Scenario| -> Option<String> {
+        let out = run(s);
+        judge(s, &out).map(|f| report_signature(f.indicator, &f.reports))
+    };
+
+    let mut replays = 1usize;
+    let Some(target) = signature_of(scenario) else {
+        return Err(
+            "scenario produces no finding under this configuration (check --bugs, \
+             --version, --no-sanitize, and --diff-oracle match the original campaign)"
+                .to_string(),
+        );
+    };
+
+    let all = units(&scenario.prog);
+    let kept = bvf_diff::ddmin(&all, |keep| {
+        replays += 1;
+        signature_of(&neutralized(scenario, keep)).as_deref() == Some(target.as_str())
+    });
+    let minimized = neutralized(scenario, &kept);
+
+    Ok(MinimizeOutcome {
+        scenario: minimized,
+        signature: target,
+        units_total: all.len(),
+        units_kept: kept.len(),
+        replays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_isa::{AluOp, JmpOp, Reg, Size};
+    use bvf_kernel_sim::btf::ids as btf_ids;
+    use bvf_kernel_sim::helpers::proto::ids as helper;
+    use bvf_kernel_sim::progtype::ProgType;
+
+    /// The bug #1 reproducer with junk instructions interleaved; the
+    /// minimizer must strip the junk and keep the signature.
+    #[test]
+    fn minimize_strips_junk_and_preserves_signature() {
+        let mut insns = Vec::new();
+        insns.push(asm::mov64_imm(Reg::R7, 41)); // junk
+        insns.extend(asm::ld_btf_id(Reg::R6, btf_ids::DEBUG_OBJ));
+        insns.extend(asm::ld_map_fd(Reg::R1, 0));
+        insns.push(asm::mov64_imm(Reg::R8, 7)); // junk
+        insns.push(asm::mov64_reg(Reg::R2, Reg::R10));
+        insns.push(asm::alu64_imm(AluOp::Add, Reg::R2, -8));
+        insns.push(asm::st_mem(Size::W, Reg::R2, 0, 99));
+        insns.push(asm::call_helper(helper::MAP_LOOKUP_ELEM as i32));
+        insns.push(asm::alu64_imm(AluOp::Add, Reg::R7, 1)); // junk
+        insns.push(asm::jmp_reg(JmpOp::Jne, Reg::R0, Reg::R6, 1));
+        insns.push(asm::ldx_mem(Size::Dw, Reg::R3, Reg::R0, 0));
+        insns.push(asm::mov64_imm(Reg::R0, 0));
+        insns.push(asm::exit());
+        let scenario = Scenario::test_run(Program::from_insns(insns), ProgType::Kprobe);
+        let bugs = BugSet::all();
+
+        let out = minimize_finding(&scenario, &bugs, KernelVersion::BpfNext, true, false)
+            .expect("bug1 scenario must minimize");
+        assert!(
+            out.units_kept < out.units_total,
+            "nothing was removed ({}/{} kept)",
+            out.units_kept,
+            out.units_total
+        );
+        // Slot count is preserved (units are neutralized, not removed).
+        assert_eq!(out.scenario.prog.insn_count(), scenario.prog.insn_count());
+        // The junk instructions are gone from the kept set.
+        let min_insns = out.scenario.prog.insns();
+        let ja = asm::ja(0);
+        assert_eq!(min_insns[0], ja, "leading junk mov must be neutralized");
+
+        // Replaying the minimized scenario reproduces the signature.
+        let replay = run_scenario(&out.scenario, &bugs, KernelVersion::BpfNext, true);
+        let f = judge(&out.scenario, &replay).expect("minimized finding must reproduce");
+        assert_eq!(report_signature(f.indicator, &f.reports), out.signature);
+    }
+
+    #[test]
+    fn minimize_rejects_clean_scenarios() {
+        let s = Scenario::test_run(
+            Program::from_insns(vec![asm::mov64_imm(Reg::R0, 0), asm::exit()]),
+            ProgType::SocketFilter,
+        );
+        assert!(
+            minimize_finding(&s, &BugSet::none(), KernelVersion::BpfNext, true, false).is_err()
+        );
+    }
+}

@@ -7,6 +7,12 @@
 //! invalid state (**indicator #2**, captured by existing kernel
 //! self-checks). Anything flagged on an accepted program is a finding.
 //!
+//! Beyond the paper, the `bvf-diff` differential oracle adds
+//! **indicator #3** (abstract-state unsoundness): a concrete register
+//! value observed at runtime escaped the abstract state the verifier
+//! proved for that instruction — direct evidence of a wrong transfer
+//! function, visible even when no memory is corrupted.
+//!
 //! Triage (paper §6.5 "Bug Triage") is automated here by differential
 //! replay: re-run the finding's scenario on kernels with one injected
 //! defect reverted at a time; the defects whose revert makes the finding
@@ -17,9 +23,9 @@ use serde::{Deserialize, Serialize};
 use bvf_kernel_sim::{BugId, BugSet, KernelReport, ReportOrigin};
 use bvf_verifier::KernelVersion;
 
-use crate::scenario::{run_scenario, Scenario, ScenarioOutcome};
+use crate::scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome};
 
-/// The two correctness-bug indicators (plus the syscall-level bucket for
+/// The correctness-bug indicators (plus the syscall-level bucket for
 /// findings like bug #8 that are not program-behavior bugs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Indicator {
@@ -29,8 +35,27 @@ pub enum Indicator {
     /// A kernel routine invoked by the program misbehaved (KASAN in a
     /// helper, lockdep splat, panic, dispatcher crash, env mismatch).
     Two,
+    /// Abstract-state unsoundness: a concrete register value escaped the
+    /// bounds the verifier proved for it (the `bvf-diff` differential
+    /// oracle's concretization-membership check). Unlike #1/#2 this
+    /// fires without any memory corruption — a silently wrong bound is
+    /// enough.
+    Three,
     /// A syscall-processing defect surfaced outside program execution.
     Syscall,
+}
+
+/// Specificity rank used when several reports fire on one run: #1
+/// (program-level memory misbehavior) is the most direct signal, then
+/// #3 (direct evidence of verifier state unsoundness), then #2 (kernel
+/// routine collateral), then the syscall bucket.
+fn rank(i: Indicator) -> u8 {
+    match i {
+        Indicator::One => 3,
+        Indicator::Three => 2,
+        Indicator::Two => 1,
+        Indicator::Syscall => 0,
+    }
 }
 
 /// Classifies one kernel report into an indicator.
@@ -46,6 +71,7 @@ pub fn classify_report(report: &KernelReport) -> Indicator {
         KernelReport::Lockdep { .. }
         | KernelReport::Panic { .. }
         | KernelReport::EnvMismatch { .. } => Indicator::Two,
+        KernelReport::StateDivergence { .. } => Indicator::Three,
         KernelReport::Warn { .. } => Indicator::Syscall,
     }
 }
@@ -67,17 +93,11 @@ pub fn judge(scenario: &Scenario, outcome: &ScenarioOutcome) -> Option<Finding> 
     if !outcome.accepted() || outcome.reports.is_empty() {
         return None;
     }
-    let mut indicator = None;
-    for r in &outcome.reports {
-        let c = classify_report(r);
-        indicator = Some(match (indicator, c) {
-            (None, c) => c,
-            // Indicator #1 is the most specific signal.
-            (Some(Indicator::One), _) | (_, Indicator::One) => Indicator::One,
-            (Some(Indicator::Two), _) | (_, Indicator::Two) => Indicator::Two,
-            (Some(Indicator::Syscall), Indicator::Syscall) => Indicator::Syscall,
-        });
-    }
+    let indicator = outcome
+        .reports
+        .iter()
+        .map(classify_report)
+        .max_by_key(|&c| rank(c));
     Some(Finding {
         scenario: scenario.clone(),
         indicator: indicator?,
@@ -97,12 +117,29 @@ pub fn triage(
     version: KernelVersion,
     sanitize: bool,
 ) -> Vec<BugId> {
+    let diff = finding.indicator == Indicator::Three;
     let mut culprits = Vec::new();
     for bug in enabled.iter() {
         let mut patched = enabled.clone();
         patched.disable(bug);
-        let outcome = run_scenario(&finding.scenario, &patched, version, sanitize);
-        let still_finds = outcome.accepted() && !outcome.reports.is_empty();
+        // An Indicator #3 finding only exists under the differential
+        // oracle, so its replays must re-arm it — and what must
+        // disappear is specifically the state divergence, not any
+        // incidental report.
+        let outcome = if diff {
+            run_scenario_diff(&finding.scenario, &patched, version, sanitize)
+        } else {
+            run_scenario(&finding.scenario, &patched, version, sanitize)
+        };
+        let still_finds = if diff {
+            outcome.accepted()
+                && outcome
+                    .reports
+                    .iter()
+                    .any(|r| matches!(r, KernelReport::StateDivergence { .. }))
+        } else {
+            outcome.accepted() && !outcome.reports.is_empty()
+        };
         if !still_finds {
             culprits.push(bug);
         }

@@ -8,12 +8,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use bvf_diff::DiffStats;
 use bvf_isa::Program;
 use bvf_kernel_sim::map::{MapDef, MapType};
 use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugSet, KernelReport};
-use bvf_runtime::{Bpf, BpfError, HaltReason};
+use bvf_runtime::{Bpf, BpfError, ExecTrace, HaltReason};
 use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
 
@@ -118,6 +119,10 @@ pub struct ScenarioOutcome {
     pub helper_calls: u64,
     /// Kfunc invocations during execution (test-run trigger only).
     pub kfunc_calls: u64,
+    /// Differential-oracle counters (all zero unless the scenario ran
+    /// via [`run_scenario_diff`]). A divergence also appears in
+    /// `reports` as [`KernelReport::StateDivergence`].
+    pub diff: DiffStats,
 }
 
 impl ScenarioOutcome {
@@ -134,8 +139,34 @@ pub fn run_scenario(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
+    run_scenario_inner(scenario, bugs, version, sanitize, false)
+}
+
+/// Like [`run_scenario`], but with the abstract-vs-concrete differential
+/// oracle armed: the verifier records per-instruction abstract-state
+/// snapshots, the interpreter records a concrete register trace
+/// (test-run trigger only), and a concretization-membership violation is
+/// appended to `reports` as [`KernelReport::StateDivergence`]
+/// (Indicator #3).
+pub fn run_scenario_diff(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+) -> ScenarioOutcome {
+    run_scenario_inner(scenario, bugs, version, sanitize, true)
+}
+
+fn run_scenario_inner(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+) -> ScenarioOutcome {
     let opts = VerifierOpts {
         version,
+        snapshots: diff_oracle,
         ..Default::default()
     };
     let mut bpf = Bpf::new(bugs.clone(), opts, sanitize);
@@ -161,27 +192,63 @@ pub fn run_scenario(
         Err(_) => 0,
     };
 
+    // The per-instruction abstract states the verifier proved for this
+    // program (snapshots enabled only in diff-oracle mode).
+    let snapshots = if diff_oracle {
+        bpf.take_snapshots()
+    } else {
+        None
+    };
+
     let mut reports = Vec::new();
     let mut halt = None;
     let mut attach_rejected = false;
     let mut exec_steps = 0u64;
     let mut helper_calls = 0u64;
     let mut kfunc_calls = 0u64;
+    let mut diff = DiffStats::default();
 
     if let Ok(id) = load {
         match scenario.trigger {
-            Trigger::TestRun => match bpf.test_run(id) {
-                Ok(run) => {
-                    reports.extend(run.reports);
-                    halt = Some(run.exec.halt);
-                    exec_steps = run.exec.steps;
-                    helper_calls = run.exec.helper_calls;
-                    kfunc_calls = run.exec.kfunc_calls;
+            Trigger::TestRun => {
+                let mut trace = ExecTrace::default();
+                let run = if diff_oracle {
+                    bpf.test_run_traced(id, &mut trace)
+                } else {
+                    bpf.test_run(id)
+                };
+                match run {
+                    Ok(run) => {
+                        reports.extend(run.reports);
+                        halt = Some(run.exec.halt);
+                        exec_steps = run.exec.steps;
+                        helper_calls = run.exec.helper_calls;
+                        kfunc_calls = run.exec.kfunc_calls;
+                    }
+                    Err(_) => {
+                        reports.extend(bpf.kernel.end_execution());
+                    }
                 }
-                Err(_) => {
-                    reports.extend(bpf.kernel.end_execution());
+                // Membership check: every traced register value must lie
+                // inside the abstract state the verifier proved for that
+                // instruction (on at least one explored path). The trace
+                // prefix stays valid whatever halted execution — each
+                // step was recorded before its instruction ran.
+                if let Some(snaps) = &snapshots {
+                    if let Some(image) = bpf.image(id) {
+                        let (stats, divergence) = bvf_diff::check(snaps, &trace, &image.meta);
+                        diff = stats;
+                        if let Some(d) = divergence {
+                            reports.push(KernelReport::StateDivergence {
+                                pc: d.pc,
+                                reg: d.reg,
+                                abstract_state: d.abstract_state,
+                                concrete: d.concrete,
+                            });
+                        }
+                    }
                 }
-            },
+            }
             Trigger::Tracepoint(tp) => match bpf.prog_attach(id, AttachPoint::Tracepoint(tp)) {
                 Ok(()) => reports.extend(bpf.trigger_tracepoint(tp)),
                 Err(_) => attach_rejected = true,
@@ -215,6 +282,7 @@ pub fn run_scenario(
         exec_steps,
         helper_calls,
         kfunc_calls,
+        diff,
     }
 }
 

@@ -60,11 +60,22 @@ pub enum BugId {
     /// Bug #11 (XDP): incorrect execution environment — a device-offloaded
     /// program is run on the host.
     XdpDeviceOnHost,
+    /// Bug #12 (verifier): unsound bounds refinement — the 64-bit scalar
+    /// `OR` transfer function "refines" the result's `umax` to the larger
+    /// of the two *operand* maxima, even though `x | y` can exceed both
+    /// (e.g. `4 | 2 = 6`), producing bounds tighter than the set of
+    /// values the instruction can actually produce. On constant operands
+    /// the contradiction trips `bounds_sane` and the state collapses to
+    /// unknown (the defect hides itself); on variable operands the state
+    /// stays internally consistent, so Indicators #1/#2 rarely fire —
+    /// only the abstract-vs-concrete differential oracle (Indicator #3)
+    /// observes concrete values escaping the proved bounds.
+    BoundsRefinement,
 }
 
 impl BugId {
     /// All injectable defects.
-    pub const ALL: [BugId; 12] = [
+    pub const ALL: [BugId; 13] = [
         BugId::NullnessPropagation,
         BugId::TaskStructOob,
         BugId::KfuncBacktrack,
@@ -77,6 +88,7 @@ impl BugId {
         BugId::HashBucketOob,
         BugId::IrqWorkLock,
         BugId::XdpDeviceOnHost,
+        BugId::BoundsRefinement,
     ];
 
     /// The six verifier correctness bugs of Table 2 (excludes the CVE).
@@ -101,6 +113,7 @@ impl BugId {
                 | BugId::ContentionBeginLock
                 | BugId::SignalSendPanic
                 | BugId::CveAluOnNullablePtr
+                | BugId::BoundsRefinement
         )
     }
 
@@ -119,6 +132,7 @@ impl BugId {
             BugId::HashBucketOob => "bug9-hash-bucket-oob",
             BugId::IrqWorkLock => "bug10-irq-work-lock",
             BugId::XdpDeviceOnHost => "bug11-xdp-device-on-host",
+            BugId::BoundsRefinement => "bug12-bounds-refinement",
         }
     }
 }
@@ -199,7 +213,7 @@ mod tests {
         for b in BugId::ALL {
             assert!(s.has(b));
         }
-        assert_eq!(s.iter().count(), 12);
+        assert_eq!(s.iter().count(), 13);
     }
 
     #[test]

@@ -118,6 +118,20 @@ pub enum KernelReport {
         /// Human-readable reason.
         reason: String,
     },
+    /// Abstract-state unsoundness observed by the differential oracle —
+    /// the paper-extension **indicator #3**: a concrete register value
+    /// produced by the interpreter fell outside the abstract state the
+    /// verifier proved for the same instruction on every explored path.
+    StateDivergence {
+        /// Instruction index in the original program.
+        pc: usize,
+        /// Divergent register number.
+        reg: u8,
+        /// Human-readable rendering of the proved abstract state.
+        abstract_state: String,
+        /// The concrete value that escaped it.
+        concrete: u64,
+    },
 }
 
 impl KernelReport {
@@ -162,6 +176,9 @@ impl KernelReport {
                 "bpf-sanitize: alu_limit violation at insn {pc}: offset {offset} exceeds limit {limit}"
             ),
             KernelReport::EnvMismatch { reason } => format!("env mismatch: {reason}"),
+            KernelReport::StateDivergence { pc, reg, abstract_state, concrete } => format!(
+                "bvf-diff: state divergence at insn {pc}: r{reg}={concrete:#x} outside proved {abstract_state}"
+            ),
         }
     }
 }

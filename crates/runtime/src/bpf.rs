@@ -18,7 +18,8 @@ use bvf_verifier::{verify, InsnMeta, VerifierError, VerifierOpts};
 use std::time::Instant;
 
 use crate::interp::{
-    exec_program, fire_tracepoint, AttachTable, ExecImage, ExecResult, ProgRegistry, TriggerCtx,
+    exec_program, exec_program_traced, fire_tracepoint, AttachTable, ExecImage, ExecResult,
+    ExecTrace, ProgRegistry, TriggerCtx,
 };
 
 /// Default packet size for test runs of packet-carrying program types.
@@ -106,6 +107,10 @@ pub struct Bpf {
     /// Whether BVF's sanitation instrumentation is enabled (the Kconfig
     /// toggle from the paper's patches).
     pub sanitize: bool,
+    /// Abstract-state snapshots of the most recent load, populated when
+    /// [`VerifierOpts::snapshots`] is set. Consumed by
+    /// [`Bpf::take_snapshots`].
+    last_snapshots: Option<bvf_verifier::SnapshotStream>,
 }
 
 impl Bpf {
@@ -118,7 +123,15 @@ impl Bpf {
             attach_table: HashMap::new(),
             opts,
             sanitize,
+            last_snapshots: None,
         }
+    }
+
+    /// Takes the abstract-state snapshot stream recorded by the most
+    /// recent `prog_load`/`prog_load_with_cov` (empty unless
+    /// [`VerifierOpts::snapshots`] was set at boot).
+    pub fn take_snapshots(&mut self) -> Option<bvf_verifier::SnapshotStream> {
+        self.last_snapshots.take()
     }
 
     /// `BPF_MAP_CREATE`.
@@ -197,6 +210,9 @@ impl Bpf {
         offloaded: bool,
     ) -> Result<u32, BpfError> {
         let outcome = verify(&self.kernel, prog, prog_type, &self.opts);
+        if self.opts.snapshots {
+            self.last_snapshots = Some(outcome.snapshots);
+        }
         let vprog = outcome.result.map_err(BpfError::Verifier)?;
 
         let (image_prog, image_meta, stats) = if self.sanitize {
@@ -233,6 +249,9 @@ impl Bpf {
         prog_type: ProgType,
     ) -> (Result<u32, BpfError>, bvf_verifier::Coverage, PhaseTimings) {
         let outcome = verify(&self.kernel, prog, prog_type, &self.opts);
+        if self.opts.snapshots {
+            self.last_snapshots = Some(outcome.snapshots);
+        }
         let cov = outcome.cov;
         let mut timings = outcome.timings;
         match outcome.result {
@@ -415,6 +434,25 @@ impl Bpf {
 
     /// `BPF_PROG_TEST_RUN`.
     pub fn test_run(&mut self, prog_id: u32) -> Result<RunReport, BpfError> {
+        self.run_test(prog_id, None)
+    }
+
+    /// [`Bpf::test_run`] recording a concrete main-frame trace into
+    /// `trace` (the differential oracle's ground truth). Apart from the
+    /// recording, behavior is identical to the untraced run.
+    pub fn test_run_traced(
+        &mut self,
+        prog_id: u32,
+        trace: &mut ExecTrace,
+    ) -> Result<RunReport, BpfError> {
+        self.run_test(prog_id, Some(trace))
+    }
+
+    fn run_test(
+        &mut self,
+        prog_id: u32,
+        trace: Option<&mut ExecTrace>,
+    ) -> Result<RunReport, BpfError> {
         let prog = self
             .progs
             .get(prog_id as usize)
@@ -437,13 +475,14 @@ impl Bpf {
                 Some(AttachPoint::PerfEvent)
             );
         let trig = self.make_trigger(prog_id, in_nmi)?;
-        let exec = exec_program(
+        let exec = exec_program_traced(
             &mut self.kernel,
             &self.images,
             &self.attach_table,
             prog_id,
             trig,
             0,
+            trace,
         );
         self.release_trigger(trig);
         let reports = self.kernel.end_execution();

@@ -105,6 +105,45 @@ struct Frame {
     stack_addr: u64,
 }
 
+/// Maximum steps recorded into an [`ExecTrace`]. Steps past the cap are
+/// dropped (and flagged), but every *recorded* step remains a valid
+/// observation — the differential oracle checks a prefix, not a sample.
+pub const TRACE_STEP_CAP: usize = 65_536;
+
+/// One observed step of the triggered program's main frame.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStep {
+    /// Instruction index in the *executed* (possibly sanitized) image.
+    pub pc: usize,
+    /// Concrete values of `R0`..`R10` before the instruction executed.
+    pub regs: [u64; 11],
+}
+
+/// A concrete execution trace of the triggered program's main frame,
+/// consumed by the `bvf-diff` differential oracle. Subprogram frames and
+/// tail-call successors are not recorded: the verifier snapshots the
+/// main frame of the originally loaded program, and the trace must
+/// observe exactly that register file.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    /// Recorded steps, in execution order (capped at [`TRACE_STEP_CAP`]).
+    pub steps: Vec<TraceStep>,
+    /// Steps beyond the cap were dropped.
+    pub truncated: bool,
+}
+
+impl ExecTrace {
+    fn record(&mut self, pc: usize, regs: &[u64; 12]) {
+        if self.steps.len() >= TRACE_STEP_CAP {
+            self.truncated = true;
+            return;
+        }
+        let mut r = [0u64; 11];
+        r.copy_from_slice(&regs[..11]);
+        self.steps.push(TraceStep { pc, regs: r });
+    }
+}
+
 /// Executes a loaded program against the kernel.
 ///
 /// `depth` counts tracepoint re-entries; helpers that fire tracepoints
@@ -116,6 +155,23 @@ pub fn exec_program(
     prog_id: u32,
     trig: TriggerCtx,
     depth: u32,
+) -> ExecResult {
+    exec_program_traced(kernel, progs, attach, prog_id, trig, depth, None)
+}
+
+/// [`exec_program`] with an optional concrete trace hook: when `trace`
+/// is `Some`, every main-frame step of the triggered program records
+/// `(pc, R0..R10)` before the instruction executes. Tracing stops at a
+/// tail-call image switch (the successor was verified separately).
+#[allow(clippy::too_many_arguments)]
+pub fn exec_program_traced(
+    kernel: &mut Kernel,
+    progs: &ProgRegistry,
+    attach: &AttachTable,
+    prog_id: u32,
+    trig: TriggerCtx,
+    depth: u32,
+    mut trace: Option<&mut ExecTrace>,
 ) -> ExecResult {
     let mut steps: u64 = 0;
     if depth > MAX_TP_DEPTH {
@@ -185,6 +241,11 @@ pub fn exec_program(
             break;
         };
         let meta = image.meta.get(pc).copied().unwrap_or_default();
+        if frames.is_empty() {
+            if let Some(t) = trace.as_deref_mut() {
+                t.record(pc, &regs);
+            }
+        }
         let mut next = pc + slots;
 
         match kind {
@@ -415,6 +476,10 @@ pub fn exec_program(
                             tail_calls += 1;
                             image = target;
                             next = 0;
+                            // The successor image was verified on its own;
+                            // its register file does not belong to the
+                            // snapshot stream of the original program.
+                            trace = None;
                         }
                     }
                 }

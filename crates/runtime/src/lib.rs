@@ -15,4 +15,7 @@ pub mod bpf;
 pub mod interp;
 
 pub use bpf::{Bpf, BpfError, LoadedProg, RunReport};
-pub use interp::{exec_program, fire_tracepoint, ExecImage, ExecResult, HaltReason, TriggerCtx};
+pub use interp::{
+    exec_program, exec_program_traced, fire_tracepoint, ExecImage, ExecResult, ExecTrace,
+    HaltReason, TraceStep, TriggerCtx,
+};

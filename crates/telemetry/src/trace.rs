@@ -51,7 +51,7 @@ impl Deserialize for GenSource {
 
 /// One campaign event. Serialized as an internally tagged JSON object:
 /// the `"ev"` member names the event (`gen`, `verify`, `exec`, `oracle`,
-/// `finding`, `snapshot`) and the remaining members sit beside it.
+/// `finding`, `diff`, `snapshot`) and the remaining members sit beside it.
 /// Unknown members (like the sink's `t_ns` stamp) are ignored on parse.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -117,6 +117,18 @@ pub enum TraceEvent {
         /// Wall time differential triage took, nanoseconds.
         triage_ns: u64,
     },
+    /// The differential state oracle checked one executed program
+    /// (abstract-vs-concrete concretization membership, Indicator #3).
+    Diff {
+        /// Campaign iteration.
+        iter: usize,
+        /// Trace steps whose registers were membership-checked.
+        steps_checked: u64,
+        /// Individual register membership checks performed.
+        regs_checked: u64,
+        /// Whether a concrete value escaped the proved abstract state.
+        divergence: bool,
+    },
     /// Periodic campaign snapshot (the coverage-growth timeline).
     Snapshot {
         /// Campaign iteration.
@@ -141,6 +153,7 @@ impl TraceEvent {
             TraceEvent::Exec { .. } => "exec",
             TraceEvent::Oracle { .. } => "oracle",
             TraceEvent::Finding { .. } => "finding",
+            TraceEvent::Diff { .. } => "diff",
             TraceEvent::Snapshot { .. } => "snapshot",
         }
     }
@@ -214,6 +227,17 @@ impl Serialize for TraceEvent {
                 de::insert_field(&mut m, "culprits", culprits);
                 de::insert_field(&mut m, "triage_ns", triage_ns);
             }
+            TraceEvent::Diff {
+                iter,
+                steps_checked,
+                regs_checked,
+                divergence,
+            } => {
+                de::insert_field(&mut m, "iter", iter);
+                de::insert_field(&mut m, "steps_checked", steps_checked);
+                de::insert_field(&mut m, "regs_checked", regs_checked);
+                de::insert_field(&mut m, "divergence", divergence);
+            }
             TraceEvent::Snapshot {
                 iter,
                 coverage,
@@ -272,6 +296,12 @@ impl Deserialize for TraceEvent {
                 signature: de::field(obj, "signature")?,
                 culprits: de::field(obj, "culprits")?,
                 triage_ns: de::field(obj, "triage_ns")?,
+            }),
+            "diff" => Ok(TraceEvent::Diff {
+                iter: de::field(obj, "iter")?,
+                steps_checked: de::field(obj, "steps_checked")?,
+                regs_checked: de::field(obj, "regs_checked")?,
+                divergence: de::field(obj, "divergence")?,
             }),
             "snapshot" => Ok(TraceEvent::Snapshot {
                 iter: de::field(obj, "iter")?,
@@ -413,6 +443,12 @@ mod tests {
                 signature: "One:kasan".to_string(),
                 culprits: vec!["nullness_propagation".to_string()],
                 triage_ns: 5000,
+            },
+            TraceEvent::Diff {
+                iter: 1,
+                steps_checked: 40,
+                regs_checked: 440,
+                divergence: true,
             },
             TraceEvent::Snapshot {
                 iter: 1,

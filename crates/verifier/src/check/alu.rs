@@ -1,7 +1,7 @@
 //! ALU instruction checking: scalar bounds tracking and pointer
 //! arithmetic (`adjust_scalar_min_max_vals` / `adjust_ptr_min_max_vals`).
 
-use bvf_isa::{AluOp, InsnKind, Reg};
+use bvf_isa::{AluOp, Endianness, InsnKind, Reg};
 use bvf_kernel_sim::BugId;
 
 use crate::cov::Cat;
@@ -167,7 +167,11 @@ impl<'a> Verifier<'a> {
                 *state.cur_mut().reg_mut(dst) = out;
                 Ok(())
             }
-            InsnKind::Endian { bits, dst, .. } => {
+            InsnKind::Endian {
+                endianness,
+                bits,
+                dst,
+            } => {
                 self.cov.hit(Cat::AluOp, AluOp::End as u32, bits as u32);
                 self.check_reg_init(state, dst, pc)?;
                 let r = state.cur().reg(dst);
@@ -178,15 +182,25 @@ impl<'a> Verifier<'a> {
                         format!("R{} byte swap on pointer prohibited", dst.as_u8()),
                     ));
                 }
-                // Byte swaps scramble bounds; keep only constants.
+                // Byte swaps scramble bounds; keep only constants. The
+                // fold must match the runtime exactly: on a little-endian
+                // host `to_le` only truncates to the operand size, while
+                // `to_be` and the unconditional `bswap` swap bytes.
                 let out = match r.const_value() {
                     Some(v) => {
-                        let swapped = match bits {
-                            16 => (v as u16).swap_bytes() as u64,
-                            32 => (v as u32).swap_bytes() as u64,
-                            _ => v.swap_bytes(),
+                        let folded = match endianness {
+                            Endianness::Le => match bits {
+                                16 => v as u16 as u64,
+                                32 => v as u32 as u64,
+                                _ => v,
+                            },
+                            Endianness::Be | Endianness::Swap => match bits {
+                                16 => (v as u16).swap_bytes() as u64,
+                                32 => (v as u32).swap_bytes() as u64,
+                                _ => v.swap_bytes(),
+                            },
                         };
-                        RegState::known_scalar(swapped)
+                        RegState::known_scalar(folded)
                     }
                     None => RegState::unknown_scalar(),
                 };
@@ -280,16 +294,22 @@ impl<'a> Verifier<'a> {
         // equal-scalar linkage.
         let mut out = dst_state;
         out.id = 0;
-        if is64 {
-            scalar_alu64(op, &mut out, &src.reg);
+        if is64 && op == AluOp::Or && self.has_bug(BugId::BoundsRefinement) {
+            // Bug #12: the buggy refinement "knows" OR cannot exceed the
+            // larger operand, but 4 | 2 = 6: the result umax can undercut
+            // reachable values. Constant operands self-contradict with the
+            // tnum and collapse to unknown below; variable operands keep
+            // an internally consistent, unsoundly tight state that only
+            // the differential oracle (Indicator #3) can observe.
+            scalar_alu64(op, &mut out, &src.reg, 64);
+            out.umax = dst_state.umax.max(src.reg.umax);
             out.combine_64_into_32();
             out.normalize();
+            if !out.bounds_sane() {
+                out.mark_unknown();
+            }
         } else {
-            scalar_alu32(op, &mut out, &src.reg);
-            out.zext_32_to_64();
-        }
-        if !out.bounds_sane() {
-            out.mark_unknown();
+            scalar_transfer(op, is64, &mut out, &src.reg);
         }
         *state.cur_mut().reg_mut(dst) = out;
         Ok(())
@@ -573,7 +593,41 @@ fn ptr_limit(
 
 // ---- scalar bounds algebra -----------------------------------------------
 
-fn scalar_alu64(op: AluOp, dst: &mut RegState, src: &RegState) {
+/// The complete scalar ALU transfer function: applies `op` to the
+/// abstract scalar `dst` (in place) with operand `src`, including the
+/// 32-bit subregister projection, bound recombination, and
+/// normalization the verifier performs after the raw bounds algebra.
+///
+/// This is the *fix-free* transfer the verifier uses when no defect is
+/// injected; it is exposed so soundness can be property-checked
+/// directly: for all `x ∈ γ(dst)` and `y ∈ γ(src)`, the concrete
+/// result of `x op y` (with the interpreter's wrap/mask semantics)
+/// must be a member of the transferred `dst`.
+///
+/// `dst` and `src` must be scalars; pointer arithmetic takes a
+/// different path entirely.
+pub fn scalar_transfer(op: AluOp, is64: bool, dst: &mut RegState, src: &RegState) {
+    dst.id = 0;
+    if is64 {
+        scalar_alu64(op, dst, src, 64);
+        dst.combine_64_into_32();
+        dst.normalize();
+    } else {
+        scalar_alu32(op, dst, src);
+        dst.zext_32_to_64();
+    }
+    if !dst.bounds_sane() {
+        dst.mark_unknown();
+    }
+}
+
+/// `bits` is the instruction bitness (64, or 32 when invoked on the
+/// subreg projection by [`scalar_alu32`]); only the shifts consult it.
+/// An arithmetic shift must replicate from the *operand's* sign bit —
+/// on a 32-bit projection that is bit 31, not bit 63 — and a shift
+/// count is only a compile-time constant below the bitness (the runtime
+/// masks larger counts to it).
+fn scalar_alu64(op: AluOp, dst: &mut RegState, src: &RegState, bits: u8) {
     match op {
         AluOp::Add => {
             dst.smin = dst.smin.checked_add(src.smin).unwrap_or(i64::MIN);
@@ -697,8 +751,14 @@ fn scalar_alu64(op: AluOp, dst: &mut RegState, src: &RegState) {
                 dst.smin = 0;
             }
         }
+        // Shift amounts: the runtime masks the count to the instruction
+        // bitness (`& 63` / `& 31`), so a count >= `bits` wraps around
+        // rather than zeroing the register. Out-of-range immediates were
+        // rejected up front; an out-of-range *register* count must fall
+        // back to unknown (matching the kernel, which refuses to model
+        // wrapped shifts).
         AluOp::Lsh => match src.const_value() {
-            Some(s) if s < 64 => {
+            Some(s) if s < bits as u64 => {
                 let s = s as u8;
                 dst.var_off = dst.var_off.lshift(s);
                 if dst.umax.leading_zeros() as u64 >= s as u64 {
@@ -716,7 +776,7 @@ fn scalar_alu64(op: AluOp, dst: &mut RegState, src: &RegState) {
             }
         },
         AluOp::Rsh => match src.const_value() {
-            Some(s) if s < 64 => {
+            Some(s) if s < bits as u64 => {
                 let s = s as u8;
                 dst.var_off = dst.var_off.rshift(s);
                 dst.umin >>= s;
@@ -730,9 +790,9 @@ fn scalar_alu64(op: AluOp, dst: &mut RegState, src: &RegState) {
             }
         },
         AluOp::Arsh => match src.const_value() {
-            Some(s) if s < 64 => {
+            Some(s) if s < bits as u64 => {
                 let s = s as u8;
-                dst.var_off = dst.var_off.arshift(s, 64);
+                dst.var_off = dst.var_off.arshift(s, bits);
                 dst.smin >>= s;
                 dst.smax >>= s;
                 dst.umin = 0;
@@ -765,36 +825,27 @@ fn scalar_alu32(op: AluOp, dst: &mut RegState, src: &RegState) {
 
     // Shifts past 31 bits are invalid in 32-bit mode and yield unknowns;
     // the imm case was rejected earlier, reg case saturates.
-    scalar_alu64(op, &mut d, &s);
+    scalar_alu64(op, &mut d, &s, 32);
 
     // Truncate results back into 32-bit space.
     d.var_off = d.var_off.cast32();
     dst.var_off = d.var_off;
-    dst.u32_min = if d.umin <= u32::MAX as u64 {
-        d.umin as u32
+    // The projected interval is only usable if it fits the 32-bit
+    // domain entirely: an excursion past the domain edge means the
+    // 32-bit result can wrap, so clamping one endpoint would keep the
+    // other as a bound the wrapped values violate.
+    if d.umax <= u32::MAX as u64 {
+        dst.u32_min = d.umin as u32;
+        dst.u32_max = d.umax as u32;
     } else {
-        0
-    };
-    dst.u32_max = if d.umax <= u32::MAX as u64 {
-        d.umax as u32
-    } else {
-        u32::MAX
-    };
-    if dst.u32_min > dst.u32_max {
         dst.u32_min = 0;
         dst.u32_max = u32::MAX;
     }
-    dst.s32_min = if (i32::MIN as i64..=i32::MAX as i64).contains(&d.smin) {
-        d.smin as i32
+    let s32 = i32::MIN as i64..=i32::MAX as i64;
+    if s32.contains(&d.smin) && s32.contains(&d.smax) && d.smin <= d.smax {
+        dst.s32_min = d.smin as i32;
+        dst.s32_max = d.smax as i32;
     } else {
-        i32::MIN
-    };
-    dst.s32_max = if (i32::MIN as i64..=i32::MAX as i64).contains(&d.smax) {
-        d.smax as i32
-    } else {
-        i32::MAX
-    };
-    if dst.s32_min > dst.s32_max {
         dst.s32_min = i32::MIN;
         dst.s32_max = i32::MAX;
     }

@@ -1,6 +1,6 @@
 //! Instruction-class checkers.
 
-pub(crate) mod alu;
+pub mod alu;
 pub(crate) mod call;
 pub(crate) mod jump;
 pub(crate) mod mem;

@@ -78,6 +78,10 @@ pub struct VerifierOpts {
     /// arithmetic are rejected, and only socket-filter-class program
     /// types may load.
     pub unprivileged: bool,
+    /// Record per-instruction abstract-state snapshots during the main
+    /// walk (consumed by the `bvf-diff` differential oracle). Off by
+    /// default: plain loads pay nothing.
+    pub snapshots: bool,
 }
 
 impl Default for VerifierOpts {
@@ -87,6 +91,7 @@ impl Default for VerifierOpts {
             insn_limit: 100_000,
             log: false,
             unprivileged: false,
+            snapshots: false,
         }
     }
 }
@@ -195,6 +200,9 @@ pub struct Verifier<'a> {
     /// Wall-time per verification phase; observational only — no pass
     /// reads it back, so timing noise cannot change a verdict.
     pub timings: bvf_telemetry::PhaseTimings,
+    /// Per-instruction abstract-state snapshots of the main walk; empty
+    /// unless [`VerifierOpts::snapshots`] is set.
+    pub snapshots: crate::snapshot::SnapshotStream,
 }
 
 impl<'a> Verifier<'a> {
@@ -206,6 +214,11 @@ impl<'a> Verifier<'a> {
         opts: VerifierOpts,
     ) -> Verifier<'a> {
         let n = prog.insn_count();
+        let snapshots = if opts.snapshots {
+            crate::snapshot::SnapshotStream::new(n)
+        } else {
+            crate::snapshot::SnapshotStream::default()
+        };
         Verifier {
             kernel,
             opts,
@@ -226,6 +239,7 @@ impl<'a> Verifier<'a> {
             stack_spill_candidate: None,
             alu_limit_state: HashMap::new(),
             timings: bvf_telemetry::PhaseTimings::default(),
+            snapshots,
         }
     }
 

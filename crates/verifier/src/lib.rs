@@ -24,6 +24,7 @@ pub mod errors;
 pub mod fixup;
 pub mod prune;
 pub mod sanitize;
+pub mod snapshot;
 pub mod state;
 pub mod tnum;
 pub mod types;
@@ -33,6 +34,7 @@ pub use cov::{Cat, Coverage};
 pub use env::{AluLimitMeta, InsnMeta, KernelVersion, VerifiedProgram, VerifierOpts};
 pub use errors::{ErrorKind, VerifierError};
 pub use sanitize::{instrument, SanitizeError, SanitizeStats};
+pub use snapshot::{InsnStates, RegSnapshot, SnapshotStream};
 pub use tnum::Tnum;
 pub use types::{RegState, RegType};
 pub use verifier::{verify, VerifyOutcome};

@@ -1,0 +1,151 @@
+//! Per-instruction abstract-state snapshots for the differential oracle.
+//!
+//! When [`crate::VerifierOpts::snapshots`] is set, the main verification
+//! walk records, for every visit of every main-frame instruction, the
+//! abstract register file (`R0`..`R10`) it proved *before* that
+//! instruction executes. `bvf-diff` later joins this stream with a
+//! concrete interpreter trace and asserts concretization membership:
+//! every concrete register value observed at instruction `i` must lie
+//! inside at least one abstract state recorded for `i` (the verifier is
+//! path-sensitive, so the proved invariant at `i` is the *union* of the
+//! per-path states).
+//!
+//! Snapshots are capped per instruction ([`MAX_STATES_PER_INSN`]): once
+//! an instruction has been visited more often than the cap, it is marked
+//! [`InsnStates::truncated`] and the differential check must skip it —
+//! a missing path state may not be reported as a divergence.
+
+use crate::state::VerifierState;
+use crate::types::RegState;
+
+/// Registers captured per snapshot: `R0`..`R10` (the auxiliary `AX`
+/// register is a rewrite-pass artifact and never carries program state
+/// at original-instruction boundaries).
+pub const SNAPSHOT_REGS: usize = 11;
+
+/// Maximum abstract states remembered per instruction. Beyond this the
+/// instruction is flagged truncated and excluded from membership checks
+/// (soundness of the *oracle*: never report a divergence against an
+/// incomplete path union).
+pub const MAX_STATES_PER_INSN: usize = 16;
+
+/// The abstract register file the verifier proved at one path visit of
+/// one instruction.
+#[derive(Debug, Clone)]
+pub struct RegSnapshot {
+    /// Abstract state of `R0`..`R10` immediately before the instruction.
+    pub regs: [RegState; SNAPSHOT_REGS],
+}
+
+/// All abstract states recorded at one instruction index.
+#[derive(Debug, Clone, Default)]
+pub struct InsnStates {
+    /// One entry per explored path visit, in visit order (capped).
+    pub states: Vec<RegSnapshot>,
+    /// The cap was hit: the union here is incomplete and the instruction
+    /// must be skipped by membership checks.
+    pub truncated: bool,
+}
+
+/// The per-instruction abstract-state stream of one verification run,
+/// indexed by original-program instruction slot.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotStream {
+    per_insn: Vec<InsnStates>,
+}
+
+impl SnapshotStream {
+    /// An enabled stream covering `insn_count` instruction slots.
+    pub fn new(insn_count: usize) -> SnapshotStream {
+        SnapshotStream {
+            per_insn: vec![InsnStates::default(); insn_count],
+        }
+    }
+
+    /// Whether nothing was recorded (snapshots disabled or the program
+    /// was rejected before the walk).
+    pub fn is_empty(&self) -> bool {
+        self.per_insn.iter().all(|s| s.states.is_empty())
+    }
+
+    /// Records the main frame of `state` as one visit of `pc`. The
+    /// caller guarantees `state.depth() == 0`.
+    pub fn record(&mut self, pc: usize, state: &VerifierState) {
+        let frame = state.cur();
+        let mut regs = [RegState::not_init(); SNAPSHOT_REGS];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = frame.regs[i];
+        }
+        self.push_raw(pc, RegSnapshot { regs });
+    }
+
+    /// Appends a pre-built snapshot as one visit of `pc`, honoring the
+    /// per-instruction cap. Out-of-range `pc`s are ignored. Used by
+    /// `bvf-diff` tests to build synthetic streams.
+    pub fn push_raw(&mut self, pc: usize, snap: RegSnapshot) {
+        let Some(slot) = self.per_insn.get_mut(pc) else {
+            return;
+        };
+        if slot.states.len() >= MAX_STATES_PER_INSN {
+            slot.truncated = true;
+            return;
+        }
+        slot.states.push(snap);
+    }
+
+    /// Flags the slot at `pc` as truncated (incomplete path union),
+    /// excluding it from membership checks.
+    pub fn mark_truncated(&mut self, pc: usize) {
+        if let Some(slot) = self.per_insn.get_mut(pc) {
+            slot.truncated = true;
+        }
+    }
+
+    /// The states recorded at instruction `pc`, if the slot exists.
+    pub fn at(&self, pc: usize) -> Option<&InsnStates> {
+        self.per_insn.get(pc)
+    }
+
+    /// Number of instruction slots with at least one recorded state.
+    pub fn recorded_insns(&self) -> usize {
+        self.per_insn
+            .iter()
+            .filter(|s| !s.states.is_empty())
+            .count()
+    }
+
+    /// Total states recorded across all instructions.
+    pub fn total_states(&self) -> usize {
+        self.per_insn.iter().map(|s| s.states.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_caps_and_flags_truncation() {
+        let mut s = SnapshotStream::new(2);
+        let st = VerifierState::entry();
+        for _ in 0..MAX_STATES_PER_INSN {
+            s.record(0, &st);
+        }
+        assert_eq!(s.at(0).unwrap().states.len(), MAX_STATES_PER_INSN);
+        assert!(!s.at(0).unwrap().truncated);
+        s.record(0, &st);
+        assert_eq!(s.at(0).unwrap().states.len(), MAX_STATES_PER_INSN);
+        assert!(s.at(0).unwrap().truncated);
+        assert_eq!(s.recorded_insns(), 1);
+        assert_eq!(s.total_states(), MAX_STATES_PER_INSN);
+    }
+
+    #[test]
+    fn out_of_range_record_is_ignored() {
+        let mut s = SnapshotStream::new(1);
+        let st = VerifierState::entry();
+        s.record(5, &st);
+        assert!(s.is_empty());
+        assert!(s.at(5).is_none());
+    }
+}

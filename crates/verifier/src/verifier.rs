@@ -63,6 +63,9 @@ pub struct VerifyOutcome {
     /// Wall time per verification phase; phases a rejected load never
     /// reached stay 0. Observational only — nothing reads it back.
     pub timings: PhaseTimings,
+    /// Per-instruction abstract-state snapshots of the main walk; empty
+    /// unless [`VerifierOpts::snapshots`] was set.
+    pub snapshots: crate::snapshot::SnapshotStream,
 }
 
 /// Verifies `prog` for `prog_type` against the kernel's tables.
@@ -78,6 +81,7 @@ pub fn verify(
         result,
         cov: v.cov,
         timings: v.timings,
+        snapshots: v.snapshots,
     }
 }
 
@@ -227,6 +231,13 @@ impl<'a> Verifier<'a> {
                         parent: trace.take(),
                     }));
                     self.timings.prune_ns += elapsed_ns(prune_t0);
+                }
+
+                // Differential-oracle snapshot: the abstract register
+                // file proved *before* this instruction, main frame only
+                // (the concrete trace only observes main-frame steps).
+                if self.opts.snapshots && state.depth() == 0 {
+                    self.snapshots.record(pc, &state);
                 }
 
                 let (kind, slots) = self.prog.decode_at(pc).expect("validated");

@@ -1,0 +1,172 @@
+//! Property tests: RegState-level scalar ALU transfer soundness.
+//!
+//! [`prop_tnum`](./prop_tnum.rs) checks the tnum algebra in isolation;
+//! this suite checks the *full* transfer the verifier applies to a
+//! register — bounds algebra, 32-bit subregister projection, bound
+//! recombination, and normalization — against the interpreter's
+//! concrete semantics (wrapping arithmetic, masked shift counts,
+//! division-by-zero yielding zero, modulo-zero leaving dst unchanged).
+//!
+//! The property is concretization membership: for abstract scalars
+//! `D`, `S` and concrete members `x ∈ γ(D)`, `y ∈ γ(S)`, the concrete
+//! result of `x op y` must be a member of the transferred abstract
+//! result. This is exactly the invariant the differential oracle
+//! (Indicator #3) enforces end to end on whole programs.
+
+use bvf_verifier::check::alu::scalar_transfer;
+use bvf_verifier::types::RegState;
+use bvf_verifier::Tnum;
+use proptest::prelude::*;
+
+use bvf_isa::AluOp;
+
+/// The binary scalar ops `scalar_transfer` accepts (Mov/Neg/End take
+/// dedicated paths in the verifier).
+const OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Lsh,
+    AluOp::Rsh,
+    AluOp::Mod,
+    AluOp::Xor,
+    AluOp::Arsh,
+];
+
+/// Does the abstract scalar admit the concrete value? Mirrors the
+/// membership check the differential oracle applies per register.
+fn admits(r: &RegState, v: u64) -> bool {
+    r.var_off.contains(v)
+        && r.umin <= v
+        && v <= r.umax
+        && r.smin <= (v as i64)
+        && (v as i64) <= r.smax
+        && r.var_off.subreg().contains(v as u32 as u64)
+        && r.u32_min <= (v as u32)
+        && (v as u32) <= r.u32_max
+        && r.s32_min <= (v as u32 as i32)
+        && (v as u32 as i32) <= r.s32_max
+}
+
+/// An arbitrary consistent abstract scalar plus one concrete member:
+/// a well-formed tnum with bounds optionally tightened around two of
+/// its members, then normalized.
+fn reg_with_member() -> impl Strategy<Value = (RegState, u64)> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(value, mask, pick_a, pick_b, tighten)| {
+            let value = value & !mask;
+            let a = value | (pick_a & mask);
+            let b = value | (pick_b & mask);
+            let mut r = RegState::unknown_scalar();
+            r.var_off = Tnum::new(value, mask);
+            if tighten {
+                r.umin = a.min(b);
+                r.umax = a.max(b);
+            }
+            r.normalize();
+            (r, a)
+        })
+}
+
+/// The interpreter's concrete ALU semantics (`crates/runtime` `alu`):
+/// wrapping arithmetic, shift counts masked to the bitness, `/0 = 0`,
+/// `%0 = dst`.
+fn concrete_alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
+    if is64 {
+        match op {
+            AluOp::Add => dst.wrapping_add(src),
+            AluOp::Sub => dst.wrapping_sub(src),
+            AluOp::Mul => dst.wrapping_mul(src),
+            AluOp::Div => dst.checked_div(src).unwrap_or(0),
+            AluOp::Or => dst | src,
+            AluOp::And => dst & src,
+            AluOp::Lsh => dst.wrapping_shl(src as u32 & 63),
+            AluOp::Rsh => dst.wrapping_shr(src as u32 & 63),
+            AluOp::Mod => dst.checked_rem(src).unwrap_or(dst),
+            AluOp::Xor => dst ^ src,
+            AluOp::Arsh => ((dst as i64).wrapping_shr(src as u32 & 63)) as u64,
+            _ => unreachable!("not a binary scalar op"),
+        }
+    } else {
+        let d = dst as u32;
+        let s = src as u32;
+        (match op {
+            AluOp::Add => d.wrapping_add(s),
+            AluOp::Sub => d.wrapping_sub(s),
+            AluOp::Mul => d.wrapping_mul(s),
+            AluOp::Div => d.checked_div(s).unwrap_or(0),
+            AluOp::Or => d | s,
+            AluOp::And => d & s,
+            AluOp::Lsh => d.wrapping_shl(s & 31),
+            AluOp::Rsh => d.wrapping_shr(s & 31),
+            AluOp::Mod => d.checked_rem(s).unwrap_or(d),
+            AluOp::Xor => d ^ s,
+            AluOp::Arsh => ((d as i32).wrapping_shr(s & 31)) as u32,
+            _ => unreachable!("not a binary scalar op"),
+        }) as u64
+    }
+}
+
+proptest! {
+    /// The abstract state construction itself is sound: the picked
+    /// member survives tightening and normalization.
+    #[test]
+    fn member_construction((d, x) in reg_with_member()) {
+        prop_assert!(admits(&d, x), "{} must admit {:#x}", d.describe(), x);
+    }
+
+    /// Membership is preserved by every binary transfer, 64-bit.
+    #[test]
+    fn transfer64_sound((d, x) in reg_with_member(), (s, y) in reg_with_member(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let mut out = d;
+        scalar_transfer(op, true, &mut out, &s);
+        let concrete = concrete_alu(op, true, x, y);
+        prop_assert!(
+            admits(&out, concrete),
+            "{:?}64: {:#x} op {:#x} = {:#x} escapes {} (dst {}, src {})",
+            op, x, y, concrete, out.describe(), d.describe(), s.describe()
+        );
+    }
+
+    /// Membership is preserved by every binary transfer, 32-bit
+    /// (result zero-extended, as at runtime).
+    #[test]
+    fn transfer32_sound((d, x) in reg_with_member(), (s, y) in reg_with_member(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let mut out = d;
+        scalar_transfer(op, false, &mut out, &s);
+        let concrete = concrete_alu(op, false, x, y);
+        prop_assert!(
+            admits(&out, concrete),
+            "{:?}32: {:#x} op {:#x} = {:#x} escapes {} (dst {}, src {})",
+            op, x, y, concrete, out.describe(), d.describe(), s.describe()
+        );
+    }
+
+    /// Known constants fold exactly: a constant `op` constant transfer
+    /// yields the concrete result as a known scalar.
+    #[test]
+    fn transfer_const_folds(x in any::<u64>(), y in any::<u64>(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        // Shift counts must be in range for the fold to stay a shift.
+        let y = if matches!(op, AluOp::Lsh | AluOp::Rsh | AluOp::Arsh) { y & 63 } else { y };
+        let mut out = RegState::known_scalar(x);
+        scalar_transfer(op, true, &mut out, &RegState::known_scalar(y));
+        let concrete = concrete_alu(op, true, x, y);
+        prop_assert!(
+            admits(&out, concrete),
+            "{:?} const fold: {:#x} op {:#x} = {:#x} escapes {}",
+            op, x, y, concrete, out.describe()
+        );
+    }
+}
