@@ -129,6 +129,10 @@ fn main() {
     let quick = arg_flag("--quick");
     let iters = arg_usize("--iters", if quick { 2_000 } else { 20_000 });
     let seed = arg_usize("--seed", 41) as u64;
+    // `--check-regression PCT`: compare the 1-worker rate against the
+    // committed 1-core baseline and fail if it dropped more than PCT
+    // percent. 0 disables the check (the default).
+    let max_regression_pct = arg_usize("--check-regression", 0);
     if arg_flag("--diff-oracle") {
         diff_overhead(iters, seed, quick);
         return;
@@ -144,6 +148,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut points = Vec::new();
     let mut base_rate = 0.0f64;
+    let mut one_worker_rate = None;
     for &w in &workers {
         let pcfg = ParallelConfig::new(w);
         let a = run_sharded(&cfg, &pcfg);
@@ -167,6 +172,9 @@ fn main() {
         let rate = iters as f64 / secs;
         if w == workers[0] {
             base_rate = rate;
+        }
+        if w == 1 {
+            one_worker_rate = Some(rate);
         }
         let speedup = rate / base_rate;
         let efficiency = speedup / (w as f64 / workers[0] as f64);
@@ -211,6 +219,20 @@ fn main() {
         )
     );
 
+    // Compare against the committed 1-core baseline when a 1-worker
+    // point was measured and the baseline file is readable.
+    let baseline = committed_baseline_rate();
+    let baseline_ratio = match (one_worker_rate, baseline) {
+        (Some(rate), Some(base)) if base > 0.0 => {
+            let ratio = rate / base;
+            println!(
+                "1-worker rate vs committed 1-core baseline: {rate:.0} / {base:.0} = {ratio:.2}x"
+            );
+            Some(ratio)
+        }
+        _ => None,
+    };
+
     save_json(
         "throughput.json",
         &serde_json::json!({
@@ -219,6 +241,25 @@ fn main() {
             "available_parallelism": cores,
             "quick": quick,
             "points": points,
+            "committed_baseline_execs_per_sec": baseline,
+            "baseline_ratio_1worker": baseline_ratio,
         }),
     );
+
+    if max_regression_pct > 0 {
+        let ratio = baseline_ratio.unwrap_or_else(|| {
+            eprintln!(
+                "--check-regression needs a 1-worker point and a readable \
+                 bench_results/throughput_baseline_1core.json"
+            );
+            std::process::exit(2);
+        });
+        let floor = 1.0 - max_regression_pct as f64 / 100.0;
+        assert!(
+            ratio >= floor,
+            "throughput regressed beyond {max_regression_pct}%: \
+             {ratio:.2}x of the committed baseline (floor {floor:.2}x)"
+        );
+        eprintln!("regression check passed: {ratio:.2}x of baseline (floor {floor:.2}x)");
+    }
 }

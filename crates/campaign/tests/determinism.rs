@@ -171,6 +171,33 @@ fn one_worker_diff_oracle_matches_serial() {
 }
 
 #[test]
+fn prune_index_on_and_off_find_the_same_bugs() {
+    // The fingerprint index is a pure filter over `states_equal`
+    // candidates: it may change how many comparisons run, never which
+    // paths are pruned. A whole campaign — generation, verification,
+    // execution, oracles, dedup, triage — must therefore be identical
+    // with the index on and off, diff oracle included.
+    let mut on = config(600, 20_240_601);
+    on.diff_oracle = true;
+    let mut off = on.clone();
+    off.prune_index = false;
+
+    let a = run_campaign(&on);
+    let b = run_campaign(&off);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "the fingerprint index changed campaign findings"
+    );
+    assert_eq!(a.errno_histogram, b.errno_histogram);
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.found_bugs, b.found_bugs);
+    assert_eq!(a.diff.divergences, b.diff.divergences);
+    assert!(!a.findings.is_empty(), "campaign must find something");
+}
+
+#[test]
 fn diff_campaigns_are_deterministic_across_worker_counts() {
     for workers in [1usize, 2, 3] {
         let mut cfg = config(400, 97);

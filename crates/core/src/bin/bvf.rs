@@ -45,7 +45,7 @@ use std::process::exit;
 
 use bvf::baseline::GeneratorKind;
 use bvf::fuzz::{report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult};
-use bvf::minimize::minimize_finding;
+use bvf::minimize::minimize_finding_jobs;
 use bvf::oracle::{judge, triage};
 use bvf::scenario::{run_scenario, run_scenario_diff, Scenario};
 use bvf_campaign::{run_sharded, ParallelConfig};
@@ -63,7 +63,7 @@ fn usage() -> ! {
          [--snapshot-every N] [--save-findings DIR]\n  \
          bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize] [--diff-oracle]\n  \
          bvf minimize <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n             \
-         [--diff-oracle] [--out FILE]\n  \
+         [--diff-oracle] [--jobs N] [--out FILE]\n  \
          bvf disasm <scenario.json|program.bin>\n  \
          bvf bugs"
     );
@@ -453,8 +453,18 @@ fn cmd_minimize(args: &Args, path: &str) {
         .unwrap_or(KernelVersion::BpfNext);
     let sanitize = !args.flag("--no-sanitize");
     let diff = args.flag("--diff-oracle");
+    let jobs: usize = args
+        .opt("--jobs")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad --jobs: {s}");
+                exit(2);
+            })
+        })
+        .unwrap_or(1)
+        .max(1);
 
-    let out = match minimize_finding(&scenario, &bugs, version, sanitize, diff) {
+    let out = match minimize_finding_jobs(&scenario, &bugs, version, sanitize, diff, jobs) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("cannot minimize: {e}");
@@ -464,6 +474,10 @@ fn cmd_minimize(args: &Args, path: &str) {
     println!(
         "minimized: {} of {} instruction units kept ({} replays)",
         out.units_kept, out.units_total, out.replays
+    );
+    println!(
+        "cache: {} hits, {} misses ({} candidate evaluations answered without a replay)",
+        out.cache_hits, out.cache_misses, out.cache_hits
     );
     println!("signature: {}", out.signature);
     println!("{}", out.scenario.prog.dump());

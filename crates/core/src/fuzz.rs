@@ -36,7 +36,7 @@ use crate::gen::{GenConfig, StructuredGen};
 use bvf_diff::DiffStats;
 
 use crate::oracle::{judge, triage, Finding, Indicator};
-use crate::scenario::{run_scenario, run_scenario_diff, Scenario};
+use crate::scenario::{run_scenario_with, Scenario};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +64,10 @@ pub struct CampaignConfig {
     /// #3) is armed: verifier snapshots + interpreter traces + the
     /// concretization-membership check on every executed program.
     pub diff_oracle: bool,
+    /// Whether the verifier's fingerprint-bucketed explored-state index
+    /// is enabled. A pure filter — findings are identical either way —
+    /// kept toggleable for `prune_bench` and the determinism tests.
+    pub prune_index: bool,
 }
 
 impl CampaignConfig {
@@ -80,6 +84,7 @@ impl CampaignConfig {
             triage: true,
             feedback: true,
             diff_oracle: false,
+            prune_index: true,
         }
     }
 }
@@ -528,11 +533,14 @@ impl CampaignWorker {
             });
         }
 
-        let outcome = if cfg.diff_oracle {
-            run_scenario_diff(&scenario, &cfg.bugs, cfg.version, cfg.sanitize)
-        } else {
-            run_scenario(&scenario, &cfg.bugs, cfg.version, cfg.sanitize)
-        };
+        let outcome = run_scenario_with(
+            &scenario,
+            &cfg.bugs,
+            cfg.version,
+            cfg.sanitize,
+            cfg.diff_oracle,
+            cfg.prune_index,
+        );
         match &outcome.load {
             Ok(_) => {
                 self.accepted += 1;

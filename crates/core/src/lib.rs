@@ -45,4 +45,6 @@ pub use fuzz::{run_campaign, CampaignConfig, CampaignResult};
 pub use gen::{GenConfig, StructuredGen};
 pub use minimize::{minimize_finding, MinimizeOutcome};
 pub use oracle::{classify_report, judge, triage, Finding, Indicator};
-pub use scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome, Trigger};
+pub use scenario::{
+    run_scenario, run_scenario_diff, run_scenario_with, Scenario, ScenarioOutcome, Trigger,
+};

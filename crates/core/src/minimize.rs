@@ -11,7 +11,9 @@
 //! to reproduce the exact [`report_signature`] the campaign
 //! deduplicated the finding under.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use bvf_isa::{asm, Program};
 use bvf_kernel_sim::BugSet;
@@ -19,7 +21,7 @@ use bvf_verifier::KernelVersion;
 
 use crate::fuzz::report_signature;
 use crate::oracle::judge;
-use crate::scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome};
+use crate::scenario::{run_scenario, run_scenario_diff, Scenario};
 
 /// What one minimization run produced.
 #[derive(Debug)]
@@ -34,8 +36,34 @@ pub struct MinimizeOutcome {
     pub units_total: usize,
     /// Units the minimized program keeps in original form.
     pub units_kept: usize,
-    /// Scenario replays the delta-debugging loop performed.
+    /// Scenario replays performed (signature-cache misses plus the
+    /// initial full-scenario replay).
     pub replays: usize,
+    /// Candidate evaluations answered from the signature cache without
+    /// a replay.
+    pub cache_hits: usize,
+    /// Candidate evaluations that had to replay the scenario.
+    pub cache_misses: usize,
+}
+
+/// Hash of a program's instruction stream — the signature-cache key.
+/// Two candidates that neutralize different unit sets but produce the
+/// same instruction bytes replay identically, so one replay serves both.
+fn prog_hash(prog: &Program) -> u64 {
+    // FNV-1a over the five fields of every slot.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for insn in prog.insns() {
+        eat(u64::from(insn.code));
+        eat(u64::from(insn.dst));
+        eat(u64::from(insn.src));
+        eat(insn.off as u16 as u64);
+        eat(insn.imm as u32 as u64);
+    }
+    h
 }
 
 /// Decodable instruction units of `prog` as `(start_slot, slot_count)`
@@ -86,19 +114,37 @@ pub fn minimize_finding(
     sanitize: bool,
     diff_oracle: bool,
 ) -> Result<MinimizeOutcome, String> {
-    let run = |s: &Scenario| -> ScenarioOutcome {
-        if diff_oracle {
+    minimize_finding_jobs(scenario, bugs, version, sanitize, diff_oracle, 1)
+}
+
+/// Like [`minimize_finding`], with candidate replays spread across
+/// `jobs` worker threads and memoized in a program-hash → signature
+/// cache.
+///
+/// The reduction result is identical at every job count: each ddmin
+/// round's candidates are tried in the same order and the **first**
+/// passing one is chosen, so parallel evaluation only changes how many
+/// replays run concurrently, never which reduction step is taken.
+/// `jobs == 1` evaluates lazily (stopping at the first success) exactly
+/// like the classic serial loop.
+pub fn minimize_finding_jobs(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+    jobs: usize,
+) -> Result<MinimizeOutcome, String> {
+    let jobs = jobs.max(1);
+    let signature_of = |s: &Scenario| -> Option<String> {
+        let out = if diff_oracle {
             run_scenario_diff(s, bugs, version, sanitize)
         } else {
             run_scenario(s, bugs, version, sanitize)
-        }
-    };
-    let signature_of = |s: &Scenario| -> Option<String> {
-        let out = run(s);
+        };
         judge(s, &out).map(|f| report_signature(f.indicator, &f.reports))
     };
 
-    let mut replays = 1usize;
     let Some(target) = signature_of(scenario) else {
         return Err(
             "scenario produces no finding under this configuration (check --bugs, \
@@ -107,19 +153,72 @@ pub fn minimize_finding(
         );
     };
 
+    // prog-hash → signature memo: ddmin re-derives overlapping
+    // complements when the granularity changes, and identical
+    // instruction streams replay identically.
+    let cache: Mutex<HashMap<u64, Option<String>>> = Mutex::new(HashMap::new());
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+
+    let check = |keep: &[(usize, usize)]| -> bool {
+        let candidate = neutralized(scenario, keep);
+        let key = prog_hash(&candidate.prog);
+        if let Some(sig) = cache.lock().expect("cache lock").get(&key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return sig.as_deref() == Some(target.as_str());
+        }
+        let sig = signature_of(&candidate);
+        misses.fetch_add(1, Ordering::Relaxed);
+        let ok = sig.as_deref() == Some(target.as_str());
+        cache.lock().expect("cache lock").insert(key, sig);
+        ok
+    };
+
     let all = units(&scenario.prog);
-    let kept = bvf_diff::ddmin(&all, |keep| {
-        replays += 1;
-        signature_of(&neutralized(scenario, keep)).as_deref() == Some(target.as_str())
+    let kept = bvf_diff::ddmin_batched(&all, |candidates| {
+        if jobs == 1 || candidates.len() <= 1 {
+            // Lazy serial evaluation: stop at the first success. The
+            // chooser takes the first true, so the unevaluated tail
+            // (left false) is never consulted.
+            let mut verdicts = vec![false; candidates.len()];
+            for (i, keep) in candidates.iter().enumerate() {
+                if check(keep) {
+                    verdicts[i] = true;
+                    break;
+                }
+            }
+            verdicts
+        } else {
+            // Batch the whole round across the worker threads.
+            let verdicts: Vec<AtomicBool> =
+                candidates.iter().map(|_| AtomicBool::new(false)).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(candidates.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= candidates.len() {
+                            break;
+                        }
+                        verdicts[i].store(check(&candidates[i]), Ordering::Relaxed);
+                    });
+                }
+            });
+            verdicts.into_iter().map(|b| b.into_inner()).collect()
+        }
     });
     let minimized = neutralized(scenario, &kept);
 
+    let cache_hits = hits.load(Ordering::Relaxed);
+    let cache_misses = misses.load(Ordering::Relaxed);
     Ok(MinimizeOutcome {
         scenario: minimized,
         signature: target,
         units_total: all.len(),
         units_kept: kept.len(),
-        replays,
+        replays: 1 + cache_misses,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -171,6 +270,45 @@ mod tests {
         let replay = run_scenario(&out.scenario, &bugs, KernelVersion::BpfNext, true);
         let f = judge(&out.scenario, &replay).expect("minimized finding must reproduce");
         assert_eq!(report_signature(f.indicator, &f.reports), out.signature);
+    }
+
+    /// Round-trip on the committed Indicator #3 fixture: the parallel,
+    /// cache-backed path must reproduce the serial result exactly, and
+    /// the memo cache must actually absorb repeated candidates.
+    #[test]
+    fn parallel_jobs_and_cache_reproduce_serial_result() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/indicator3_or_bounds.json"
+        );
+        let data = std::fs::read(path).expect("committed fixture readable");
+        let scenario: Scenario = serde_json::from_slice(&data).expect("fixture parses");
+        let bugs = BugSet::all();
+
+        let serial = minimize_finding_jobs(&scenario, &bugs, KernelVersion::BpfNext, true, true, 1)
+            .expect("fixture must minimize serially");
+        let parallel =
+            minimize_finding_jobs(&scenario, &bugs, KernelVersion::BpfNext, true, true, 4)
+                .expect("fixture must minimize in parallel");
+
+        assert_eq!(serial.signature, parallel.signature);
+        assert_eq!(serial.units_kept, parallel.units_kept);
+        assert_eq!(
+            serial.scenario.prog.insns(),
+            parallel.scenario.prog.insns(),
+            "job count changed the reduction"
+        );
+        assert_eq!(serial.replays, serial.cache_misses + 1);
+        assert!(
+            parallel.cache_hits + parallel.cache_misses > 0,
+            "cache never consulted"
+        );
+
+        // Replaying the minimized scenario under the same configuration
+        // reproduces the signature (the property CI pins end to end).
+        let replay = run_scenario_diff(&serial.scenario, &bugs, KernelVersion::BpfNext, true);
+        let f = judge(&serial.scenario, &replay).expect("minimized finding reproduces");
+        assert_eq!(report_signature(f.indicator, &f.reports), serial.signature);
     }
 
     #[test]

@@ -139,7 +139,7 @@ pub fn run_scenario(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, false)
+    run_scenario_inner(scenario, bugs, version, sanitize, false, true)
 }
 
 /// Like [`run_scenario`], but with the abstract-vs-concrete differential
@@ -154,7 +154,23 @@ pub fn run_scenario_diff(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, true)
+    run_scenario_inner(scenario, bugs, version, sanitize, true, true)
+}
+
+/// Like [`run_scenario`]/[`run_scenario_diff`], with every verifier
+/// knob explicit. `prune_index` toggles the fingerprint-bucketed
+/// explored-state index (a pure filter: verdicts and findings are
+/// identical either way; only the number of `states_equal` calls
+/// changes). Exposed for the determinism tests and `prune_bench`.
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+    prune_index: bool,
+) -> ScenarioOutcome {
+    run_scenario_inner(scenario, bugs, version, sanitize, diff_oracle, prune_index)
 }
 
 fn run_scenario_inner(
@@ -163,10 +179,12 @@ fn run_scenario_inner(
     version: KernelVersion,
     sanitize: bool,
     diff_oracle: bool,
+    prune_index: bool,
 ) -> ScenarioOutcome {
     let opts = VerifierOpts {
         version,
         snapshots: diff_oracle,
+        prune_index,
         ..Default::default()
     };
     let mut bpf = Bpf::new(bugs.clone(), opts, sanitize);

@@ -33,7 +33,7 @@ pub mod stats;
 pub mod trace;
 
 pub use metrics::{Histogram, Registry};
-pub use profile::PhaseTimings;
+pub use profile::{PhaseTimings, PruneCounters};
 pub use stats::CampaignStats;
 pub use trace::{GenSource, JsonlSink, NullSink, TraceEvent, TraceSink};
 

@@ -27,6 +27,35 @@ pub struct PhaseTimings {
     pub fixup_ns: u64,
     /// BVF's sanitation instrumentation (applied after verification).
     pub sanitize_ns: u64,
+    /// Work counters for the pruning machinery (one load attempt).
+    pub prune: PruneCounters,
+}
+
+/// Per-load work counters for the explored-state index. Like the
+/// timings they are observational only; the campaign folds them into
+/// the registry as plain counters, which makes them merge-safe across
+/// workers (counter merge is addition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneCounters {
+    /// Prune-point visits (one per state arriving at a prune point).
+    pub checks: u64,
+    /// Visits that pruned the path (a stored state subsumed it).
+    pub hits: u64,
+    /// Full `states_equal` comparisons actually executed.
+    pub states_equal_calls: u64,
+    /// Candidate comparisons skipped because the structural fingerprint
+    /// proved subsumption impossible.
+    pub fingerprint_filtered: u64,
+    /// Explored-scan comparisons skipped because the loop-detector
+    /// ancestor walk already compared that exact stored state.
+    pub loop_scan_shared: u64,
+    /// Evictions at `MAX_STATES_PER_POINT` (either direction: a stored
+    /// state replaced, or the incoming state dropped as most specific).
+    pub evictions: u64,
+    /// Distinct prune points that stored at least one state.
+    pub points: u64,
+    /// States resident in the explored index when verification ended.
+    pub states_stored: u64,
 }
 
 impl PhaseTimings {
@@ -45,6 +74,22 @@ impl PhaseTimings {
         reg.record(&format!("{prefix}.fixup_ns"), self.fixup_ns);
         reg.record(&format!("{prefix}.sanitize_ns"), self.sanitize_ns);
         reg.record(&format!("{prefix}.total_ns"), self.total_ns());
+        self.prune.record_into(reg);
+    }
+}
+
+impl PruneCounters {
+    /// Folds the counters into `reg` under fixed `prune.*` names.
+    /// Counters add on merge, so per-worker registries stay mergeable.
+    pub fn record_into(&self, reg: &mut Registry) {
+        reg.add("prune.checks", self.checks);
+        reg.add("prune.hits", self.hits);
+        reg.add("prune.states_equal_calls", self.states_equal_calls);
+        reg.add("prune.fingerprint_filtered", self.fingerprint_filtered);
+        reg.add("prune.loop_scan_shared", self.loop_scan_shared);
+        reg.add("prune.evictions", self.evictions);
+        reg.add("prune.points", self.points);
+        reg.add("prune.states_stored", self.states_stored);
     }
 }
 
@@ -65,6 +110,7 @@ mod tests {
             prune_ns: 40,
             fixup_ns: 5,
             sanitize_ns: 20,
+            prune: PruneCounters::default(),
         };
         assert_eq!(t.total_ns(), 135);
     }
@@ -88,6 +134,30 @@ mod tests {
             assert_eq!(reg.histogram(name).map(|h| h.count), Some(1), "{name}");
         }
         assert_eq!(reg.histogram("verify.do_check_ns").unwrap().sum, 7);
+    }
+
+    #[test]
+    fn prune_counters_fold_as_counters() {
+        let mut reg = Registry::new();
+        let t = PhaseTimings {
+            prune: PruneCounters {
+                checks: 4,
+                states_equal_calls: 3,
+                fingerprint_filtered: 9,
+                evictions: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Two loads merge by addition — the merge-safety the campaign
+        // relies on when folding per-worker registries.
+        t.record_into(&mut reg, "verify");
+        t.record_into(&mut reg, "verify");
+        assert_eq!(reg.counter("prune.checks"), 8);
+        assert_eq!(reg.counter("prune.states_equal_calls"), 6);
+        assert_eq!(reg.counter("prune.fingerprint_filtered"), 18);
+        assert_eq!(reg.counter("prune.evictions"), 2);
+        assert_eq!(reg.counter("prune.hits"), 0);
     }
 
     #[test]

@@ -492,11 +492,13 @@ impl<'a> Verifier<'a> {
         bytes: u32,
         spill: Option<RegState>,
     ) {
-        let frame = state.cur_mut();
+        // Unshare the frame's stack once up front; every path below
+        // writes to it.
+        let stack = state.cur_mut().stack_mut();
         if bytes == 8 && off % 8 == 0 {
             let (slot, _) = crate::state::FuncState::stack_index(off).expect("validated");
             if let Some(src) = spill {
-                frame.stack[slot] = StackSlot {
+                stack[slot] = StackSlot {
                     bytes: [StackByte::Spill; 8],
                     spilled: src,
                 };
@@ -505,7 +507,7 @@ impl<'a> Verifier<'a> {
             }
             // Full-width immediate store: value is known but we track it
             // as MISC (kernel tracks ZERO specially for imm 0).
-            frame.stack[slot] = StackSlot {
+            stack[slot] = StackSlot {
                 bytes: [StackByte::Misc; 8],
                 spilled: RegState::not_init(),
             };
@@ -514,11 +516,11 @@ impl<'a> Verifier<'a> {
         // Partial write: invalidate any spill, mark bytes misc.
         for i in 0..bytes as i32 {
             let (slot, byte) = crate::state::FuncState::stack_index(off + i).expect("validated");
-            if frame.stack[slot].is_full_spill() {
-                frame.stack[slot].bytes = [StackByte::Misc; 8];
-                frame.stack[slot].spilled = RegState::not_init();
+            if stack[slot].is_full_spill() {
+                stack[slot].bytes = [StackByte::Misc; 8];
+                stack[slot].spilled = RegState::not_init();
             }
-            frame.stack[slot].bytes[byte] = StackByte::Misc;
+            stack[slot].bytes[byte] = StackByte::Misc;
         }
     }
 

@@ -9,7 +9,6 @@ use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::Kernel;
 
 use crate::cov::Coverage;
-use crate::state::VerifierState;
 
 /// Simulated kernel version under test — gates verifier features the way
 /// the paper's three targets (v5.15, v6.1, bpf-next) differ.
@@ -82,6 +81,12 @@ pub struct VerifierOpts {
     /// walk (consumed by the `bvf-diff` differential oracle). Off by
     /// default: plain loads pay nothing.
     pub snapshots: bool,
+    /// Use the fingerprint-bucketed explored-state index to skip
+    /// `states_equal` candidates whose structural shape cannot subsume
+    /// the current state. A pure filter — verdicts, coverage, and
+    /// findings are identical with it off (the slow path exists for
+    /// differential testing and benchmarks).
+    pub prune_index: bool,
 }
 
 impl Default for VerifierOpts {
@@ -92,6 +97,7 @@ impl Default for VerifierOpts {
             log: false,
             unprivileged: false,
             snapshots: false,
+            prune_index: true,
         }
     }
 }
@@ -166,7 +172,8 @@ pub struct Verifier<'a> {
     pub(crate) prog_type: ProgType,
     /// Which slots start an instruction.
     pub(crate) insn_starts: Vec<bool>,
-    /// Prune points (jump targets and post-branch sites).
+    /// Prune points (control-flow joins, back-edge targets, and
+    /// subprogram entries).
     pub(crate) prune_points: HashSet<usize>,
     /// Coverage collected during this verification.
     pub cov: Coverage,
@@ -176,8 +183,8 @@ pub struct Verifier<'a> {
     pub(crate) next_id: u32,
     /// Per-slot metadata.
     pub(crate) insn_meta: Vec<InsnMeta>,
-    /// States remembered at prune points.
-    pub(crate) explored: HashMap<usize, Vec<VerifierState>>,
+    /// States remembered at prune points, fingerprint-indexed.
+    pub(crate) explored: HashMap<usize, crate::shape::ExploredPoint>,
     /// Instructions processed so far.
     pub(crate) insn_processed: usize,
     /// Helper ids seen.

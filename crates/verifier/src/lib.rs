@@ -24,6 +24,7 @@ pub mod errors;
 pub mod fixup;
 pub mod prune;
 pub mod sanitize;
+pub mod shape;
 pub mod snapshot;
 pub mod state;
 pub mod tnum;
@@ -34,6 +35,7 @@ pub use cov::{Cat, Coverage};
 pub use env::{AluLimitMeta, InsnMeta, KernelVersion, VerifiedProgram, VerifierOpts};
 pub use errors::{ErrorKind, VerifierError};
 pub use sanitize::{instrument, SanitizeError, SanitizeStats};
+pub use shape::StateShape;
 pub use snapshot::{InsnStates, RegSnapshot, SnapshotStream};
 pub use tnum::Tnum;
 pub use types::{RegState, RegType};

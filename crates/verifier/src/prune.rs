@@ -18,6 +18,11 @@ pub fn states_equal(old: &VerifierState, cur: &VerifierState) -> bool {
         return false;
     }
     for (fo, fc) in old.frames.iter().zip(&cur.frames) {
+        // Copy-on-write fast path: a frame shared between both states
+        // is the *same* frame, and a frame always subsumes itself.
+        if std::rc::Rc::ptr_eq(fo, fc) {
+            continue;
+        }
         if fo.callsite != fc.callsite || fo.subprog_start != fc.subprog_start {
             return false;
         }
@@ -34,7 +39,11 @@ fn funcsafe(old: &FuncState, cur: &FuncState) -> bool {
             return false;
         }
     }
-    for (so, sc) in old.stack.iter().zip(&cur.stack) {
+    // Shared stacks are identical; a stack subsumes itself.
+    if std::rc::Rc::ptr_eq(&old.stack, &cur.stack) {
+        return true;
+    }
+    for (so, sc) in old.stack.iter().zip(cur.stack.iter()) {
         for (bo, bc) in so.bytes.iter().zip(&sc.bytes) {
             let ok = match bo {
                 StackByte::Invalid => true,
@@ -183,11 +192,11 @@ mod tests {
         let mut cur = VerifierState::entry();
         assert!(states_equal(&old, &cur));
         // cur has extra initialization — still subsumed.
-        cur.cur_mut().stack[0].bytes = [StackByte::Misc; 8];
+        cur.cur_mut().stack_mut()[0].bytes = [StackByte::Misc; 8];
         assert!(states_equal(&old, &cur));
         // old requires init that cur lacks — not subsumed.
         let mut old2 = VerifierState::entry();
-        old2.cur_mut().stack[0].bytes = [StackByte::Misc; 8];
+        old2.cur_mut().stack_mut()[0].bytes = [StackByte::Misc; 8];
         let cur2 = VerifierState::entry();
         assert!(!states_equal(&old2, &cur2));
     }

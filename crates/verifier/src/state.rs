@@ -1,4 +1,14 @@
 //! Verifier states: stack slots, function frames, and whole-path states.
+//!
+//! Frames and stacks live behind [`Rc`]-based copy-on-write: branching
+//! clones a `VerifierState` by bumping reference counts, and the first
+//! mutation through [`VerifierState::cur_mut`] /
+//! [`FuncState::stack_mut`] unshares only the touched frame (and only
+//! its stack when the stack itself is written). Untouched frames stay
+//! shared across the DFS worklist, the path trace, and the explored
+//! index.
+
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
@@ -63,8 +73,10 @@ pub struct FuncState {
     /// Register states, indexed by register number (includes `Ax`).
     pub regs: Vec<RegState>,
     /// Stack slots; slot `i` covers bytes `[-8*(i+1), -8*i)` relative to
-    /// the frame pointer.
-    pub stack: Vec<StackSlot>,
+    /// the frame pointer. Copy-on-write: reads go through `Deref`,
+    /// writes through [`FuncState::stack_mut`], so cloning a frame that
+    /// never touches its stack shares the 64-slot vector.
+    pub stack: Rc<Vec<StackSlot>>,
     /// Instruction index to return to (caller's call insn + 1); 0 for the
     /// main frame.
     pub callsite: usize,
@@ -77,7 +89,7 @@ impl FuncState {
     pub fn new(subprog_start: usize, callsite: usize) -> FuncState {
         FuncState {
             regs: vec![RegState::not_init(); 12],
-            stack: vec![StackSlot::default(); STACK_SLOTS],
+            stack: Rc::new(vec![StackSlot::default(); STACK_SLOTS]),
             callsite,
             subprog_start,
         }
@@ -99,6 +111,12 @@ impl FuncState {
     /// Mutable access to a register state.
     pub fn reg_mut(&mut self, r: Reg) -> &mut RegState {
         &mut self.regs[r.index()]
+    }
+
+    /// Mutable access to the stack slots, unsharing them first if the
+    /// vector is shared with another state (copy-on-write).
+    pub fn stack_mut(&mut self) -> &mut Vec<StackSlot> {
+        Rc::make_mut(&mut self.stack)
     }
 
     /// Converts a frame-pointer-relative offset to `(slot, byte)` indices.
@@ -134,8 +152,10 @@ pub struct RefState {
 /// Full verifier state for one explored path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VerifierState {
-    /// Call frames; the last one is current.
-    pub frames: Vec<FuncState>,
+    /// Call frames; the last one is current. Copy-on-write: cloning a
+    /// state bumps refcounts, and [`VerifierState::cur_mut`] unshares
+    /// only the frame being mutated.
+    pub frames: Vec<Rc<FuncState>>,
     /// Acquired, not-yet-released references.
     pub acquired_refs: Vec<RefState>,
 }
@@ -144,7 +164,7 @@ impl VerifierState {
     /// Entry state of the main program.
     pub fn entry() -> VerifierState {
         VerifierState {
-            frames: vec![FuncState::entry()],
+            frames: vec![Rc::new(FuncState::entry())],
             acquired_refs: Vec::new(),
         }
     }
@@ -154,9 +174,10 @@ impl VerifierState {
         self.frames.last().expect("at least one frame")
     }
 
-    /// Mutable current frame.
+    /// Mutable current frame, unshared first if another state still
+    /// holds it (copy-on-write).
     pub fn cur_mut(&mut self) -> &mut FuncState {
-        self.frames.last_mut().expect("at least one frame")
+        Rc::make_mut(self.frames.last_mut().expect("at least one frame"))
     }
 
     /// Current call depth (0 = main).
@@ -178,16 +199,27 @@ impl VerifierState {
         self.acquired_refs.retain(|r| r.id != id);
         let released = self.acquired_refs.len() != before;
         if released {
-            // Invalidate every register (in all frames) that held it.
-            for f in &mut self.frames {
-                for r in &mut f.regs {
-                    if r.ref_obj_id == id {
-                        *r = RegState::not_init();
+            // Invalidate every register (in all frames) that held it,
+            // unsharing only the frames that actually change.
+            for frame in &mut self.frames {
+                let regs_hit = frame.regs.iter().any(|r| r.ref_obj_id == id);
+                let stack_hit = frame.stack.iter().any(|s| s.spilled.ref_obj_id == id);
+                if !regs_hit && !stack_hit {
+                    continue;
+                }
+                let frame = Rc::make_mut(frame);
+                if regs_hit {
+                    for r in &mut frame.regs {
+                        if r.ref_obj_id == id {
+                            *r = RegState::not_init();
+                        }
                     }
                 }
-                for s in &mut f.stack {
-                    if s.spilled.ref_obj_id == id {
-                        *s = StackSlot::default();
+                if stack_hit {
+                    for s in frame.stack_mut() {
+                        if s.spilled.ref_obj_id == id {
+                            *s = StackSlot::default();
+                        }
                     }
                 }
             }
@@ -198,15 +230,29 @@ impl VerifierState {
     /// Marks every register in every frame that shares `id` — used when a
     /// null check resolves a nullable pointer.
     pub fn for_each_reg_with_id(&mut self, id: u32, mut f: impl FnMut(&mut RegState)) {
+        if id == 0 {
+            return;
+        }
         for frame in &mut self.frames {
+            let regs_hit = frame.regs.iter().any(|r| r.id == id);
+            let stack_hit = frame
+                .stack
+                .iter()
+                .any(|s| s.is_full_spill() && s.spilled.id == id);
+            if !regs_hit && !stack_hit {
+                continue;
+            }
+            let frame = Rc::make_mut(frame);
             for r in &mut frame.regs {
-                if r.id == id && r.id != 0 {
+                if r.id == id {
                     f(r);
                 }
             }
-            for s in &mut frame.stack {
-                if s.is_full_spill() && s.spilled.id == id && id != 0 {
-                    f(&mut s.spilled);
+            if stack_hit {
+                for s in frame.stack_mut() {
+                    if s.is_full_spill() && s.spilled.id == id {
+                        f(&mut s.spilled);
+                    }
                 }
             }
         }
@@ -258,7 +304,7 @@ mod tests {
         r.maybe_null = true;
         r.id = 7;
         *st.cur_mut().reg_mut(Reg::R3) = r;
-        st.cur_mut().stack[0] = StackSlot {
+        st.cur_mut().stack_mut()[0] = StackSlot {
             bytes: [StackByte::Spill; 8],
             spilled: r,
         };
@@ -270,6 +316,25 @@ mod tests {
         assert_eq!(count, 2);
         assert!(!st.cur().reg(Reg::R3).maybe_null);
         assert!(!st.cur().stack[0].spilled.maybe_null);
+    }
+
+    #[test]
+    fn clone_shares_frames_until_written() {
+        let mut a = VerifierState::entry();
+        let b = a.clone();
+        assert!(Rc::ptr_eq(&a.frames[0], &b.frames[0]), "clone is a share");
+        a.cur_mut().reg_mut(Reg::R0).id = 9;
+        assert!(
+            !Rc::ptr_eq(&a.frames[0], &b.frames[0]),
+            "write unshares the frame"
+        );
+        assert_eq!(b.cur().reg(Reg::R0).id, 0, "reader unaffected");
+        // A register write leaves the stack itself shared…
+        assert!(Rc::ptr_eq(&a.frames[0].stack, &b.frames[0].stack));
+        // …until the stack is written.
+        a.cur_mut().stack_mut()[0].bytes[0] = StackByte::Misc;
+        assert!(!Rc::ptr_eq(&a.frames[0].stack, &b.frames[0].stack));
+        assert_eq!(b.cur().stack[0].bytes[0], StackByte::Invalid);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::errors::VerifierError;
 use std::rc::Rc;
 
 use crate::prune::states_equal;
+use crate::shape::{permissiveness, ExploredEntry, StateShape};
 use crate::state::{FuncState, VerifierState, MAX_CALL_FRAMES};
 use crate::types::{RegState, RegType};
 use bvf_telemetry::profile::elapsed_ns;
@@ -28,7 +29,12 @@ const MAX_STATES_PER_POINT: usize = 32;
 /// own ancestors, the loop can make no progress.
 struct PathNode {
     pc: usize,
-    state: VerifierState,
+    /// Shared with the explored-index entry created at the same visit,
+    /// so the loop scan and the explored scan can recognize the same
+    /// candidate by `Rc` pointer identity and never compare it twice.
+    state: Rc<VerifierState>,
+    /// The state's structural fingerprint, computed once at push time.
+    shape: StateShape,
     parent: Option<Rc<PathNode>>,
 }
 
@@ -46,10 +52,19 @@ impl Drop for PathNode {
     }
 }
 
-/// How many ancestors the loop detector examines per prune point; an
+/// How many ancestors the loop detector walks per prune point; an
 /// abstract loop revisits its head frequently, so a bounded window
 /// suffices and keeps pathological paths linear.
 const LOOP_SCAN_WINDOW: usize = 256;
+
+/// How many same-pc ancestors the loop detector actually *considers*
+/// (fingerprint-filters or compares) per visit. A no-progress loop is
+/// subsumed by its nearest ancestors, so examining the closest few is
+/// enough — this mirrors the kernel, whose loop detection scans the
+/// bounded `explored_states` list at the instruction rather than the
+/// whole path. Matches [`MAX_STATES_PER_POINT`] so both scans consider
+/// the same number of candidates.
+const MAX_LOOP_CANDIDATES: usize = 32;
 
 /// The outcome of a load attempt: the verdict plus the coverage the
 /// attempt produced (available for rejected programs too — the fuzzer's
@@ -122,6 +137,14 @@ impl<'a> Verifier<'a> {
         let t0 = Instant::now();
         let checked = self.do_check();
         self.timings.do_check_ns = elapsed_ns(t0);
+        // Index occupancy, recorded for accepted and rejected loads
+        // alike (the counters are observational).
+        for point in self.explored.values() {
+            if !point.is_empty() {
+                self.timings.prune.points += 1;
+                self.timings.prune.states_stored += point.len() as u64;
+            }
+        }
         checked?;
 
         // Pass 3: rewrite (pseudo resolution + fixups).
@@ -143,19 +166,37 @@ impl<'a> Verifier<'a> {
     }
 
     fn scan_structure(&mut self) -> Result<(), VerifierError> {
+        // Prune points go where distinct paths can actually converge:
+        // control-flow joins (static in-degree ≥ 2), back-edge targets
+        // (loop heads — every cycle contains one, which keeps the loop
+        // detector complete), and subprogram entries. Marking every
+        // jump target and fallthrough, as before, spends states_equal
+        // time at points only one path can ever reach.
+        fn edge(from: usize, to: usize, in_degree: &mut [u32], back: &mut [bool]) {
+            if to < in_degree.len() {
+                in_degree[to] += 1;
+                if to <= from {
+                    back[to] = true;
+                }
+            }
+        }
+        let n = self.prog.insn_count();
+        let mut in_degree = vec![0u32; n];
+        let mut back_target = vec![false; n];
         let mut pc = 0;
-        while pc < self.prog.insn_count() {
+        while pc < n {
             let (kind, slots) = self.prog.decode_at(pc).expect("validated");
             match kind {
                 InsnKind::JmpCond { off, .. } => {
                     let target = (pc as i64 + 1 + off as i64) as usize;
-                    self.prune_points.insert(target);
-                    self.prune_points.insert(pc + 1);
+                    edge(pc, target, &mut in_degree, &mut back_target);
+                    edge(pc, pc + 1, &mut in_degree, &mut back_target);
                 }
                 InsnKind::Ja { off } => {
                     let target = (pc as i64 + 1 + off as i64) as usize;
-                    self.prune_points.insert(target);
+                    edge(pc, target, &mut in_degree, &mut back_target);
                 }
+                InsnKind::Exit => {}
                 InsnKind::Call {
                     target: CallTarget::Pseudo(off),
                 } => {
@@ -163,10 +204,20 @@ impl<'a> Verifier<'a> {
                     self.subprog_starts.insert(target);
                     self.prune_points.insert(target);
                     self.cov.hit(Cat::Subprog, 0, 0);
+                    // Control flows back here from the callee's exits;
+                    // the return site can join other flows.
+                    edge(pc, pc + 1, &mut in_degree, &mut back_target);
                 }
-                _ => {}
+                _ => {
+                    edge(pc, pc + slots, &mut in_degree, &mut back_target);
+                }
             }
             pc += slots;
+        }
+        for v in 0..n {
+            if in_degree[v] >= 2 || back_target[v] {
+                self.prune_points.insert(v);
+            }
         }
         Ok(())
     }
@@ -198,36 +249,117 @@ impl<'a> Verifier<'a> {
                 // its three exits records the elapsed time first.
                 if self.prune_points.contains(&pc) {
                     let prune_t0 = Instant::now();
+                    let use_index = self.opts.prune_index;
+                    let cur_shape = StateShape::of(&state);
+                    self.timings.prune.checks += 1;
+
+                    // Loop detection first, so the "infinite loop"
+                    // verdict cannot be masked by a prune. States it
+                    // actually compares are remembered by Rc identity;
+                    // the explored scan below shares them so each
+                    // (pc, state) pair is compared at most once per
+                    // visit. The fingerprint filter only skips
+                    // comparisons that must return false, so the
+                    // verdict is identical with the index off.
+                    let mut ancestors_compared: Vec<*const VerifierState> = Vec::new();
                     let mut node = trace.as_ref();
                     let mut scanned = 0;
+                    let mut candidates = 0;
                     while let Some(n) = node {
                         scanned += 1;
-                        if scanned > LOOP_SCAN_WINDOW {
+                        if scanned > LOOP_SCAN_WINDOW || candidates >= MAX_LOOP_CANDIDATES {
                             break;
                         }
-                        if n.pc == pc && states_equal(&n.state, &state) {
-                            self.cov.hit(Cat::Error, 16, 0);
-                            self.timings.prune_ns += elapsed_ns(prune_t0);
-                            return Err(VerifierError::invalid(
-                                pc,
-                                format!("infinite loop detected at insn {pc}"),
-                            ));
+                        if n.pc == pc {
+                            candidates += 1;
+                            if use_index && !n.shape.may_subsume(&cur_shape) {
+                                self.timings.prune.fingerprint_filtered += 1;
+                            } else {
+                                self.timings.prune.states_equal_calls += 1;
+                                if states_equal(&n.state, &state) {
+                                    self.cov.hit(Cat::Error, 16, 0);
+                                    self.timings.prune_ns += elapsed_ns(prune_t0);
+                                    return Err(VerifierError::invalid(
+                                        pc,
+                                        format!("infinite loop detected at insn {pc}"),
+                                    ));
+                                }
+                                ancestors_compared.push(Rc::as_ptr(&n.state));
+                            }
                         }
                         node = n.parent.as_ref();
                     }
-                    let seen = self.explored.entry(pc).or_default();
-                    if seen.iter().any(|old| states_equal(old, &state)) {
+
+                    // Explored-state scan. With the index on, only
+                    // bucket-matched, shape-compatible candidates reach
+                    // states_equal; "any candidate subsumes" is
+                    // order-insensitive, so both modes reach the same
+                    // prune decision.
+                    let point = self.explored.entry(pc).or_default();
+                    let total = point.len() as u64;
+                    let mut calls = 0u64;
+                    let mut shared = 0u64;
+                    let mut hit = false;
+                    if use_index {
+                        for &i in point.bucket_candidates(cur_shape.bucket()) {
+                            let e = &point.entries()[i];
+                            if !e.shape.may_subsume(&cur_shape) {
+                                continue;
+                            }
+                            if ancestors_compared.contains(&Rc::as_ptr(&e.state)) {
+                                shared += 1;
+                                continue;
+                            }
+                            calls += 1;
+                            if states_equal(&e.state, &state) {
+                                hit = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        for e in point.entries() {
+                            if ancestors_compared.contains(&Rc::as_ptr(&e.state)) {
+                                shared += 1;
+                                continue;
+                            }
+                            calls += 1;
+                            if states_equal(&e.state, &state) {
+                                hit = true;
+                                break;
+                            }
+                        }
+                    }
+                    self.timings.prune.states_equal_calls += calls;
+                    self.timings.prune.loop_scan_shared += shared;
+                    if use_index && !hit {
+                        self.timings.prune.fingerprint_filtered += total - shared - calls;
+                    }
+                    if hit {
+                        self.timings.prune.hits += 1;
                         self.cov.hit(Cat::Prune, 0, 1);
                         self.timings.prune_ns += elapsed_ns(prune_t0);
                         break 'path;
                     }
                     self.cov.hit(Cat::Prune, 0, 0);
-                    if seen.len() < MAX_STATES_PER_POINT {
-                        seen.push(state.clone());
+                    // One shared copy feeds both the explored index and
+                    // the path trace — that sharing is what lets the two
+                    // scans recognize each other's candidates.
+                    let shared_state = Rc::new(state.clone());
+                    let evicted = point.insert(
+                        ExploredEntry {
+                            state: Rc::clone(&shared_state),
+                            shape: cur_shape.clone(),
+                            permissiveness: permissiveness(&state),
+                        },
+                        MAX_STATES_PER_POINT,
+                    );
+                    if evicted {
+                        self.timings.prune.evictions += 1;
                     }
                     trace = Some(Rc::new(PathNode {
                         pc,
-                        state: state.clone(),
+                        state: shared_state,
+                        shape: cur_shape,
                         parent: trace.take(),
                     }));
                     self.timings.prune_ns += elapsed_ns(prune_t0);
@@ -443,7 +575,7 @@ impl<'a> Verifier<'a> {
             callee.regs[r.index()] = *state.cur().reg(r);
         }
         callee.regs[Reg::R10.index()] = RegState::pointer(RegType::PtrToStack);
-        state.frames.push(callee);
+        state.frames.push(Rc::new(callee));
         Ok(())
     }
 

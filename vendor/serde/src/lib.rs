@@ -82,6 +82,12 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -400,6 +406,12 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Box<T>, Error> {
         T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_value(v: &Value) -> Result<std::rc::Rc<T>, Error> {
+        T::from_value(v).map(std::rc::Rc::new)
     }
 }
 
