@@ -1,154 +1,191 @@
-//! Barrier-synchronized corpus exchange between campaign shards.
+//! The asynchronous corpus-exchange hub.
 //!
 //! Coverage feedback is what separates BVF and Syzkaller from blind
-//! generation, and a sharded campaign would waste it if each shard's
+//! generation, and a sharded campaign would waste it if each batch's
 //! corpus stayed private: a scenario that unlocked new verifier logic
-//! on shard 2 is a good mutation base on every shard. The obvious fix —
+//! in batch 2 is a good mutation base everywhere. The obvious fix —
 //! workers pushing entries into each other's corpora whenever they feel
 //! like it — destroys run-to-run determinism, because what a worker
-//! mutates would then depend on OS scheduling.
+//! mutates would then depend on OS scheduling. The previous design
+//! fixed that with barrier epochs, which re-introduced the other
+//! problem: every epoch, the fastest worker idled until the slowest
+//! arrived.
 //!
-//! Instead, exchange happens at **epochs**: every worker runs a fixed
-//! number of local iterations, then all workers rendezvous at a
-//! barrier. Each publishes the corpus entries it retained since the
-//! last epoch into every peer's bounded channel, a second barrier phase
-//! separates sending from draining, and every worker imports the
-//! received batches **sorted by sender id**. Every input a worker's RNG
-//! stream ever sees is therefore a deterministic function of
-//! `(campaign_seed, workers, iterations)` — never of thread timing.
-//!
-//! The channels are bounded ([`mpsc::sync_channel`]) with capacity for
-//! one batch per peer: the barrier protocol guarantees an inbox is
-//! drained before the next epoch's sends, so a send can never block,
-//! and the bound caps memory if that invariant is ever broken (the
-//! sender would park instead of queueing unboundedly).
+//! [`ExchangeHub`] keeps the determinism and drops the barrier. It
+//! wraps the [`CorpusLedger`] — one sequence-numbered delta slot per
+//! lease batch — behind a mutex + condvar. A batch *publishes* its
+//! [`LedgerEntry`] (retained corpus + coverage delta) when it finishes;
+//! a batch *subscribes* by asking for its seed view, which folds only
+//! the generations `[0, g-1)` it is allowed to consume
+//! ([`bvf::fuzz::seed_generations`]). Because the view is a pure
+//! function of ledger *contents* — folded in batch order, never arrival
+//! order — a worker blocks only when a consumed generation is genuinely
+//! incomplete, and a slow batch delays the frontier at most one
+//! generation behind it. Fast workers race ahead into the current and
+//! next generation instead of idling at a barrier.
 
-use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Barrier};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
-use bvf::scenario::Scenario;
+use bvf::fuzz::{
+    batch_count, generation_len, seed_generations, BatchSeed, CampaignConfig, CorpusLedger,
+    LedgerEntry,
+};
+use bvf_telemetry::profile::elapsed_ns;
 
-/// One batch published by a worker in one epoch: `(sender, entries)`.
-type Batch = (usize, Vec<Scenario>);
-
-/// One worker's endpoint of the all-to-all exchange fabric.
-pub struct ExchangePort {
-    me: usize,
-    /// Senders into every peer's inbox (self excluded).
-    peers: Vec<SyncSender<Batch>>,
-    inbox: Receiver<Batch>,
-    barrier: Arc<Barrier>,
+/// What one `seed_for` subscription observed, for the scheduler's
+/// telemetry counters.
+#[derive(Debug, Clone, Copy)]
+pub struct SubscribeStats {
+    /// Nanoseconds spent blocked waiting for consumed generations to
+    /// complete (0 when the view was immediately available).
+    pub wait_ns: u64,
+    /// Published-but-not-yet-consumed ledger entries at subscription
+    /// time: batches whose deltas no requested seed view has folded
+    /// yet. A persistently high backlog means publication outpaces
+    /// consumption (generations too long for the worker count).
+    pub backlog: u64,
 }
 
-/// Builds the exchange fabric for `workers` shards: one bounded inbox
-/// per worker and a shared epoch barrier. Returns one port per worker,
-/// in worker-id order.
-pub fn ports(workers: usize) -> Vec<ExchangePort> {
-    assert!(workers >= 1);
-    let barrier = Arc::new(Barrier::new(workers));
-    let (txs, rxs): (Vec<SyncSender<Batch>>, Vec<Receiver<Batch>>) =
-        (0..workers).map(|_| mpsc::sync_channel(workers)).unzip();
-    rxs.into_iter()
-        .enumerate()
-        .map(|(me, inbox)| ExchangePort {
-            me,
-            peers: txs
-                .iter()
-                .enumerate()
-                .filter(|&(w, _)| w != me)
-                .map(|(_, tx)| tx.clone())
-                .collect(),
-            inbox,
-            barrier: Arc::clone(&barrier),
-        })
-        .collect()
+struct HubState {
+    ledger: CorpusLedger,
+    /// Total batches published so far.
+    published: usize,
+    /// Highest generation count any subscription has consumed.
+    max_consumed_gens: usize,
 }
 
-impl ExchangePort {
-    /// This port's worker id.
-    pub fn worker(&self) -> usize {
-        self.me
+/// The shared publish/subscribe fabric of one parallel campaign.
+pub struct ExchangeHub {
+    cfg: CampaignConfig,
+    gen_batches: usize,
+    total_batches: usize,
+    inner: Mutex<HubState>,
+    cv: Condvar,
+}
+
+impl ExchangeHub {
+    /// An empty hub for the campaign's batch geometry.
+    pub fn new(cfg: &CampaignConfig) -> ExchangeHub {
+        ExchangeHub {
+            gen_batches: generation_len(cfg),
+            total_batches: batch_count(cfg),
+            inner: Mutex::new(HubState {
+                ledger: CorpusLedger::new(cfg),
+                published: 0,
+                max_consumed_gens: 0,
+            }),
+            cv: Condvar::new(),
+            cfg: cfg.clone(),
+        }
     }
 
-    /// Runs one exchange epoch: publishes `outgoing` to every peer,
-    /// waits for all workers to finish publishing, then returns the
-    /// entries received this epoch, ordered by sender id (and therefore
-    /// deterministic however the sends interleaved).
-    ///
-    /// Every worker must call `exchange` the same number of times —
-    /// the orchestrator derives the epoch count from the *largest*
-    /// shard so short shards still participate in every rendezvous.
-    pub fn exchange(&self, outgoing: Vec<Scenario>) -> Vec<Scenario> {
-        if !outgoing.is_empty() {
-            for tx in &self.peers {
-                // A send only fails if the peer's inbox was dropped,
-                // i.e. the peer panicked; its own join will report it.
-                let _ = tx.send((self.me, outgoing.clone()));
-            }
+    /// Publishes batch `batch`'s ledger entry and wakes every subscriber
+    /// whose consumed generations may now be complete.
+    pub fn publish(&self, batch: usize, entry: LedgerEntry) {
+        let mut st = self.inner.lock().expect("exchange hub poisoned");
+        st.ledger.publish(batch, entry);
+        st.published += 1;
+        self.cv.notify_all();
+    }
+
+    /// Subscribes batch `batch`: blocks until the generations it
+    /// consumes have fully published, then returns its seed view. The
+    /// view depends only on ledger contents (folded in batch order), so
+    /// it is identical however publications interleaved with this wait.
+    pub fn seed_for(&self, batch: usize) -> (BatchSeed, SubscribeStats) {
+        let mut st = self.inner.lock().expect("exchange hub poisoned");
+        let t0 = Instant::now();
+        while !st.ledger.ready_for(&self.cfg, batch) {
+            st = self.cv.wait(st).expect("exchange hub poisoned");
         }
-        // Phase 1: all sends for this epoch are complete.
-        self.barrier.wait();
-        let mut batches: Vec<Batch> = self.inbox.try_iter().collect();
-        batches.sort_by_key(|&(sender, _)| sender);
-        // Phase 2: all inboxes are drained before the next epoch sends.
-        self.barrier.wait();
-        batches.into_iter().flat_map(|(_, b)| b).collect()
+        let wait_ns = elapsed_ns(t0);
+        let k = seed_generations(&self.cfg, batch);
+        st.max_consumed_gens = st.max_consumed_gens.max(k);
+        let consumed = (st.max_consumed_gens * self.gen_batches).min(self.total_batches);
+        let backlog = st.published.saturating_sub(consumed) as u64;
+        let seed = st.ledger.seed_for(&self.cfg, batch);
+        (seed, SubscribeStats { wait_ns, backlog })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bvf::baseline::GeneratorKind;
+    use bvf::scenario::Scenario;
     use bvf_isa::Program;
     use bvf_kernel_sim::progtype::ProgType;
+    use std::sync::Arc;
 
-    fn marker_scenario(len: usize) -> Scenario {
-        // A scenario whose program length encodes its origin, so tests
-        // can check ordering after the exchange.
-        let insns = vec![bvf_isa::asm::exit(); len];
-        Scenario::test_run(Program::from_insns(insns), ProgType::SocketFilter)
+    fn config() -> CampaignConfig {
+        // 8 batches of 16 iterations, 2 batches per generation.
+        CampaignConfig {
+            batch_len: 16,
+            exchange_every: 32,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 128, 1)
+        }
     }
 
-    #[test]
-    fn exchange_is_all_to_all_and_sender_ordered() {
-        let ports = ports(3);
-        let handles: Vec<_> = ports
-            .into_iter()
-            .map(|port| {
-                std::thread::spawn(move || {
-                    let me = port.worker();
-                    // Worker w publishes one scenario of length w + 1.
-                    let got = port.exchange(vec![marker_scenario(me + 1)]);
-                    (me, got)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (me, got) = h.join().unwrap();
-            let lens: Vec<usize> = got.iter().map(|s| s.prog.insn_count()).collect();
-            // Everyone else's batch arrives, ordered by sender id.
-            let expected: Vec<usize> = (0..3).filter(|&w| w != me).map(|w| w + 1).collect();
-            assert_eq!(lens, expected, "worker {me}");
+    fn marker_entry(len: usize) -> LedgerEntry {
+        let insns = vec![bvf_isa::asm::exit(); len];
+        LedgerEntry {
+            corpus: vec![Arc::new(Scenario::test_run(
+                Program::from_insns(insns),
+                ProgType::SocketFilter,
+            ))],
+            cov: Default::default(),
         }
     }
 
     #[test]
-    fn empty_batches_cost_nothing_and_still_rendezvous() {
-        let ports = ports(2);
-        let handles: Vec<_> = ports
-            .into_iter()
-            .map(|port| {
-                std::thread::spawn(move || {
-                    // Several epochs with nothing to publish must not
-                    // deadlock or deliver phantom entries.
-                    (0..5)
-                        .map(|_| port.exchange(Vec::new()).len())
-                        .sum::<usize>()
-                })
-            })
-            .collect();
-        for h in handles {
-            assert_eq!(h.join().unwrap(), 0);
+    fn early_generations_subscribe_without_blocking() {
+        let hub = ExchangeHub::new(&config());
+        // Generations 0 and 1 consume nothing (seed_generations = 0),
+        // so they must never block, even on an empty ledger.
+        for b in 0..4 {
+            let (seed, stats) = hub.seed_for(b);
+            assert!(seed.corpus.is_empty());
+            assert_eq!(stats.backlog, 0, "nothing published yet");
+        }
+    }
+
+    #[test]
+    fn subscription_blocks_until_consumed_generation_publishes() {
+        let hub = Arc::new(ExchangeHub::new(&config()));
+        // Batch 4 (generation 2) consumes generation 0 = batches {0, 1}.
+        hub.publish(0, marker_entry(1));
+        let h = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || hub.seed_for(4))
+        };
+        // Publishing the out-of-generation batch 5 must not unblock it;
+        // publishing batch 1 completes generation 0 and must.
+        hub.publish(5, marker_entry(3));
+        hub.publish(1, marker_entry(2));
+        let (seed, _) = h.join().unwrap();
+        let lens: Vec<usize> = seed.corpus.iter().map(|s| s.prog.insn_count()).collect();
+        assert_eq!(lens, vec![1, 2], "view folds generation 0 in batch order");
+    }
+
+    #[test]
+    fn seed_views_are_publication_order_independent() {
+        let cfg = config();
+        let a = ExchangeHub::new(&cfg);
+        let b = ExchangeHub::new(&cfg);
+        // Same entries, opposite publication orders.
+        for batch in 0..4 {
+            a.publish(batch, marker_entry(batch + 1));
+        }
+        for batch in (0..4).rev() {
+            b.publish(batch, marker_entry(batch + 1));
+        }
+        for batch in 4..8 {
+            let (sa, _) = a.seed_for(batch);
+            let (sb, _) = b.seed_for(batch);
+            let la: Vec<usize> = sa.corpus.iter().map(|s| s.prog.insn_count()).collect();
+            let lb: Vec<usize> = sb.corpus.iter().map(|s| s.prog.insn_count()).collect();
+            assert_eq!(la, lb, "batch {batch} view depends on arrival order");
         }
     }
 }

@@ -1,4 +1,4 @@
-//! Deterministic sharded parallel campaign orchestration.
+//! Deterministic work-stealing parallel campaign orchestration.
 //!
 //! The paper's campaigns ran for 72 hours because fuzzing throughput is
 //! the budget: oracle quality is bounded by how many verified programs
@@ -6,30 +6,35 @@
 //! crate scales one logical campaign across N worker threads while
 //! keeping the two properties the evaluation methodology depends on:
 //!
-//! 1. **Serial identity** — a 1-worker sharded campaign produces a
+//! 1. **Serial identity** — an N-worker campaign produces a
 //!    [`bvf::fuzz::CampaignResult`] bit-identical to the serial
-//!    [`bvf::fuzz::run_campaign_with_telemetry`] path (worker 0 replays
-//!    the campaign RNG stream itself; see [`bvf::fuzz::stream_seed`]).
-//! 2. **Run-to-run reproducibility** — for a fixed
-//!    `(seed, workers, iterations)` triple the merged finding set is
-//!    identical across runs, however the OS schedules the threads.
+//!    [`bvf::fuzz::run_campaign_with_telemetry`] path, at *any* worker
+//!    count. Both paths are the same pure composition: lease batches
+//!    0..B (each with its own RNG stream, [`bvf::fuzz::stream_seed`])
+//!    run against generation-lagged seed views, folded by
+//!    [`bvf::fuzz::merge_batches`] in batch order.
+//! 2. **Schedule independence** — the merged result is identical
+//!    however the OS schedules the threads and however batches migrate
+//!    between workers via stealing, because no campaign input ever
+//!    depends on *which worker* ran a batch or *when* it finished.
 //!
 //! The moving parts, one module each:
 //!
+//! - [`orchestrator`]: the work-stealing driver — per-worker lease
+//!   queues dealt round-robin, tail-stealing when a local queue drains,
+//!   scoped worker threads, and the final merge (see its module docs
+//!   for the liveness argument);
+//! - [`exchange`]: the asynchronous corpus-exchange hub — a
+//!   sequence-numbered delta ledger behind a mutex + condvar, replacing
+//!   the old barrier epochs so slow workers never stall fast ones;
 //! - [`shard`]: the cross-worker concurrent finding-signature set
 //!   (sharded mutexes) that lets exactly one worker pay for eager
 //!   differential triage per signature;
-//! - [`exchange`]: barrier-synchronized corpus exchange over bounded
-//!   channels, so coverage-interesting scenarios propagate between
-//!   shards at *deterministic* points in each shard's iteration stream;
 //! - [`progress`]: the single shared stderr writer that keeps
 //!   `--stats-every` output un-torn under N writers;
-//! - [`merge`]: deterministic merging of per-worker partial results —
-//!   signature-level dedup with merge-time triage of records whose
-//!   eager claim raced, registry folding, and worker-tagged trace
-//!   interleaving;
-//! - [`orchestrator`]: the driver tying it together with scoped
-//!   threads.
+//! - [`merge`]: the observational merges that remain crate-local —
+//!   registry folding in worker order and worker-tagged trace
+//!   interleaving (result merging lives in [`bvf::fuzz::merge_batches`]).
 
 #![warn(missing_docs)]
 
@@ -39,7 +44,8 @@ pub mod orchestrator;
 pub mod progress;
 pub mod shard;
 
-pub use merge::{interleave_traces, merge_outputs, MergeStats};
+pub use exchange::{ExchangeHub, SubscribeStats};
+pub use merge::{interleave_traces, merge_registries};
 pub use orchestrator::{run_sharded, ParallelConfig, ParallelOutcome, WorkerSummary};
 pub use progress::SharedProgress;
 pub use shard::ShardedSignatureSet;

@@ -1,118 +1,14 @@
-//! Deterministic merging of per-worker campaign results.
+//! Merging of per-worker observability streams.
 //!
-//! Each shard returns a [`WorkerOutput`]: partial sums, its coverage
-//! set, its locally deduplicated findings, and (separately) its metrics
-//! registry and worker-tagged trace buffer. The merge reconstructs one
-//! [`CampaignResult`] with three properties:
-//!
-//! - **1-worker identity**: merging a single shard's output reproduces
-//!   the serial [`CampaignResult`] exactly — sums are folded in worker
-//!   order and divided once, so even the floating-point means match bit
-//!   for bit.
-//! - **Schedule independence**: cross-worker finding dedup keeps the
-//!   record with the smallest global iteration (global iterations are
-//!   disjoint across shards, so there are no ties), and any kept record
-//!   whose eager triage claim raced ([`FindingRecord::triaged`] is
-//!   false) is re-triaged *here*, serially. Which worker triaged first
-//!   at runtime therefore never shows in the merged result.
-//! - **Attribution survives**: `found_bugs` is recomputed from the kept
-//!   records only, so a defect implicated by a record that lost dedup
-//!   cannot leak scheduling nondeterminism into the merged bug set.
+//! The campaign *result* is merged by [`bvf::fuzz::merge_batches`] —
+//! a pure fold over batch outputs in batch order, shared with the
+//! serial driver so 1-worker identity is structural. What remains here
+//! is the observational side: folding per-worker metric registries in
+//! worker-id order (so merged histograms and counters are stable
+//! however threads finished) and interleaving worker-tagged JSONL
+//! traces into one deterministic stream.
 
-use bvf::fuzz::{CampaignConfig, CampaignResult, FindingRecord, WorkerOutput};
-use bvf::oracle::triage;
 use bvf_telemetry::Registry;
-
-/// What the merge did, for observability: these feed `merge.*` counters
-/// in the merged registry.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct MergeStats {
-    /// Findings dropped because another shard saw the signature at an
-    /// earlier global iteration.
-    pub cross_worker_dupes: usize,
-    /// Kept findings that had to be (re-)triaged at merge time because
-    /// their shard lost the eager-triage claim.
-    pub merge_triaged: usize,
-}
-
-/// Merges per-worker outputs into one campaign result. `outputs` may
-/// arrive in any order; they are folded in worker-id order internally.
-pub fn merge_outputs(
-    cfg: &CampaignConfig,
-    mut outputs: Vec<WorkerOutput>,
-) -> (CampaignResult, MergeStats) {
-    outputs.sort_by_key(|o| o.worker);
-    let mut stats = MergeStats::default();
-
-    let mut accepted = 0usize;
-    let mut errno_histogram = std::collections::BTreeMap::new();
-    let mut coverage = bvf_verifier::Coverage::new();
-    let mut timeline: Vec<(usize, usize)> = Vec::new();
-    let mut alu_share_sum = 0.0f64;
-    let mut len_sum = 0usize;
-    let mut corpus_len = 0usize;
-    let mut diff = bvf_diff::DiffStats::default();
-    let mut candidates: Vec<FindingRecord> = Vec::new();
-
-    for o in outputs {
-        accepted += o.accepted;
-        for (errno, n) in o.errno_histogram {
-            *errno_histogram.entry(errno).or_insert(0) += n;
-        }
-        coverage.merge(&o.coverage);
-        timeline.extend(o.timeline);
-        alu_share_sum += o.alu_share_sum;
-        len_sum += o.len_sum;
-        corpus_len += o.corpus_len;
-        // All diff counters are additive, so folding in worker order
-        // keeps the 1-worker merge identical to the serial path.
-        diff.merge(&o.diff);
-        candidates.extend(o.findings);
-    }
-
-    // Shards snapshot at disjoint global iterations, so sorting by
-    // iteration alone interleaves the timelines deterministically.
-    timeline.sort_by_key(|&(iter, _)| iter);
-
-    // Cross-worker dedup: earliest global iteration wins per signature.
-    // Iterations are disjoint across shards, so the order is total and
-    // the winner is schedule-independent.
-    candidates.sort_by_key(|r| r.iteration);
-    let mut seen = std::collections::HashSet::new();
-    let mut findings = Vec::new();
-    for mut rec in candidates {
-        if !seen.insert(rec.signature.clone()) {
-            stats.cross_worker_dupes += 1;
-            continue;
-        }
-        if cfg.triage && !rec.triaged {
-            rec.culprits = triage(&rec.finding, &cfg.bugs, cfg.version, cfg.sanitize);
-            rec.triaged = true;
-            stats.merge_triaged += 1;
-        }
-        findings.push(rec);
-    }
-    let found_bugs = findings
-        .iter()
-        .flat_map(|r| r.culprits.iter().copied())
-        .collect();
-
-    let result = CampaignResult {
-        generator: cfg.generator,
-        iterations: cfg.iterations,
-        accepted,
-        errno_histogram,
-        coverage,
-        timeline,
-        findings,
-        found_bugs,
-        alu_jmp_share: alu_share_sum / cfg.iterations.max(1) as f64,
-        avg_prog_len: len_sum as f64 / cfg.iterations.max(1) as f64,
-        corpus_len,
-        diff,
-    };
-    (result, stats)
-}
 
 /// Folds per-worker registries (in the order given — pass them sorted
 /// by worker id) into one campaign registry. Non-additive campaign

@@ -1,99 +1,122 @@
-//! The parallel campaign driver.
+//! The work-stealing parallel campaign scheduler.
 //!
-//! [`run_sharded`] splits one logical campaign across N OS threads.
-//! Worker `w` owns global iterations `w, w+N, w+2N, ...` and the RNG
-//! stream [`stream_seed`]`(seed, w)`, runs the exact serial loop body
-//! ([`CampaignWorker::step`]) against its own simulated kernel state,
-//! and shares only two things with its peers: the concurrent
-//! finding-signature set (eager-triage dedup) and the barrier-epoch
-//! corpus exchange. Everything schedule-dependent is confined to
-//! observational telemetry; the merged [`CampaignResult`] is a pure
-//! function of `(config, workers)`.
+//! [`run_sharded`] carves the campaign into lease batches
+//! ([`bvf::fuzz::batch_count`]) and deals them round-robin into one
+//! FIFO queue per worker thread (batch `b` lands in queue `b % N`, so
+//! each queue is ascending). A worker pops its own queue from the
+//! front; when its queue drains it **steals from the tail** of a peer's
+//! queue instead of idling. Because an iteration's RNG stream is keyed
+//! by its batch id ([`bvf::fuzz::stream_seed`]) and its corpus seed
+//! view is a pure function of ledger contents ([`crate::exchange`]),
+//! *which* worker runs a batch — and in what steal order — never shows
+//! in the merged result: [`bvf::fuzz::merge_batches`] folds outputs in
+//! batch order.
+//!
+//! Liveness under stealing: let `m` be the smallest unpublished batch.
+//! Every batch `m` consumes has a smaller id, so `m` is always ready.
+//! If `m` is still queued, its queue's owner cannot be blocked on a
+//! smaller batch (front-pop order) nor have exited (non-empty queue),
+//! so `m` gets claimed; if `m` is claimed, its holder is not blocked
+//! (ready) and will publish it. Either way the frontier advances, so a
+//! worker blocked in `seed_for` always gets woken.
 
+use std::collections::VecDeque;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use bvf::fuzz::{
-    shard_iterations, stream_seed, CampaignConfig, CampaignResult, CampaignWorker, WorkerOutput,
-};
+use bvf::corpus::CorpusSnapshot;
+use bvf::fuzz::{batch_count, merge_batches, BatchOutput, CampaignConfig, CampaignWorker};
+use bvf_runtime::ExecScratch;
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceSink};
 
-use crate::exchange::{self, ExchangePort};
-use crate::merge::{interleave_traces, merge_outputs, merge_registries};
+use crate::exchange::ExchangeHub;
+use crate::merge::{interleave_traces, merge_registries};
 use crate::progress::SharedProgress;
 use crate::shard::ShardedSignatureSet;
 
-/// Parallelism and exchange knobs for one sharded campaign.
+/// Parallelism knobs for one work-stealing campaign. The corpus
+/// exchange cadence lives in [`CampaignConfig`] (`batch_len`,
+/// `exchange_every`, `exchange_batch`) because it defines the *logical*
+/// campaign — results must not depend on the worker count.
 #[derive(Debug, Clone)]
 pub struct ParallelConfig {
     /// Worker thread count (clamped to at least 1).
     pub workers: usize,
-    /// Local iterations per corpus-exchange epoch; 0 disables exchange.
-    /// Exchange also requires a feedback-driven generator and ≥ 2
-    /// workers to do anything.
-    pub exchange_every: usize,
-    /// Maximum corpus entries a worker publishes per epoch.
-    pub exchange_batch: usize,
     /// Live progress cadence in completed global iterations (0 =
     /// silent); output goes through one shared writer, never torn.
     pub stats_every: usize,
     /// Collect per-worker JSONL traces and interleave them into
     /// [`ParallelOutcome::trace`].
     pub trace: bool,
+    /// Deterministic schedule jitter: when non-zero, each worker sleeps
+    /// a few hundred microseconds (hashed from `chaos`, the batch id,
+    /// and the worker id) before running a claimed batch. This perturbs
+    /// *which* worker runs *which* batch without touching any campaign
+    /// input — the determinism tests use it to exercise many steal
+    /// interleavings and assert the merged result never moves.
+    pub chaos: u64,
+    /// Build a [`CorpusSnapshot`] of every batch's published delta into
+    /// [`ParallelOutcome::snapshot`] (`bvf corpus export`).
+    pub snapshot: bool,
 }
 
 impl ParallelConfig {
-    /// Defaults for `workers` threads: exchange every 256 local
-    /// iterations, 8 entries per batch, no live stats, no trace.
+    /// Defaults for `workers` threads: no live stats, no trace, no
+    /// jitter, no snapshot.
     pub fn new(workers: usize) -> ParallelConfig {
         ParallelConfig {
             workers,
-            exchange_every: 256,
-            exchange_batch: 8,
             stats_every: 0,
             trace: false,
+            chaos: 0,
+            snapshot: false,
         }
     }
 }
 
-/// Per-worker observability summary (wall time is observational and
-/// varies run to run; everything else is deterministic).
+/// Per-worker observability summary (wall time and steal counts are
+/// observational and vary run to run; the merged result never does).
 #[derive(Debug, Clone)]
 pub struct WorkerSummary {
-    /// Shard id.
+    /// Worker thread id.
     pub worker: usize,
-    /// The RNG stream seed this shard ran.
-    pub seed: u64,
-    /// Local iterations executed.
+    /// Lease batches this worker ran (own + stolen).
+    pub batches: usize,
+    /// How many of those were stolen from a peer's queue tail.
+    pub stolen: usize,
+    /// Iterations executed.
     pub iterations: usize,
-    /// Programs the verifier accepted on this shard.
+    /// Programs the verifier accepted on this worker.
     pub accepted: usize,
     /// Locally deduplicated findings recorded.
     pub findings: usize,
-    /// Local verifier coverage points.
-    pub coverage_points: usize,
-    /// Final local corpus size.
-    pub corpus_len: usize,
-    /// Shard wall time, nanoseconds.
+    /// Worker wall time, nanoseconds.
     pub wall_ns: u64,
 }
 
-/// Everything one sharded campaign produces.
+/// Everything one work-stealing campaign produces.
 pub struct ParallelOutcome {
-    /// The merged campaign result (deterministic for a fixed
-    /// `(config, workers)`).
-    pub result: CampaignResult,
-    /// Merged metrics across all shards, with campaign-level gauges
-    /// (`coverage_points`, `corpus_len`, `campaign.workers`) reflecting
-    /// the merged truth.
+    /// The merged campaign result — a pure function of the
+    /// [`CampaignConfig`], identical at any worker count and under any
+    /// steal interleaving.
+    pub result: bvf::fuzz::CampaignResult,
+    /// Merged metrics across all workers (folded in worker-id order),
+    /// with campaign-level gauges (`coverage_points`, `corpus_len`,
+    /// `campaign.workers`, `campaign.batches`) reflecting the merged
+    /// truth, plus the scheduler counters `campaign.steal_count`,
+    /// `campaign.lease_wait_ns`, and `campaign.exchange_backlog`.
     pub registry: Registry,
     /// Worker-tagged trace, interleaved by `(iter, worker)`; `Some`
     /// only when [`ParallelConfig::trace`] was set.
     pub trace: Option<Vec<u8>>,
-    /// Per-shard summaries, in worker-id order.
+    /// Per-worker summaries, in worker-id order.
     pub workers: Vec<WorkerSummary>,
+    /// Versioned on-disk corpus snapshot; `Some` only when
+    /// [`ParallelConfig::snapshot`] was set.
+    pub snapshot: Option<CorpusSnapshot>,
     /// Campaign wall time, nanoseconds (observational).
     pub wall_ns: u64,
 }
@@ -117,71 +140,70 @@ impl Write for SharedBuf {
     }
 }
 
-struct ShardRun {
-    output: WorkerOutput,
+struct WorkerRun {
+    worker: usize,
+    stolen: usize,
+    outputs: Vec<BatchOutput>,
     registry: Registry,
     trace: Option<Vec<u8>>,
     wall_ns: u64,
-    seed: u64,
 }
 
-/// Runs one campaign sharded across `pcfg.workers` threads and merges
-/// the shards into one result. See the crate docs for the determinism
-/// guarantees.
+/// Pops the next lease: the front of the worker's own (ascending)
+/// queue, else the **tail** of the first non-empty peer queue. Returns
+/// the batch and whether it was stolen. Stealing from the tail takes
+/// the victim's *latest* batch — the one whose seed generations are
+/// furthest from ready — leaving the victim its cheap, ready front
+/// work; the module docs argue why this cannot deadlock.
+fn next_lease(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
+    if let Some(b) = queues[w].lock().expect("lease queue poisoned").pop_front() {
+        return Some((b, false));
+    }
+    let n = queues.len();
+    for d in 1..n {
+        let peer = (w + d) % n;
+        if let Some(b) = queues[peer]
+            .lock()
+            .expect("lease queue poisoned")
+            .pop_back()
+        {
+            return Some((b, true));
+        }
+    }
+    None
+}
+
+/// Runs one campaign across `pcfg.workers` work-stealing threads and
+/// merges the batch outputs into one result. See the crate docs for the
+/// determinism guarantees.
 pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutcome {
     let workers = pcfg.workers.max(1);
     let t0 = Instant::now();
     let trace_epoch = Instant::now();
+    let batches = batch_count(cfg);
 
     let dedup = ShardedSignatureSet::new((workers * 4).next_power_of_two());
+    let hub = ExchangeHub::new(cfg);
     let progress = (pcfg.stats_every > 0)
         .then(|| SharedProgress::new(cfg.iterations, pcfg.stats_every, workers));
 
-    // Corpus exchange only exists between ≥ 2 feedback-driven shards.
-    let feedback_generator = {
-        // Mirror CampaignWorker::uses_feedback without building a worker.
-        use bvf::baseline::GeneratorKind;
-        cfg.feedback && matches!(cfg.generator, GeneratorKind::Bvf | GeneratorKind::Syzkaller)
-    };
-    let exchange_on = pcfg.exchange_every > 0 && workers > 1 && feedback_generator;
-    let mut ports: Vec<Option<ExchangePort>> = if exchange_on {
-        exchange::ports(workers).into_iter().map(Some).collect()
-    } else {
-        (0..workers).map(|_| None).collect()
-    };
+    // Deal batches round-robin: queue w holds w, w+N, w+2N, ... in
+    // ascending (front-to-back) order.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..batches).step_by(workers.max(1)).collect()))
+        .collect();
 
-    // Every worker participates in the same number of epochs, derived
-    // from the largest shard, so the exchange barriers always complete.
-    let epoch_len = pcfg.exchange_every.max(1);
-    let epochs = if exchange_on {
-        shard_iterations(cfg.iterations, 0, workers)
-            .div_ceil(epoch_len)
-            .max(1)
-    } else {
-        1
-    };
-
-    let mut runs: Vec<ShardRun> = std::thread::scope(|s| {
+    let mut runs: Vec<WorkerRun> = std::thread::scope(|s| {
         let dedup = &dedup;
+        let hub = &hub;
+        let queues = &queues;
         let progress = progress.as_ref();
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let cfg = cfg.clone();
-                let port = ports[w].take();
                 let pcfg = pcfg.clone();
                 s.spawn(move || {
-                    run_worker(
-                        cfg,
-                        w,
-                        workers,
-                        epochs,
-                        epoch_len,
-                        &pcfg,
-                        port,
-                        dedup,
-                        progress,
-                        trace_epoch,
-                    )
+                    run_worker(cfg, w, &pcfg, queues, hub, dedup, progress, trace_epoch)
                 })
             })
             .collect();
@@ -190,7 +212,7 @@ pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutco
             .map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     });
-    runs.sort_by_key(|r| r.output.worker);
+    runs.sort_by_key(|r| r.worker);
 
     if let Some(p) = &progress {
         p.finish();
@@ -199,39 +221,42 @@ pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutco
     let summaries: Vec<WorkerSummary> = runs
         .iter()
         .map(|r| WorkerSummary {
-            worker: r.output.worker,
-            seed: r.seed,
-            iterations: r.output.iterations,
-            accepted: r.output.accepted,
-            findings: r.output.findings.len(),
-            coverage_points: r.output.coverage.len(),
-            corpus_len: r.output.corpus_len,
+            worker: r.worker,
+            batches: r.outputs.len(),
+            stolen: r.stolen,
+            iterations: r.outputs.iter().map(|o| o.iterations).sum(),
+            accepted: r.outputs.iter().map(|o| o.accepted).sum(),
+            findings: r.outputs.iter().map(|o| o.findings.len()).sum(),
             wall_ns: r.wall_ns,
         })
         .collect();
 
     let mut registries = Vec::with_capacity(runs.len());
-    let mut outputs = Vec::with_capacity(runs.len());
+    let mut outputs = Vec::with_capacity(batches);
     let mut traces = Vec::new();
     for r in runs {
         registries.push(r.registry);
         if let Some(t) = r.trace {
-            traces.push((r.output.worker, t));
+            traces.push((r.worker, t));
         }
-        outputs.push(r.output);
+        outputs.extend(r.outputs);
     }
 
-    let (result, merge_stats) = merge_outputs(cfg, outputs);
+    let snapshot = pcfg
+        .snapshot
+        .then(|| CorpusSnapshot::from_outputs(cfg, &outputs));
+    let (result, merge_stats) = merge_batches(cfg, outputs);
 
     let mut registry = merge_registries(registries);
-    // Per-shard gauges summed; overwrite the non-additive ones with the
+    // Per-worker gauges summed; overwrite the non-additive ones with the
     // merged truth.
     registry.set_gauge("corpus_len", result.corpus_len as i64);
     registry.set_gauge("coverage_points", result.coverage.len() as i64);
     registry.set_gauge("campaign.workers", workers as i64);
+    registry.set_gauge("campaign.batches", batches as i64);
     registry.add(
-        "merge.cross_worker_dupes",
-        merge_stats.cross_worker_dupes as u64,
+        "merge.cross_batch_dupes",
+        merge_stats.cross_batch_dupes as u64,
     );
     registry.add("merge.triaged", merge_stats.merge_triaged as u64);
 
@@ -242,25 +267,31 @@ pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutco
         registry,
         trace,
         workers: summaries,
+        snapshot,
         wall_ns: elapsed_ns(t0),
     }
+}
+
+/// Deterministic per-(chaos, batch, worker) jitter in microseconds —
+/// purely a scheduling perturbation, invisible to campaign inputs.
+fn chaos_jitter_us(chaos: u64, batch: usize, worker: usize) -> u64 {
+    let mut h = DefaultHasher::new();
+    (chaos, batch as u64, worker as u64).hash(&mut h);
+    h.finish() % 800
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     cfg: CampaignConfig,
     w: usize,
-    workers: usize,
-    epochs: usize,
-    epoch_len: usize,
     pcfg: &ParallelConfig,
-    port: Option<ExchangePort>,
+    queues: &[Mutex<VecDeque<usize>>],
+    hub: &ExchangeHub,
     dedup: &ShardedSignatureSet,
     progress: Option<&SharedProgress>,
     trace_epoch: Instant,
-) -> ShardRun {
+) -> WorkerRun {
     let t0 = Instant::now();
-    let seed = stream_seed(cfg.seed, w);
     let buf = pcfg.trace.then(|| Arc::new(Mutex::new(Vec::new())));
     let sink: Box<dyn TraceSink> = match &buf {
         Some(b) => Box::new(
@@ -271,17 +302,31 @@ fn run_worker(
         None => Box::new(NullSink),
     };
     let mut tel = Telemetry::new(sink);
-    let mut worker = CampaignWorker::sharded(cfg, w, workers);
+    let mut scratch = ExecScratch::new();
+    let mut outputs = Vec::new();
+    let mut stolen = 0usize;
 
-    // Previous-tick snapshot for progress deltas.
-    let (mut p_acc, mut p_find, mut p_corp, mut p_cov) = (0usize, 0usize, 0usize, 0usize);
-    for epoch in 0..epochs {
-        let until = if port.is_some() {
-            ((epoch + 1) * epoch_len).min(worker.local_total())
-        } else {
-            worker.local_total()
-        };
-        while worker.local_done() < until && worker.step(&mut tel, dedup) {
+    while let Some((batch, was_steal)) = next_lease(queues, w) {
+        if was_steal {
+            stolen += 1;
+            tel.registry.inc("campaign.steal_count");
+        }
+        if pcfg.chaos != 0 {
+            std::thread::sleep(std::time::Duration::from_micros(chaos_jitter_us(
+                pcfg.chaos, batch, w,
+            )));
+        }
+        let (seed, stats) = hub.seed_for(batch);
+        tel.registry.add("campaign.lease_wait_ns", stats.wait_ns);
+        tel.registry
+            .record("campaign.exchange_backlog", stats.backlog);
+
+        let mut worker = CampaignWorker::lease(cfg.clone(), batch, seed);
+        // Previous-tick snapshot for progress deltas; corpus/coverage
+        // start at the seed view, so only batch-local growth is folded.
+        let (mut p_acc, mut p_find) = (0usize, 0usize);
+        let (mut p_corp, mut p_cov) = (worker.corpus_size(), worker.coverage_points());
+        while worker.step(&mut tel, dedup, &mut scratch) {
             if let Some(p) = progress {
                 let (acc, find, corp, cov) = (
                     worker.accepted(),
@@ -293,22 +338,58 @@ fn run_worker(
                 (p_acc, p_find, p_corp, p_cov) = (acc, find, corp, cov);
             }
         }
-        if let Some(port) = &port {
-            let outgoing = worker.drain_fresh_corpus(pcfg.exchange_batch);
-            let received = port.exchange(outgoing);
-            worker.inject_corpus(received);
-        }
+        let out = worker.into_output();
+        hub.publish(batch, out.ledger_entry());
+        outputs.push(out);
     }
 
-    let output = worker.into_output(&mut tel);
+    tel.finish();
     let registry = std::mem::take(&mut tel.registry);
-    drop(tel); // flushes and releases the sink's buffer handle
+    drop(tel); // releases the sink's buffer handle
     let trace = buf.map(|b| std::mem::take(&mut *b.lock().expect("trace buffer poisoned")));
-    ShardRun {
-        output,
+    WorkerRun {
+        worker: w,
+        stolen,
+        outputs,
         registry,
         trace,
         wall_ns: elapsed_ns(t0),
-        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_queues_deal_round_robin_and_steal_from_tail() {
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..2)
+            .map(|w| Mutex::new((w..7).step_by(2).collect()))
+            .collect();
+        // Worker 0 owns 0,2,4,6; worker 1 owns 1,3,5.
+        assert_eq!(next_lease(&queues, 0), Some((0, false)));
+        assert_eq!(next_lease(&queues, 1), Some((1, false)));
+        // Drain worker 1's own queue, then it steals worker 0's *tail*.
+        assert_eq!(next_lease(&queues, 1), Some((3, false)));
+        assert_eq!(next_lease(&queues, 1), Some((5, false)));
+        assert_eq!(next_lease(&queues, 1), Some((6, true)));
+        assert_eq!(next_lease(&queues, 1), Some((4, true)));
+        // Worker 0 still pops its own front first.
+        assert_eq!(next_lease(&queues, 0), Some((2, false)));
+        assert_eq!(next_lease(&queues, 0), None);
+        assert_eq!(next_lease(&queues, 1), None);
+    }
+
+    #[test]
+    fn chaos_jitter_is_deterministic_and_bounded() {
+        for chaos in [1u64, 42, u64::MAX] {
+            for batch in 0..8 {
+                for worker in 0..4 {
+                    let a = chaos_jitter_us(chaos, batch, worker);
+                    assert_eq!(a, chaos_jitter_us(chaos, batch, worker));
+                    assert!(a < 800);
+                }
+            }
+        }
     }
 }

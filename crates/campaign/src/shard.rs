@@ -42,12 +42,16 @@ impl ShardedSignatureSet {
     }
 
     /// Inserts `sig`; returns `true` iff it was not present (the caller
-    /// is the first in the campaign to claim it).
+    /// is the first in the campaign to claim it). Probes by `&str`
+    /// before inserting, so the common already-claimed path — every
+    /// re-discovery of a known finding — allocates nothing.
     pub fn claim(&self, sig: &str) -> bool {
-        self.shard_of(sig)
-            .lock()
-            .expect("signature shard poisoned")
-            .insert(sig.to_string())
+        let mut set = self.shard_of(sig).lock().expect("signature shard poisoned");
+        if set.contains(sig) {
+            false
+        } else {
+            set.insert(sig.to_string())
+        }
     }
 
     /// Total signatures claimed so far (locks every shard; intended for

@@ -1,0 +1,108 @@
+//! Corpus snapshot interchange: the on-disk format round-trips against
+//! a committed fixture (so the format cannot drift silently), and a
+//! merged two-snapshot campaign reproduces the union of the source
+//! campaigns' findings — the cross-host merging workflow of
+//! `bvf corpus export` / `import`.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use bvf::baseline::GeneratorKind;
+use bvf::corpus::{CorpusSnapshot, CORPUS_FORMAT, CORPUS_FORMAT_VERSION};
+use bvf::fuzz::CampaignConfig;
+use bvf_campaign::{run_sharded, ParallelConfig};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/corpus_snapshot_v1.json")
+}
+
+/// The exact config the committed fixture was exported with
+/// (`bvf corpus export --iters 96 --seed 7 --batch-len 32
+/// --exchange-every 64 --no-triage`).
+fn fixture_config() -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(GeneratorKind::Bvf, 96, 7);
+    cfg.triage = false;
+    cfg.batch_len = 32;
+    cfg.exchange_every = 64;
+    cfg
+}
+
+fn export(cfg: &CampaignConfig, workers: usize) -> CorpusSnapshot {
+    let mut pcfg = ParallelConfig::new(workers);
+    pcfg.snapshot = true;
+    run_sharded(cfg, &pcfg)
+        .snapshot
+        .expect("snapshot requested")
+}
+
+#[test]
+fn committed_fixture_round_trips() {
+    let text = std::fs::read_to_string(fixture_path()).expect("fixture exists");
+    let snap = CorpusSnapshot::from_json(&text).expect("fixture parses and validates");
+    assert_eq!(snap.format, CORPUS_FORMAT);
+    assert_eq!(snap.version, CORPUS_FORMAT_VERSION);
+    assert!(snap.corpus_len() > 0, "fixture carries corpus entries");
+    assert!(!snap.coverage().is_empty(), "fixture carries coverage");
+
+    // Export → import round trip: serialize and re-parse without loss.
+    let back = CorpusSnapshot::from_json(&snap.to_json()).expect("round-trip parses");
+    assert_eq!(snap, back);
+}
+
+#[test]
+fn fixture_matches_a_fresh_export_of_its_config() {
+    // The committed bytes stay reproducible: re-running the fixture's
+    // campaign today must export the identical snapshot. If a change
+    // legitimately alters campaign behaviour, regenerate the fixture
+    // with the command in `fixture_config`'s doc comment.
+    let text = std::fs::read_to_string(fixture_path()).expect("fixture exists");
+    let committed = CorpusSnapshot::from_json(&text).expect("fixture parses");
+    let fresh = export(&fixture_config(), 2);
+    assert_eq!(
+        committed, fresh,
+        "fixture drifted from the campaign that exported it"
+    );
+}
+
+#[test]
+fn merged_snapshots_reproduce_the_union_of_findings() {
+    // Two "hosts" run disjoint campaigns (different seeds), export, and
+    // merge — the merged snapshot must carry exactly the union of the
+    // two finding sets and of the two coverage sets.
+    let host_a = fixture_config();
+    let host_b = CampaignConfig {
+        seed: 1234,
+        ..fixture_config()
+    };
+    let a = export(&host_a, 1);
+    let b = export(&host_b, 2);
+
+    let union: BTreeSet<String> = a
+        .finding_signatures()
+        .union(&b.finding_signatures())
+        .cloned()
+        .collect();
+    assert!(!union.is_empty(), "campaigns must find something");
+
+    let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]);
+    assert!(merged.validate().is_ok());
+    assert_eq!(merged.finding_signatures(), union);
+
+    let mut cov_union = a.coverage();
+    cov_union.merge(&b.coverage());
+    assert_eq!(merged.coverage(), cov_union);
+
+    // And a campaign seeded from the merged snapshot starts where both
+    // hosts left off: everything either host covered is pre-credited.
+    let seeded_cfg = CampaignConfig {
+        base: merged.to_base(),
+        ..fixture_config()
+    };
+    let seeded = run_sharded(&seeded_cfg, &ParallelConfig::new(2)).result;
+    assert!(
+        seeded.coverage.len() < cov_union.len() / 2,
+        "imported coverage should gate retention: {} new vs {} imported",
+        seeded.coverage.len(),
+        cov_union.len()
+    );
+}

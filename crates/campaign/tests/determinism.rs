@@ -1,18 +1,21 @@
-//! The two guarantees the orchestrator advertises, as tests:
+//! The scheduler's central guarantee, as tests: the merged
+//! [`CampaignResult`] is a pure function of the [`CampaignConfig`] —
+//! **worker count, steal schedule, and finish order are not inputs**.
 //!
-//! 1. `--workers 1` reproduces the serial campaign **exactly** — every
-//!    field of `CampaignResult`, including the floating-point means bit
-//!    for bit.
-//! 2. For any fixed `(seed, workers, iterations)` the merged result is
-//!    reproducible run-to-run, however the OS schedules the threads.
-//!
-//! Worker RNG streams are split per shard, so different worker counts
-//! legitimately explore different programs; what must never vary is the
-//! result of the *same* configuration.
+//! Campaign iterations are carved into lease batches whose RNG streams
+//! depend only on the batch id (`bvf::fuzz::stream_seed`), seed views
+//! fold ledger contents in batch order regardless of arrival order, and
+//! the merge folds batch outputs in batch order. So `--workers 4` must
+//! reproduce `--workers 1` exactly — every field, floating-point means
+//! bit for bit — and a chaos-jittered run (deterministic per-batch
+//! sleeps that reshuffle stealing) must reproduce an un-jittered one.
+
+use std::sync::OnceLock;
 
 use bvf::baseline::GeneratorKind;
-use bvf::fuzz::{run_campaign, CampaignConfig, CampaignResult};
+use bvf::fuzz::{batch_count, run_campaign, CampaignConfig, CampaignResult};
 use bvf_campaign::{run_sharded, ParallelConfig};
+use proptest::prelude::*;
 
 fn config(iters: usize, seed: u64) -> CampaignConfig {
     // Defaults: all bugs injected, sanitation + triage + feedback on —
@@ -44,60 +47,87 @@ fn fingerprint(r: &CampaignResult) -> (Vec<FindingKey>, usize, usize, usize) {
     )
 }
 
+/// Full-strength equality: every deterministic field, means bitwise.
+fn assert_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
+    assert_eq!(a.generator, b.generator, "{what}: generator");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.accepted, b.accepted, "{what}: accepted");
+    assert_eq!(a.errno_histogram, b.errno_histogram, "{what}: errnos");
+    assert_eq!(a.coverage, b.coverage, "{what}: coverage");
+    assert_eq!(a.timeline, b.timeline, "{what}: timeline");
+    assert_eq!(a.found_bugs, b.found_bugs, "{what}: found bugs");
+    assert_eq!(a.corpus_len, b.corpus_len, "{what}: corpus");
+    assert_eq!(
+        a.alu_jmp_share.to_bits(),
+        b.alu_jmp_share.to_bits(),
+        "{what}: alu share"
+    );
+    assert_eq!(
+        a.avg_prog_len.to_bits(),
+        b.avg_prog_len.to_bits(),
+        "{what}: prog len"
+    );
+    assert_eq!(a.findings.len(), b.findings.len(), "{what}: finding count");
+    for (x, y) in a.findings.iter().zip(&b.findings) {
+        assert_eq!(x.iteration, y.iteration, "{what}: finding iteration");
+        assert_eq!(x.signature, y.signature, "{what}: finding signature");
+        assert_eq!(x.culprits, y.culprits, "{what}: finding culprits");
+        assert_eq!(
+            x.finding.indicator, y.finding.indicator,
+            "{what}: finding indicator"
+        );
+    }
+}
+
 #[test]
 fn one_worker_matches_legacy_serial_path() {
     let cfg = config(800, 20_240_601);
     let serial = run_campaign(&cfg);
     let sharded = run_sharded(&cfg, &ParallelConfig::new(1)).result;
+    assert_identical(&serial, &sharded, "serial vs 1 worker");
+}
 
-    assert_eq!(serial.generator, sharded.generator);
-    assert_eq!(serial.iterations, sharded.iterations);
-    assert_eq!(serial.accepted, sharded.accepted);
-    assert_eq!(serial.errno_histogram, sharded.errno_histogram);
-    assert_eq!(serial.coverage, sharded.coverage);
-    assert_eq!(serial.timeline, sharded.timeline);
-    assert_eq!(serial.found_bugs, sharded.found_bugs);
-    assert_eq!(serial.corpus_len, sharded.corpus_len);
-    // Means must match to the last bit: the merge folds raw sums and
-    // divides once, exactly like the serial path.
-    assert_eq!(
-        serial.alu_jmp_share.to_bits(),
-        sharded.alu_jmp_share.to_bits()
-    );
-    assert_eq!(
-        serial.avg_prog_len.to_bits(),
-        sharded.avg_prog_len.to_bits()
-    );
-
-    assert_eq!(serial.findings.len(), sharded.findings.len());
-    for (a, b) in serial.findings.iter().zip(&sharded.findings) {
-        assert_eq!(a.iteration, b.iteration);
-        assert_eq!(a.signature, b.signature);
-        assert_eq!(a.culprits, b.culprits);
-        assert_eq!(a.finding.indicator, b.finding.indicator);
+#[test]
+fn every_worker_count_matches_one_worker() {
+    // The acceptance bar of the work-stealing redesign: merged results
+    // are bit-identical to `--workers 1` at any worker count, findings
+    // and corpus included.
+    let cfg = config(600, 97);
+    let one = run_sharded(&cfg, &ParallelConfig::new(1)).result;
+    for workers in [2usize, 3, 4] {
+        let many = run_sharded(&cfg, &ParallelConfig::new(workers)).result;
+        assert_identical(&one, &many, &format!("{workers} workers vs 1"));
     }
 }
 
 #[test]
-fn campaigns_are_deterministic_at_every_worker_count() {
+fn campaigns_are_deterministic_run_to_run() {
     for workers in [1usize, 2, 4] {
         let cfg = config(600, 97);
         let pcfg = ParallelConfig::new(workers);
         let a = run_sharded(&cfg, &pcfg);
         let b = run_sharded(&cfg, &pcfg);
-        assert_eq!(
-            fingerprint(&a.result),
-            fingerprint(&b.result),
-            "result varied across runs at {workers} workers"
+        assert_identical(
+            &a.result,
+            &b.result,
+            &format!("run-to-run at {workers} workers"),
         );
-        assert_eq!(
-            a.result.errno_histogram, b.result.errno_histogram,
-            "errno mix varied at {workers} workers"
-        );
-        assert_eq!(
-            a.result.timeline, b.result.timeline,
-            "timeline varied at {workers} workers"
-        );
+    }
+}
+
+#[test]
+fn chaos_jitter_cannot_change_the_result() {
+    // Chaos mode injects deterministic per-(batch, worker) sleeps
+    // before each claimed batch, perturbing which batches get stolen
+    // and in what order workers finish. None of that is a campaign
+    // input, so the merged result must not move.
+    let cfg = config(500, 7);
+    let calm = run_sharded(&cfg, &ParallelConfig::new(3)).result;
+    for chaos in [1u64, 0xdead_beef, u64::MAX] {
+        let mut pcfg = ParallelConfig::new(3);
+        pcfg.chaos = chaos;
+        let outcome = run_sharded(&cfg, &pcfg);
+        assert_identical(&calm, &outcome.result, &format!("chaos {chaos:#x}"));
     }
 }
 
@@ -106,14 +136,16 @@ fn worker_summaries_partition_the_campaign() {
     let cfg = config(500, 3);
     let outcome = run_sharded(&cfg, &ParallelConfig::new(4));
     assert_eq!(outcome.workers.len(), 4);
-    let total: usize = outcome.workers.iter().map(|w| w.iterations).sum();
-    assert_eq!(total, cfg.iterations);
-    // Worker 0 replays the campaign seed's own stream; the others are
-    // split from it.
-    assert_eq!(outcome.workers[0].seed, cfg.seed);
-    for w in &outcome.workers[1..] {
-        assert_ne!(w.seed, cfg.seed);
+    let iters: usize = outcome.workers.iter().map(|w| w.iterations).sum();
+    assert_eq!(iters, cfg.iterations, "iterations partition exactly");
+    let batches: usize = outcome.workers.iter().map(|w| w.batches).sum();
+    assert_eq!(batches, batch_count(&cfg), "batches partition exactly");
+    // A worker can only steal batches it actually ran.
+    for w in &outcome.workers {
+        assert!(w.stolen <= w.batches, "stole more than it ran");
     }
+    let accepted: usize = outcome.workers.iter().map(|w| w.accepted).sum();
+    assert_eq!(accepted, outcome.result.accepted);
 }
 
 #[test]
@@ -150,11 +182,7 @@ fn one_worker_diff_oracle_matches_serial() {
     let serial = run_campaign(&cfg);
     let sharded = run_sharded(&cfg, &ParallelConfig::new(1)).result;
 
-    assert_eq!(fingerprint(&serial), fingerprint(&sharded));
-    assert_eq!(serial.errno_histogram, sharded.errno_histogram);
-    assert_eq!(serial.timeline, sharded.timeline);
-    assert_eq!(serial.found_bugs, sharded.found_bugs);
-
+    assert_identical(&serial, &sharded, "diff oracle serial vs 1 worker");
     assert_eq!(serial.diff.steps_total, sharded.diff.steps_total);
     assert_eq!(serial.diff.steps_checked, sharded.diff.steps_checked);
     assert_eq!(
@@ -199,21 +227,49 @@ fn prune_index_on_and_off_find_the_same_bugs() {
 
 #[test]
 fn diff_campaigns_are_deterministic_across_worker_counts() {
-    for workers in [1usize, 2, 3] {
-        let mut cfg = config(400, 97);
-        cfg.diff_oracle = true;
-        let pcfg = ParallelConfig::new(workers);
-        let a = run_sharded(&cfg, &pcfg);
-        let b = run_sharded(&cfg, &pcfg);
-        assert_eq!(
-            fingerprint(&a.result),
-            fingerprint(&b.result),
-            "diff result varied across runs at {workers} workers"
-        );
-        assert_eq!(
-            a.result.diff.steps_checked, b.result.diff.steps_checked,
-            "diff stats varied at {workers} workers"
-        );
-        assert_eq!(a.result.diff.divergences, b.result.diff.divergences);
+    let mut cfg = config(400, 97);
+    cfg.diff_oracle = true;
+    let one = run_sharded(&cfg, &ParallelConfig::new(1)).result;
+    for workers in [2usize, 3] {
+        let many = run_sharded(&cfg, &ParallelConfig::new(workers)).result;
+        assert_identical(&one, &many, &format!("diff oracle {workers} vs 1"));
+        assert_eq!(one.diff.steps_checked, many.diff.steps_checked);
+        assert_eq!(one.diff.divergences, many.diff.divergences);
+    }
+}
+
+/// The property-test campaign: small (the vendored proptest runs a
+/// fixed 192 cases) but multi-generation, so stealing, exchange lag,
+/// and merge all engage.
+fn property_config() -> CampaignConfig {
+    CampaignConfig {
+        batch_len: 16,
+        exchange_every: 32,
+        ..config(96, 41)
+    }
+}
+
+/// The property-test reference: one serial run of the fixed config,
+/// computed once however many cases proptest throws at it.
+fn property_reference() -> &'static CampaignResult {
+    static REF: OnceLock<CampaignResult> = OnceLock::new();
+    REF.get_or_init(|| run_campaign(&property_config()))
+}
+
+proptest! {
+    /// Satellite property: for *any* worker count and *any* chaos seed
+    /// — i.e. any steal schedule and any finish order — the merged
+    /// result equals the serial reference.
+    #[test]
+    fn merge_is_schedule_independent(workers in 1usize..=4, chaos in any::<u64>()) {
+        let mut pcfg = ParallelConfig::new(workers);
+        pcfg.chaos = chaos;
+        let merged = run_sharded(&property_config(), &pcfg).result;
+        let reference = property_reference();
+        prop_assert_eq!(fingerprint(reference), fingerprint(&merged));
+        prop_assert_eq!(&reference.errno_histogram, &merged.errno_histogram);
+        prop_assert_eq!(&reference.coverage, &merged.coverage);
+        prop_assert_eq!(&reference.timeline, &merged.timeline);
+        prop_assert_eq!(reference.alu_jmp_share.to_bits(), merged.alu_jmp_share.to_bits());
     }
 }

@@ -4,9 +4,13 @@
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
 //!             [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]
-//!             [--workers N] [--exchange-every N]
+//!             [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]
+//!             [--chaos S] [--corpus-in FILE] [--corpus-out FILE]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
 //!             [--snapshot-every N] [--save-findings DIR]
+//! bvf corpus export --out FILE [fuzz options]
+//! bvf corpus import <snap.json>... [--out FILE]
+//! bvf corpus info   <snap.json>
 //! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
 //!             [--diff-oracle]
 //! bvf minimize <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
@@ -33,17 +37,32 @@
 //! a state divergence. Replay and minimize must be given the same flag
 //! to reproduce Indicator #3 findings.
 //!
-//! `--workers N` shards the campaign across N threads (0 = one per
-//! available CPU) with deterministic merged results; `--workers 1` (the
-//! default) runs the serial path unchanged. With multiple workers the
-//! trace is worker-tagged and interleaved by iteration, and progress
-//! lines go through one shared writer.
+//! `--workers N` runs the campaign's lease batches across N
+//! work-stealing threads (0 = one per available CPU) with merged
+//! results bit-identical to `--workers 1` on the same seed; `--chaos S`
+//! adds deterministic per-batch scheduling jitter (for shaking out
+//! schedule dependence — results must not change). `--batch-len`,
+//! `--exchange-every` and `--exchange-batch` set the lease-batch
+//! geometry and corpus-exchange cadence; they are campaign inputs, so
+//! changing them changes the result (worker count never does). With
+//! multiple workers the trace is worker-tagged and interleaved by
+//! iteration, and progress lines go through one shared writer.
+//!
+//! `bvf corpus export` runs a campaign (same flags as `fuzz`) and
+//! writes a versioned corpus snapshot — per lease batch, the retained
+//! scenarios, the coverage delta, and finding summaries. `import`
+//! merges snapshots from different hosts by batch order into one;
+//! `fuzz --corpus-in` seeds a new campaign from a snapshot (its corpus
+//! becomes every batch's mutation base and its coverage gates
+//! retention, so the new campaign hunts only what the old one missed).
+//! `fuzz --corpus-out` is `export` inline.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::exit;
 
 use bvf::baseline::GeneratorKind;
+use bvf::corpus::CorpusSnapshot;
 use bvf::fuzz::{report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult};
 use bvf::minimize::minimize_finding_jobs;
 use bvf::oracle::{judge, triage};
@@ -58,9 +77,13 @@ fn usage() -> ! {
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
          [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]\n             \
-         [--workers N] [--exchange-every N]\n             \
+         [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]\n             \
+         [--chaos S] [--corpus-in FILE] [--corpus-out FILE]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
          [--snapshot-every N] [--save-findings DIR]\n  \
+         bvf corpus export --out FILE [fuzz options]\n  \
+         bvf corpus import <snap.json>... [--out FILE]\n  \
+         bvf corpus info <snap.json>\n  \
          bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize] [--diff-oracle]\n  \
          bvf minimize <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n             \
          [--diff-oracle] [--jobs N] [--out FILE]\n  \
@@ -185,7 +208,20 @@ fn cmd_bugs() {
     }
 }
 
-fn cmd_fuzz(args: &Args) {
+fn load_snapshot(path: &str) -> CorpusSnapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    CorpusSnapshot::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    })
+}
+
+/// Builds a [`CampaignConfig`] from the `fuzz`-family flags (shared by
+/// `bvf fuzz` and `bvf corpus export`).
+fn campaign_config(args: &Args) -> CampaignConfig {
     let iters: usize = args
         .opt("--iters")
         .and_then(|v| v.parse().ok())
@@ -213,12 +249,34 @@ fn cmd_fuzz(args: &Args) {
     if let Some(n) = args.opt("--snapshot-every").and_then(|v| v.parse().ok()) {
         cfg.snapshot_every = std::cmp::max(n, 1);
     }
+    if let Some(n) = args.opt("--batch-len").and_then(|v| v.parse().ok()) {
+        cfg.batch_len = std::cmp::max(n, 1);
+    }
+    if let Some(n) = args.opt("--exchange-every").and_then(|v| v.parse().ok()) {
+        cfg.exchange_every = n;
+    }
+    if let Some(n) = args.opt("--exchange-batch").and_then(|v| v.parse().ok()) {
+        cfg.exchange_batch = n;
+    }
+    if let Some(path) = args.opt("--corpus-in") {
+        cfg.base = load_snapshot(path).to_base();
+    }
+    cfg
+}
 
-    let workers = match args.opt("--workers").and_then(|v| v.parse::<usize>().ok()) {
+fn parse_workers(args: &Args) -> usize {
+    match args.opt("--workers").and_then(|v| v.parse::<usize>().ok()) {
         Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
         Some(n) => n,
         None => 1,
-    };
+    }
+}
+
+fn cmd_fuzz(args: &Args) {
+    let cfg = campaign_config(args);
+    let (iters, seed) = (cfg.iterations, cfg.seed);
+    let workers = parse_workers(args);
+    let corpus_out = args.opt("--corpus-out");
     let trace_path = args.opt("--trace-out");
     let stats_every: usize = args
         .opt("--stats-every")
@@ -238,12 +296,16 @@ fn cmd_fuzz(args: &Args) {
         }
     );
 
-    let (r, registry): (CampaignResult, Registry) = if workers > 1 {
+    // The serial path cannot export a snapshot (it folds batch outputs
+    // as it goes), so `--corpus-out` routes through the scheduler even
+    // at one worker — by design that is bit-identical.
+    let (r, registry): (CampaignResult, Registry) = if workers > 1 || corpus_out.is_some() {
         let mut pcfg = ParallelConfig::new(workers);
         pcfg.stats_every = stats_every;
         pcfg.trace = trace_path.is_some();
-        if let Some(n) = args.opt("--exchange-every").and_then(|v| v.parse().ok()) {
-            pcfg.exchange_every = n;
+        pcfg.snapshot = corpus_out.is_some();
+        if let Some(s) = args.opt("--chaos").and_then(|v| v.parse().ok()) {
+            pcfg.chaos = s;
         }
         let outcome = run_sharded(&cfg, &pcfg);
         if let (Some(path), Some(trace)) = (trace_path, &outcome.trace) {
@@ -252,16 +314,26 @@ fn cmd_fuzz(args: &Args) {
                 exit(1);
             });
         }
+        if let (Some(path), Some(snap)) = (corpus_out, &outcome.snapshot) {
+            std::fs::write(path, snap.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write corpus snapshot {path}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "corpus snapshot written to {path} ({} entries, {} coverage points)",
+                snap.corpus_len(),
+                snap.coverage().len()
+            );
+        }
         for w in &outcome.workers {
             eprintln!(
-                "worker {}: seed {:#018x}  iters {}  accepted {}  findings {}  coverage {}  corpus {}  {:.2}s",
+                "worker {}: batches {} ({} stolen)  iters {}  accepted {}  findings {}  {:.2}s",
                 w.worker,
-                w.seed,
+                w.batches,
+                w.stolen,
                 w.iterations,
                 w.accepted,
                 w.findings,
-                w.coverage_points,
-                w.corpus_len,
                 w.wall_ns as f64 / 1e9
             );
         }
@@ -499,6 +571,73 @@ fn cmd_disasm(path: &str) {
     println!("{}", scenario.prog.dump());
 }
 
+fn print_snapshot_summary(snap: &CorpusSnapshot) {
+    println!(
+        "{} v{}  generator {}  seed {}  iterations {}  batch-len {}  exchange-every {}",
+        snap.format,
+        snap.version,
+        snap.generator,
+        snap.seed,
+        snap.iterations,
+        snap.batch_len,
+        snap.exchange_every
+    );
+    println!(
+        "{} batches  {} corpus entries  {} coverage points  {} findings",
+        snap.batches.len(),
+        snap.corpus_len(),
+        snap.coverage().len(),
+        snap.finding_signatures().len()
+    );
+}
+
+fn cmd_corpus(args: &Args, argv: &[String]) {
+    match argv.get(1).map(|s| s.as_str()) {
+        Some("export") => {
+            let Some(out) = args.opt("--out") else {
+                eprintln!("corpus export needs --out FILE");
+                exit(2);
+            };
+            let cfg = campaign_config(args);
+            let mut pcfg = ParallelConfig::new(parse_workers(args));
+            pcfg.snapshot = true;
+            let outcome = run_sharded(&cfg, &pcfg);
+            let snap = outcome.snapshot.expect("snapshot requested");
+            std::fs::write(out, snap.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            });
+            print_snapshot_summary(&snap);
+            println!("saved {out}");
+        }
+        Some("import") => {
+            let inputs: Vec<&String> = argv[2..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            if inputs.is_empty() {
+                eprintln!("corpus import needs at least one snapshot file");
+                exit(2);
+            }
+            let snaps: Vec<CorpusSnapshot> = inputs.iter().map(|p| load_snapshot(p)).collect();
+            let merged = CorpusSnapshot::merge(snaps);
+            print_snapshot_summary(&merged);
+            if let Some(out) = args.opt("--out") {
+                std::fs::write(out, merged.to_json()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    exit(1);
+                });
+                println!("saved {out}");
+            }
+        }
+        Some("info") => match argv.get(2) {
+            Some(path) => print_snapshot_summary(&load_snapshot(path)),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(|s| s.as_str()) else {
@@ -519,6 +658,7 @@ fn main() {
             Some(p) => cmd_disasm(p),
             None => usage(),
         },
+        "corpus" => cmd_corpus(&args, &argv),
         "bugs" => cmd_bugs(),
         _ => usage(),
     }

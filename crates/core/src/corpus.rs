@@ -1,0 +1,369 @@
+//! Versioned on-disk corpus snapshots (`bvf corpus export` / `import`).
+//!
+//! A snapshot serializes a campaign's exchange ledger: one record per
+//! lease batch carrying the corpus entries the batch retained, its
+//! coverage **delta** (the points it observed first, as sorted raw
+//! keys), and its finding summaries. Because per-batch deltas are
+//! disjoint in batch order, the snapshot's total coverage is just their
+//! union, and two snapshots merge by interleaving their batch records
+//! in batch order and re-disjointing the deltas — no information about
+//! worker schedules or host speed is in the file, so snapshots taken on
+//! different hosts merge deterministically ([`CorpusSnapshot::merge`]).
+//!
+//! An imported snapshot becomes a campaign's *base* seed view
+//! ([`CorpusSnapshot::to_base`] → [`CampaignConfig::base`]): every
+//! batch starts from the imported corpus and measures retention against
+//! the imported coverage, so a cross-host campaign spends its budget on
+//! what the exporting campaign did not already reach.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use bvf_verifier::Coverage;
+
+use crate::fuzz::{BatchOutput, BatchSeed, CampaignConfig, CORPUS_CAP};
+use crate::scenario::Scenario;
+
+/// The snapshot format tag (`format` field).
+pub const CORPUS_FORMAT: &str = "bvf-corpus";
+/// The current snapshot format version (`version` field).
+pub const CORPUS_FORMAT_VERSION: u32 = 1;
+
+/// One finding, reduced to its stable identity for cross-host merging.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotFinding {
+    /// Ordering-stable dedup signature.
+    pub signature: String,
+    /// Global campaign iteration at which it was first seen.
+    pub iteration: usize,
+    /// The oracle indicator, as its debug name.
+    pub indicator: String,
+    /// Triaged culprit defect names (empty when untriaged).
+    pub culprits: Vec<String>,
+}
+
+/// One lease batch's ledger record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotBatch {
+    /// Lease batch id within the snapshot (strictly increasing).
+    pub batch: usize,
+    /// First global iteration of the batch in its source campaign.
+    pub start: usize,
+    /// Iterations the batch executed.
+    pub iterations: usize,
+    /// Corpus entries the batch retained and published.
+    pub corpus: Vec<Scenario>,
+    /// The batch's coverage delta as **sorted** raw point keys,
+    /// disjoint from all earlier batches in the snapshot.
+    pub coverage: Vec<u64>,
+    /// Findings first recorded by this batch.
+    pub findings: Vec<SnapshotFinding>,
+}
+
+/// A versioned, self-describing corpus snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSnapshot {
+    /// Always [`CORPUS_FORMAT`].
+    pub format: String,
+    /// Always [`CORPUS_FORMAT_VERSION`] for files this build writes.
+    pub version: u32,
+    /// Generator name of the source campaign (`"merged"` after merging
+    /// snapshots from differing generators).
+    pub generator: String,
+    /// Seed of the source campaign (first snapshot's seed after
+    /// merging).
+    pub seed: u64,
+    /// Total iterations behind this snapshot (summed by merge).
+    pub iterations: usize,
+    /// Lease batch length of the source campaign.
+    pub batch_len: usize,
+    /// Corpus-exchange generation length of the source campaign, in
+    /// iterations.
+    pub exchange_every: usize,
+    /// Per-batch ledger records, in batch order.
+    pub batches: Vec<SnapshotBatch>,
+}
+
+impl CorpusSnapshot {
+    /// Builds a snapshot from a campaign's batch outputs (any order;
+    /// records are sorted by batch id).
+    pub fn from_outputs(cfg: &CampaignConfig, outputs: &[BatchOutput]) -> CorpusSnapshot {
+        let mut batches: Vec<SnapshotBatch> = outputs
+            .iter()
+            .map(|o| SnapshotBatch {
+                batch: o.batch,
+                start: o.start,
+                iterations: o.iterations,
+                corpus: o.fresh_corpus.iter().map(|s| (**s).clone()).collect(),
+                coverage: o.cov_delta.to_sorted_points(),
+                findings: o
+                    .findings
+                    .iter()
+                    .map(|f| SnapshotFinding {
+                        signature: f.signature.clone(),
+                        iteration: f.iteration,
+                        indicator: format!("{:?}", f.finding.indicator),
+                        culprits: f.culprits.iter().map(|b| b.name().to_string()).collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        batches.sort_by_key(|b| b.batch);
+        CorpusSnapshot {
+            format: CORPUS_FORMAT.to_string(),
+            version: CORPUS_FORMAT_VERSION,
+            generator: cfg.generator.name().to_string(),
+            seed: cfg.seed,
+            iterations: cfg.iterations,
+            batch_len: cfg.batch_len,
+            exchange_every: cfg.exchange_every,
+            batches,
+        }
+    }
+
+    /// Checks the self-description and the batch-order invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.format != CORPUS_FORMAT {
+            return Err(format!(
+                "not a {CORPUS_FORMAT} file (format {:?})",
+                self.format
+            ));
+        }
+        if self.version != CORPUS_FORMAT_VERSION {
+            return Err(format!(
+                "unsupported {CORPUS_FORMAT} version {} (this build reads {})",
+                self.version, CORPUS_FORMAT_VERSION
+            ));
+        }
+        let mut prev: Option<usize> = None;
+        for b in &self.batches {
+            if prev.is_some_and(|p| p >= b.batch) {
+                return Err(format!("batch ids not strictly increasing at {}", b.batch));
+            }
+            prev = Some(b.batch);
+            if b.coverage.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("batch {} coverage not sorted/deduped", b.batch));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to pretty JSON (the on-disk form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parses and validates a snapshot from JSON.
+    pub fn from_json(text: &str) -> Result<CorpusSnapshot, String> {
+        let snap: CorpusSnapshot =
+            serde_json::from_str(text).map_err(|e| format!("corpus snapshot parse: {e}"))?;
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Merges snapshots (e.g. from campaigns on different hosts) into
+    /// one: batch records are interleaved **by batch order** (source
+    /// order breaking ties) and renumbered; coverage deltas are
+    /// re-disjointed against everything earlier in the merged order, so
+    /// the union invariant survives; findings keep the first record per
+    /// signature in merged batch order. Deterministic in the snapshot
+    /// list order, independent of where each snapshot was produced.
+    pub fn merge(snapshots: Vec<CorpusSnapshot>) -> CorpusSnapshot {
+        let generator = {
+            let mut names: Vec<&str> = snapshots.iter().map(|s| s.generator.as_str()).collect();
+            names.dedup();
+            match names.as_slice() {
+                [one] => one.to_string(),
+                _ => "merged".to_string(),
+            }
+        };
+        let seed = snapshots.first().map_or(0, |s| s.seed);
+        let batch_len = snapshots.first().map_or(0, |s| s.batch_len);
+        let exchange_every = snapshots.first().map_or(0, |s| s.exchange_every);
+        let iterations = snapshots.iter().map(|s| s.iterations).sum();
+
+        let mut records: Vec<(usize, usize, SnapshotBatch)> = Vec::new();
+        for (source, snap) in snapshots.into_iter().enumerate() {
+            for b in snap.batches {
+                records.push((b.batch, source, b));
+            }
+        }
+        records.sort_by_key(|&(batch, source, _)| (batch, source));
+
+        let mut seen_points: HashSet<u64> = HashSet::new();
+        let mut seen_sigs: HashSet<String> = HashSet::new();
+        let batches = records
+            .into_iter()
+            .enumerate()
+            .map(|(id, (_, _, mut b))| {
+                b.batch = id;
+                b.coverage.retain(|&p| seen_points.insert(p));
+                b.findings.retain(|f| seen_sigs.insert(f.signature.clone()));
+                b
+            })
+            .collect();
+        CorpusSnapshot {
+            format: CORPUS_FORMAT.to_string(),
+            version: CORPUS_FORMAT_VERSION,
+            generator,
+            seed,
+            iterations,
+            batch_len,
+            exchange_every,
+            batches,
+        }
+    }
+
+    /// Union of the per-batch coverage deltas.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::from_points(self.batches.iter().flat_map(|b| b.coverage.iter().copied()))
+    }
+
+    /// Total corpus entries across batches.
+    pub fn corpus_len(&self) -> usize {
+        self.batches.iter().map(|b| b.corpus.len()).sum()
+    }
+
+    /// The distinct finding signatures the snapshot carries.
+    pub fn finding_signatures(&self) -> BTreeSet<String> {
+        self.batches
+            .iter()
+            .flat_map(|b| b.findings.iter().map(|f| f.signature.clone()))
+            .collect()
+    }
+
+    /// Converts the snapshot into a campaign base seed view
+    /// ([`CampaignConfig::base`]): corpus entries in batch order
+    /// (capped at [`CORPUS_CAP`]) plus the union coverage.
+    pub fn to_base(&self) -> BatchSeed {
+        let corpus = self
+            .batches
+            .iter()
+            .flat_map(|b| b.corpus.iter())
+            .take(CORPUS_CAP)
+            .map(|s| Arc::new(s.clone()))
+            .collect();
+        BatchSeed {
+            corpus,
+            coverage: Arc::new(self.coverage()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::GeneratorKind;
+    use crate::fuzz::{
+        batch_count, merge_batches, run_campaign, CampaignWorker, CorpusLedger, SerialDedup,
+    };
+    use bvf_runtime::ExecScratch;
+    use bvf_telemetry::Telemetry;
+
+    /// Runs a small campaign through the public batch pieces and
+    /// returns its outputs (the serial drivers do not expose them).
+    fn campaign_outputs(cfg: &CampaignConfig) -> Vec<BatchOutput> {
+        let dedup = SerialDedup::default();
+        let mut ledger = CorpusLedger::new(cfg);
+        let mut scratch = ExecScratch::new();
+        let mut tel = Telemetry::null();
+        let mut outputs = Vec::new();
+        for b in 0..batch_count(cfg) {
+            let seed = ledger.seed_for(cfg, b);
+            let mut w = CampaignWorker::lease(cfg.clone(), b, seed);
+            while w.step(&mut tel, &dedup, &mut scratch) {}
+            let out = w.into_output();
+            ledger.publish(b, out.ledger_entry());
+            outputs.push(out);
+        }
+        outputs
+    }
+
+    fn small_config(iters: usize, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            batch_len: 32,
+            exchange_every: 64,
+            ..CampaignConfig::new(GeneratorKind::Bvf, iters, seed)
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let cfg = small_config(96, 7);
+        let outputs = campaign_outputs(&cfg);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &outputs);
+        assert!(snap.validate().is_ok());
+        assert!(snap.corpus_len() > 0, "campaign retained nothing");
+        let back = CorpusSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(snap.coverage(), back.coverage());
+    }
+
+    #[test]
+    fn snapshot_coverage_matches_campaign_coverage() {
+        let cfg = small_config(96, 7);
+        let outputs = campaign_outputs(&cfg);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &outputs);
+        let (result, _) = merge_batches(&cfg, outputs);
+        assert_eq!(snap.coverage(), result.coverage);
+        assert_eq!(snap.corpus_len(), result.corpus_len);
+    }
+
+    #[test]
+    fn merged_snapshot_carries_the_union_of_findings() {
+        let a_cfg = small_config(160, 11);
+        let b_cfg = small_config(160, 1234);
+        let a = CorpusSnapshot::from_outputs(&a_cfg, &campaign_outputs(&a_cfg));
+        let b = CorpusSnapshot::from_outputs(&b_cfg, &campaign_outputs(&b_cfg));
+        let union: BTreeSet<String> = a
+            .finding_signatures()
+            .union(&b.finding_signatures())
+            .cloned()
+            .collect();
+        let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]);
+        assert!(merged.validate().is_ok());
+        assert_eq!(merged.finding_signatures(), union);
+        assert_eq!(merged.iterations, a.iterations + b.iterations);
+        // Coverage deltas re-disjointed: union equals merged coverage.
+        let mut expect = a.coverage();
+        expect.merge(&b.coverage());
+        assert_eq!(merged.coverage(), expect);
+        // Batch ids renumbered strictly increasing from 0.
+        for (i, batch) in merged.batches.iter().enumerate() {
+            assert_eq!(batch.batch, i);
+        }
+    }
+
+    #[test]
+    fn imported_base_gates_retention() {
+        // A campaign re-run on top of its own snapshot must retain
+        // (almost) nothing new: its coverage was already credited.
+        let cfg = small_config(96, 7);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &campaign_outputs(&cfg));
+        let baseline = run_campaign(&cfg);
+        let seeded_cfg = CampaignConfig {
+            base: snap.to_base(),
+            ..cfg.clone()
+        };
+        let seeded = run_campaign(&seeded_cfg);
+        assert!(
+            seeded.coverage.len() < baseline.coverage.len() / 4,
+            "imported coverage should gate retention: {} vs {}",
+            seeded.coverage.len(),
+            baseline.coverage.len()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_foreign_and_future_files() {
+        let cfg = small_config(32, 1);
+        let mut snap = CorpusSnapshot::from_outputs(&cfg, &[]);
+        snap.format = "something-else".to_string();
+        assert!(snap.validate().is_err());
+        snap.format = CORPUS_FORMAT.to_string();
+        snap.version = CORPUS_FORMAT_VERSION + 1;
+        assert!(snap.validate().is_err());
+    }
+}

@@ -2,27 +2,42 @@
 //!
 //! Each iteration synthesizes a scenario (structured generation for BVF,
 //! the baseline generators otherwise, or a mutation of a saved corpus
-//! entry), runs it on a fresh kernel, feeds verifier branch coverage back
-//! into the corpus, and hands accepted-but-misbehaving programs to the
-//! oracle. Findings are deduplicated by report signature and triaged
+//! entry), runs it on a recycled kernel, feeds verifier branch coverage
+//! back into the corpus, and hands accepted-but-misbehaving programs to
+//! the oracle. Findings are deduplicated by report signature and triaged
 //! differentially to the injected defect that causes them.
 //!
-//! The loop body lives in [`CampaignWorker::step`], a reusable
-//! single-iteration API: the serial entry points ([`run_campaign`],
-//! [`run_campaign_with_telemetry`]) are exactly "one worker stepped to
-//! completion", and the `bvf-campaign` crate drives N workers — each
-//! with an independent RNG stream from [`stream_seed`] and a
-//! round-robin share of the global iteration space — over the same
-//! state machine, which is what makes `--workers 1` bit-identical to
-//! the serial path.
+//! # Lease batches
+//!
+//! The campaign's iteration space `[0, iterations)` is carved into
+//! fixed-size *lease batches* of [`CampaignConfig::batch_len`]
+//! iterations. A batch is the unit of scheduling: its RNG stream is
+//! derived from its batch id alone ([`stream_seed`]), its corpus seed
+//! view is a pure function of the ledger entries of *completed earlier
+//! generations* ([`seed_generations`]), and it reports a self-contained
+//! [`BatchOutput`] whose coverage is a *delta* against that seed view.
+//! Nothing about a batch depends on which worker ran it or when, so any
+//! scheduler — the serial loop here, or the work-stealing orchestrator
+//! in `bvf-campaign` — produces bit-identical merged results.
+//!
+//! Corpus exchange is asynchronous: a batch in generation `g` consumes
+//! the published entries of generations `[0, g-1)`, so generation `g`
+//! is runnable while `g-1` is still in flight — no epoch barrier. The
+//! serial entry points ([`run_campaign`],
+//! [`run_campaign_with_telemetry`]) run batches in order against a
+//! [`CorpusLedger`] and fold them with [`merge_batches`]; `--workers 1`
+//! bit-identity with any parallel schedule is therefore structural, not
+//! coincidental.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bvf_kernel_sim::{BugId, BugSet, KernelReport};
+use bvf_runtime::ExecScratch;
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::stats::STATS_SCHEMA_VERSION;
 use bvf_telemetry::{CampaignStats, GenSource, Registry, Telemetry, TraceEvent};
@@ -36,7 +51,10 @@ use crate::gen::{GenConfig, StructuredGen};
 use bvf_diff::DiffStats;
 
 use crate::oracle::{judge, triage, Finding, Indicator};
-use crate::scenario::{run_scenario_with, Scenario};
+use crate::scenario::{run_scenario_scratch, Scenario};
+
+/// Global cap on feedback-corpus retention (seed view + local additions).
+pub const CORPUS_CAP: usize = 4096;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +86,28 @@ pub struct CampaignConfig {
     /// is enabled. A pure filter — findings are identical either way —
     /// kept toggleable for `prune_bench` and the determinism tests.
     pub prune_index: bool,
+    /// Iterations per lease batch (the scheduling quantum). Batch `b`
+    /// owns global iterations `[b * batch_len, ...)` and the RNG stream
+    /// [`stream_seed`]`(seed, b)` — a function of the batch id, never of
+    /// the worker that happens to run it.
+    pub batch_len: usize,
+    /// Global iterations per corpus-exchange *generation*. A batch in
+    /// generation `g` seeds its corpus view from the published entries
+    /// of generations `[0, g-1)` (one-generation lag, so no barrier).
+    /// `0` disables exchange entirely: every batch seeds from
+    /// [`CampaignConfig::base`] alone. Up to
+    /// `2 * exchange_every / batch_len` batches are runnable
+    /// concurrently, so this also bounds useful worker counts.
+    pub exchange_every: usize,
+    /// Cap on corpus entries one batch publishes to the exchange ledger.
+    /// Entries beyond the cap stay local mutation candidates.
+    pub exchange_batch: usize,
+    /// Imported base corpus: every batch's seed view starts from these
+    /// entries and this coverage (`bvf fuzz --corpus-in`). Retention is
+    /// measured *against* the base coverage, so the campaign reports
+    /// only coverage that is new relative to the import. Empty by
+    /// default.
+    pub base: BatchSeed,
 }
 
 impl CampaignConfig {
@@ -85,6 +125,10 @@ impl CampaignConfig {
             feedback: true,
             diff_oracle: false,
             prune_index: true,
+            batch_len: 64,
+            exchange_every: 256,
+            exchange_batch: 8,
+            base: BatchSeed::default(),
         }
     }
 }
@@ -101,9 +145,9 @@ pub struct FindingRecord {
     /// Ordering-stable dedup signature ([`report_signature`]).
     pub signature: String,
     /// Whether `culprits` was actually computed. `false` when triage is
-    /// disabled, or when a parallel worker lost the cross-worker claim
-    /// on this signature and deferred triage to the orchestrator's
-    /// merge phase.
+    /// disabled, or when this batch lost the global claim on the
+    /// signature; [`merge_batches`] re-triages surviving untriaged
+    /// records so merged results never depend on claim order.
     pub triaged: bool,
 }
 
@@ -118,9 +162,12 @@ pub struct CampaignResult {
     pub accepted: usize,
     /// Rejection errno histogram.
     pub errno_histogram: BTreeMap<i32, usize>,
-    /// Final accumulated verifier coverage.
+    /// Final accumulated verifier coverage (new relative to
+    /// [`CampaignConfig::base`], if one was imported).
     pub coverage: Coverage,
-    /// Coverage growth: `(iteration, covered_points)`.
+    /// Coverage growth: `(iteration, covered_points)`, recorded at
+    /// batch granularity on the [`CampaignConfig::snapshot_every`]
+    /// cadence.
     pub timeline: Vec<(usize, usize)>,
     /// Deduplicated findings.
     pub findings: Vec<FindingRecord>,
@@ -130,7 +177,7 @@ pub struct CampaignResult {
     pub alu_jmp_share: f64,
     /// Mean generated program length (slots).
     pub avg_prog_len: f64,
-    /// Corpus size at the end.
+    /// Corpus size at the end (sum of published ledger entries).
     pub corpus_len: usize,
     /// Differential-oracle counters summed over all iterations (all
     /// zero unless [`CampaignConfig::diff_oracle`] was set).
@@ -224,36 +271,66 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Derives the RNG stream seed for one worker of a sharded campaign,
-/// SplitMix-style: each worker id selects an independent, well-mixed
-/// stream of the campaign seed. Worker 0 receives the campaign seed
-/// itself, so a 1-worker sharded campaign replays the serial RNG stream
-/// bit for bit.
-pub fn stream_seed(campaign_seed: u64, worker: usize) -> u64 {
-    if worker == 0 {
+/// Derives the RNG stream seed for one lease batch, SplitMix-style:
+/// each batch id selects an independent, well-mixed stream of the
+/// campaign seed. Batch 0 receives the campaign seed itself. Because
+/// the stream is keyed by the *batch*, not the worker, an iteration's
+/// randomness never depends on which worker ran it or in what order
+/// batches were stolen.
+pub fn stream_seed(campaign_seed: u64, batch: usize) -> u64 {
+    if batch == 0 {
         campaign_seed
     } else {
-        splitmix64(campaign_seed ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        splitmix64(campaign_seed ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 }
 
-/// How many global iterations the round-robin shard assignment gives
-/// `worker` out of `workers`: worker `w` owns global iterations
-/// `w, w + workers, w + 2*workers, ...` below `total`.
-pub fn shard_iterations(total: usize, worker: usize, workers: usize) -> usize {
-    assert!(workers > 0 && worker < workers);
-    if worker >= total {
-        0
+/// Number of lease batches a campaign is carved into.
+pub fn batch_count(cfg: &CampaignConfig) -> usize {
+    cfg.iterations.div_ceil(cfg.batch_len.max(1))
+}
+
+/// `(start, len)` of lease batch `batch` in global iterations. The last
+/// batch may be short.
+pub fn batch_bounds(cfg: &CampaignConfig, batch: usize) -> (usize, usize) {
+    let bl = cfg.batch_len.max(1);
+    let start = batch * bl;
+    (start, bl.min(cfg.iterations.saturating_sub(start)))
+}
+
+/// Lease batches per corpus-exchange generation (at least 1). With
+/// exchange disabled (`exchange_every == 0`) every batch falls into
+/// generation 0.
+pub fn generation_len(cfg: &CampaignConfig) -> usize {
+    if cfg.exchange_every == 0 {
+        batch_count(cfg).max(1)
     } else {
-        1 + (total - worker - 1) / workers
+        (cfg.exchange_every / cfg.batch_len.max(1)).max(1)
     }
 }
 
-/// Cross-worker finding dedup hook consulted by [`CampaignWorker::step`]
-/// the moment a *locally* fresh signature appears. The serial path uses
-/// [`NoGlobalDedup`]; the parallel orchestrator shares a concurrent
-/// signature set between workers so only the first worker to reach a
-/// signature pays for differential triage.
+/// The corpus-exchange generation lease batch `batch` belongs to.
+pub fn generation_of(cfg: &CampaignConfig, batch: usize) -> usize {
+    batch / generation_len(cfg)
+}
+
+/// How many leading generations batch `batch` consumes for its corpus
+/// seed view: a batch in generation `g` seeds from generations
+/// `[0, g-1)`. The one-generation lag is what makes exchange
+/// barrier-free — generation `g` is runnable while `g-1` is still in
+/// flight, so a slow batch never stalls the frontier more than one
+/// generation behind it.
+pub fn seed_generations(cfg: &CampaignConfig, batch: usize) -> usize {
+    generation_of(cfg, batch).saturating_sub(1)
+}
+
+/// Cross-batch finding dedup hook consulted by [`CampaignWorker::step`]
+/// the moment a *locally* fresh signature appears. The serial driver
+/// uses [`SerialDedup`]; the parallel orchestrator shares a sharded
+/// concurrent signature set between workers. Either way only the first
+/// claimant pays for differential triage — [`merge_batches`] re-triages
+/// surviving claim losers, so merged results are independent of claim
+/// order.
 pub trait GlobalDedup: Sync {
     /// Claims `sig` globally; returns `true` iff this caller is the
     /// first in the whole campaign to claim it (and should therefore
@@ -261,13 +338,165 @@ pub trait GlobalDedup: Sync {
     fn claim(&self, sig: &str) -> bool;
 }
 
-/// The serial no-op dedup: every locally fresh signature is globally
-/// fresh.
+/// The trivial dedup: every locally fresh signature is globally fresh.
+/// Only appropriate when a single batch runs in isolation (unit tests).
 pub struct NoGlobalDedup;
 
 impl GlobalDedup for NoGlobalDedup {
     fn claim(&self, _sig: &str) -> bool {
         true
+    }
+}
+
+/// Campaign-wide signature claims for the serial driver: a plain
+/// mutex-guarded set, probing before insert so the already-present path
+/// allocates nothing.
+#[derive(Default)]
+pub struct SerialDedup(Mutex<HashSet<String>>);
+
+impl GlobalDedup for SerialDedup {
+    fn claim(&self, sig: &str) -> bool {
+        let mut set = self.0.lock().unwrap();
+        if set.contains(sig) {
+            false
+        } else {
+            set.insert(sig.to_string());
+            true
+        }
+    }
+}
+
+/// What one lease batch publishes to the corpus-exchange ledger: the
+/// corpus entries it retained and the coverage *delta* it observed
+/// beyond its seed view. Deltas are disjoint-by-construction from the
+/// seed, so the union of all ledger entries equals the union of all
+/// observed new coverage regardless of fold order.
+#[derive(Debug, Clone, Default)]
+pub struct LedgerEntry {
+    /// Corpus entries retained (and published) by the batch.
+    pub corpus: Vec<Arc<Scenario>>,
+    /// Coverage points first observed by the batch (relative to its
+    /// seed view).
+    pub cov: Coverage,
+}
+
+/// The corpus seed view a lease batch starts from: a pure function of
+/// the ledger entries of the generations it consumes (plus the imported
+/// [`CampaignConfig::base`]), folded in batch order. Cheap to clone —
+/// scenarios are shared by `Arc` and the coverage set is behind one.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSeed {
+    /// Seed corpus entries, in ledger (batch) order, capped at
+    /// [`CORPUS_CAP`].
+    pub corpus: Vec<Arc<Scenario>>,
+    /// Coverage already credited to earlier generations; retention in
+    /// the consuming batch only triggers on points outside this set.
+    pub coverage: Arc<Coverage>,
+}
+
+/// Extends a seed view with the ledger entries of one more generation,
+/// in batch order.
+fn extend_seed<'a>(
+    prev: &BatchSeed,
+    entries: impl IntoIterator<Item = &'a LedgerEntry>,
+) -> BatchSeed {
+    let mut corpus = prev.corpus.clone();
+    let mut cov = (*prev.coverage).clone();
+    for e in entries {
+        for s in &e.corpus {
+            if corpus.len() >= CORPUS_CAP {
+                break;
+            }
+            corpus.push(Arc::clone(s));
+        }
+        cov.merge(&e.cov);
+    }
+    BatchSeed {
+        corpus,
+        coverage: Arc::new(cov),
+    }
+}
+
+/// The corpus-exchange ledger: one [`LedgerEntry`] slot per lease
+/// batch, plus cached cumulative seed views per generation. The serial
+/// driver owns one directly; the parallel orchestrator wraps one in a
+/// mutex + condvar (`bvf-campaign`'s exchange hub). Seed views are
+/// built once per generation and cloned out, so `seed_for` is cheap on
+/// the hot path.
+pub struct CorpusLedger {
+    gen_batches: usize,
+    total_batches: usize,
+    entries: Vec<Option<LedgerEntry>>,
+    /// Published-batch count per generation, for readiness checks.
+    gen_published: Vec<usize>,
+    /// `views[k]` consumes generations `[0, k)`; `views[0]` is the
+    /// imported base.
+    views: Vec<BatchSeed>,
+}
+
+impl CorpusLedger {
+    /// An empty ledger for the campaign's batch geometry.
+    pub fn new(cfg: &CampaignConfig) -> CorpusLedger {
+        let total_batches = batch_count(cfg);
+        let gen_batches = generation_len(cfg);
+        let gen_count = total_batches.div_ceil(gen_batches);
+        CorpusLedger {
+            gen_batches,
+            total_batches,
+            entries: vec![None; total_batches],
+            gen_published: vec![0; gen_count],
+            views: vec![BatchSeed {
+                corpus: cfg.base.corpus.clone(),
+                coverage: Arc::clone(&cfg.base.coverage),
+            }],
+        }
+    }
+
+    /// Number of batches in generation `g`.
+    fn gen_size(&self, g: usize) -> usize {
+        let lo = g * self.gen_batches;
+        self.gen_batches.min(self.total_batches.saturating_sub(lo))
+    }
+
+    /// Records batch `batch`'s ledger entry. Publishing twice is a
+    /// scheduler bug.
+    pub fn publish(&mut self, batch: usize, entry: LedgerEntry) {
+        assert!(
+            self.entries[batch].is_none(),
+            "batch {batch} published twice"
+        );
+        self.entries[batch] = Some(entry);
+        self.gen_published[batch / self.gen_batches] += 1;
+    }
+
+    /// Whether every generation batch `batch` seeds from has fully
+    /// published (i.e. [`CorpusLedger::seed_for`] would not block a
+    /// concurrent scheduler).
+    pub fn ready_for(&self, cfg: &CampaignConfig, batch: usize) -> bool {
+        let k = seed_generations(cfg, batch);
+        (0..k).all(|g| self.gen_published[g] == self.gen_size(g))
+    }
+
+    /// The seed view for batch `batch`. All generations it consumes
+    /// must have fully published (the serial in-order driver guarantees
+    /// this; concurrent schedulers gate on
+    /// [`CorpusLedger::ready_for`]).
+    pub fn seed_for(&mut self, cfg: &CampaignConfig, batch: usize) -> BatchSeed {
+        let k = seed_generations(cfg, batch);
+        while self.views.len() <= k {
+            let g = self.views.len() - 1;
+            let lo = g * self.gen_batches;
+            let hi = (lo + self.gen_batches).min(self.total_batches);
+            let next = extend_seed(
+                self.views.last().unwrap(),
+                self.entries[lo..hi].iter().map(|e| {
+                    e.as_ref()
+                        .expect("seed_for called before consumed generation published")
+                }),
+            );
+            self.views.push(next);
+        }
+        self.views[k].clone()
     }
 }
 
@@ -317,124 +546,159 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 /// Runs one fuzzing campaign, recording metrics, trace events, and live
 /// progress into `tel`.
 ///
+/// This is the reference serial schedule: lease batches executed in
+/// order against one [`CorpusLedger`], one [`SerialDedup`], and one
+/// reusable [`ExecScratch`], then folded by [`merge_batches`]. Any
+/// other schedule of the same batches merges to a bit-identical
+/// [`CampaignResult`].
+///
 /// Telemetry is strictly observational: no campaign decision (corpus
 /// retention, dedup, triage) reads a timestamp or metric back, so the
 /// returned [`CampaignResult`] is bit-identical whatever sink `tel`
 /// carries — `campaigns_are_deterministic` asserts exactly this.
 pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) -> CampaignResult {
-    let mut worker = CampaignWorker::new(cfg.clone());
-    while worker.step(tel, &NoGlobalDedup) {}
-    worker.finish_serial(tel)
+    let dedup = SerialDedup::default();
+    let mut ledger = CorpusLedger::new(cfg);
+    let mut scratch = ExecScratch::new();
+    let batches = batch_count(cfg);
+    let mut outputs = Vec::with_capacity(batches);
+    let mut cum_accepted = 0usize;
+    let mut cum_findings = 0usize;
+    let mut cov_union = Coverage::new();
+    for b in 0..batches {
+        let seed = ledger.seed_for(cfg, b);
+        let mut w = CampaignWorker::lease(cfg.clone(), b, seed);
+        while w.step(tel, &dedup, &mut scratch) {
+            tel.progress(
+                w.last_iter(),
+                cfg.iterations,
+                cum_accepted + w.accepted(),
+                cov_union.len().max(w.coverage_points()),
+                cum_findings + w.findings_count(),
+                w.corpus_size(),
+            );
+        }
+        let out = w.into_output();
+        cum_accepted += out.accepted;
+        cum_findings += out.findings.len();
+        cov_union.merge(&out.cov_delta);
+        ledger.publish(b, out.ledger_entry());
+        outputs.push(out);
+    }
+    let (result, _) = merge_batches(cfg, outputs);
+    tel.registry
+        .set_gauge("corpus_len", result.corpus_len as i64);
+    tel.registry
+        .set_gauge("coverage_points", result.coverage.len() as i64);
+    tel.finish();
+    result
 }
 
-/// The partial campaign state one shard hands back to the orchestrator
-/// for merging. The floating-point and length accumulators are exposed
-/// as raw *sums* (not means) so the merged means are computed by one
-/// final division — making a 1-worker merge arithmetically identical to
-/// the serial path.
+/// The self-contained result of one lease batch, handed back to the
+/// scheduler for [`merge_batches`]. The floating-point and length
+/// accumulators are exposed as raw *sums* (not means) so merged means
+/// are computed by one final division.
 #[derive(Debug)]
-pub struct WorkerOutput {
-    /// Shard id (0-based).
-    pub worker: usize,
-    /// Local iterations this shard executed.
+pub struct BatchOutput {
+    /// Lease batch id (0-based).
+    pub batch: usize,
+    /// First global iteration of the batch.
+    pub start: usize,
+    /// Iterations the batch executed.
     pub iterations: usize,
-    /// Programs the verifier accepted on this shard.
+    /// Programs the verifier accepted in this batch.
     pub accepted: usize,
-    /// Rejection errno histogram of this shard.
+    /// Rejection errno histogram of this batch.
     pub errno_histogram: BTreeMap<i32, usize>,
-    /// Verifier coverage this shard accumulated.
-    pub coverage: Coverage,
-    /// Coverage snapshots `(global_iteration, local_covered_points)`.
-    pub timeline: Vec<(usize, usize)>,
-    /// Locally deduplicated findings (cross-worker dedup happens at
+    /// Coverage points first observed by this batch — a delta against
+    /// the batch's seed view, disjoint from it by construction.
+    pub cov_delta: Coverage,
+    /// Locally deduplicated findings (cross-batch dedup happens at
     /// merge; records that lost the global triage claim have
     /// `triaged == false`).
     pub findings: Vec<FindingRecord>,
-    /// Defects this shard's eagerly triaged findings implicate.
-    pub found_bugs: BTreeSet<BugId>,
+    /// Corpus entries retained and published by this batch (capped at
+    /// [`CampaignConfig::exchange_batch`]).
+    pub fresh_corpus: Vec<Arc<Scenario>>,
     /// Sum of per-program ALU/JMP instruction shares.
     pub alu_share_sum: f64,
     /// Sum of generated program lengths (slots).
     pub len_sum: usize,
-    /// Corpus size at the end (local retention + injected entries).
-    pub corpus_len: usize,
-    /// Differential-oracle counters this shard accumulated; all fields
+    /// Differential-oracle counters this batch accumulated; all fields
     /// are additive, so the merge folds them by summation.
     pub diff: DiffStats,
 }
 
-/// One campaign shard: the complete per-iteration state machine of the
-/// fuzzing loop, advanced one iteration at a time by [`step`].
+impl BatchOutput {
+    /// The exchange-ledger entry this batch publishes.
+    pub fn ledger_entry(&self) -> LedgerEntry {
+        LedgerEntry {
+            corpus: self.fresh_corpus.clone(),
+            cov: self.cov_delta.clone(),
+        }
+    }
+}
+
+/// One leased batch in flight: the complete per-iteration state machine
+/// of the fuzzing loop, advanced one iteration at a time by [`step`].
 ///
-/// A worker owns its RNG stream, coverage map, feedback corpus, and
-/// local finding dedup; nothing it touches is shared, so N workers run
-/// embarrassingly parallel between the orchestrator's exchange epochs.
-/// The serial campaign is the `worker 0 of 1` special case.
+/// A worker owns its RNG stream (keyed by batch id), its seed view, and
+/// its coverage delta; the only shared state it touches is the
+/// [`GlobalDedup`] claim set, whose outcome merely decides *where*
+/// triage runs, never *what* the merged result is.
 ///
 /// [`step`]: CampaignWorker::step
 pub struct CampaignWorker {
     cfg: CampaignConfig,
-    worker: usize,
-    stride: usize,
-    local_total: usize,
-    local_done: usize,
-    snapshot_every: usize,
+    batch: usize,
+    start: usize,
+    len: usize,
+    done: usize,
     rng: StdRng,
     structured: StructuredGen,
-    coverage: Coverage,
-    corpus: Vec<Scenario>,
-    /// Corpus entries below this index were already published to (or
-    /// received from) other shards; `drain_fresh_corpus` starts here.
-    publish_cursor: usize,
-    timeline: Vec<(usize, usize)>,
+    /// Coverage credited to earlier generations: retention triggers
+    /// only outside this set.
+    seed_cov: Arc<Coverage>,
+    /// Points first observed by this batch.
+    cov_delta: Coverage,
+    /// Mutation candidates: seed entries plus local retention.
+    corpus: Vec<Arc<Scenario>>,
+    /// Locally retained entries queued for publication (capped).
+    fresh: Vec<Arc<Scenario>>,
     errno_histogram: BTreeMap<i32, usize>,
     accepted: usize,
     findings: Vec<FindingRecord>,
     seen_signatures: HashSet<String>,
-    found_bugs: BTreeSet<BugId>,
     alu_share_sum: f64,
     len_sum: usize,
     diff: DiffStats,
 }
 
 impl CampaignWorker {
-    /// The serial campaign worker: shard 0 of 1.
-    pub fn new(cfg: CampaignConfig) -> CampaignWorker {
-        CampaignWorker::sharded(cfg, 0, 1)
-    }
-
-    /// Shard `worker` of a `workers`-way campaign: owns global
-    /// iterations `worker, worker + workers, ...` and the RNG stream
-    /// [`stream_seed`]`(cfg.seed, worker)`.
-    pub fn sharded(cfg: CampaignConfig, worker: usize, workers: usize) -> CampaignWorker {
-        let local_total = shard_iterations(cfg.iterations, worker, workers);
-        // Snapshot cadence in *local* iterations, scaled so each shard
-        // snapshots about as often (in global iterations) as the serial
-        // campaign would; for 1 worker this is exactly the serial
-        // cadence.
-        let snapshot_every = (cfg.snapshot_every / workers).max(1);
-        let rng = StdRng::seed_from_u64(stream_seed(cfg.seed, worker));
+    /// Leases batch `batch` with the given seed view. The RNG stream is
+    /// [`stream_seed`]`(cfg.seed, batch)` — schedule-independent.
+    pub fn lease(cfg: CampaignConfig, batch: usize, seed: BatchSeed) -> CampaignWorker {
+        let (start, len) = batch_bounds(&cfg, batch);
+        let rng = StdRng::seed_from_u64(stream_seed(cfg.seed, batch));
         let structured = StructuredGen::new(GenConfig {
             version: cfg.version,
             ..Default::default()
         });
         CampaignWorker {
-            worker,
-            stride: workers,
-            local_total,
-            local_done: 0,
-            snapshot_every,
+            batch,
+            start,
+            len,
+            done: 0,
             rng,
             structured,
-            coverage: Coverage::new(),
-            corpus: Vec::new(),
-            publish_cursor: 0,
-            timeline: Vec::new(),
+            seed_cov: seed.coverage,
+            cov_delta: Coverage::new(),
+            corpus: seed.corpus,
+            fresh: Vec::new(),
             errno_histogram: BTreeMap::new(),
             accepted: 0,
             findings: Vec::new(),
             seen_signatures: HashSet::new(),
-            found_bugs: BTreeSet::new(),
             alu_share_sum: 0.0,
             len_sum: 0,
             diff: DiffStats::default(),
@@ -442,14 +706,32 @@ impl CampaignWorker {
         }
     }
 
-    /// Local iterations this shard owns in total.
-    pub fn local_total(&self) -> usize {
-        self.local_total
+    /// The leased batch id.
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
-    /// Local iterations executed so far.
-    pub fn local_done(&self) -> usize {
-        self.local_done
+    /// Iterations executed so far in this batch.
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Iterations this batch owns in total.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch owns no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The global iteration of the most recent [`step`] (the batch
+    /// start if none ran yet).
+    ///
+    /// [`step`]: CampaignWorker::step
+    pub fn last_iter(&self) -> usize {
+        self.start + self.done.saturating_sub(1)
     }
 
     /// Programs accepted so far.
@@ -457,9 +739,10 @@ impl CampaignWorker {
         self.accepted
     }
 
-    /// Distinct coverage points accumulated so far.
+    /// Distinct coverage points visible to this batch so far (seed view
+    /// plus local delta).
     pub fn coverage_points(&self) -> usize {
-        self.coverage.len()
+        self.seed_cov.len() + self.cov_delta.len()
     }
 
     /// Locally deduplicated findings so far.
@@ -467,7 +750,7 @@ impl CampaignWorker {
         self.findings.len()
     }
 
-    /// Current corpus size.
+    /// Current corpus size (seed view plus local retention).
     pub fn corpus_size(&self) -> usize {
         self.corpus.len()
     }
@@ -483,23 +766,30 @@ impl CampaignWorker {
     }
 
     /// Runs one iteration: generate (or mutate), verify, execute, judge.
-    /// Returns `false` once the shard's iteration budget is exhausted
+    /// Returns `false` once the batch's iteration budget is exhausted
     /// (without running anything).
     ///
-    /// `global` is consulted once per *locally* fresh finding signature;
-    /// losing the global claim records the finding untriaged
-    /// (`triaged == false`) for the orchestrator's merge phase to
-    /// resolve deterministically.
-    pub fn step(&mut self, tel: &mut Telemetry, global: &dyn GlobalDedup) -> bool {
-        if self.local_done >= self.local_total {
+    /// `scratch` is the reusable per-exec arena (kernel memory pool,
+    /// KASAN shadow, trace buffers); recycling it is observationally
+    /// identical to fresh allocation, which
+    /// `recycled_kernel_is_bit_identical_to_fresh` pins down.
+    ///
+    /// `global` is consulted once per *locally* fresh finding
+    /// signature; losing the global claim records the finding untriaged
+    /// (`triaged == false`) for [`merge_batches`] to resolve
+    /// deterministically.
+    pub fn step(
+        &mut self,
+        tel: &mut Telemetry,
+        global: &dyn GlobalDedup,
+        scratch: &mut ExecScratch,
+    ) -> bool {
+        if self.done >= self.len {
             return false;
         }
         let cfg = &self.cfg;
-        // The global iteration this shard step corresponds to; for the
-        // serial 1-worker case this is exactly `0, 1, 2, ...`.
-        let iter = self.worker + self.local_done * self.stride;
-        let local_iter = self.local_done;
-        self.local_done += 1;
+        let iter = self.start + self.done;
+        self.done += 1;
 
         // Choose: fresh generation or corpus mutation. The feedback loop
         // mutates saved interesting programs 40% of the time once a
@@ -533,13 +823,14 @@ impl CampaignWorker {
             });
         }
 
-        let outcome = run_scenario_with(
+        let outcome = run_scenario_scratch(
             &scenario,
             &cfg.bugs,
             cfg.version,
             cfg.sanitize,
             cfg.diff_oracle,
             cfg.prune_index,
+            scratch,
         );
         match &outcome.load {
             Ok(_) => {
@@ -553,17 +844,23 @@ impl CampaignWorker {
         }
         outcome.timings.record_into(&mut tel.registry, "verify");
 
-        // Coverage feedback: keep programs that exercised new verifier
-        // logic.
-        let new_cov = if self.coverage.has_new(&outcome.cov) {
-            let new_points = self.coverage.merge(&outcome.cov);
-            if uses_feedback && self.corpus.len() < 4096 {
-                self.corpus.push(scenario.clone());
+        // Coverage feedback: keep programs that exercised verifier logic
+        // new to this batch's view (seed ∪ local delta). Membership
+        // tests and inserts are per-point and order-insensitive, so the
+        // retention decision is schedule-independent.
+        let mut new_cov = 0usize;
+        for p in outcome.cov.iter_points() {
+            if !self.seed_cov.contains_point(p) && self.cov_delta.insert_point(p) {
+                new_cov += 1;
             }
-            new_points
-        } else {
-            0
-        };
+        }
+        if new_cov > 0 && uses_feedback && self.corpus.len() < CORPUS_CAP {
+            let kept = Arc::new(scenario.clone());
+            if self.fresh.len() < cfg.exchange_batch {
+                self.fresh.push(Arc::clone(&kept));
+            }
+            self.corpus.push(kept);
+        }
         if tel.trace_on() {
             tel.emit(&TraceEvent::Verify {
                 iter,
@@ -571,7 +868,7 @@ impl CampaignWorker {
                 errno: outcome.load.as_ref().err().map(|e| e.errno_value()),
                 insns_processed: outcome.verifier_insns,
                 new_cov,
-                cov_total: self.coverage.len(),
+                cov_total: self.coverage_points(),
                 do_check_ns: outcome.timings.do_check_ns,
                 total_ns: outcome.timings.total_ns(),
             });
@@ -638,7 +935,6 @@ impl CampaignWorker {
                 };
                 let triage_ns = elapsed_ns(t0);
                 tel.registry.record("oracle.triage_ns", triage_ns);
-                self.found_bugs.extend(culprits.iter().copied());
                 if tel.trace_on() {
                     tel.emit(&TraceEvent::Finding {
                         iter,
@@ -658,101 +954,132 @@ impl CampaignWorker {
             }
         }
 
-        if local_iter.is_multiple_of(self.snapshot_every) || local_iter + 1 == self.local_total {
-            self.timeline.push((iter, self.coverage.len()));
-            if tel.trace_on() {
-                tel.emit(&TraceEvent::Snapshot {
-                    iter,
-                    coverage: self.coverage.len(),
-                    accepted: self.accepted,
-                    findings: self.findings.len(),
-                    corpus: self.corpus.len(),
-                });
-            }
+        if self.done == self.len && tel.trace_on() {
+            tel.emit(&TraceEvent::Snapshot {
+                iter,
+                coverage: self.coverage_points(),
+                accepted: self.accepted,
+                findings: self.findings.len(),
+                corpus: self.corpus.len(),
+            });
         }
-        tel.progress(
-            iter,
-            cfg.iterations,
-            self.accepted,
-            self.coverage.len(),
-            self.findings.len(),
-            self.corpus.len(),
-        );
         true
     }
 
-    /// Returns (clones of) the corpus entries retained since the last
-    /// drain, up to `cap`, for publication to the other shards. Entries
-    /// beyond `cap` are skipped, not queued — the next epoch publishes
-    /// fresher material instead.
-    pub fn drain_fresh_corpus(&mut self, cap: usize) -> Vec<Scenario> {
-        let fresh: Vec<Scenario> = self.corpus[self.publish_cursor..]
-            .iter()
-            .take(cap)
-            .cloned()
-            .collect();
-        self.publish_cursor = self.corpus.len();
-        fresh
-    }
-
-    /// Appends corpus entries received from other shards (up to the
-    /// global 4096-entry retention cap). Injected entries are mutation
-    /// candidates but are never re-published by this shard — they were
-    /// interesting on the shard that found them.
-    pub fn inject_corpus(&mut self, entries: Vec<Scenario>) {
-        for s in entries {
-            if self.corpus.len() >= 4096 {
-                break;
-            }
-            self.corpus.push(s);
-        }
-        self.publish_cursor = self.corpus.len();
-    }
-
-    /// Finishes the shard: records final gauges, flushes `tel`, and
-    /// hands the partial state to the orchestrator.
-    pub fn into_output(self, tel: &mut Telemetry) -> WorkerOutput {
-        tel.registry
-            .set_gauge("corpus_len", self.corpus.len() as i64);
-        tel.registry
-            .set_gauge("coverage_points", self.coverage.len() as i64);
-        tel.finish();
-        WorkerOutput {
-            worker: self.worker,
-            iterations: self.local_done,
+    /// Finishes the batch into its self-contained output.
+    pub fn into_output(self) -> BatchOutput {
+        BatchOutput {
+            batch: self.batch,
+            start: self.start,
+            iterations: self.done,
             accepted: self.accepted,
             errno_histogram: self.errno_histogram,
-            coverage: self.coverage,
-            timeline: self.timeline,
+            cov_delta: self.cov_delta,
             findings: self.findings,
-            found_bugs: self.found_bugs,
+            fresh_corpus: self.fresh,
             alu_share_sum: self.alu_share_sum,
             len_sum: self.len_sum,
-            corpus_len: self.corpus.len(),
             diff: self.diff,
         }
     }
+}
 
-    /// Finishes a serial (1-worker) campaign into a [`CampaignResult`].
-    pub fn finish_serial(self, tel: &mut Telemetry) -> CampaignResult {
-        let generator = self.cfg.generator;
-        let iterations = self.cfg.iterations;
-        let o = self.into_output(tel);
-        CampaignResult {
-            generator,
-            iterations,
-            accepted: o.accepted,
-            errno_histogram: o.errno_histogram,
-            coverage: o.coverage,
-            timeline: o.timeline,
-            findings: o.findings,
-            found_bugs: o.found_bugs,
-            alu_jmp_share: o.alu_share_sum / iterations.max(1) as f64,
-            avg_prog_len: o.len_sum as f64 / iterations.max(1) as f64,
-            corpus_len: o.corpus_len,
-            diff: o.diff,
+/// Counters from [`merge_batches`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Findings dropped because an earlier batch already recorded the
+    /// signature.
+    pub cross_batch_dupes: usize,
+    /// Surviving findings whose culprits were computed at merge time
+    /// (their batch lost the global triage claim to a later batch).
+    pub merge_triaged: usize,
+}
+
+/// Folds batch outputs into the canonical [`CampaignResult`].
+///
+/// The fold is over outputs **sorted by batch id**, so it is invariant
+/// to the order the scheduler delivered them in: coverage is the union
+/// of disjoint per-batch deltas; findings dedup by signature with the
+/// earliest batch winning (matching serial iteration order); untriaged
+/// survivors are re-triaged here so claim order never shows in the
+/// result; the timeline is reconstructed at batch granularity on the
+/// [`CampaignConfig::snapshot_every`] cadence.
+pub fn merge_batches(
+    cfg: &CampaignConfig,
+    mut outputs: Vec<BatchOutput>,
+) -> (CampaignResult, MergeStats) {
+    outputs.sort_by_key(|o| o.batch);
+    let mut stats = MergeStats::default();
+    let mut iterations = 0usize;
+    let mut accepted = 0usize;
+    let mut errno_histogram: BTreeMap<i32, usize> = BTreeMap::new();
+    let mut coverage = Coverage::new();
+    let mut timeline = Vec::new();
+    let mut findings: Vec<FindingRecord> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut alu_share_sum = 0.0f64;
+    let mut len_sum = 0usize;
+    let mut corpus_len = 0usize;
+    let mut diff = DiffStats::default();
+    let snap = cfg.snapshot_every.max(1);
+    let mut last_bucket = None;
+    let total = outputs.len();
+    for (i, o) in outputs.into_iter().enumerate() {
+        iterations += o.iterations;
+        accepted += o.accepted;
+        for (errno, count) in o.errno_histogram {
+            *errno_histogram.entry(errno).or_insert(0) += count;
+        }
+        coverage.merge(&o.cov_delta);
+        for f in o.findings {
+            if seen.insert(f.signature.clone()) {
+                findings.push(f);
+            } else {
+                stats.cross_batch_dupes += 1;
+            }
+        }
+        alu_share_sum += o.alu_share_sum;
+        len_sum += o.len_sum;
+        corpus_len += o.fresh_corpus.len();
+        diff.merge(&o.diff);
+        // One timeline point per snapshot bucket crossed, plus the
+        // campaign end.
+        let end = o.start + o.iterations;
+        let bucket = end / snap;
+        if last_bucket != Some(bucket) || i + 1 == total {
+            timeline.push((end.saturating_sub(1), coverage.len()));
+            last_bucket = Some(bucket);
         }
     }
+    for f in &mut findings {
+        if cfg.triage && !f.triaged {
+            f.culprits = triage(&f.finding, &cfg.bugs, cfg.version, cfg.sanitize);
+            f.triaged = true;
+            stats.merge_triaged += 1;
+        }
+    }
+    let found_bugs: BTreeSet<BugId> = findings
+        .iter()
+        .flat_map(|f| f.culprits.iter().copied())
+        .collect();
+    let denom = iterations.max(1) as f64;
+    (
+        CampaignResult {
+            generator: cfg.generator,
+            iterations,
+            accepted,
+            errno_histogram,
+            coverage,
+            timeline,
+            findings,
+            found_bugs,
+            alu_jmp_share: alu_share_sum / denom,
+            avg_prog_len: len_sum as f64 / denom,
+            corpus_len,
+            diff,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -867,57 +1194,177 @@ mod tests {
 
     #[test]
     fn stream_seeds_are_split() {
-        // Worker 0 replays the campaign seed itself.
+        // Batch 0 replays the campaign seed itself.
         assert_eq!(stream_seed(42, 0), 42);
-        // Other workers get well-separated streams, stable per id.
-        let seeds: Vec<u64> = (0..8).map(|w| stream_seed(42, w)).collect();
+        // Other batches get well-separated streams, stable per id.
+        let seeds: Vec<u64> = (0..8).map(|b| stream_seed(42, b)).collect();
         let distinct: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(distinct.len(), seeds.len());
         assert_eq!(
             seeds,
-            (0..8).map(|w| stream_seed(42, w)).collect::<Vec<_>>()
+            (0..8).map(|b| stream_seed(42, b)).collect::<Vec<_>>()
         );
         // Different campaign seeds give different streams for the same
-        // worker.
+        // batch.
         assert_ne!(stream_seed(42, 3), stream_seed(43, 3));
     }
 
     #[test]
-    fn shard_iterations_partition_the_campaign() {
-        for total in [0usize, 1, 7, 100, 101, 4096] {
-            for workers in [1usize, 2, 3, 4, 8] {
-                let per: Vec<usize> = (0..workers)
-                    .map(|w| shard_iterations(total, w, workers))
-                    .collect();
-                assert_eq!(per.iter().sum::<usize>(), total);
-                // Round-robin balance: shares differ by at most one.
-                let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
-                assert!(max - min <= 1);
+    fn batches_partition_the_campaign() {
+        for total in [0usize, 1, 7, 63, 64, 65, 100, 4096] {
+            for batch_len in [1usize, 7, 64, 128] {
+                let cfg = CampaignConfig {
+                    batch_len,
+                    ..CampaignConfig::new(GeneratorKind::Bvf, total, 1)
+                };
+                let n = batch_count(&cfg);
+                let mut covered = 0usize;
+                for b in 0..n {
+                    let (start, len) = batch_bounds(&cfg, b);
+                    assert_eq!(start, covered, "batches must be contiguous");
+                    assert!(len >= 1 && len <= batch_len);
+                    covered += len;
+                }
+                assert_eq!(covered, total);
             }
         }
     }
 
     #[test]
-    fn stepped_worker_matches_run_campaign() {
+    fn generation_lag_gates_seed_views() {
+        let cfg = CampaignConfig {
+            batch_len: 64,
+            exchange_every: 128,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 64 * 8, 1)
+        };
+        // 2 batches per generation; a batch in generation g consumes
+        // generations [0, g-1).
+        assert_eq!(generation_len(&cfg), 2);
+        assert_eq!(generation_of(&cfg, 0), 0);
+        assert_eq!(generation_of(&cfg, 3), 1);
+        assert_eq!(seed_generations(&cfg, 0), 0);
+        assert_eq!(seed_generations(&cfg, 1), 0);
+        assert_eq!(seed_generations(&cfg, 2), 0);
+        assert_eq!(seed_generations(&cfg, 4), 1);
+        assert_eq!(seed_generations(&cfg, 7), 2);
+
+        // Exchange disabled: every batch seeds from the base alone.
+        let off = CampaignConfig {
+            exchange_every: 0,
+            ..cfg.clone()
+        };
+        for b in 0..batch_count(&off) {
+            assert_eq!(seed_generations(&off, b), 0);
+        }
+
+        // Readiness follows publication of whole generations.
+        let mut ledger = CorpusLedger::new(&cfg);
+        assert!(ledger.ready_for(&cfg, 0));
+        assert!(ledger.ready_for(&cfg, 3), "gen 1 consumes only gen-0-less");
+        assert!(!ledger.ready_for(&cfg, 4), "gen 2 needs gen 0 published");
+        ledger.publish(0, LedgerEntry::default());
+        assert!(!ledger.ready_for(&cfg, 4));
+        ledger.publish(1, LedgerEntry::default());
+        assert!(ledger.ready_for(&cfg, 4));
+        assert!(!ledger.ready_for(&cfg, 6), "gen 3 needs gens 0+1");
+    }
+
+    #[test]
+    fn leased_batches_match_run_campaign() {
+        // Driving the public batch pieces by hand — lease, step, publish,
+        // merge — must reproduce run_campaign exactly.
         let cfg = CampaignConfig {
             triage: false,
-            ..CampaignConfig::new(GeneratorKind::Bvf, 40, 7)
+            batch_len: 16,
+            exchange_every: 32,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 72, 7)
         };
         let serial = run_campaign(&cfg);
-        let mut worker = CampaignWorker::new(cfg.clone());
+
+        let dedup = SerialDedup::default();
+        let mut ledger = CorpusLedger::new(&cfg);
+        let mut scratch = ExecScratch::new();
         let mut tel = Telemetry::null();
-        let mut steps = 0;
-        while worker.step(&mut tel, &NoGlobalDedup) {
-            steps += 1;
+        let mut outputs = Vec::new();
+        for b in 0..batch_count(&cfg) {
+            assert!(ledger.ready_for(&cfg, b));
+            let seed = ledger.seed_for(&cfg, b);
+            let mut w = CampaignWorker::lease(cfg.clone(), b, seed);
+            let mut steps = 0;
+            while w.step(&mut tel, &dedup, &mut scratch) {
+                steps += 1;
+            }
+            assert_eq!(steps, batch_bounds(&cfg, b).1);
+            let out = w.into_output();
+            ledger.publish(b, out.ledger_entry());
+            outputs.push(out);
         }
-        assert_eq!(steps, cfg.iterations);
-        let r = worker.finish_serial(&mut tel);
+        let (r, _) = merge_batches(&cfg, outputs);
+        assert_eq!(r.iterations, serial.iterations);
         assert_eq!(r.accepted, serial.accepted);
         assert_eq!(r.coverage, serial.coverage);
         assert_eq!(r.errno_histogram, serial.errno_histogram);
         assert_eq!(r.timeline, serial.timeline);
         assert_eq!(r.corpus_len, serial.corpus_len);
         assert_eq!(r.findings.len(), serial.findings.len());
+        assert_eq!(r.found_bugs, serial.found_bugs);
+    }
+
+    #[test]
+    fn merge_is_invariant_to_output_order() {
+        let cfg = CampaignConfig {
+            triage: false,
+            batch_len: 16,
+            exchange_every: 32,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 72, 21)
+        };
+        let dedup = SerialDedup::default();
+        let mut ledger = CorpusLedger::new(&cfg);
+        let mut scratch = ExecScratch::new();
+        let mut tel = Telemetry::null();
+        let run = |order: &mut Vec<BatchOutput>| merge_batches(&cfg, std::mem::take(order));
+        let mut outputs = Vec::new();
+        for b in 0..batch_count(&cfg) {
+            let seed = ledger.seed_for(&cfg, b);
+            let mut w = CampaignWorker::lease(cfg.clone(), b, seed);
+            while w.step(&mut tel, &dedup, &mut scratch) {}
+            let out = w.into_output();
+            ledger.publish(b, out.ledger_entry());
+            outputs.push(out);
+        }
+        // merge_batches consumes its input, so rebuild the reversed
+        // order from a second identical campaign run.
+        let mut ledger2 = CorpusLedger::new(&cfg);
+        let dedup2 = SerialDedup::default();
+        let mut reversed = Vec::new();
+        for b in 0..batch_count(&cfg) {
+            let seed = ledger2.seed_for(&cfg, b);
+            let mut w = CampaignWorker::lease(cfg.clone(), b, seed);
+            while w.step(&mut tel, &dedup2, &mut scratch) {}
+            let out = w.into_output();
+            ledger2.publish(b, out.ledger_entry());
+            reversed.push(out);
+        }
+        reversed.reverse();
+        let (a, _) = run(&mut outputs);
+        let (b, _) = run(&mut reversed);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.errno_histogram, b.errno_histogram);
+        assert_eq!(a.timeline, b.timeline);
+        assert_eq!(a.corpus_len, b.corpus_len);
+        assert_eq!(
+            a.findings.iter().map(|f| &f.signature).collect::<Vec<_>>(),
+            b.findings.iter().map(|f| &f.signature).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serial_dedup_claims_once() {
+        let d = SerialDedup::default();
+        assert!(d.claim("sig-a"));
+        assert!(!d.claim("sig-a"));
+        assert!(d.claim("sig-b"));
     }
 
     #[test]

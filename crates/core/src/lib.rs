@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod corpus;
 pub mod fuzz;
 pub mod gen;
 pub mod minimize;
@@ -41,10 +42,15 @@ pub mod oracle;
 pub mod scenario;
 
 pub use baseline::GeneratorKind;
-pub use fuzz::{run_campaign, CampaignConfig, CampaignResult};
+pub use corpus::{CorpusSnapshot, SnapshotBatch, SnapshotFinding};
+pub use fuzz::{
+    merge_batches, run_campaign, BatchOutput, BatchSeed, CampaignConfig, CampaignResult,
+    CorpusLedger, MergeStats,
+};
 pub use gen::{GenConfig, StructuredGen};
 pub use minimize::{minimize_finding, MinimizeOutcome};
 pub use oracle::{classify_report, judge, triage, Finding, Indicator};
 pub use scenario::{
-    run_scenario, run_scenario_diff, run_scenario_with, Scenario, ScenarioOutcome, Trigger,
+    run_scenario, run_scenario_diff, run_scenario_scratch, run_scenario_with, Scenario,
+    ScenarioOutcome, Trigger,
 };

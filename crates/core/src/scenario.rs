@@ -14,7 +14,7 @@ use bvf_kernel_sim::map::{MapDef, MapType};
 use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugSet, KernelReport};
-use bvf_runtime::{Bpf, BpfError, ExecTrace, HaltReason};
+use bvf_runtime::{Bpf, BpfError, ExecScratch, ExecTrace, HaltReason};
 use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
 
@@ -68,7 +68,7 @@ pub enum Trigger {
 }
 
 /// One replayable fuzzing scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// The program under test.
     pub prog: Program,
@@ -139,7 +139,7 @@ pub fn run_scenario(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, false, true)
+    run_scenario_inner(scenario, bugs, version, sanitize, false, true, None)
 }
 
 /// Like [`run_scenario`], but with the abstract-vs-concrete differential
@@ -154,7 +154,7 @@ pub fn run_scenario_diff(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, true, true)
+    run_scenario_inner(scenario, bugs, version, sanitize, true, true, None)
 }
 
 /// Like [`run_scenario`]/[`run_scenario_diff`], with every verifier
@@ -170,7 +170,39 @@ pub fn run_scenario_with(
     diff_oracle: bool,
     prune_index: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, diff_oracle, prune_index)
+    run_scenario_inner(
+        scenario,
+        bugs,
+        version,
+        sanitize,
+        diff_oracle,
+        prune_index,
+        None,
+    )
+}
+
+/// [`run_scenario_with`] reusing an [`ExecScratch`]'s buffers (memory
+/// pool, KASAN shadow, trace steps) instead of allocating fresh ones —
+/// the campaign's per-iteration hot path. Recycling is invisible:
+/// outcomes are bit-identical to the scratch-free variants.
+pub fn run_scenario_scratch(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+    prune_index: bool,
+    scratch: &mut ExecScratch,
+) -> ScenarioOutcome {
+    run_scenario_inner(
+        scenario,
+        bugs,
+        version,
+        sanitize,
+        diff_oracle,
+        prune_index,
+        Some(scratch),
+    )
 }
 
 fn run_scenario_inner(
@@ -180,6 +212,7 @@ fn run_scenario_inner(
     sanitize: bool,
     diff_oracle: bool,
     prune_index: bool,
+    mut scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     let opts = VerifierOpts {
         version,
@@ -187,9 +220,13 @@ fn run_scenario_inner(
         prune_index,
         ..Default::default()
     };
-    let mut bpf = Bpf::new(bugs.clone(), opts, sanitize);
-    // Shrink the kernel for fuzzing throughput.
-    bpf.kernel = bvf_kernel_sim::Kernel::with_pool_size(bugs.clone(), FUZZ_POOL_SIZE);
+    // Boot a fuzzing-sized kernel (smaller pool for iteration speed),
+    // recycling the previous iteration's buffers when a scratch is given.
+    let kernel = match scratch.as_deref_mut() {
+        Some(s) => s.boot_kernel(bugs.clone(), FUZZ_POOL_SIZE),
+        None => bvf_kernel_sim::Kernel::with_pool_size(bugs.clone(), FUZZ_POOL_SIZE),
+    };
+    let mut bpf = Bpf::with_kernel(kernel, opts, sanitize);
     for def in standard_maps() {
         bpf.map_create(def).expect("standard maps fit");
     }
@@ -229,9 +266,13 @@ fn run_scenario_inner(
     if let Ok(id) = load {
         match scenario.trigger {
             Trigger::TestRun => {
-                let mut trace = ExecTrace::default();
+                let mut local_trace = ExecTrace::default();
+                let trace: &mut ExecTrace = match scratch.as_deref_mut() {
+                    Some(s) if diff_oracle => s.trace_mut(),
+                    _ => &mut local_trace,
+                };
                 let run = if diff_oracle {
-                    bpf.test_run_traced(id, &mut trace)
+                    bpf.test_run_traced(id, &mut *trace)
                 } else {
                     bpf.test_run(id)
                 };
@@ -254,7 +295,7 @@ fn run_scenario_inner(
                 // step was recorded before its instruction ran.
                 if let Some(snaps) = &snapshots {
                     if let Some(image) = bpf.image(id) {
-                        let (stats, divergence) = bvf_diff::check(snaps, &trace, &image.meta);
+                        let (stats, divergence) = bvf_diff::check(snaps, trace, &image.meta);
                         diff = stats;
                         if let Some(d) = divergence {
                             reports.push(KernelReport::StateDivergence {
@@ -287,6 +328,11 @@ fn run_scenario_inner(
                 reports.extend(bpf.kernel.end_execution());
             }
         }
+    }
+
+    // Hand the kernel's buffers back for the next iteration.
+    if let Some(s) = scratch {
+        s.reclaim(bpf);
     }
 
     ScenarioOutcome {

@@ -78,6 +78,21 @@ impl Mm {
         }
     }
 
+    /// Resets to exactly the state of [`Mm::new`] with the given pool
+    /// size, reusing the pool and shadow buffers' capacity. Every piece of
+    /// allocator bookkeeping is rebuilt, so a recycled `Mm` is
+    /// indistinguishable from a fresh one — the property the campaign's
+    /// scratch-reuse path depends on for determinism.
+    pub fn reset(&mut self, pool_size: usize) {
+        self.pool.reset(pool_size);
+        let len = self.pool.len();
+        self.shadow.reset(len);
+        self.live.clear();
+        self.free.clear();
+        self.free.push((0, len));
+        self.quarantine.clear();
+    }
+
     fn carve(&mut self, chunk_len: usize) -> Option<(usize, usize)> {
         for i in 0..self.free.len() {
             let (off, len) = self.free[i];

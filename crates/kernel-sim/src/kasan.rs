@@ -47,6 +47,14 @@ impl Shadow {
         }
     }
 
+    /// Resets the shadow to exactly the state of [`Shadow::new`] for a
+    /// pool of `pool_size` bytes, reusing the buffer's capacity.
+    pub fn reset(&mut self, pool_size: usize) {
+        self.bytes.clear();
+        self.bytes
+            .resize(pool_size.div_ceil(GRANULE), POISON_UNALLOCATED);
+    }
+
     /// Marks `[off, off+len)` addressable.
     ///
     /// `off` must be granule-aligned; a trailing partial granule is encoded

@@ -61,7 +61,14 @@ impl Kernel {
 
     /// Boots with an explicit memory pool size.
     pub fn with_pool_size(bugs: BugSet, pool_size: usize) -> Kernel {
-        let mut mm = Mm::new(pool_size);
+        Kernel::boot(bugs, Mm::new(pool_size))
+    }
+
+    /// Boots over an existing memory manager, which must be in the state
+    /// left by [`Mm::new`] / [`Mm::reset`]. This is the buffer-recycling
+    /// path: callers reuse the pool and shadow allocations of a previous
+    /// boot instead of touching the heap on every simulated kernel.
+    pub fn boot(bugs: BugSet, mut mm: Mm) -> Kernel {
         let btf = BtfTable::new();
         let mut btf_objects = HashMap::new();
         // Allocate one boot object per BTF type, except the debug object,

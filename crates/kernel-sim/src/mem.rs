@@ -49,6 +49,16 @@ impl MemPool {
         }
     }
 
+    /// Resets the pool to exactly the state of [`MemPool::new`] with the
+    /// given size, reusing the byte buffer's capacity. This is the per-exec
+    /// scratch-recycling path: the result must be indistinguishable from a
+    /// fresh pool.
+    pub fn reset(&mut self, size: usize) {
+        let size = size.next_multiple_of(8);
+        self.bytes.clear();
+        self.bytes.resize(size, 0);
+    }
+
     /// Pool size in bytes.
     pub fn len(&self) -> usize {
         self.bytes.len()

@@ -116,8 +116,14 @@ pub struct Bpf {
 impl Bpf {
     /// Boots a kernel with the given defects and verifier options.
     pub fn new(bugs: BugSet, opts: VerifierOpts, sanitize: bool) -> Bpf {
+        Bpf::with_kernel(Kernel::new(bugs), opts, sanitize)
+    }
+
+    /// Wraps an already-booted kernel (explicit pool size, or a boot over
+    /// recycled buffers from [`crate::ExecScratch`]).
+    pub fn with_kernel(kernel: Kernel, opts: VerifierOpts, sanitize: bool) -> Bpf {
         Bpf {
-            kernel: Kernel::new(bugs),
+            kernel,
             progs: Vec::new(),
             images: Vec::new(),
             attach_table: HashMap::new(),
@@ -125,6 +131,12 @@ impl Bpf {
             sanitize,
             last_snapshots: None,
         }
+    }
+
+    /// Tears the instance down, surrendering the kernel's memory manager
+    /// so its buffers can be recycled by [`crate::ExecScratch`].
+    pub fn into_mm(self) -> bvf_kernel_sim::alloc::Mm {
+        self.kernel.mm
     }
 
     /// Takes the abstract-state snapshot stream recorded by the most
@@ -231,11 +243,8 @@ impl Bpf {
             offloaded,
             attach: None,
         });
-        self.images.push(ExecImage {
-            prog: image_prog,
-            meta: image_meta,
-            prog_type,
-        });
+        self.images
+            .push(ExecImage::new(image_prog, image_meta, prog_type));
         Ok(id)
     }
 
@@ -277,11 +286,8 @@ impl Bpf {
                     offloaded: false,
                     attach: None,
                 });
-                self.images.push(ExecImage {
-                    prog: image_prog,
-                    meta: image_meta,
-                    prog_type,
-                });
+                self.images
+                    .push(ExecImage::new(image_prog, image_meta, prog_type));
                 (Ok(id), cov, timings)
             }
         }

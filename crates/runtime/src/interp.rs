@@ -36,6 +36,10 @@ pub const TAIL_CALL_LIMIT: u32 = 33;
 pub const MAX_TP_DEPTH: u32 = 4;
 
 /// A loaded program as the runtime executes it.
+///
+/// Built through [`ExecImage::new`], which pre-decodes the instruction
+/// stream once; mutating `prog` afterwards would desynchronize the decode
+/// cache, so loaded images are treated as immutable.
 #[derive(Debug, Clone)]
 pub struct ExecImage {
     /// The (possibly sanitized) instruction stream.
@@ -44,6 +48,31 @@ pub struct ExecImage {
     pub meta: Vec<InsnMeta>,
     /// Program type.
     pub prog_type: ProgType,
+    /// Per-slot decode cache: entry `pc` holds exactly what
+    /// `prog.decode_at(pc)` would return there (`None` for undecodable
+    /// positions), so the hot loop never re-decodes a replayed program.
+    decoded: Vec<Option<(InsnKind, usize)>>,
+}
+
+impl ExecImage {
+    /// Builds an execution image, pre-decoding every slot once.
+    pub fn new(prog: Program, meta: Vec<InsnMeta>, prog_type: ProgType) -> ExecImage {
+        let decoded = (0..prog.insn_count())
+            .map(|pc| prog.decode_at(pc).ok())
+            .collect();
+        ExecImage {
+            prog,
+            meta,
+            prog_type,
+            decoded,
+        }
+    }
+
+    /// The pre-decoded instruction starting at `pc` and its slot count.
+    #[inline]
+    fn decoded_at(&self, pc: usize) -> Option<(InsnKind, usize)> {
+        self.decoded.get(pc).copied().flatten()
+    }
 }
 
 /// The registry of loaded programs, indexed by program id.
@@ -100,10 +129,14 @@ pub struct ExecResult {
     pub kfunc_calls: u64,
 }
 
+#[derive(Clone, Copy)]
 struct Frame {
     return_pc: usize,
     stack_addr: u64,
 }
+
+/// Maximum nested bpf-to-bpf call frames (kernel `MAX_CALL_FRAMES - 1`).
+const MAX_FRAMES: usize = 8;
 
 /// Maximum steps recorded into an [`ExecTrace`]. Steps past the cap are
 /// dropped (and flagged), but every *recorded* step remains a valid
@@ -221,8 +254,17 @@ pub fn exec_program_traced(
         kernel.enter_nmi();
     }
 
-    let mut frames: Vec<Frame> = Vec::new();
-    let mut stacks = vec![stack0];
+    // Call frames live in fixed arrays (depth is capped at MAX_FRAMES),
+    // so the per-exec hot path performs no heap allocation of its own —
+    // only the kmalloc'd stacks touch the (recyclable) pool.
+    let mut frames = [Frame {
+        return_pc: 0,
+        stack_addr: 0,
+    }; MAX_FRAMES];
+    let mut nframes = 0usize;
+    let mut stacks = [0u64; MAX_FRAMES + 1];
+    stacks[0] = stack0;
+    let mut nstacks = 1usize;
     let mut tail_calls = 0u32;
     let mut helper_calls = 0u64;
     let mut kfunc_calls = 0u64;
@@ -236,12 +278,12 @@ pub fn exec_program_traced(
             halt = HaltReason::StepLimit;
             break;
         }
-        let Ok((kind, slots)) = image.prog.decode_at(pc) else {
+        let Some((kind, slots)) = image.decoded_at(pc) else {
             halt = HaltReason::BadInstruction;
             break;
         };
         let meta = image.meta.get(pc).copied().unwrap_or_default();
-        if frames.is_empty() {
+        if nframes == 0 {
             if let Some(t) = trace.as_deref_mut() {
                 t.record(pc, &regs);
             }
@@ -495,7 +537,7 @@ pub fn exec_program_traced(
                     regs[Reg::R0.index()] = call_kfunc(kernel, id as u32, args);
                 }
                 CallTarget::Pseudo(off) => {
-                    if frames.len() >= 8 {
+                    if nframes >= MAX_FRAMES {
                         halt = HaltReason::DepthLimit;
                         break 'run;
                     }
@@ -503,28 +545,31 @@ pub fn exec_program_traced(
                         halt = HaltReason::FatalReport;
                         break 'run;
                     };
-                    frames.push(Frame {
+                    frames[nframes] = Frame {
                         return_pc: pc + 1,
                         stack_addr: regs[Reg::R10.index()],
-                    });
-                    stacks.push(new_stack);
+                    };
+                    nframes += 1;
+                    stacks[nstacks] = new_stack;
+                    nstacks += 1;
                     regs[Reg::R10.index()] = new_stack + stack_bytes as u64;
                     next = (pc as i64 + 1 + off as i64) as usize;
                 }
             },
-            InsnKind::Exit => match frames.pop() {
-                Some(f) => {
-                    let done = stacks.pop().expect("stack per frame");
-                    kernel.mm.kfree(done);
+            InsnKind::Exit => {
+                if nframes > 0 {
+                    nframes -= 1;
+                    let f = frames[nframes];
+                    nstacks -= 1;
+                    kernel.mm.kfree(stacks[nstacks]);
                     regs[Reg::R10.index()] = f.stack_addr;
                     next = f.return_pc;
-                }
-                None => {
+                } else {
                     r0_out = Some(regs[Reg::R0.index()]);
                     halt = HaltReason::Exit;
                     break 'run;
                 }
-            },
+            }
         }
 
         // A fatal report (panic, lockdep splat, KASAN hit inside a
@@ -540,7 +585,7 @@ pub fn exec_program_traced(
         }
     }
 
-    for s in stacks {
+    for &s in &stacks[..nstacks] {
         kernel.mm.kfree(s);
     }
     if trig.in_nmi {

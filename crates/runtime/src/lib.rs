@@ -13,9 +13,11 @@
 
 pub mod bpf;
 pub mod interp;
+pub mod scratch;
 
 pub use bpf::{Bpf, BpfError, LoadedProg, RunReport};
 pub use interp::{
     exec_program, exec_program_traced, fire_tracepoint, ExecImage, ExecResult, ExecTrace,
     HaltReason, TraceStep, TriggerCtx,
 };
+pub use scratch::ExecScratch;

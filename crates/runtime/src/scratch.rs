@@ -1,0 +1,113 @@
+//! Reusable per-execution scratch buffers.
+//!
+//! A fuzzing campaign boots one simulated kernel per iteration; without
+//! recycling, every boot allocates a fresh memory pool, KASAN shadow, and
+//! trace buffer just to throw them away a few thousand instructions
+//! later. [`ExecScratch`] keeps those allocations alive between
+//! iterations: the pool and shadow are handed back after each scenario
+//! and [`bvf_kernel_sim::alloc::Mm::reset`] restores them to a
+//! bit-identical fresh-boot state, so recycling is invisible to every
+//! consumer — same addresses, same poison, same allocator decisions.
+
+use bvf_kernel_sim::alloc::Mm;
+use bvf_kernel_sim::{BugSet, Kernel};
+
+use crate::bpf::Bpf;
+use crate::interp::ExecTrace;
+
+/// Reusable execution scratch: the kernel memory pool (which holds the
+/// eBPF registers' spill slots and program stacks), the KASAN shadow,
+/// and the concrete-trace step buffer.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Recycled memory manager from the previous boot, if any.
+    mm: Option<Mm>,
+    /// Reusable concrete-trace buffer (differential-oracle ground truth).
+    trace: ExecTrace,
+}
+
+impl ExecScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// Boots a simulated kernel, reusing the recycled pool and shadow
+    /// buffers when available. The result is indistinguishable from
+    /// [`Kernel::with_pool_size`] with the same arguments.
+    pub fn boot_kernel(&mut self, bugs: BugSet, pool_size: usize) -> Kernel {
+        match self.mm.take() {
+            Some(mut mm) => {
+                mm.reset(pool_size);
+                Kernel::boot(bugs, mm)
+            }
+            None => Kernel::with_pool_size(bugs, pool_size),
+        }
+    }
+
+    /// Takes back the memory buffers of a finished [`Bpf`] instance for
+    /// the next boot.
+    pub fn reclaim(&mut self, bpf: Bpf) {
+        self.mm = Some(bpf.into_mm());
+    }
+
+    /// The trace buffer, cleared and ready to record a fresh execution.
+    pub fn trace_mut(&mut self) -> &mut ExecTrace {
+        self.trace.steps.clear();
+        self.trace.truncated = false;
+        &mut self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvf_kernel_sim::mem::KERNEL_BASE;
+
+    #[test]
+    fn recycled_kernel_is_bit_identical_to_fresh() {
+        let mut scratch = ExecScratch::new();
+        let pool_size = 1 << 16;
+
+        // Dirty a kernel thoroughly: allocations, frees, raw writes.
+        let mut k = scratch.boot_kernel(BugSet::none(), pool_size);
+        let a = k.mm.kmalloc(128).unwrap();
+        k.mm.checked_write(a, 8, 0xdead_beef).unwrap();
+        k.mm.pool.raw_write(KERNEL_BASE + 40_000, 8, 0x4242);
+        k.mm.kfree(a);
+        let b = k.mm.kvmalloc(4096).unwrap();
+        k.mm.pool.raw_write(b, 8, 7);
+        scratch.mm = Some(k.mm);
+
+        let recycled = scratch.boot_kernel(BugSet::none(), pool_size);
+        let fresh = Kernel::with_pool_size(BugSet::none(), pool_size);
+        assert_eq!(recycled.mm.free_bytes(), fresh.mm.free_bytes());
+        assert_eq!(recycled.mm.live_allocs(), fresh.mm.live_allocs());
+        assert_eq!(recycled.current_task(), fresh.current_task());
+        for off in (0..pool_size as u64).step_by(8) {
+            assert_eq!(
+                recycled.mm.pool.raw_read(KERNEL_BASE + off, 8),
+                fresh.mm.pool.raw_read(KERNEL_BASE + off, 8),
+                "pool bytes differ at offset {off}"
+            );
+            assert_eq!(
+                recycled.mm.shadow.shadow_at(off as usize),
+                fresh.mm.shadow.shadow_at(off as usize),
+                "shadow differs at offset {off}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_buffer_is_cleared_between_uses() {
+        let mut scratch = ExecScratch::new();
+        scratch.trace.steps.push(crate::interp::TraceStep {
+            pc: 3,
+            regs: [1; 11],
+        });
+        scratch.trace.truncated = true;
+        let t = scratch.trace_mut();
+        assert!(t.steps.is_empty());
+        assert!(!t.truncated);
+    }
+}

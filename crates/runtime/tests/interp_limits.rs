@@ -69,11 +69,11 @@ fn step_limit_stops_runaway_programs() {
         asm::exit(),
     ]);
     let meta = bvf_runtime::bpf::empty_meta(&prog);
-    let images = vec![bvf_runtime::ExecImage {
+    let images = vec![bvf_runtime::ExecImage::new(
         prog,
         meta,
-        prog_type: ProgType::SocketFilter,
-    }];
+        ProgType::SocketFilter,
+    )];
     let mut kernel = bvf_kernel_sim::Kernel::new(BugSet::none());
     let ctx = kernel.mm.kmalloc(128).unwrap();
     let run = interp::exec_program(

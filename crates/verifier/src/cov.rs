@@ -100,6 +100,36 @@ impl Coverage {
     pub fn has_new(&self, other: &Coverage) -> bool {
         other.points.iter().any(|p| !self.points.contains(p))
     }
+
+    /// Whether the raw point key `p` is covered.
+    pub fn contains_point(&self, p: u64) -> bool {
+        self.points.contains(&p)
+    }
+
+    /// Inserts a raw point key; returns whether it was new.
+    pub fn insert_point(&mut self, p: u64) -> bool {
+        self.points.insert(p)
+    }
+
+    /// Iterates the raw point keys (unordered).
+    pub fn iter_points(&self) -> impl Iterator<Item = u64> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The raw point keys in sorted order — the stable on-disk form used
+    /// by corpus snapshots.
+    pub fn to_sorted_points(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.points.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds a coverage set from raw point keys.
+    pub fn from_points(points: impl IntoIterator<Item = u64>) -> Coverage {
+        Coverage {
+            points: points.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
