@@ -1,8 +1,9 @@
 //! **Experiment E4 — §6.3 acceptance-rate analysis**.
 //!
 //! Feeds N generated programs per tool through the verifier and reports
-//! the acceptance rate, the rejection-errno mix, the ALU/JMP instruction
-//! share, and the mean program size.
+//! the acceptance rate, the rejection-errno mix, the dominant typed
+//! rejection reasons, the ALU/JMP instruction share, and the mean
+//! program size.
 //!
 //! Paper reference: BVF 49 %, Syzkaller 23.5 % (top errnos EACCES and
 //! EINVAL), Buzzer 1 % (random mode) / 97 % (ALU/JMP mode, with ≥88.4 %
@@ -46,10 +47,20 @@ fn main() {
                 format!("{name}:{c}")
             })
             .collect();
+        // Top rejection reasons from the verifier's typed taxonomy,
+        // largest first (ties broken by name for stable output).
+        let mut reasons: Vec<(&String, &usize)> = r.reject_reasons.iter().collect();
+        reasons.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let top_reasons: Vec<String> = reasons
+            .iter()
+            .take(3)
+            .map(|(name, c)| format!("{name}:{c}"))
+            .collect();
         rows.push(vec![
             tool.name().to_string(),
             format!("{:.1}%", 100.0 * r.acceptance_rate()),
             errnos.join(" "),
+            top_reasons.join(" "),
             format!("{:.1}%", 100.0 * r.alu_jmp_share),
             format!("{:.0}", r.avg_prog_len),
         ]);
@@ -66,6 +77,7 @@ fn main() {
                 "Tool",
                 "Acceptance",
                 "Rejection errnos",
+                "Top reject reasons",
                 "ALU/JMP share",
                 "Avg insns"
             ],

@@ -135,6 +135,7 @@ mod tests {
                 ProgType::SocketFilter,
             ))],
             cov: Default::default(),
+            shapes: Default::default(),
         }
     }
 

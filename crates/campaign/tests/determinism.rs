@@ -53,6 +53,7 @@ fn assert_identical(a: &CampaignResult, b: &CampaignResult, what: &str) {
     assert_eq!(a.iterations, b.iterations, "{what}: iterations");
     assert_eq!(a.accepted, b.accepted, "{what}: accepted");
     assert_eq!(a.errno_histogram, b.errno_histogram, "{what}: errnos");
+    assert_eq!(a.reject_reasons, b.reject_reasons, "{what}: reject reasons");
     assert_eq!(a.coverage, b.coverage, "{what}: coverage");
     assert_eq!(a.timeline, b.timeline, "{what}: timeline");
     assert_eq!(a.found_bugs, b.found_bugs, "{what}: found bugs");
@@ -236,6 +237,44 @@ fn diff_campaigns_are_deterministic_across_worker_counts() {
         assert_eq!(one.diff.steps_checked, many.diff.steps_checked);
         assert_eq!(one.diff.divergences, many.diff.divergences);
     }
+}
+
+#[test]
+fn steered_campaigns_are_worker_count_invariant() {
+    // Acceptance-rate steering derives its shape weights purely from
+    // the exchange ledger's batch-ordered fold — never from wall clock
+    // or worker identity — so `--steer` must not weaken the scheduler's
+    // central guarantee: 1, 2, and 4 workers merge bit-identically,
+    // findings included.
+    let steered = CampaignConfig {
+        steer: true,
+        batch_len: 16,
+        exchange_every: 32,
+        ..config(480, 53)
+    };
+    let serial = run_campaign(&steered);
+    for workers in [1usize, 2, 4] {
+        let many = run_sharded(&steered, &ParallelConfig::new(workers)).result;
+        assert_identical(&serial, &many, &format!("steered {workers} workers"));
+    }
+
+    // With the flag off, the stock path is untouched by the steering
+    // machinery and keeps the same guarantee.
+    let unsteered = CampaignConfig {
+        steer: false,
+        ..steered.clone()
+    };
+    let off_serial = run_campaign(&unsteered);
+    let off_sharded = run_sharded(&unsteered, &ParallelConfig::new(2)).result;
+    assert_identical(&off_serial, &off_sharded, "steer-off 2 workers");
+
+    // The two modes genuinely diverge: steering changes what gets
+    // generated, not just how results are counted.
+    assert_ne!(
+        fingerprint(&serial),
+        fingerprint(&off_serial),
+        "steering had no effect on the campaign"
+    );
 }
 
 /// The property-test campaign: small (the vendored proptest runs a

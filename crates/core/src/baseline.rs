@@ -46,6 +46,118 @@ impl GeneratorKind {
     }
 }
 
+/// A *generation shape* the acceptance-rate steering picks between for
+/// fresh programs (`bvf fuzz --steer`). [`GenShape::Native`] dispatches
+/// the campaign's configured generator unchanged; the other shapes are
+/// generator-independent synthesizers with characteristically different
+/// verifier acceptance profiles, so re-weighting the choice by observed
+/// per-shape acceptance moves the campaign toward programs the verifier
+/// lets through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GenShape {
+    /// The campaign's configured generator, unmodified.
+    Native,
+    /// A near-minimal always-valid program (`mov r0, imm; exit`).
+    Minimal,
+    /// Register-initialized ALU/forward-jump bodies
+    /// ([`buzzer_alujmp_generate`]).
+    AluJmp,
+    /// Initialized registers plus stack-confined memory traffic over
+    /// pre-stored slots ([`shape_memsafe_generate`]).
+    MemSafe,
+}
+
+impl GenShape {
+    /// Every shape, in the stable order weight vectors are indexed by.
+    pub const ALL: [GenShape; 4] = [
+        GenShape::Native,
+        GenShape::Minimal,
+        GenShape::AluJmp,
+        GenShape::MemSafe,
+    ];
+
+    /// Number of shapes ([`GenShape::ALL`]`.len()`).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// This shape's index into [`GenShape::ALL`]-ordered arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (the trace `shape` member and the
+    /// `bvf report` shape table key).
+    pub fn name(self) -> &'static str {
+        match self {
+            GenShape::Native => "native",
+            GenShape::Minimal => "minimal",
+            GenShape::AluJmp => "alu_jmp",
+            GenShape::MemSafe => "mem_safe",
+        }
+    }
+}
+
+/// The [`GenShape::Minimal`] synthesizer: the shortest program the
+/// verifier accepts, with a randomized return value so programs stay
+/// distinct.
+pub fn shape_minimal_generate(rng: &mut StdRng) -> Scenario {
+    let insns = vec![asm::mov64_imm(Reg::R0, rng.gen_range(0..16)), asm::exit()];
+    Scenario::test_run(Program::from_insns(insns), ProgType::SocketFilter)
+}
+
+/// The [`GenShape::MemSafe`] synthesizer: initialize scalar registers,
+/// pre-store a handful of doubleword stack slots, then mix loads and
+/// stores confined to those slots with bounded ALU — memory traffic the
+/// verifier can prove safe, unlike the baselines' wild pointers.
+pub fn shape_memsafe_generate(rng: &mut StdRng) -> Scenario {
+    let mut insns: Vec<Insn> = Vec::new();
+    for i in 0..6u8 {
+        insns.push(asm::mov64_imm(
+            Reg::from_u8(i).unwrap(),
+            rng.gen_range(-128..128),
+        ));
+    }
+    // Initialize four doubleword slots so later loads never read
+    // uninitialized stack.
+    for slot in 1..=4i16 {
+        insns.push(asm::st_mem(
+            Size::Dw,
+            Reg::R10,
+            -8 * slot,
+            rng.gen_range(-64..64),
+        ));
+    }
+    let body = rng.gen_range(4..20);
+    for _ in 0..body {
+        let dst = Reg::from_u8(rng.gen_range(0..6)).unwrap();
+        match rng.gen_range(0..3) {
+            0 => insns.push(asm::ldx_mem(
+                Size::Dw,
+                dst,
+                Reg::R10,
+                -8 * rng.gen_range(1..5i16),
+            )),
+            1 => insns.push(asm::stx_mem(
+                Size::Dw,
+                Reg::R10,
+                dst,
+                -8 * rng.gen_range(1..5i16),
+            )),
+            _ => {
+                let op = AluOp::BINARY[rng.gen_range(0..AluOp::BINARY.len())];
+                let imm = match op {
+                    AluOp::Lsh | AluOp::Rsh | AluOp::Arsh => rng.gen_range(0..64),
+                    AluOp::Div | AluOp::Mod => rng.gen_range(1..128),
+                    _ => rng.gen_range(-256..256),
+                };
+                insns.push(asm::alu64_imm(op, dst, imm));
+            }
+        }
+    }
+    insns.push(asm::mov64_imm(Reg::R0, 0));
+    insns.push(asm::exit());
+    Scenario::test_run(Program::from_insns(insns), ProgType::SocketFilter)
+}
+
 fn random_prog_type(rng: &mut StdRng) -> ProgType {
     ProgType::ALL[rng.gen_range(0..ProgType::ALL.len())]
 }
@@ -337,5 +449,33 @@ mod tests {
     fn generator_names() {
         assert_eq!(GeneratorKind::Bvf.name(), "BVF");
         assert_eq!(GeneratorKind::Syzkaller.name(), "Syzkaller");
+    }
+
+    #[test]
+    fn gen_shape_index_and_names_are_stable() {
+        for (i, s) in GenShape::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        let names: Vec<&str> = GenShape::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["native", "minimal", "alu_jmp", "mem_safe"]);
+    }
+
+    #[test]
+    fn steering_shapes_are_structurally_valid() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let a = shape_minimal_generate(&mut rng);
+            let b = shape_memsafe_generate(&mut rng);
+            assert!(
+                bvf_isa::validate_structure(&a.prog).is_ok(),
+                "{}",
+                a.prog.dump()
+            );
+            assert!(
+                bvf_isa::validate_structure(&b.prog).is_ok(),
+                "{}",
+                b.prog.dump()
+            );
+        }
     }
 }

@@ -3,11 +3,12 @@
 //! ```text
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
-//!             [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]
+//!             [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle] [--steer]
 //!             [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]
 //!             [--chaos S] [--corpus-in FILE] [--corpus-out FILE]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
 //!             [--snapshot-every N] [--save-findings DIR]
+//! bvf report  <trace.jsonl>
 //! bvf corpus export --out FILE [fuzz options]
 //! bvf corpus import <snap.json>... [--out FILE]
 //! bvf corpus info   <snap.json>
@@ -29,6 +30,17 @@
 //! `--trace-out` writes one JSONL event per campaign step and
 //! `--json-out` writes the machine-readable `CampaignStats` summary
 //! (the same schema the bench binaries emit).
+//!
+//! `--steer` turns on deterministic acceptance-rate steering: fresh
+//! generations pick a generation *shape* (the native generator, a
+//! minimal program, an ALU/JMP body, or stack-safe memory traffic)
+//! weighted by the per-shape acceptance observed in earlier corpus
+//! exchange generations. The weights are folded through the exchange
+//! ledger in batch order, so steered campaigns remain bit-identical at
+//! any `--workers` count. `bvf report` reads a `--trace-out` file back
+//! and prints the rejection-reason breakdown (the verifier's typed
+//! taxonomy) and per-shape acceptance rates; it exits nonzero on a
+//! malformed trace.
 //!
 //! `--diff-oracle` arms the abstract-vs-concrete differential oracle
 //! (Indicator #3): the verifier exports per-instruction abstract-state
@@ -69,18 +81,19 @@ use bvf::oracle::{judge, triage};
 use bvf::scenario::{run_scenario, run_scenario_diff, Scenario};
 use bvf_campaign::{run_sharded, ParallelConfig};
 use bvf_kernel_sim::{BugId, BugSet};
-use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceSink};
+use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceEvent, TraceSink};
 use bvf_verifier::KernelVersion;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
-         [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle]\n             \
+         [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle] [--steer]\n             \
          [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]\n             \
          [--chaos S] [--corpus-in FILE] [--corpus-out FILE]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
          [--snapshot-every N] [--save-findings DIR]\n  \
+         bvf report <trace.jsonl>\n  \
          bvf corpus export --out FILE [fuzz options]\n  \
          bvf corpus import <snap.json>... [--out FILE]\n  \
          bvf corpus info <snap.json>\n  \
@@ -246,6 +259,7 @@ fn campaign_config(args: &Args) -> CampaignConfig {
     cfg.triage = !args.flag("--no-triage");
     cfg.feedback = !args.flag("--no-feedback");
     cfg.diff_oracle = args.flag("--diff-oracle");
+    cfg.steer = args.flag("--steer");
     if let Some(n) = args.opt("--snapshot-every").and_then(|v| v.parse().ok()) {
         cfg.snapshot_every = std::cmp::max(n, 1);
     }
@@ -638,6 +652,109 @@ fn cmd_corpus(args: &Args, argv: &[String]) {
     }
 }
 
+/// `bvf report <trace.jsonl>`: fold a `--trace-out` file back into the
+/// rejection-taxonomy breakdown and per-shape acceptance rates.
+///
+/// Worker-tagged parallel traces are supported: `Gen` and `Verify`
+/// events are joined on `(worker, iter)`, so each verdict is attributed
+/// to the shape of the program it ruled on. Any malformed line aborts
+/// with a nonzero exit, pointing at the offending line.
+fn cmd_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+
+    let mut verified = 0usize;
+    let mut accepted = 0usize;
+    let mut reasons: BTreeMap<String, usize> = BTreeMap::new();
+    // Shape of the program generated at (worker, iter), awaiting its
+    // Verify event. Mutations and unsteered generations have no shape
+    // tag and fall into the "unsteered" bucket.
+    let mut pending_shape: BTreeMap<(u64, usize), String> = BTreeMap::new();
+    // shape -> (verdicts, accepted)
+    let mut by_shape: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let value: serde_json::Value = serde_json::from_str(line).unwrap_or_else(|e| {
+            eprintln!("{path}:{lineno}: malformed trace line: {e}");
+            exit(2);
+        });
+        let worker = value.get("worker").and_then(|w| w.as_u64()).unwrap_or(0);
+        let event: TraceEvent = serde_json::from_value(value).unwrap_or_else(|e| {
+            eprintln!("{path}:{lineno}: not a trace event: {e}");
+            exit(2);
+        });
+        match event {
+            TraceEvent::Gen { iter, shape, .. } => {
+                let label = shape.unwrap_or_else(|| "unsteered".to_string());
+                pending_shape.insert((worker, iter), label);
+            }
+            TraceEvent::Verify {
+                iter,
+                accepted: ok,
+                reason,
+                ..
+            } => {
+                verified += 1;
+                let label = pending_shape
+                    .remove(&(worker, iter))
+                    .unwrap_or_else(|| "unsteered".to_string());
+                let slot = by_shape.entry(label).or_insert((0, 0));
+                slot.0 += 1;
+                if ok {
+                    accepted += 1;
+                    slot.1 += 1;
+                } else {
+                    let key = reason.unwrap_or_else(|| "unknown".to_string());
+                    *reasons.entry(key).or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let rejected = verified - accepted;
+    let pct = |num: usize, den: usize| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
+    println!(
+        "{verified} programs verified: {accepted} accepted ({:.1}%), {rejected} rejected",
+        pct(accepted, verified)
+    );
+
+    println!("\nrejection reasons ({} distinct):", reasons.len());
+    if rejected == 0 {
+        println!("  (none)");
+    } else {
+        let mut rows: Vec<(&String, &usize)> = reasons.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (reason, count) in rows {
+            println!("  {reason:<28} {count:>8}  {:>5.1}%", pct(*count, rejected));
+        }
+    }
+
+    println!("\nacceptance by generation shape:");
+    if by_shape.is_empty() {
+        println!("  (no verdicts)");
+    } else {
+        for (shape, (verdicts, acc)) in &by_shape {
+            println!(
+                "  {shape:<28} {acc:>8} / {verdicts:<8} {:>5.1}%",
+                pct(*acc, *verdicts)
+            );
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first().map(|s| s.as_str()) else {
@@ -657,6 +774,10 @@ fn main() {
         "disasm" => match argv.get(1) {
             Some(p) => cmd_disasm(p),
             None => usage(),
+        },
+        "report" => match argv.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_report(p),
+            _ => usage(),
         },
         "corpus" => cmd_corpus(&args, &argv),
         "bugs" => cmd_bugs(),

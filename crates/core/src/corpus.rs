@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use bvf_verifier::Coverage;
 
-use crate::fuzz::{BatchOutput, BatchSeed, CampaignConfig, CORPUS_CAP};
+use crate::fuzz::{BatchOutput, BatchSeed, CampaignConfig, ShapeStats, CORPUS_CAP};
 use crate::scenario::Scenario;
 
 /// The snapshot format tag (`format` field).
@@ -245,9 +245,12 @@ impl CorpusSnapshot {
             .take(CORPUS_CAP)
             .map(|s| Arc::new(s.clone()))
             .collect();
+        // Snapshots predate shape accounting; an imported base starts
+        // steering from uniform weights.
         BatchSeed {
             corpus,
             coverage: Arc::new(self.coverage()),
+            shapes: ShapeStats::default(),
         }
     }
 }

@@ -37,15 +37,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use bvf_kernel_sim::{BugId, BugSet, KernelReport};
-use bvf_runtime::ExecScratch;
+use bvf_runtime::{BpfError, ExecScratch};
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::stats::STATS_SCHEMA_VERSION;
 use bvf_telemetry::{CampaignStats, GenSource, Registry, Telemetry, TraceEvent};
 use bvf_verifier::{Coverage, KernelVersion};
 
 use crate::baseline::{
-    alu_jmp_fraction, buzzer_alujmp_generate, buzzer_random_generate, syzkaller_generate,
-    GeneratorKind,
+    alu_jmp_fraction, buzzer_alujmp_generate, buzzer_random_generate, shape_memsafe_generate,
+    shape_minimal_generate, syzkaller_generate, GenShape, GeneratorKind,
 };
 use crate::gen::{GenConfig, StructuredGen};
 use bvf_diff::DiffStats;
@@ -108,6 +108,14 @@ pub struct CampaignConfig {
     /// only coverage that is new relative to the import. Empty by
     /// default.
     pub base: BatchSeed,
+    /// Deterministic acceptance-rate steering (`bvf fuzz --steer`):
+    /// fresh generations pick a [`GenShape`] weighted by the per-shape
+    /// acceptance observed in earlier exchange generations. Weights are
+    /// re-derived at lease-batch boundaries from the same ledger fold
+    /// that seeds the corpus, so steered campaigns stay bit-identical
+    /// at any worker count. Off by default; the unsteered path is
+    /// byte-identical to a build without steering.
+    pub steer: bool,
 }
 
 impl CampaignConfig {
@@ -129,6 +137,7 @@ impl CampaignConfig {
             exchange_every: 256,
             exchange_batch: 8,
             base: BatchSeed::default(),
+            steer: false,
         }
     }
 }
@@ -162,6 +171,12 @@ pub struct CampaignResult {
     pub accepted: usize,
     /// Rejection errno histogram.
     pub errno_histogram: BTreeMap<i32, usize>,
+    /// Typed rejection reason → count ([`RejectReason`] snake_case
+    /// names plus the `"syscall"` catch-all); sums exactly to
+    /// `iterations - accepted`.
+    ///
+    /// [`RejectReason`]: bvf_verifier::RejectReason
+    pub reject_reasons: BTreeMap<String, usize>,
     /// Final accumulated verifier coverage (new relative to
     /// [`CampaignConfig::base`], if one was imported).
     pub coverage: Coverage,
@@ -215,6 +230,7 @@ impl CampaignResult {
                 .map(|b| b.name().to_string())
                 .collect(),
             errno_histogram: self.errno_histogram.clone(),
+            reject_reasons: self.reject_reasons.clone(),
             alu_jmp_share: self.alu_jmp_share,
             avg_prog_len: self.avg_prog_len,
             timeline: self.timeline.clone(),
@@ -261,6 +277,65 @@ pub fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> Strin
         sig.push_str(&parts.join("+"));
     }
     sig
+}
+
+/// The taxonomy name and rejection depth (offending instruction index)
+/// of a load error. Non-verifier errno rejections fall into the
+/// `"syscall"` catch-all at depth 0, so per-reason counts always sum to
+/// the campaign's rejected total.
+fn reject_info(e: &BpfError) -> (&'static str, u64) {
+    match e {
+        BpfError::Verifier(v) => (v.reason.name(), v.insn_idx as u64),
+        BpfError::Errno { .. } => ("syscall", 0),
+    }
+}
+
+/// Per-shape fresh-generation counts (generated / accepted), indexed in
+/// [`GenShape::ALL`] order. Rides the exchange ledger so the steering
+/// weights a lease derives are a pure function of earlier generations'
+/// published entries folded in batch order — never of wall-clock or of
+/// which worker ran them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeStats {
+    /// Fresh programs generated per shape.
+    pub generated: [u64; GenShape::COUNT],
+    /// Of those, programs the verifier accepted.
+    pub accepted: [u64; GenShape::COUNT],
+}
+
+impl ShapeStats {
+    /// Adds `other`'s counts (the ledger fold; commutative, but always
+    /// applied in batch order).
+    pub fn merge(&mut self, other: &ShapeStats) {
+        for i in 0..GenShape::COUNT {
+            self.generated[i] += other.generated[i];
+            self.accepted[i] += other.accepted[i];
+        }
+    }
+}
+
+/// Laplace-smoothed integer steering weight of one shape:
+/// `max(1, ⌊(accepted + 1) · 1000 / (generated + 2)⌋)`. With no
+/// observations every shape gets 500 (uniform); a consistently accepted
+/// shape tends to 1000, a consistently rejected one floors at 1.
+/// Integer arithmetic keeps the weights platform-independent.
+fn steer_weight(generated: u64, accepted: u64) -> u64 {
+    ((accepted + 1).saturating_mul(1000) / (generated + 2)).max(1)
+}
+
+/// Weighted shape pick: one bounded RNG draw against the cumulative
+/// weight vector. Only called on the steered path, so unsteered RNG
+/// streams are untouched.
+fn pick_shape(rng: &mut StdRng, weights: &[u64; GenShape::COUNT]) -> GenShape {
+    let total: u64 = weights.iter().sum();
+    let mut x = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return GenShape::ALL[i];
+        }
+        x -= w;
+    }
+    GenShape::ALL[GenShape::COUNT - 1]
 }
 
 /// The SplitMix64 finalizer: a full-avalanche bijection on `u64`.
@@ -378,6 +453,9 @@ pub struct LedgerEntry {
     /// Coverage points first observed by the batch (relative to its
     /// seed view).
     pub cov: Coverage,
+    /// Per-shape generation/acceptance counts of the batch (all zero
+    /// unless the campaign was steered).
+    pub shapes: ShapeStats,
 }
 
 /// The corpus seed view a lease batch starts from: a pure function of
@@ -392,6 +470,10 @@ pub struct BatchSeed {
     /// Coverage already credited to earlier generations; retention in
     /// the consuming batch only triggers on points outside this set.
     pub coverage: Arc<Coverage>,
+    /// Per-shape generation/acceptance counts accumulated over the
+    /// consumed generations, in batch order — the sole input to the
+    /// consuming batch's steering weights.
+    pub shapes: ShapeStats,
 }
 
 /// Extends a seed view with the ledger entries of one more generation,
@@ -402,6 +484,7 @@ fn extend_seed<'a>(
 ) -> BatchSeed {
     let mut corpus = prev.corpus.clone();
     let mut cov = (*prev.coverage).clone();
+    let mut shapes = prev.shapes;
     for e in entries {
         for s in &e.corpus {
             if corpus.len() >= CORPUS_CAP {
@@ -410,10 +493,12 @@ fn extend_seed<'a>(
             corpus.push(Arc::clone(s));
         }
         cov.merge(&e.cov);
+        shapes.merge(&e.shapes);
     }
     BatchSeed {
         corpus,
         coverage: Arc::new(cov),
+        shapes,
     }
 }
 
@@ -448,6 +533,7 @@ impl CorpusLedger {
             views: vec![BatchSeed {
                 corpus: cfg.base.corpus.clone(),
                 coverage: Arc::clone(&cfg.base.coverage),
+                shapes: cfg.base.shapes,
             }],
         }
     }
@@ -610,6 +696,11 @@ pub struct BatchOutput {
     pub accepted: usize,
     /// Rejection errno histogram of this batch.
     pub errno_histogram: BTreeMap<i32, usize>,
+    /// Typed rejection reason → count of this batch.
+    pub reject_reasons: BTreeMap<String, usize>,
+    /// Per-shape generation/acceptance counts of this batch (all zero
+    /// unless steered).
+    pub shapes: ShapeStats,
     /// Coverage points first observed by this batch — a delta against
     /// the batch's seed view, disjoint from it by construction.
     pub cov_delta: Coverage,
@@ -635,6 +726,7 @@ impl BatchOutput {
         LedgerEntry {
             corpus: self.fresh_corpus.clone(),
             cov: self.cov_delta.clone(),
+            shapes: self.shapes,
         }
     }
 }
@@ -666,6 +758,12 @@ pub struct CampaignWorker {
     /// Locally retained entries queued for publication (capped).
     fresh: Vec<Arc<Scenario>>,
     errno_histogram: BTreeMap<i32, usize>,
+    reject_reasons: BTreeMap<String, usize>,
+    /// Steering weights derived once at lease time from the seed view's
+    /// shape stats; `None` when steering is off.
+    steer_weights: Option<[u64; GenShape::COUNT]>,
+    /// Per-shape counts this batch accumulates (all zero unsteered).
+    shape_stats: ShapeStats,
     accepted: usize,
     findings: Vec<FindingRecord>,
     seen_signatures: HashSet<String>,
@@ -684,6 +782,9 @@ impl CampaignWorker {
             version: cfg.version,
             ..Default::default()
         });
+        let steer_weights = cfg.steer.then(|| {
+            std::array::from_fn(|i| steer_weight(seed.shapes.generated[i], seed.shapes.accepted[i]))
+        });
         CampaignWorker {
             batch,
             start,
@@ -696,6 +797,9 @@ impl CampaignWorker {
             corpus: seed.corpus,
             fresh: Vec::new(),
             errno_histogram: BTreeMap::new(),
+            reject_reasons: BTreeMap::new(),
+            steer_weights,
+            shape_stats: ShapeStats::default(),
             accepted: 0,
             findings: Vec::new(),
             seen_signatures: HashSet::new(),
@@ -796,17 +900,34 @@ impl CampaignWorker {
         // corpus exists (BVF and Syzkaller use coverage feedback; Buzzer
         // does not).
         let uses_feedback = self.uses_feedback();
+        let mut shape: Option<GenShape> = None;
         let (scenario, source) =
             if uses_feedback && !self.corpus.is_empty() && self.rng.gen_bool(0.4) {
                 let base = &self.corpus[self.rng.gen_range(0..self.corpus.len())];
                 (mutate(&mut self.rng, base), GenSource::Mutation)
             } else {
-                let fresh = match cfg.generator {
-                    GeneratorKind::Bvf => self.structured.generate(&mut self.rng),
-                    GeneratorKind::Syzkaller => syzkaller_generate(&mut self.rng),
-                    GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut self.rng),
-                    GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut self.rng),
+                // Steering re-weights only *fresh* generations; the
+                // weighted pick is the sole extra RNG draw on the
+                // steered path, and the unsteered path consumes exactly
+                // the pre-steering stream.
+                let picked = match &self.steer_weights {
+                    Some(w) => pick_shape(&mut self.rng, w),
+                    None => GenShape::Native,
                 };
+                let fresh = match picked {
+                    GenShape::Native => match cfg.generator {
+                        GeneratorKind::Bvf => self.structured.generate(&mut self.rng),
+                        GeneratorKind::Syzkaller => syzkaller_generate(&mut self.rng),
+                        GeneratorKind::BuzzerRandom => buzzer_random_generate(&mut self.rng),
+                        GeneratorKind::BuzzerAluJmp => buzzer_alujmp_generate(&mut self.rng),
+                    },
+                    GenShape::Minimal => shape_minimal_generate(&mut self.rng),
+                    GenShape::AluJmp => buzzer_alujmp_generate(&mut self.rng),
+                    GenShape::MemSafe => shape_memsafe_generate(&mut self.rng),
+                };
+                if self.steer_weights.is_some() {
+                    shape = Some(picked);
+                }
                 (fresh, GenSource::Fresh)
             };
         self.alu_share_sum += alu_jmp_fraction(&scenario.prog);
@@ -819,6 +940,7 @@ impl CampaignWorker {
             tel.emit(&TraceEvent::Gen {
                 iter,
                 source,
+                shape: shape.map(|s| s.name().to_string()),
                 prog_len: scenario.prog.insn_count(),
             });
         }
@@ -832,14 +954,25 @@ impl CampaignWorker {
             cfg.prune_index,
             scratch,
         );
+        if let Some(s) = shape {
+            self.shape_stats.generated[s.index()] += 1;
+        }
         match &outcome.load {
             Ok(_) => {
                 self.accepted += 1;
                 tel.registry.inc("verify.accepted");
+                if let Some(s) = shape {
+                    self.shape_stats.accepted[s.index()] += 1;
+                }
             }
             Err(e) => {
                 tel.registry.inc("verify.rejected");
                 *self.errno_histogram.entry(e.errno_value()).or_insert(0) += 1;
+                let (reason, depth) = reject_info(e);
+                *self.reject_reasons.entry(reason.to_string()).or_insert(0) += 1;
+                tel.registry.inc(&format!("reject.{reason}"));
+                tel.registry
+                    .record(&format!("reject.depth.{reason}"), depth);
             }
         }
         outcome.timings.record_into(&mut tel.registry, "verify");
@@ -866,6 +999,11 @@ impl CampaignWorker {
                 iter,
                 accepted: outcome.load.is_ok(),
                 errno: outcome.load.as_ref().err().map(|e| e.errno_value()),
+                reason: outcome
+                    .load
+                    .as_ref()
+                    .err()
+                    .map(|e| reject_info(e).0.to_string()),
                 insns_processed: outcome.verifier_insns,
                 new_cov,
                 cov_total: self.coverage_points(),
@@ -974,6 +1112,8 @@ impl CampaignWorker {
             iterations: self.done,
             accepted: self.accepted,
             errno_histogram: self.errno_histogram,
+            reject_reasons: self.reject_reasons,
+            shapes: self.shape_stats,
             cov_delta: self.cov_delta,
             findings: self.findings,
             fresh_corpus: self.fresh,
@@ -1013,6 +1153,7 @@ pub fn merge_batches(
     let mut iterations = 0usize;
     let mut accepted = 0usize;
     let mut errno_histogram: BTreeMap<i32, usize> = BTreeMap::new();
+    let mut reject_reasons: BTreeMap<String, usize> = BTreeMap::new();
     let mut coverage = Coverage::new();
     let mut timeline = Vec::new();
     let mut findings: Vec<FindingRecord> = Vec::new();
@@ -1029,6 +1170,9 @@ pub fn merge_batches(
         accepted += o.accepted;
         for (errno, count) in o.errno_histogram {
             *errno_histogram.entry(errno).or_insert(0) += count;
+        }
+        for (reason, count) in o.reject_reasons {
+            *reject_reasons.entry(reason).or_insert(0) += count;
         }
         coverage.merge(&o.cov_delta);
         for f in o.findings {
@@ -1069,6 +1213,7 @@ pub fn merge_batches(
             iterations,
             accepted,
             errno_histogram,
+            reject_reasons,
             coverage,
             timeline,
             findings,
@@ -1365,6 +1510,77 @@ mod tests {
         assert!(d.claim("sig-a"));
         assert!(!d.claim("sig-a"));
         assert!(d.claim("sig-b"));
+    }
+
+    #[test]
+    fn zero_iteration_campaign_has_finite_rates() {
+        let cfg = CampaignConfig::new(GeneratorKind::Bvf, 0, 5);
+        let r = run_campaign(&cfg);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.acceptance_rate(), 0.0);
+        let stats = r.to_stats(cfg.seed, Registry::new());
+        assert!(stats.acceptance_rate.is_finite());
+        assert!(stats.alu_jmp_share.is_finite());
+        assert!(stats.avg_prog_len.is_finite());
+        assert!(stats.reject_reasons.is_empty());
+    }
+
+    #[test]
+    fn every_rejection_carries_a_typed_reason() {
+        let cfg = CampaignConfig {
+            triage: false,
+            ..CampaignConfig::new(GeneratorKind::Bvf, 1000, 1)
+        };
+        let r = run_campaign(&cfg);
+        let rejected = r.iterations - r.accepted;
+        let sum: usize = r.reject_reasons.values().sum();
+        assert_eq!(
+            sum, rejected,
+            "per-reason counts must sum exactly to the rejected total"
+        );
+        assert!(
+            r.reject_reasons.len() >= 15,
+            "expected a diverse taxonomy, got {} distinct reasons: {:?}",
+            r.reject_reasons.len(),
+            r.reject_reasons.keys().collect::<Vec<_>>()
+        );
+        for reason in r.reject_reasons.keys() {
+            assert!(
+                !reason.is_empty()
+                    && reason
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "reason codes are stable snake_case names: {reason:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steering_raises_buzzer_random_acceptance() {
+        let base = CampaignConfig {
+            triage: false,
+            batch_len: 16,
+            exchange_every: 32,
+            ..CampaignConfig::new(GeneratorKind::BuzzerRandom, 512, 9)
+        };
+        let unsteered = run_campaign(&base);
+        let steered_cfg = CampaignConfig {
+            steer: true,
+            ..base.clone()
+        };
+        let steered = run_campaign(&steered_cfg);
+        assert!(
+            steered.acceptance_rate() >= unsteered.acceptance_rate() + 0.1,
+            "steering should raise acceptance: steered {:.3} vs unsteered {:.3}",
+            steered.acceptance_rate(),
+            unsteered.acceptance_rate()
+        );
+        // Steering is a deterministic function of the campaign config.
+        let again = run_campaign(&steered_cfg);
+        assert_eq!(steered.accepted, again.accepted);
+        assert_eq!(steered.coverage, again.coverage);
+        assert_eq!(steered.reject_reasons, again.reject_reasons);
+        assert_eq!(steered.timeline, again.timeline);
     }
 
     #[test]

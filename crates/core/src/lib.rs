@@ -41,11 +41,11 @@ pub mod minimize;
 pub mod oracle;
 pub mod scenario;
 
-pub use baseline::GeneratorKind;
+pub use baseline::{GenShape, GeneratorKind};
 pub use corpus::{CorpusSnapshot, SnapshotBatch, SnapshotFinding};
 pub use fuzz::{
     merge_batches, run_campaign, BatchOutput, BatchSeed, CampaignConfig, CampaignResult,
-    CorpusLedger, MergeStats,
+    CorpusLedger, MergeStats, ShapeStats,
 };
 pub use gen::{GenConfig, StructuredGen};
 pub use minimize::{minimize_finding, MinimizeOutcome};

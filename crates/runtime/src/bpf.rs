@@ -14,7 +14,7 @@ use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugId, BugSet, Kernel, KernelReport};
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::PhaseTimings;
-use bvf_verifier::{verify, InsnMeta, VerifierError, VerifierOpts};
+use bvf_verifier::{verify, InsnMeta, RejectReason, VerifierError, VerifierOpts, VerifierPhase};
 use std::time::Instant;
 
 use crate::interp::{
@@ -60,6 +60,17 @@ impl BpfError {
             errno,
             reason: reason.into(),
         }
+    }
+
+    /// A sanitation (instrumentation) failure, reported as a verifier
+    /// rejection in the `Sanitize` phase so it carries a typed reason.
+    /// The errno stays 22 (`EINVAL`), matching the pre-taxonomy syscall
+    /// behavior.
+    fn sanitize_failed(reason: impl Into<String>) -> BpfError {
+        BpfError::Verifier(
+            VerifierError::invalid(RejectReason::SanitizeFailed, 0, reason.into())
+                .in_phase(VerifierPhase::Sanitize),
+        )
     }
 
     /// The errno this error maps to at the syscall boundary.
@@ -228,8 +239,8 @@ impl Bpf {
         let vprog = outcome.result.map_err(BpfError::Verifier)?;
 
         let (image_prog, image_meta, stats) = if self.sanitize {
-            let (p, m, s) =
-                bvf_verifier::instrument(&vprog).map_err(|e| BpfError::errno(22, e.to_string()))?;
+            let (p, m, s) = bvf_verifier::instrument(&vprog)
+                .map_err(|e| BpfError::sanitize_failed(e.to_string()))?;
             (p, m, Some(s))
         } else {
             (vprog.prog.clone(), vprog.insn_meta.clone(), None)
@@ -272,7 +283,9 @@ impl Bpf {
                     timings.sanitize_ns = elapsed_ns(t0);
                     match instrumented {
                         Ok((p, m, s)) => (p, m, Some(s)),
-                        Err(e) => return (Err(BpfError::errno(22, e.to_string())), cov, timings),
+                        Err(e) => {
+                            return (Err(BpfError::sanitize_failed(e.to_string())), cov, timings)
+                        }
                     }
                 } else {
                     (vprog.prog.clone(), vprog.insn_meta.clone(), None)

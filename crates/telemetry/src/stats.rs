@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use crate::metrics::Registry;
 
 /// Current value of [`CampaignStats::schema`].
-pub const STATS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added `reject_reasons` (typed rejection-taxonomy counters).
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// Aggregated, serializable results of one fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +41,11 @@ pub struct CampaignStats {
     pub found_bugs: Vec<String>,
     /// Rejection errno → count.
     pub errno_histogram: BTreeMap<i32, usize>,
+    /// Typed rejection reason code → count. Keys are the snake_case
+    /// `RejectReason` names from the verifier's taxonomy (plus
+    /// `"syscall"` for non-verifier errno rejections); the counts sum
+    /// exactly to `iterations - accepted`.
+    pub reject_reasons: BTreeMap<String, usize>,
     /// Mean ALU/JMP instruction share of generated programs.
     pub alu_jmp_share: f64,
     /// Mean generated program length (slots).
@@ -72,6 +79,10 @@ mod tests {
             findings: 1,
             found_bugs: vec!["nullness_propagation".to_string()],
             errno_histogram: BTreeMap::from([(13, 3), (22, 2)]),
+            reject_reasons: BTreeMap::from([
+                ("ctx_access_invalid".to_string(), 3),
+                ("uninit_reg_read".to_string(), 2),
+            ]),
             alu_jmp_share: 0.4,
             avg_prog_len: 30.0,
             timeline: vec![(0, 10), (9, 321)],

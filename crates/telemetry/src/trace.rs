@@ -61,6 +61,9 @@ pub enum TraceEvent {
         iter: usize,
         /// Fresh generation or corpus mutation.
         source: GenSource,
+        /// Generation shape picked by acceptance-rate steering (absent
+        /// when steering is off or the program is a mutation).
+        shape: Option<String>,
         /// Program length in instruction slots.
         prog_len: usize,
     },
@@ -72,6 +75,8 @@ pub enum TraceEvent {
         accepted: bool,
         /// Rejection errno (absent on acceptance).
         errno: Option<i32>,
+        /// Typed rejection reason code (absent on acceptance).
+        reason: Option<String>,
         /// Instructions the verifier processed (complexity).
         insns_processed: usize,
         /// Coverage points this program newly contributed.
@@ -167,16 +172,21 @@ impl Serialize for TraceEvent {
             TraceEvent::Gen {
                 iter,
                 source,
+                shape,
                 prog_len,
             } => {
                 de::insert_field(&mut m, "iter", iter);
                 de::insert_field(&mut m, "source", source);
+                if let Some(shape) = shape {
+                    de::insert_field(&mut m, "shape", shape);
+                }
                 de::insert_field(&mut m, "prog_len", prog_len);
             }
             TraceEvent::Verify {
                 iter,
                 accepted,
                 errno,
+                reason,
                 insns_processed,
                 new_cov,
                 cov_total,
@@ -187,6 +197,9 @@ impl Serialize for TraceEvent {
                 de::insert_field(&mut m, "accepted", accepted);
                 if let Some(errno) = errno {
                     de::insert_field(&mut m, "errno", errno);
+                }
+                if let Some(reason) = reason {
+                    de::insert_field(&mut m, "reason", reason);
                 }
                 de::insert_field(&mut m, "insns_processed", insns_processed);
                 de::insert_field(&mut m, "new_cov", new_cov);
@@ -267,12 +280,14 @@ impl Deserialize for TraceEvent {
             "gen" => Ok(TraceEvent::Gen {
                 iter: de::field(obj, "iter")?,
                 source: de::field(obj, "source")?,
+                shape: de::field(obj, "shape")?,
                 prog_len: de::field(obj, "prog_len")?,
             }),
             "verify" => Ok(TraceEvent::Verify {
                 iter: de::field(obj, "iter")?,
                 accepted: de::field(obj, "accepted")?,
                 errno: de::field(obj, "errno")?,
+                reason: de::field(obj, "reason")?,
                 insns_processed: de::field(obj, "insns_processed")?,
                 new_cov: de::field(obj, "new_cov")?,
                 cov_total: de::field(obj, "cov_total")?,
@@ -414,12 +429,14 @@ mod tests {
             TraceEvent::Gen {
                 iter: 0,
                 source: GenSource::Fresh,
+                shape: Some("alu_jmp".to_string()),
                 prog_len: 12,
             },
             TraceEvent::Verify {
                 iter: 0,
                 accepted: false,
                 errno: Some(13),
+                reason: Some("ctx_access_invalid".to_string()),
                 insns_processed: 4,
                 new_cov: 17,
                 cov_total: 17,
@@ -531,6 +548,7 @@ mod tests {
             iter: 3,
             accepted: true,
             errno: None,
+            reason: None,
             insns_processed: 9,
             new_cov: 0,
             cov_total: 17,
@@ -539,6 +557,36 @@ mod tests {
         });
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(!text.contains("errno"));
+        assert!(!text.contains("reason"));
         assert!(text.contains("\"ev\":\"verify\""));
+    }
+
+    /// Pins the exact JSON member set and ordering of a rejected `verify`
+    /// record — the schema external consumers of the JSONL stream (and
+    /// `bvf report`) parse. Extending the event requires updating this
+    /// golden line deliberately.
+    #[test]
+    fn verify_golden_line_schema() {
+        let event = TraceEvent::Verify {
+            iter: 7,
+            accepted: false,
+            errno: Some(13),
+            reason: Some("stack_oob_access".to_string()),
+            insns_processed: 21,
+            new_cov: 2,
+            cov_total: 105,
+            do_check_ns: 900,
+            total_ns: 1100,
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        assert_eq!(
+            line,
+            "{\"accepted\":false,\"cov_total\":105,\"do_check_ns\":900,\
+             \"errno\":13,\"ev\":\"verify\",\"insns_processed\":21,\
+             \"iter\":7,\"new_cov\":2,\"reason\":\"stack_oob_access\",\
+             \"total_ns\":1100}"
+        );
+        let back: TraceEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
     }
 }

@@ -6,7 +6,7 @@ use bvf_kernel_sim::BugId;
 
 use crate::cov::Cat;
 use crate::env::{AluLimitMeta, Verifier};
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError};
 use crate::state::VerifierState;
 use crate::tnum::Tnum;
 use crate::types::{RegState, RegType};
@@ -125,13 +125,21 @@ impl<'a> Verifier<'a> {
                 self.check_reg_init(state, dst, pc)?;
                 if matches!(op, AluOp::Div | AluOp::Mod) && imm == 0 {
                     self.cov.hit(Cat::Error, 100, 0);
-                    return Err(VerifierError::invalid(pc, "division by zero"));
+                    return Err(VerifierError::invalid(
+                        RejectReason::DivByZeroPath,
+                        pc,
+                        "division by zero",
+                    ));
                 }
                 if matches!(op, AluOp::Lsh | AluOp::Rsh | AluOp::Arsh) {
                     let width = if is64 { 64 } else { 32 };
                     if imm < 0 || imm >= width {
                         self.cov.hit(Cat::Error, 101, 0);
-                        return Err(VerifierError::invalid(pc, format!("invalid shift {imm}")));
+                        return Err(VerifierError::invalid(
+                            RejectReason::InvalidShift,
+                            pc,
+                            format!("invalid shift {imm}"),
+                        ));
                     }
                 }
                 self.do_binary_alu(
@@ -153,9 +161,11 @@ impl<'a> Verifier<'a> {
                 if r.typ.is_pointer() {
                     self.cov.hit(Cat::Error, 102, 0);
                     return Err(VerifierError::access(
+                        RejectReason::PtrArithForbidden,
                         pc,
                         format!("R{} pointer arithmetic with neg prohibited", dst.as_u8()),
-                    ));
+                    )
+                    .with_reg(dst.as_u8()));
                 }
                 let out = match r.const_value() {
                     Some(v) => {
@@ -178,9 +188,11 @@ impl<'a> Verifier<'a> {
                 if r.typ.is_pointer() {
                     self.cov.hit(Cat::Error, 103, 0);
                     return Err(VerifierError::access(
+                        RejectReason::PtrArithForbidden,
                         pc,
                         format!("R{} byte swap on pointer prohibited", dst.as_u8()),
-                    ));
+                    )
+                    .with_reg(dst.as_u8()));
                 }
                 // Byte swaps scramble bounds; keep only constants. The
                 // fold must match the runtime exactly: on a little-endian
@@ -221,9 +233,11 @@ impl<'a> Verifier<'a> {
         if state.cur().reg(reg).typ == RegType::NotInit {
             self.cov.hit(Cat::Error, 104, reg.as_u8() as u32);
             return Err(VerifierError::access(
+                RejectReason::UninitRegRead,
                 pc,
                 format!("R{} !read_ok", reg.as_u8()),
-            ));
+            )
+            .with_reg(reg.as_u8()));
         }
         Ok(())
     }
@@ -238,7 +252,11 @@ impl<'a> Verifier<'a> {
     ) -> Result<(), VerifierError> {
         if src.reg.typ == RegType::NotInit {
             self.cov.hit(Cat::Error, 104, 0);
-            return Err(VerifierError::access(pc, "mov from uninitialized register"));
+            return Err(VerifierError::access(
+                RejectReason::UninitRegRead,
+                pc,
+                "mov from uninitialized register",
+            ));
         }
         let mut out = src.reg;
         if !is64 {
@@ -246,9 +264,11 @@ impl<'a> Verifier<'a> {
                 if self.opts.unprivileged {
                     self.cov.hit(Cat::Error, 120, 0);
                     return Err(VerifierError::access(
+                        RejectReason::UnprivPtrOp,
                         pc,
                         format!("R{} partial copy of pointer", dst.as_u8()),
-                    ));
+                    )
+                    .with_reg(dst.as_u8()));
                 }
                 // A 32-bit move truncates a pointer into an opaque scalar.
                 out = RegState::unknown_scalar();
@@ -281,6 +301,7 @@ impl<'a> Verifier<'a> {
         if !is64 && (dst_is_ptr || src_is_ptr) {
             self.cov.hit(Cat::Error, 105, 0);
             return Err(VerifierError::access(
+                RejectReason::PtrArithForbidden,
                 pc,
                 "32-bit ALU on pointer prohibited",
             ));
@@ -335,9 +356,11 @@ impl<'a> Verifier<'a> {
             if self.opts.unprivileged {
                 self.cov.hit(Cat::Error, 121, 0);
                 return Err(VerifierError::access(
+                    RejectReason::UnprivPtrOp,
                     pc,
                     format!("R{} pointer subtraction prohibited", dst.as_u8()),
-                ));
+                )
+                .with_reg(dst.as_u8()));
             }
             if std::mem::discriminant(&dst_state.typ) == std::mem::discriminant(&src_state.typ) {
                 *state.cur_mut().reg_mut(dst) = RegState::unknown_scalar();
@@ -345,6 +368,7 @@ impl<'a> Verifier<'a> {
             }
             self.cov.hit(Cat::Error, 106, 0);
             return Err(VerifierError::access(
+                RejectReason::PtrArithForbidden,
                 pc,
                 format!(
                     "R{} invalid subtraction of differing pointer types",
@@ -356,6 +380,7 @@ impl<'a> Verifier<'a> {
         if !matches!(op, AluOp::Add | AluOp::Sub) {
             self.cov.hit(Cat::Error, 107, op as u32);
             return Err(VerifierError::access(
+                RejectReason::PtrArithForbidden,
                 pc,
                 format!(
                     "R{} pointer arithmetic with {} operator prohibited",
@@ -369,7 +394,11 @@ impl<'a> Verifier<'a> {
         let (ptr, scalar, ptr_in_dst) = if dst_state.typ.is_pointer() {
             if src_state.typ.is_pointer() {
                 self.cov.hit(Cat::Error, 108, 0);
-                return Err(VerifierError::access(pc, "pointer += pointer prohibited"));
+                return Err(VerifierError::access(
+                    RejectReason::PtrArithForbidden,
+                    pc,
+                    "pointer += pointer prohibited",
+                ));
             }
             (dst_state, src_state, true)
         } else {
@@ -377,6 +406,7 @@ impl<'a> Verifier<'a> {
             if op == AluOp::Sub {
                 self.cov.hit(Cat::Error, 109, 0);
                 return Err(VerifierError::access(
+                    RejectReason::PtrArithForbidden,
                     pc,
                     "cannot subtract pointer from scalar",
                 ));
@@ -390,32 +420,40 @@ impl<'a> Verifier<'a> {
         if ptr.maybe_null && !self.has_bug(BugId::CveAluOnNullablePtr) {
             self.cov.hit(Cat::Error, 110, 0);
             return Err(VerifierError::access(
+                RejectReason::PtrArithForbidden,
                 pc,
                 format!(
                     "R{} pointer arithmetic on {}_or_null prohibited, null-check it first",
                     dst.as_u8(),
                     ptr.typ.name()
                 ),
-            ));
+            )
+            .with_reg(dst.as_u8()));
         }
 
         match ptr.typ {
             RegType::ConstPtrToMap { .. } | RegType::PtrToPacketEnd => {
                 self.cov.hit(Cat::Error, 111, 0);
                 return Err(VerifierError::access(
+                    RejectReason::PtrArithForbidden,
                     pc,
                     format!(
                         "R{} pointer arithmetic on {} prohibited",
                         dst.as_u8(),
                         ptr.typ.name()
                     ),
-                ));
+                )
+                .with_reg(dst.as_u8()));
             }
             RegType::PtrToCtx
                 // Only constant offsets keep a ctx pointer usable.
                 if scalar.const_value().is_none() => {
                     self.cov.hit(Cat::Error, 112, 0);
-                    return Err(VerifierError::access(pc, "variable ctx access prohibited"));
+                    return Err(VerifierError::access(
+                        RejectReason::CtxAccessInvalid,
+                        pc,
+                        "variable ctx access prohibited",
+                    ));
                 }
             _ => {}
         }
@@ -439,7 +477,11 @@ impl<'a> Verifier<'a> {
                 }
                 _ => {
                     self.cov.hit(Cat::Error, 113, 0);
-                    return Err(VerifierError::access(pc, "pointer offset out of range"));
+                    return Err(VerifierError::access(
+                        RejectReason::PtrArithOutOfRange,
+                        pc,
+                        "pointer offset out of range",
+                    ));
                 }
             }
             // Constant movement keeps the packet id and range; access
@@ -451,12 +493,14 @@ impl<'a> Verifier<'a> {
             if self.opts.unprivileged && scalar.smin < 0 && scalar.smax > 0 {
                 self.cov.hit(Cat::Error, 122, 0);
                 return Err(VerifierError::access(
+                    RejectReason::UnprivPtrOp,
                     pc,
                     format!(
                         "R{} variable pointer arithmetic with unknown sign prohibited",
                         dst.as_u8()
                     ),
-                ));
+                )
+                .with_reg(dst.as_u8()));
             }
             // Variable offset: fold the scalar's bounds into the pointer's
             // variable part.

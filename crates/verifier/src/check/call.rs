@@ -15,7 +15,7 @@ use bvf_kernel_sim::BugId;
 use crate::check::mem::AccessKind;
 use crate::cov::Cat;
 use crate::env::Verifier;
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError};
 use crate::state::VerifierState;
 use crate::types::{RegState, RegType};
 
@@ -31,12 +31,17 @@ impl<'a> Verifier<'a> {
     ) -> Result<(), VerifierError> {
         if helper_id < 0 {
             self.cov.hit(Cat::Error, 240, 0);
-            return Err(VerifierError::invalid(pc, "invalid helper id"));
+            return Err(VerifierError::invalid(
+                RejectReason::HelperInvalid,
+                pc,
+                "invalid helper id",
+            ));
         }
         let id = helper_id as u32;
         let Some(proto) = helper_proto(id) else {
             self.cov.hit(Cat::Error, 241, id.min(512));
             return Err(VerifierError::invalid(
+                RejectReason::HelperInvalid,
                 pc,
                 format!("invalid func unknown#{id}"),
             ));
@@ -44,6 +49,7 @@ impl<'a> Verifier<'a> {
         if !self.opts.version.helper_available(id) {
             self.cov.hit(Cat::Error, 242, id);
             return Err(VerifierError::invalid(
+                RejectReason::HelperInvalid,
                 pc,
                 format!(
                     "helper {} not available in {}",
@@ -55,6 +61,7 @@ impl<'a> Verifier<'a> {
         if !proto.allowed_for(self.prog_type) {
             self.cov.hit(Cat::Error, 243, id);
             return Err(VerifierError::invalid(
+                RejectReason::HelperInvalid,
                 pc,
                 format!(
                     "unknown func {} for program type {:?}",
@@ -68,6 +75,7 @@ impl<'a> Verifier<'a> {
         {
             self.cov.hit(Cat::Error, 244, id);
             return Err(VerifierError::invalid(
+                RejectReason::HelperInvalid,
                 pc,
                 format!("helper {} not allowed in NMI program types", proto.name),
             ));
@@ -91,6 +99,7 @@ impl<'a> Verifier<'a> {
             if ref_id == 0 || !state.release_ref(ref_id) {
                 self.cov.hit(Cat::Error, 245, 0);
                 return Err(VerifierError::invalid(
+                    RejectReason::InvalidRefRelease,
                     pc,
                     format!("release of unowned reference in {}", proto.name),
                 ));
@@ -123,6 +132,7 @@ impl<'a> Verifier<'a> {
         if r.maybe_null && !matches!(arg, ArgType::Anything) {
             self.cov.hit(Cat::Error, 246, 0);
             return Err(VerifierError::access(
+                RejectReason::HelperArgTypeMismatch,
                 pc,
                 format!(
                     "R{} type={}_or_null expected valid pointer for {}",
@@ -130,7 +140,8 @@ impl<'a> Verifier<'a> {
                     r.typ.name(),
                     proto.name
                 ),
-            ));
+            )
+            .with_reg(reg.as_u8()));
         }
         match arg {
             ArgType::Anything => Ok(()),
@@ -141,9 +152,11 @@ impl<'a> Verifier<'a> {
                         if actual != Some(rt) {
                             self.cov.hit(Cat::Error, 247, 0);
                             return Err(VerifierError::invalid(
+                                RejectReason::HelperArgTypeMismatch,
                                 pc,
                                 format!("{} requires a {:?} map", proto.name, rt),
-                            ));
+                            )
+                            .with_reg(reg.as_u8()));
                         }
                     }
                     *map_id = Some(m);
@@ -152,6 +165,7 @@ impl<'a> Verifier<'a> {
                 _ => {
                     self.cov.hit(Cat::Error, 248, 0);
                     Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!(
                             "R{} type={} expected=map_ptr in {}",
@@ -159,39 +173,56 @@ impl<'a> Verifier<'a> {
                             r.typ.name(),
                             proto.name
                         ),
-                    ))
+                    )
+                    .with_reg(reg.as_u8()))
                 }
             },
             ArgType::PtrToMapKey => {
                 let key_size = map_id
                     .and_then(|m| self.kernel.maps.get(m))
                     .map(|m| m.def.key_size)
-                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing"))?;
+                    .ok_or_else(|| {
+                        VerifierError::invalid(
+                            RejectReason::HelperArgTypeMismatch,
+                            pc,
+                            "map argument missing",
+                        )
+                    })?;
                 self.check_mem_region(state, pc, reg, key_size as u64, AccessKind::Read)
             }
             ArgType::PtrToMapValue => {
                 let value_size = map_id
                     .and_then(|m| self.kernel.maps.get(m))
                     .map(|m| m.def.value_size)
-                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing"))?;
+                    .ok_or_else(|| {
+                        VerifierError::invalid(
+                            RejectReason::HelperArgTypeMismatch,
+                            pc,
+                            "map argument missing",
+                        )
+                    })?;
                 self.check_mem_region(state, pc, reg, value_size as u64, AccessKind::Read)
             }
             ArgType::ConstSize { allow_zero } => {
                 if r.typ != RegType::Scalar {
                     self.cov.hit(Cat::Error, 249, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!("R{} expected size scalar", reg.as_u8()),
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 let min = r.umin;
                 let max = r.umax;
                 if (!allow_zero && min == 0) || max > 1 << 20 {
                     self.cov.hit(Cat::Error, 250, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgBadRange,
                         pc,
                         format!("R{} invalid size bounds [{min}, {max}]", reg.as_u8()),
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 sizes[arg_idx] = Some(max);
                 Ok(())
@@ -204,14 +235,20 @@ impl<'a> Verifier<'a> {
                 if size_state.typ != RegType::Scalar {
                     self.cov.hit(Cat::Error, 251, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!("R{} expected size scalar", size_reg.as_u8()),
-                    ));
+                    )
+                    .with_reg(size_reg.as_u8()));
                 }
                 let needed = size_state.umax;
                 if needed > 1 << 20 {
                     self.cov.hit(Cat::Error, 252, 0);
-                    return Err(VerifierError::access(pc, "unbounded memory size"));
+                    return Err(VerifierError::access(
+                        RejectReason::HelperArgBadRange,
+                        pc,
+                        "unbounded memory size",
+                    ));
                 }
                 let kind = if matches!(arg, ArgType::PtrToUninitMem { .. }) {
                     AccessKind::Write
@@ -224,6 +261,7 @@ impl<'a> Verifier<'a> {
                 if r.typ != RegType::PtrToCtx || r.off != 0 {
                     self.cov.hit(Cat::Error, 253, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!(
                             "R{} type={} expected=ctx in {}",
@@ -231,7 +269,8 @@ impl<'a> Verifier<'a> {
                             r.typ.name(),
                             proto.name
                         ),
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 Ok(())
             }
@@ -240,6 +279,7 @@ impl<'a> Verifier<'a> {
                 _ => {
                     self.cov.hit(Cat::Error, 254, 0);
                     Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!(
                             "R{} type={} expected=ptr_to_btf_id in {}",
@@ -247,7 +287,8 @@ impl<'a> Verifier<'a> {
                             r.typ.name(),
                             proto.name
                         ),
-                    ))
+                    )
+                    .with_reg(reg.as_u8()))
                 }
             },
             ArgType::PtrToAllocMem => match r.typ {
@@ -255,6 +296,7 @@ impl<'a> Verifier<'a> {
                 _ => {
                     self.cov.hit(Cat::Error, 255, 0);
                     Err(VerifierError::access(
+                        RejectReason::HelperArgTypeMismatch,
                         pc,
                         format!(
                             "R{} type={} expected=alloc_mem in {}",
@@ -262,7 +304,8 @@ impl<'a> Verifier<'a> {
                             r.typ.name(),
                             proto.name
                         ),
-                    ))
+                    )
+                    .with_reg(reg.as_u8()))
                 }
             },
         }
@@ -289,9 +332,11 @@ impl<'a> Verifier<'a> {
                 if !r.has_const_offset() {
                     self.cov.hit(Cat::Error, 256, 0);
                     return Err(VerifierError::access(
+                        RejectReason::StackOobAccess,
                         pc,
                         "variable stack access prohibited",
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 let base_off = r.off as i64 + r.var_off.value as i64;
                 if base_off >= 0
@@ -300,9 +345,12 @@ impl<'a> Verifier<'a> {
                 {
                     self.cov.hit(Cat::Error, 257, 0);
                     return Err(VerifierError::access(
+                        RejectReason::StackOobAccess,
                         pc,
                         format!("invalid indirect access to stack off={base_off} size={size}"),
-                    ));
+                    )
+                    .with_reg(reg.as_u8())
+                    .with_stack_off(base_off as i32));
                 }
                 // Check/mark byte by byte through the regular stack path
                 // (the relative offset composes with the pointer's own
@@ -330,9 +378,11 @@ impl<'a> Verifier<'a> {
                 if lo < 0 || hi > vs {
                     self.cov.hit(Cat::Error, 258, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgBadRange,
                         pc,
                         format!("invalid indirect access to map value off={lo} size={size}"),
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 Ok(())
             }
@@ -342,18 +392,22 @@ impl<'a> Verifier<'a> {
                 if lo < 0 || hi > ms as i64 || !r.has_const_offset() {
                     self.cov.hit(Cat::Error, 259, 0);
                     return Err(VerifierError::access(
+                        RejectReason::HelperArgBadRange,
                         pc,
                         format!("invalid indirect access to mem off={lo} size={size}"),
-                    ));
+                    )
+                    .with_reg(reg.as_u8()));
                 }
                 Ok(())
             }
             _ => {
                 self.cov.hit(Cat::Error, 260, 0);
                 Err(VerifierError::access(
+                    RejectReason::HelperArgTypeMismatch,
                     pc,
                     format!("R{} type={} expected=mem region", reg.as_u8(), r.typ.name()),
-                ))
+                )
+                .with_reg(reg.as_u8()))
             }
         }
     }
@@ -369,8 +423,13 @@ impl<'a> Verifier<'a> {
         Ok(match proto.ret {
             RetType::Integer | RetType::Void => RegState::unknown_scalar(),
             RetType::PtrToMapValueOrNull => {
-                let map_id = map_id
-                    .ok_or_else(|| VerifierError::invalid(pc, "map argument missing for ret"))?;
+                let map_id = map_id.ok_or_else(|| {
+                    VerifierError::invalid(
+                        RejectReason::HelperArgTypeMismatch,
+                        pc,
+                        "map argument missing for ret",
+                    )
+                })?;
                 let mut r = RegState::pointer(RegType::PtrToMapValue { map_id });
                 r.maybe_null = true;
                 r.id = self.new_id();
@@ -402,6 +461,7 @@ impl<'a> Verifier<'a> {
         if !self.opts.version.has_kfuncs() {
             self.cov.hit(Cat::Error, 261, 0);
             return Err(VerifierError::invalid(
+                RejectReason::KfuncInvalid,
                 pc,
                 format!("kfunc calls not supported in {}", self.opts.version.name()),
             ));
@@ -409,6 +469,7 @@ impl<'a> Verifier<'a> {
         let Some(desc) = kfunc_desc(kfunc_id as u32) else {
             self.cov.hit(Cat::Error, 262, (kfunc_id as u32).min(64));
             return Err(VerifierError::invalid(
+                RejectReason::KfuncInvalid,
                 pc,
                 format!("kernel btf_id {kfunc_id} is not a kernel function"),
             ));
@@ -425,9 +486,11 @@ impl<'a> Verifier<'a> {
                     if r.typ != RegType::Scalar {
                         self.cov.hit(Cat::Error, 263, 0);
                         return Err(VerifierError::access(
+                            RejectReason::HelperArgTypeMismatch,
                             pc,
                             format!("R{} expected scalar for {}", reg.as_u8(), desc.name),
-                        ));
+                        )
+                        .with_reg(reg.as_u8()));
                     }
                 }
                 KfuncArg::PtrToBtfId(expected) => match r.typ {
@@ -436,6 +499,7 @@ impl<'a> Verifier<'a> {
                             if r.ref_obj_id == 0 || !state.release_ref(r.ref_obj_id) {
                                 self.cov.hit(Cat::Error, 264, 0);
                                 return Err(VerifierError::invalid(
+                                    RejectReason::InvalidRefRelease,
                                     pc,
                                     format!("release of unowned reference in {}", desc.name),
                                 ));
@@ -446,6 +510,7 @@ impl<'a> Verifier<'a> {
                     _ => {
                         self.cov.hit(Cat::Error, 265, 0);
                         return Err(VerifierError::access(
+                            RejectReason::HelperArgTypeMismatch,
                             pc,
                             format!(
                                 "R{} type={} expected trusted btf ptr for {}",
@@ -453,7 +518,8 @@ impl<'a> Verifier<'a> {
                                 r.typ.name(),
                                 desc.name
                             ),
-                        ));
+                        )
+                        .with_reg(reg.as_u8()));
                     }
                 },
             }

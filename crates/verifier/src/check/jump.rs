@@ -12,7 +12,7 @@ use bvf_kernel_sim::BugId;
 
 use crate::cov::Cat;
 use crate::env::Verifier;
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError};
 use crate::state::VerifierState;
 use crate::types::{RegState, RegType};
 
@@ -116,6 +116,7 @@ impl<'a> Verifier<'a> {
         if is32 {
             self.cov.hit(Cat::Error, 230, 0);
             return Err(VerifierError::access(
+                RejectReason::PtrComparisonForbidden,
                 pc,
                 "32-bit pointer comparison prohibited",
             ));
@@ -134,9 +135,11 @@ impl<'a> Verifier<'a> {
         if self.opts.unprivileged && !(zero_cmp && matches!(op, JmpOp::Jeq | JmpOp::Jne)) {
             self.cov.hit(Cat::Error, 231, 0);
             return Err(VerifierError::access(
+                RejectReason::UnprivPtrOp,
                 pc,
                 format!("R{} pointer comparison prohibited", dst.as_u8()),
-            ));
+            )
+            .with_reg(dst.as_u8()));
         }
         if dst_state.maybe_null && zero_cmp && matches!(op, JmpOp::Jeq | JmpOp::Jne) {
             self.cov.hit(Cat::NullTrack, 1, (op == JmpOp::Jeq) as u32);

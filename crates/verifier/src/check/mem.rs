@@ -12,7 +12,7 @@ use bvf_kernel_sim::BugId;
 
 use crate::cov::Cat;
 use crate::env::Verifier;
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError};
 use crate::state::{StackByte, StackSlot, VerifierState};
 use crate::types::{RegState, RegType};
 
@@ -50,6 +50,7 @@ impl<'a> Verifier<'a> {
                 if sign_extend && !self.opts.version.has_memsx() {
                     self.cov.hit(Cat::Error, 200, 0);
                     return Err(VerifierError::invalid(
+                        RejectReason::UnsupportedInsn,
                         pc,
                         "BPF_MEMSX loads not supported by this kernel",
                     ));
@@ -112,13 +113,15 @@ impl<'a> Verifier<'a> {
                 {
                     self.cov.hit(Cat::Error, 222, 0);
                     return Err(VerifierError::access(
+                        RejectReason::UnprivPtrOp,
                         pc,
                         format!(
                             "R{} leaks addr into {}",
                             src.as_u8(),
                             state.cur().reg(dst).typ.name()
                         ),
-                    ));
+                    )
+                    .with_reg(src.as_u8()));
                 }
                 // Spilling to the stack is handled inside the stack arm.
                 let src_state = *state.cur().reg(src);
@@ -140,7 +143,11 @@ impl<'a> Verifier<'a> {
                 self.check_reg_init(state, dst, pc)?;
                 if state.cur().reg(src).typ.is_pointer() {
                     self.cov.hit(Cat::Error, 201, 0);
-                    return Err(VerifierError::access(pc, "atomic operand must be a scalar"));
+                    return Err(VerifierError::access(
+                        RejectReason::AtomicOpInvalid,
+                        pc,
+                        "atomic operand must be a scalar",
+                    ));
                 }
                 // Atomics on the stack or ctx are rejected by the kernel;
                 // map values and allocated memory are fine.
@@ -148,6 +155,7 @@ impl<'a> Verifier<'a> {
                 if matches!(base, RegType::PtrToCtx | RegType::PtrToPacket) {
                     self.cov.hit(Cat::Error, 202, 0);
                     return Err(VerifierError::access(
+                        RejectReason::AtomicOpInvalid,
                         pc,
                         format!("atomic access to {} prohibited", base.name()),
                     ));
@@ -186,13 +194,15 @@ impl<'a> Verifier<'a> {
         if reg.maybe_null {
             self.cov.hit(Cat::Error, 203, 0);
             return Err(VerifierError::access(
+                RejectReason::NullPtrDeref,
                 pc,
                 format!(
                     "R{} invalid mem access '{}_or_null'",
                     base.as_u8(),
                     reg.typ.name()
                 ),
-            ));
+            )
+            .with_reg(base.as_u8()));
         }
 
         match reg.typ {
@@ -200,12 +210,20 @@ impl<'a> Verifier<'a> {
             RegType::PtrToCtx => {
                 if !reg.has_const_offset() {
                     self.cov.hit(Cat::Error, 204, 0);
-                    return Err(VerifierError::access(pc, "variable ctx access prohibited"));
+                    return Err(VerifierError::access(
+                        RejectReason::CtxAccessInvalid,
+                        pc,
+                        "variable ctx access prohibited",
+                    ));
                 }
                 let total = reg.off as i64 + off as i64;
                 if total < 0 || total > u32::MAX as i64 {
                     self.cov.hit(Cat::Error, 205, 0);
-                    return Err(VerifierError::access(pc, "invalid negative ctx offset"));
+                    return Err(VerifierError::access(
+                        RejectReason::CtxAccessInvalid,
+                        pc,
+                        "invalid negative ctx offset",
+                    ));
                 }
                 let layout = self.prog_type.ctx_layout();
                 match layout.check_access(total as u32, bytes, kind.is_write()) {
@@ -227,6 +245,7 @@ impl<'a> Verifier<'a> {
                     Err(()) => {
                         self.cov.hit(Cat::Error, 206, total as u32);
                         Err(VerifierError::access(
+                            RejectReason::CtxAccessInvalid,
                             pc,
                             format!("invalid bpf_context access off={total} size={bytes}"),
                         ))
@@ -260,7 +279,11 @@ impl<'a> Verifier<'a> {
                     )
                 {
                     self.cov.hit(Cat::Error, 207, 0);
-                    return Err(VerifierError::access(pc, "cannot write into packet"));
+                    return Err(VerifierError::access(
+                        RejectReason::PacketAccessInvalid,
+                        pc,
+                        "cannot write into packet",
+                    ));
                 }
                 let total = reg.off as i64 + off as i64;
                 let end = total + bytes as i64;
@@ -272,13 +295,15 @@ impl<'a> Verifier<'a> {
                 if total < 0 || var_max.saturating_add(end) > reg.pkt_range as i64 {
                     self.cov.hit(Cat::Error, 208, 0);
                     return Err(VerifierError::access(
+                        RejectReason::PacketAccessInvalid,
                         pc,
                         format!(
                             "invalid access to packet, off={off} size={bytes}, R{}(pkt_range={})",
                             base.as_u8(),
                             reg.pkt_range
                         ),
-                    ));
+                    )
+                    .with_reg(base.as_u8()));
                 }
                 self.cov
                     .hit(Cat::PktRange, (reg.pkt_range as u32).min(64), 0);
@@ -289,6 +314,7 @@ impl<'a> Verifier<'a> {
                 if kind.is_write() {
                     self.cov.hit(Cat::Error, 209, 0);
                     return Err(VerifierError::access(
+                        RejectReason::BtfAccessInvalid,
                         pc,
                         "writes to BTF pointers are not allowed",
                     ));
@@ -296,6 +322,7 @@ impl<'a> Verifier<'a> {
                 if !reg.has_const_offset() {
                     self.cov.hit(Cat::Error, 210, 0);
                     return Err(VerifierError::access(
+                        RejectReason::BtfAccessInvalid,
                         pc,
                         "variable offset btf_id access prohibited",
                     ));
@@ -303,7 +330,11 @@ impl<'a> Verifier<'a> {
                 let total = reg.off as i64 + off as i64;
                 if total < 0 {
                     self.cov.hit(Cat::Error, 211, 0);
-                    return Err(VerifierError::access(pc, "negative btf_id offset"));
+                    return Err(VerifierError::access(
+                        RejectReason::BtfAccessInvalid,
+                        pc,
+                        "negative btf_id offset",
+                    ));
                 }
                 let access = if self.has_bug(BugId::TaskStructOob) && btf_id == btf_ids::TASK_STRUCT
                 {
@@ -346,6 +377,7 @@ impl<'a> Verifier<'a> {
                     Err(e) => {
                         self.cov.hit(Cat::Error, 212, 0);
                         Err(VerifierError::access(
+                            RejectReason::BtfAccessInvalid,
                             pc,
                             format!("invalid access to btf_id {btf_id}: {e:?}"),
                         ))
@@ -355,30 +387,38 @@ impl<'a> Verifier<'a> {
             RegType::ConstPtrToMap { .. } => {
                 self.cov.hit(Cat::Error, 213, 0);
                 Err(VerifierError::access(
+                    RejectReason::MemAccessInvalid,
                     pc,
                     format!("R{} invalid mem access 'map_ptr'", base.as_u8()),
-                ))
+                )
+                .with_reg(base.as_u8()))
             }
             RegType::PtrToPacketEnd => {
                 self.cov.hit(Cat::Error, 214, 0);
                 Err(VerifierError::access(
+                    RejectReason::PacketAccessInvalid,
                     pc,
                     format!("R{} invalid mem access 'pkt_end'", base.as_u8()),
-                ))
+                )
+                .with_reg(base.as_u8()))
             }
             RegType::Scalar => {
                 self.cov.hit(Cat::Error, 215, 0);
                 Err(VerifierError::access(
+                    RejectReason::MemAccessInvalid,
                     pc,
                     format!("R{} invalid mem access 'scalar'", base.as_u8()),
-                ))
+                )
+                .with_reg(base.as_u8()))
             }
             RegType::NotInit => {
                 self.cov.hit(Cat::Error, 216, 0);
                 Err(VerifierError::access(
+                    RejectReason::UninitRegRead,
                     pc,
                     format!("R{} !read_ok", base.as_u8()),
-                ))
+                )
+                .with_reg(base.as_u8()))
             }
         }
     }
@@ -408,22 +448,26 @@ impl<'a> Verifier<'a> {
         if reg.smin < 0 && !reg.has_const_offset() {
             self.cov.hit(Cat::Error, 217, 0);
             return Err(VerifierError::access(
+                RejectReason::MemOobAccess,
                 pc,
                 format!(
                     "R{} min value is negative, either use unsigned index or do a if (index >=0) check",
                     base.as_u8()
                 ),
-            ));
+            )
+            .with_reg(base.as_u8()));
         }
         if lo < 0 || hi > region_size {
             self.cov.hit(Cat::Error, 218, 0);
             return Err(VerifierError::access(
+                RejectReason::MemOobAccess,
                 pc,
                 format!(
                     "invalid access to {what}, off={} size={bytes} {what}_size={region_size}",
                     reg.off as i64 + off as i64
                 ),
-            ));
+            )
+            .with_reg(base.as_u8()));
         }
         Ok(())
     }
@@ -443,17 +487,22 @@ impl<'a> Verifier<'a> {
         if !reg.has_const_offset() {
             self.cov.hit(Cat::Error, 219, 0);
             return Err(VerifierError::access(
+                RejectReason::StackOobAccess,
                 pc,
                 format!("R{} variable stack access prohibited", base.as_u8()),
-            ));
+            )
+            .with_reg(base.as_u8()));
         }
         let total = reg.off as i64 + reg.var_off.value as i64 + off as i64;
         if total >= 0 || total < -(bvf_isa::reg::STACK_SIZE as i64) || total + bytes as i64 > 0 {
             self.cov.hit(Cat::Error, 220, 0);
             return Err(VerifierError::access(
+                RejectReason::StackOobAccess,
                 pc,
                 format!("invalid stack off={total} size={bytes}"),
-            ));
+            )
+            .with_reg(base.as_u8())
+            .with_stack_off(total as i32));
         }
         let total = total as i32;
 
@@ -547,9 +596,11 @@ impl<'a> Verifier<'a> {
             if b == StackByte::Invalid {
                 self.cov.hit(Cat::Error, 221, 0);
                 return Err(VerifierError::access(
+                    RejectReason::StackUninitRead,
                     pc,
                     format!("invalid read from stack off {} — uninitialized", off + i),
-                ));
+                )
+                .with_stack_off(off + i));
             }
         }
         Ok(None)

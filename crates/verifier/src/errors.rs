@@ -1,4 +1,14 @@
 //! Verifier rejection diagnostics.
+//!
+//! Every rejection carries two classifications: the coarse [`ErrorKind`]
+//! (the errno the `bpf(2)` syscall surfaces — what a userspace loader
+//! sees) and the fine-grained [`RejectReason`] (which rule fired — what
+//! a fuzzer or a human debugging a rejection needs). The reason codes,
+//! together with the [`VerifierPhase`] that fired them and the offending
+//! operand, are the repo's answer to the "diagnostic gap": errno-level
+//! reporting collapses dozens of distinct rules into two values
+//! (`EACCES`/`EINVAL`), which makes rejection statistics useless for
+//! steering generation.
 
 use serde::{Deserialize, Serialize};
 
@@ -39,35 +49,278 @@ impl ErrorKind {
     }
 }
 
+/// The verification phase a rejection fired in, mirroring the pass
+/// structure of [`crate::verify`]: structural pre-checks, the main
+/// symbolic walk, BVF's sanitation instrumentation, and the rewrite
+/// (fixup) pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VerifierPhase {
+    /// Structural validity (decode, jump targets, register ranges).
+    Structure,
+    /// The main symbolic walk (`do_check`).
+    DoCheck,
+    /// BVF's sanitation instrumentation over the verified program.
+    Sanitize,
+    /// Pseudo-instruction resolution and misc fixups.
+    Fixup,
+}
+
+impl VerifierPhase {
+    /// Stable snake_case name used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifierPhase::Structure => "structure",
+            VerifierPhase::DoCheck => "do_check",
+            VerifierPhase::Sanitize => "sanitize",
+            VerifierPhase::Fixup => "fixup",
+        }
+    }
+}
+
+/// The specific verifier rule a rejection fired — one stable code per
+/// family of checks, fine enough to steer generation and coarse enough
+/// that campaign-level counters stay readable.
+///
+/// Codes are append-only: reports and steering key on [`Self::name`],
+/// so renaming or reusing a code would silently corrupt longitudinal
+/// comparisons across campaign snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Empty program, undecodable slot, hidden register, frame-pointer
+    /// write, or an unknown `ldimm64` pseudo source.
+    MalformedInsn,
+    /// A jump lands outside the program or inside an `LD_IMM64` pair.
+    JumpOutOfBounds,
+    /// The program can fall through past its end (structurally or on an
+    /// explored path).
+    FellOffEnd,
+    /// Program type not loadable without `CAP_BPF`.
+    UnprivProgType,
+    /// Instruction budget exhausted (`BPF_COMPLEXITY_LIMIT_INSNS`) or the
+    /// program exceeds the slot limit.
+    ComplexityLimit,
+    /// A path revisits an instruction in a state subsumed by its own
+    /// ancestor — the abstract loop can make no progress.
+    BackEdgeLimit,
+    /// An `ldimm64` or fixup references an fd that is not a map.
+    BadMapFd,
+    /// Direct map-value access on a non-array map or past `value_size`.
+    BadDirectValue,
+    /// Unresolvable BTF id, or an invalid access through a BTF pointer
+    /// (write, variable offset, negative or out-of-range offset).
+    BtfAccessInvalid,
+    /// Instruction class not available for this program type or kernel
+    /// version (legacy packet loads, `BPF_MEMSX`).
+    UnsupportedInsn,
+    /// BPF-to-BPF call stack exceeds the frame limit.
+    CallDepthLimit,
+    /// BPF-to-BPF call target is not an instruction start.
+    BadCallTarget,
+    /// `R0` holds a non-scalar at a program or subprog exit.
+    BadReturnValue,
+    /// A source operand (or `R0` at exit) is read before initialization.
+    UninitRegRead,
+    /// An acquired reference is still live at program exit.
+    UnreleasedReference,
+    /// A path makes a division or modulo by a known-zero divisor
+    /// unavoidable.
+    DivByZeroPath,
+    /// Shift amount out of range for the operand width.
+    InvalidShift,
+    /// Pointer arithmetic that is categorically forbidden: neg/byteswap
+    /// or 32-bit ALU on pointers, pointer+pointer, mixed-type pointer
+    /// subtraction, arithmetic on `_or_null` or map-struct pointers.
+    PtrArithForbidden,
+    /// Context access with variable offset, negative offset, or outside
+    /// the context layout.
+    CtxAccessInvalid,
+    /// Pointer arithmetic pushed an offset outside the trackable range.
+    PtrArithOutOfRange,
+    /// Pointer operation additionally restricted for unprivileged loads
+    /// (leaks, comparisons, partial copies, unknown-sign arithmetic).
+    UnprivPtrOp,
+    /// Atomic with a non-scalar operand or on unsupported memory.
+    AtomicOpInvalid,
+    /// Dereference of a possibly-null pointer before the null check.
+    NullPtrDeref,
+    /// Packet access out of range, unverified, or written when read-only.
+    PacketAccessInvalid,
+    /// Memory access through a register type that supports none
+    /// (`map_ptr`, `scalar`).
+    MemAccessInvalid,
+    /// Bounded-region (map value, allocated mem) access out of range or
+    /// with a possibly-negative offset.
+    MemOobAccess,
+    /// Stack access outside the frame, unaligned-variable, or through an
+    /// out-of-bounds indirect helper argument.
+    StackOobAccess,
+    /// Read from a stack slot never written on this path.
+    StackUninitRead,
+    /// Pointer comparison forbidden for this operand width or privilege.
+    PtrComparisonForbidden,
+    /// Unknown/unavailable helper id, wrong program type, or a helper
+    /// forbidden in this context.
+    HelperInvalid,
+    /// Helper argument register has the wrong type for the prototype.
+    HelperArgTypeMismatch,
+    /// Helper size/bounds argument out of range or unbounded.
+    HelperArgBadRange,
+    /// Kfunc call unsupported in this kernel version or id unknown.
+    KfuncInvalid,
+    /// Release of a reference the program does not own.
+    InvalidRefRelease,
+    /// BVF's sanitation instrumentation could not rewrite the program.
+    SanitizeFailed,
+}
+
+impl RejectReason {
+    /// Every reason code, in declaration order (reports iterate this).
+    pub const ALL: [RejectReason; 35] = [
+        RejectReason::MalformedInsn,
+        RejectReason::JumpOutOfBounds,
+        RejectReason::FellOffEnd,
+        RejectReason::UnprivProgType,
+        RejectReason::ComplexityLimit,
+        RejectReason::BackEdgeLimit,
+        RejectReason::BadMapFd,
+        RejectReason::BadDirectValue,
+        RejectReason::BtfAccessInvalid,
+        RejectReason::UnsupportedInsn,
+        RejectReason::CallDepthLimit,
+        RejectReason::BadCallTarget,
+        RejectReason::BadReturnValue,
+        RejectReason::UninitRegRead,
+        RejectReason::UnreleasedReference,
+        RejectReason::DivByZeroPath,
+        RejectReason::InvalidShift,
+        RejectReason::PtrArithForbidden,
+        RejectReason::CtxAccessInvalid,
+        RejectReason::PtrArithOutOfRange,
+        RejectReason::UnprivPtrOp,
+        RejectReason::AtomicOpInvalid,
+        RejectReason::NullPtrDeref,
+        RejectReason::PacketAccessInvalid,
+        RejectReason::MemAccessInvalid,
+        RejectReason::MemOobAccess,
+        RejectReason::StackOobAccess,
+        RejectReason::StackUninitRead,
+        RejectReason::PtrComparisonForbidden,
+        RejectReason::HelperInvalid,
+        RejectReason::HelperArgTypeMismatch,
+        RejectReason::HelperArgBadRange,
+        RejectReason::KfuncInvalid,
+        RejectReason::InvalidRefRelease,
+        RejectReason::SanitizeFailed,
+    ];
+
+    /// Stable snake_case name used as the registry counter suffix, the
+    /// JSONL trace value, and the `bvf report` row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::MalformedInsn => "malformed_insn",
+            RejectReason::JumpOutOfBounds => "jump_out_of_bounds",
+            RejectReason::FellOffEnd => "fell_off_end",
+            RejectReason::UnprivProgType => "unpriv_prog_type",
+            RejectReason::ComplexityLimit => "complexity_limit",
+            RejectReason::BackEdgeLimit => "back_edge_limit",
+            RejectReason::BadMapFd => "bad_map_fd",
+            RejectReason::BadDirectValue => "bad_direct_value",
+            RejectReason::BtfAccessInvalid => "btf_access_invalid",
+            RejectReason::UnsupportedInsn => "unsupported_insn",
+            RejectReason::CallDepthLimit => "call_depth_limit",
+            RejectReason::BadCallTarget => "bad_call_target",
+            RejectReason::BadReturnValue => "bad_return_value",
+            RejectReason::UninitRegRead => "uninit_reg_read",
+            RejectReason::UnreleasedReference => "unreleased_reference",
+            RejectReason::DivByZeroPath => "div_by_zero_path",
+            RejectReason::InvalidShift => "invalid_shift",
+            RejectReason::PtrArithForbidden => "ptr_arith_forbidden",
+            RejectReason::CtxAccessInvalid => "ctx_access_invalid",
+            RejectReason::PtrArithOutOfRange => "ptr_arith_out_of_range",
+            RejectReason::UnprivPtrOp => "unpriv_ptr_op",
+            RejectReason::AtomicOpInvalid => "atomic_op_invalid",
+            RejectReason::NullPtrDeref => "null_ptr_deref",
+            RejectReason::PacketAccessInvalid => "packet_access_invalid",
+            RejectReason::MemAccessInvalid => "mem_access_invalid",
+            RejectReason::MemOobAccess => "mem_oob_access",
+            RejectReason::StackOobAccess => "stack_oob_access",
+            RejectReason::StackUninitRead => "stack_uninit_read",
+            RejectReason::PtrComparisonForbidden => "ptr_comparison_forbidden",
+            RejectReason::HelperInvalid => "helper_invalid",
+            RejectReason::HelperArgTypeMismatch => "helper_arg_type_mismatch",
+            RejectReason::HelperArgBadRange => "helper_arg_bad_range",
+            RejectReason::KfuncInvalid => "kfunc_invalid",
+            RejectReason::InvalidRefRelease => "invalid_ref_release",
+            RejectReason::SanitizeFailed => "sanitize_failed",
+        }
+    }
+}
+
 /// One verifier rejection.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VerifierError {
-    /// Rejection category.
+    /// Rejection category (errno class).
     pub kind: ErrorKind,
+    /// The specific rule that fired.
+    pub reason: RejectReason,
+    /// The phase that fired it.
+    pub phase: VerifierPhase,
     /// Instruction index the rejection fired at.
     pub insn_idx: usize,
+    /// The offending register operand, when one exists.
+    pub reg: Option<u8>,
+    /// The offending stack offset, for stack-slot rejections.
+    pub stack_off: Option<i32>,
     /// Kernel-log style message.
     pub msg: String,
 }
 
 impl VerifierError {
-    /// Creates an error.
-    pub fn new(kind: ErrorKind, insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+    /// Creates an error (phase defaults to the main walk; `run()`
+    /// re-tags errors surfaced by the other passes).
+    pub fn new(
+        kind: ErrorKind,
+        reason: RejectReason,
+        insn_idx: usize,
+        msg: impl Into<String>,
+    ) -> VerifierError {
         VerifierError {
             kind,
+            reason,
+            phase: VerifierPhase::DoCheck,
             insn_idx,
+            reg: None,
+            stack_off: None,
             msg: msg.into(),
         }
     }
 
     /// `EINVAL`-class error.
-    pub fn invalid(insn_idx: usize, msg: impl Into<String>) -> VerifierError {
-        VerifierError::new(ErrorKind::Invalid, insn_idx, msg)
+    pub fn invalid(reason: RejectReason, insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+        VerifierError::new(ErrorKind::Invalid, reason, insn_idx, msg)
     }
 
     /// `EACCES`-class error.
-    pub fn access(insn_idx: usize, msg: impl Into<String>) -> VerifierError {
-        VerifierError::new(ErrorKind::Access, insn_idx, msg)
+    pub fn access(reason: RejectReason, insn_idx: usize, msg: impl Into<String>) -> VerifierError {
+        VerifierError::new(ErrorKind::Access, reason, insn_idx, msg)
+    }
+
+    /// Tags the phase the error fired in.
+    pub fn in_phase(mut self, phase: VerifierPhase) -> VerifierError {
+        self.phase = phase;
+        self
+    }
+
+    /// Attaches the offending register operand.
+    pub fn with_reg(mut self, reg: u8) -> VerifierError {
+        self.reg = Some(reg);
+        self
+    }
+
+    /// Attaches the offending stack offset.
+    pub fn with_stack_off(mut self, off: i32) -> VerifierError {
+        self.stack_off = Some(off);
+        self
     }
 }
 
@@ -88,19 +341,63 @@ impl std::error::Error for VerifierError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn errno_mapping() {
         assert_eq!(ErrorKind::Invalid.errno(), 22);
         assert_eq!(ErrorKind::Access.errno(), 13);
+        assert_eq!(ErrorKind::TooBig.errno(), 7);
+        assert_eq!(ErrorKind::NotSupported.errno(), 95);
         assert_eq!(ErrorKind::Invalid.errno_name(), "EINVAL");
         assert_eq!(ErrorKind::Access.errno_name(), "EACCES");
+        assert_eq!(ErrorKind::TooBig.errno_name(), "E2BIG");
+        assert_eq!(ErrorKind::NotSupported.errno_name(), "EOPNOTSUPP");
     }
 
     #[test]
     fn display_renders() {
-        let e = VerifierError::access(4, "invalid mem access 'map_value_or_null'");
+        let e = VerifierError::access(
+            RejectReason::NullPtrDeref,
+            4,
+            "invalid mem access 'map_value_or_null'",
+        );
         assert!(e.to_string().contains("insn 4"));
         assert!(e.to_string().contains("EACCES"));
+    }
+
+    #[test]
+    fn reason_names_are_unique_and_stable() {
+        let names: BTreeSet<&str> = RejectReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), RejectReason::ALL.len());
+        for name in names {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "non-snake_case reason name {name:?}"
+            );
+        }
+        assert_eq!(RejectReason::UninitRegRead.name(), "uninit_reg_read");
+        assert_eq!(VerifierPhase::DoCheck.name(), "do_check");
+    }
+
+    #[test]
+    fn verifier_error_serde_roundtrip() {
+        let e = VerifierError::access(RejectReason::StackOobAccess, 17, "invalid stack off=-520")
+            .in_phase(VerifierPhase::DoCheck)
+            .with_reg(3)
+            .with_stack_off(-520);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: VerifierError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.reason, RejectReason::StackOobAccess);
+        assert_eq!(back.phase, VerifierPhase::DoCheck);
+        assert_eq!(back.reg, Some(3));
+        assert_eq!(back.stack_off, Some(-520));
+
+        // The default-constructed shape (no operands) round-trips too.
+        let plain = VerifierError::invalid(RejectReason::MalformedInsn, 0, "empty program");
+        let back: VerifierError =
+            serde_json::from_str(&serde_json::to_string(&plain).unwrap()).unwrap();
+        assert_eq!(back, plain);
     }
 }

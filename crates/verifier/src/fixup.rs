@@ -13,7 +13,7 @@ use bvf_kernel_sim::map::MapStorage;
 
 use crate::cov::Cat;
 use crate::env::Verifier;
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError};
 
 impl<'a> Verifier<'a> {
     /// Applies the rewrite passes to the working program copy.
@@ -44,20 +44,29 @@ impl<'a> Verifier<'a> {
                     pseudo::MAP_FD => {
                         self.cov.hit(Cat::Fixup, 1, 0);
                         let map = self.kernel.maps.get(imm64 as u32).ok_or_else(|| {
-                            VerifierError::invalid(pc, format!("fd {} is not a map", imm64 as u32))
+                            VerifierError::invalid(
+                                RejectReason::BadMapFd,
+                                pc,
+                                format!("fd {} is not a map", imm64 as u32),
+                            )
                         })?;
                         Some(map.struct_addr)
                     }
                     pseudo::MAP_VALUE => {
                         self.cov.hit(Cat::Fixup, 2, 0);
                         let map = self.kernel.maps.get(imm64 as u32).ok_or_else(|| {
-                            VerifierError::invalid(pc, format!("fd {} is not a map", imm64 as u32))
+                            VerifierError::invalid(
+                                RejectReason::BadMapFd,
+                                pc,
+                                format!("fd {} is not a map", imm64 as u32),
+                            )
                         })?;
                         let off = imm64 >> 32;
                         match &map.storage {
                             MapStorage::Array { values_addr } => Some(values_addr + off),
                             _ => {
                                 return Err(VerifierError::invalid(
+                                    RejectReason::BadDirectValue,
                                     pc,
                                     "direct value access on non-array map",
                                 ))

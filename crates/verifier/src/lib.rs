@@ -33,7 +33,7 @@ pub mod verifier;
 
 pub use cov::{Cat, Coverage};
 pub use env::{AluLimitMeta, InsnMeta, KernelVersion, VerifiedProgram, VerifierOpts};
-pub use errors::{ErrorKind, VerifierError};
+pub use errors::{ErrorKind, RejectReason, VerifierError, VerifierPhase};
 pub use sanitize::{instrument, SanitizeError, SanitizeStats};
 pub use shape::StateShape;
 pub use snapshot::{InsnStates, RegSnapshot, SnapshotStream};

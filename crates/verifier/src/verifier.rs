@@ -9,7 +9,7 @@ use bvf_kernel_sim::Kernel;
 use crate::check::jump::JumpOutcome;
 use crate::cov::{Cat, Coverage};
 use crate::env::{VerifiedProgram, Verifier, VerifierOpts};
-use crate::errors::VerifierError;
+use crate::errors::{RejectReason, VerifierError, VerifierPhase};
 use std::rc::Rc;
 
 use crate::prune::states_equal;
@@ -109,12 +109,14 @@ impl<'a> Verifier<'a> {
         {
             self.cov.hit(Cat::Error, 17, 0);
             return Err(VerifierError::access(
+                RejectReason::UnprivProgType,
                 0,
                 format!(
                     "program type {:?} not allowed for unprivileged users",
                     self.prog_type
                 ),
-            ));
+            )
+            .in_phase(VerifierPhase::Structure));
         }
         // Pass 0: structural checks (decode validity, jump targets,
         // register ranges, proper ending), then pass 1: discover
@@ -124,7 +126,15 @@ impl<'a> Verifier<'a> {
         let structure = bvf_isa::validate_structure(&self.prog)
             .map_err(|e| {
                 self.cov.hit(Cat::Error, 1, 0);
-                VerifierError::invalid(0, e.to_string())
+                let reason = match &e {
+                    bvf_isa::StructuralError::TooLong(_) => RejectReason::ComplexityLimit,
+                    bvf_isa::StructuralError::JumpOutOfRange { .. } => {
+                        RejectReason::JumpOutOfBounds
+                    }
+                    bvf_isa::StructuralError::FallthroughEnd => RejectReason::FellOffEnd,
+                    _ => RejectReason::MalformedInsn,
+                };
+                VerifierError::invalid(reason, 0, e.to_string()).in_phase(VerifierPhase::Structure)
             })
             .and_then(|starts| {
                 self.insn_starts = starts;
@@ -151,7 +161,7 @@ impl<'a> Verifier<'a> {
         let t0 = Instant::now();
         let fixed = self.do_fixups();
         self.timings.fixup_ns = elapsed_ns(t0);
-        fixed?;
+        fixed.map_err(|e| e.in_phase(VerifierPhase::Fixup))?;
 
         Ok(VerifiedProgram {
             prog: self.prog.clone(),
@@ -232,6 +242,7 @@ impl<'a> Verifier<'a> {
                 if self.insn_processed > self.opts.insn_limit {
                     self.cov.hit(Cat::Error, 2, 0);
                     return Err(VerifierError::invalid(
+                        RejectReason::ComplexityLimit,
                         pc,
                         format!(
                             "BPF program is too large. Processed {} insn",
@@ -241,7 +252,11 @@ impl<'a> Verifier<'a> {
                 }
                 if pc >= self.prog.insn_count() || !self.insn_starts[pc] {
                     self.cov.hit(Cat::Error, 3, 0);
-                    return Err(VerifierError::invalid(pc, "fell off the end of program"));
+                    return Err(VerifierError::invalid(
+                        RejectReason::FellOffEnd,
+                        pc,
+                        "fell off the end of program",
+                    ));
                 }
 
                 // Loop detection, then pruning. The whole block is billed
@@ -280,6 +295,7 @@ impl<'a> Verifier<'a> {
                                     self.cov.hit(Cat::Error, 16, 0);
                                     self.timings.prune_ns += elapsed_ns(prune_t0);
                                     return Err(VerifierError::invalid(
+                                        RejectReason::BackEdgeLimit,
                                         pc,
                                         format!("infinite loop detected at insn {pc}"),
                                     ));
@@ -465,7 +481,11 @@ impl<'a> Verifier<'a> {
                 let fd = imm64 as u32;
                 let Some(map) = self.kernel.maps.get(fd) else {
                     self.cov.hit(Cat::Error, 4, 0);
-                    return Err(VerifierError::invalid(pc, format!("fd {fd} is not a map")));
+                    return Err(VerifierError::invalid(
+                        RejectReason::BadMapFd,
+                        pc,
+                        format!("fd {fd} is not a map"),
+                    ));
                 };
                 self.used_maps.insert(map.id);
                 RegState::pointer(RegType::ConstPtrToMap { map_id: map.id })
@@ -475,11 +495,16 @@ impl<'a> Verifier<'a> {
                 let off = (imm64 >> 32) as u32;
                 let Some(map) = self.kernel.maps.get(fd) else {
                     self.cov.hit(Cat::Error, 4, 0);
-                    return Err(VerifierError::invalid(pc, format!("fd {fd} is not a map")));
+                    return Err(VerifierError::invalid(
+                        RejectReason::BadMapFd,
+                        pc,
+                        format!("fd {fd} is not a map"),
+                    ));
                 };
                 if map.def.map_type != MapType::Array {
                     self.cov.hit(Cat::Error, 5, 0);
                     return Err(VerifierError::invalid(
+                        RejectReason::BadDirectValue,
                         pc,
                         "direct value access only supported for array maps",
                     ));
@@ -487,6 +512,7 @@ impl<'a> Verifier<'a> {
                 if off >= map.def.value_size {
                     self.cov.hit(Cat::Error, 6, 0);
                     return Err(VerifierError::invalid(
+                        RejectReason::BadDirectValue,
                         pc,
                         format!(
                             "direct value offset {off} beyond value_size {}",
@@ -504,6 +530,7 @@ impl<'a> Verifier<'a> {
                 if self.kernel.btf.type_by_id(btf_id).is_none() {
                     self.cov.hit(Cat::Error, 7, btf_id.min(16));
                     return Err(VerifierError::invalid(
+                        RejectReason::BtfAccessInvalid,
                         pc,
                         format!("ldimm64 unable to resolve btf_id {btf_id}"),
                     ));
@@ -516,6 +543,7 @@ impl<'a> Verifier<'a> {
             other => {
                 self.cov.hit(Cat::Error, 8, other as u32);
                 return Err(VerifierError::invalid(
+                    RejectReason::MalformedInsn,
                     pc,
                     format!("unknown ldimm64 src_reg {other}"),
                 ));
@@ -537,6 +565,7 @@ impl<'a> Verifier<'a> {
         ) {
             self.cov.hit(Cat::Error, 9, 0);
             return Err(VerifierError::invalid(
+                RejectReason::UnsupportedInsn,
                 pc,
                 "BPF_LD_[ABS|IND] instructions not allowed for this program type",
             ));
@@ -561,13 +590,18 @@ impl<'a> Verifier<'a> {
         if state.frames.len() >= MAX_CALL_FRAMES {
             self.cov.hit(Cat::Error, 10, 0);
             return Err(VerifierError::invalid(
+                RejectReason::CallDepthLimit,
                 pc,
                 format!("the call stack of {MAX_CALL_FRAMES} frames is too deep"),
             ));
         }
         if target >= self.prog.insn_count() || !self.insn_starts[target] {
             self.cov.hit(Cat::Error, 11, 0);
-            return Err(VerifierError::invalid(pc, "invalid subprog call target"));
+            return Err(VerifierError::invalid(
+                RejectReason::BadCallTarget,
+                pc,
+                "invalid subprog call target",
+            ));
         }
         let mut callee = FuncState::new(target, pc + 1);
         // Arguments R1..R5 are passed; R10 is the callee's own frame.
@@ -589,9 +623,11 @@ impl<'a> Verifier<'a> {
         if r0.typ != RegType::Scalar {
             self.cov.hit(Cat::Error, 12, 0);
             return Err(VerifierError::invalid(
+                RejectReason::BadReturnValue,
                 pc,
                 "At callback/subprog exit the register R0 must be a scalar",
-            ));
+            )
+            .with_reg(0));
         }
         self.cov.hit(Cat::Subprog, 0, 2);
         let caller = state.cur_mut();
@@ -604,18 +640,23 @@ impl<'a> Verifier<'a> {
         let r0 = state.cur().reg(Reg::R0);
         if r0.typ == RegType::NotInit {
             self.cov.hit(Cat::Error, 13, 0);
-            return Err(VerifierError::access(pc, "R0 !read_ok"));
+            return Err(
+                VerifierError::access(RejectReason::UninitRegRead, pc, "R0 !read_ok").with_reg(0),
+            );
         }
         if r0.typ != RegType::Scalar {
             self.cov.hit(Cat::Error, 14, 0);
             return Err(VerifierError::access(
+                RejectReason::BadReturnValue,
                 pc,
                 format!("At program exit the register R0 has type {}", r0.typ.name()),
-            ));
+            )
+            .with_reg(0));
         }
         if let Some(r) = state.acquired_refs.first() {
             self.cov.hit(Cat::Error, 15, 0);
             return Err(VerifierError::invalid(
+                RejectReason::UnreleasedReference,
                 pc,
                 format!("Unreleased reference id={} alloc_insn={}", r.id, r.insn_idx),
             ));
