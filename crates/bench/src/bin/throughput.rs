@@ -10,8 +10,9 @@
 //!
 //! On a single-core host the expected result is flat (efficiency
 //! ~1/workers): the workers time-slice one CPU. The JSON records
-//! `available_parallelism` so a result file is interpretable without
-//! knowing the machine.
+//! `available_parallelism` and the host count (always 1 for this
+//! in-process bench; fabric-scale measurements share the schema) so a
+//! result file is interpretable without knowing the machine.
 //!
 //! With `--diff-oracle` the binary instead measures the overhead of
 //! the abstract-vs-concrete differential oracle (Indicator #3):
@@ -255,6 +256,10 @@ fn main() {
             "iters": iters,
             "seed": seed,
             "available_parallelism": cores,
+            // In-process benches always span one host; the field keeps
+            // the header comparable with fabric-scale (multi-host)
+            // measurements of the same schema.
+            "hosts": 1,
             "quick": quick,
             "points": points,
             "committed_baseline_execs_per_sec": baseline,

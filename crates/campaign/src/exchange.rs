@@ -164,7 +164,7 @@ mod tests {
         // publishing batch 1 completes generation 0 and must.
         hub.publish(5, marker_entry(3));
         hub.publish(1, marker_entry(2));
-        let (seed, _) = h.join().unwrap();
+        let (seed, _) = crate::join::join_all([h]).unwrap().remove(0);
         let lens: Vec<usize> = seed.corpus.iter().map(|s| s.prog.insn_count()).collect();
         assert_eq!(lens, vec![1, 2], "view folds generation 0 in batch order");
     }

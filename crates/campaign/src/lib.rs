@@ -27,6 +27,9 @@
 //! - [`exchange`]: the asynchronous corpus-exchange hub — a
 //!   sequence-numbered delta ledger behind a mutex + condvar, replacing
 //!   the old barrier epochs so slow workers never stall fast ones;
+//! - [`join`]: worker-identified join-error propagation — a panicking
+//!   worker is reported by index with its panic message, after every
+//!   sibling has been joined;
 //! - [`shard`]: the cross-worker concurrent finding-signature set
 //!   (sharded mutexes) that lets exactly one worker pay for eager
 //!   differential triage per signature;
@@ -39,12 +42,14 @@
 #![warn(missing_docs)]
 
 pub mod exchange;
+pub mod join;
 pub mod merge;
 pub mod orchestrator;
 pub mod progress;
 pub mod shard;
 
 pub use exchange::{ExchangeHub, SubscribeStats};
+pub use join::{join_all, WorkerPanic};
 pub use merge::{interleave_traces, merge_registries};
 pub use orchestrator::{run_sharded, ParallelConfig, ParallelOutcome, WorkerSummary};
 pub use progress::SharedProgress;

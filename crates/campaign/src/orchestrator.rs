@@ -207,11 +207,9 @@ pub fn run_sharded(cfg: &CampaignConfig, pcfg: &ParallelConfig) -> ParallelOutco
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
-            .collect()
-    });
+        crate::join::join_all(handles)
+    })
+    .unwrap_or_else(|e| panic!("campaign {e}"));
     runs.sort_by_key(|r| r.worker);
 
     if let Some(p) = &progress {

@@ -130,9 +130,7 @@ mod tests {
                 })
             })
             .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+        crate::join::join_all(handles).unwrap();
         assert_eq!(p.done.load(Ordering::Relaxed), 100);
         assert_eq!(p.accepted.load(Ordering::Relaxed), 100);
         assert_eq!(p.corpus.load(Ordering::Relaxed), 100);

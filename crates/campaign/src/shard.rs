@@ -101,7 +101,7 @@ mod tests {
                 sigs.iter().filter(|s| set.claim(s)).count()
             }));
         }
-        let total_wins: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let total_wins: usize = crate::join::join_all(handles).unwrap().into_iter().sum();
         // Every signature is won by exactly one thread.
         assert_eq!(total_wins, sigs.len());
         assert_eq!(set.len(), sigs.len());

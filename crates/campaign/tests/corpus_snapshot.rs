@@ -84,7 +84,7 @@ fn merged_snapshots_reproduce_the_union_of_findings() {
         .collect();
     assert!(!union.is_empty(), "campaigns must find something");
 
-    let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]);
+    let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]).expect("disjoint campaigns");
     assert!(merged.validate().is_ok());
     assert_eq!(merged.finding_signatures(), union);
 

@@ -15,6 +15,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use bvf_isa::{asm, AluOp, Insn, JmpOp, Program, Reg, Size};
 use bvf_kernel_sim::progtype::ProgType;
@@ -22,7 +23,7 @@ use bvf_kernel_sim::progtype::ProgType;
 use crate::scenario::Scenario;
 
 /// Which generator produced a program (for campaign statistics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum GeneratorKind {
     /// BVF's structured generator.
     Bvf,

@@ -8,6 +8,8 @@
 //!             [--chaos S] [--corpus-in FILE] [--corpus-out FILE]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
 //!             [--snapshot-every N] [--save-findings DIR]
+//! bvf serve   --listen ADDR [--state DIR] [--lease-timeout SECS]
+//! bvf worker  --connect ADDR [--poll-ms N] [--max-batches N]
 //! bvf report  <trace.jsonl>
 //! bvf corpus export --out FILE [fuzz options]
 //! bvf corpus import <snap.json>... [--out FILE]
@@ -60,6 +62,16 @@
 //! multiple workers the trace is worker-tagged and interleaved by
 //! iteration, and progress lines go through one shared writer.
 //!
+//! `bvf serve` starts the distributed campaign-fabric coordinator
+//! (`bvf-fabric`): workers attach with `bvf worker --connect`, clients
+//! submit campaigns with `fuzz --remote ADDR` using the same campaign
+//! flags as a local run. Batch leases, corpus-exchange deltas, and
+//! finding-dedup claims travel the wire, and the merged result —
+//! including under worker churn — is bit-identical to running the same
+//! config locally (`--json-out` files differ only in the observational
+//! `metrics` member). `--state DIR` persists the fabric-wide dedup
+//! claims log and per-campaign stats across coordinator restarts.
+//!
 //! `bvf corpus export` runs a campaign (same flags as `fuzz`) and
 //! writes a versioned corpus snapshot — per lease batch, the retained
 //! scenarios, the coverage delta, and finding summaries. `import`
@@ -70,16 +82,21 @@
 //! `fuzz --corpus-out` is `export` inline.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
 
 use bvf::baseline::GeneratorKind;
 use bvf::corpus::CorpusSnapshot;
-use bvf::fuzz::{report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult};
+use bvf::fuzz::{
+    report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult, FindingRecord,
+};
 use bvf::minimize::minimize_finding_jobs;
 use bvf::oracle::{judge, triage};
 use bvf::scenario::{run_scenario, run_scenario_diff, Scenario};
 use bvf_campaign::{run_sharded, ParallelConfig};
+use bvf_fabric::{run_worker, Client, Coordinator, CoordinatorOptions, FabricError, WorkerOptions};
 use bvf_kernel_sim::{BugId, BugSet};
 use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceEvent, TraceSink};
 use bvf_verifier::KernelVersion;
@@ -92,7 +109,9 @@ fn usage() -> ! {
          [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]\n             \
          [--chaos S] [--corpus-in FILE] [--corpus-out FILE]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
-         [--snapshot-every N] [--save-findings DIR]\n  \
+         [--snapshot-every N] [--save-findings DIR] [--remote ADDR]\n  \
+         bvf serve --listen ADDR [--state DIR] [--lease-timeout SECS]\n  \
+         bvf worker --connect ADDR [--poll-ms N] [--max-batches N]\n  \
          bvf report <trace.jsonl>\n  \
          bvf corpus export --out FILE [fuzz options]\n  \
          bvf corpus import <snap.json>... [--out FILE]\n  \
@@ -288,6 +307,10 @@ fn parse_workers(args: &Args) -> usize {
 
 fn cmd_fuzz(args: &Args) {
     let cfg = campaign_config(args);
+    if let Some(addr) = args.opt("--remote") {
+        cmd_fuzz_remote(args, addr, cfg);
+        return;
+    }
     let (iters, seed) = (cfg.iterations, cfg.seed);
     let workers = parse_workers(args);
     let corpus_out = args.opt("--corpus-out");
@@ -403,7 +426,20 @@ fn cmd_fuzz(args: &Args) {
             );
         }
     }
-    for rec in &r.findings {
+    print_findings(&r.findings);
+
+    if let Some(dir) = args.opt("--save-findings") {
+        save_findings(dir, seed, &r.findings);
+    }
+
+    if let Some(path) = args.opt("--json-out") {
+        let stats = r.to_stats(seed, registry);
+        write_stats(path, &stats);
+    }
+}
+
+fn print_findings(findings: &[FindingRecord]) {
+    for rec in findings {
         println!(
             "\nfinding at iteration {} — indicator {:?}, culprits {:?}",
             rec.iteration, rec.finding.indicator, rec.culprits
@@ -412,39 +448,185 @@ fn cmd_fuzz(args: &Args) {
             println!("  {}", rep.summary());
         }
     }
-    if r.findings.is_empty() {
+    if findings.is_empty() {
         println!("no findings");
     }
+}
 
-    if let Some(dir) = args.opt("--save-findings") {
-        std::fs::create_dir_all(dir).expect("create findings dir");
-        // Seed-qualified names let campaigns share a directory; refuse
-        // to overwrite before writing anything rather than midway.
-        let paths: Vec<_> = (0..r.findings.len())
-            .map(|i| Path::new(dir).join(format!("finding-s{seed}-{i:03}.json")))
-            .collect();
-        if let Some(existing) = paths.iter().find(|p| p.exists()) {
+fn save_findings(dir: &str, seed: u64, findings: &[FindingRecord]) {
+    std::fs::create_dir_all(dir).expect("create findings dir");
+    // Seed-qualified names let campaigns share a directory; refuse
+    // to overwrite before writing anything rather than midway.
+    let paths: Vec<_> = (0..findings.len())
+        .map(|i| Path::new(dir).join(format!("finding-s{seed}-{i:03}.json")))
+        .collect();
+    if let Some(existing) = paths.iter().find(|p| p.exists()) {
+        eprintln!(
+            "refusing to overwrite {} (same seed already saved here; pick another directory or seed)",
+            existing.display()
+        );
+        exit(1);
+    }
+    for (path, rec) in paths.iter().zip(findings) {
+        let json = serde_json::to_string_pretty(&rec.finding.scenario).unwrap();
+        std::fs::write(path, json).expect("write finding");
+        println!("saved {}", path.display());
+    }
+}
+
+fn write_stats(path: &str, stats: &bvf_telemetry::CampaignStats) {
+    let json = serde_json::to_string_pretty(stats).unwrap();
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write stats file {path}: {e}");
+        exit(1);
+    });
+    eprintln!("stats written to {path}");
+}
+
+/// `bvf fuzz --remote ADDR`: submit the campaign to a fabric
+/// coordinator and block until remote workers finish it. The merged
+/// stats and findings are bit-identical to a local run of the same
+/// config, so `--json-out` / `--save-findings` behave exactly as they
+/// do locally; flags that configure *local* execution machinery are
+/// rejected rather than silently ignored.
+fn cmd_fuzz_remote(args: &Args, addr: &str, cfg: CampaignConfig) {
+    for flag in ["--workers", "--chaos", "--trace-out", "--corpus-out"] {
+        if args.opt(flag).is_some() {
             eprintln!(
-                "refusing to overwrite {} (same seed already saved here; pick another directory or seed)",
-                existing.display()
+                "{flag} is not supported with --remote: the coordinator schedules \
+                 its attached workers, and trace/snapshot export is local-only"
             );
-            exit(1);
-        }
-        for (path, rec) in paths.iter().zip(&r.findings) {
-            let json = serde_json::to_string_pretty(&rec.finding.scenario).unwrap();
-            std::fs::write(path, json).expect("write finding");
-            println!("saved {}", path.display());
+            exit(2);
         }
     }
-
-    if let Some(path) = args.opt("--json-out") {
-        let stats = r.to_stats(seed, registry);
-        let json = serde_json::to_string_pretty(&stats).unwrap();
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("cannot write stats file {path}: {e}");
+    let seed = cfg.seed;
+    eprintln!(
+        "fuzzing via coordinator {addr}: {} iterations, generator {}, {} defects injected, sanitation {}",
+        cfg.iterations,
+        cfg.generator.name(),
+        cfg.bugs.iter().count(),
+        if cfg.sanitize { "on" } else { "off" }
+    );
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to coordinator at {addr}: {e}");
+        exit(1);
+    });
+    let mut last_done = usize::MAX;
+    let outcome = client
+        .run_to_completion(cfg, Duration::from_millis(50), |s| {
+            if s.batches_done != last_done {
+                last_done = s.batches_done;
+                eprintln!(
+                    "  remote: {}/{} batches done ({} leased)  iters {}  accepted {}  findings {}",
+                    s.batches_done,
+                    s.batches_total,
+                    s.batches_leased,
+                    s.iterations,
+                    s.accepted,
+                    s.findings
+                );
+            }
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("remote campaign failed: {e}");
             exit(1);
         });
-        eprintln!("stats written to {path}");
+    let stats = &outcome.stats;
+    println!(
+        "iterations {}  accepted {} ({:.1}%)  coverage {}  corpus {}",
+        stats.iterations,
+        stats.accepted,
+        100.0 * stats.acceptance_rate,
+        stats.coverage_points,
+        stats.corpus_len
+    );
+    print_findings(&outcome.findings);
+    if let Some(dir) = args.opt("--save-findings") {
+        save_findings(dir, seed, &outcome.findings);
+    }
+    if let Some(path) = args.opt("--json-out") {
+        write_stats(path, stats);
+    }
+}
+
+fn cmd_serve(args: &Args) {
+    let Some(listen) = args.opt("--listen") else {
+        eprintln!("serve needs --listen ADDR");
+        exit(2);
+    };
+    let defaults = CoordinatorOptions::default();
+    let opts = CoordinatorOptions {
+        state_dir: args.opt("--state").map(PathBuf::from),
+        lease_timeout: args
+            .opt("--lease-timeout")
+            .and_then(|v| v.parse().ok())
+            .map_or(defaults.lease_timeout, Duration::from_secs),
+    };
+    let coordinator = Coordinator::bind(listen, opts).unwrap_or_else(|e| {
+        eprintln!("cannot bind coordinator on {listen}: {e}");
+        exit(1);
+    });
+    match coordinator.local_addr() {
+        Ok(a) => eprintln!("fabric coordinator listening on {a}"),
+        Err(_) => eprintln!("fabric coordinator listening on {listen}"),
+    }
+    match coordinator.run() {
+        Ok(c) => eprintln!(
+            "coordinator shut down: {} leases issued ({} re-issued), {} completions \
+             ({} duplicate), {} deltas streamed, {} dedup claims ({} first), {} worker sessions",
+            c.leases_issued,
+            c.leases_reissued,
+            c.completions,
+            c.duplicate_completions,
+            c.deltas_streamed,
+            c.claims,
+            c.claims_first,
+            c.worker_sessions
+        ),
+        Err(e) => {
+            eprintln!("coordinator failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_worker(args: &Args) {
+    let Some(addr) = args.opt("--connect") else {
+        eprintln!("worker needs --connect ADDR");
+        exit(2);
+    };
+    let defaults = WorkerOptions::default();
+    let opts = WorkerOptions {
+        poll: args
+            .opt("--poll-ms")
+            .and_then(|v| v.parse().ok())
+            .map_or(defaults.poll, Duration::from_millis),
+        max_batches: args.opt("--max-batches").and_then(|v| v.parse().ok()),
+        ..defaults
+    };
+    let stop = AtomicBool::new(false);
+    match run_worker(addr, &opts, &stop) {
+        Ok(report) => eprintln!(
+            "worker done: {} batches across {} campaigns ({} abandoned)",
+            report.batches, report.campaigns, report.abandoned
+        ),
+        // The coordinator closing the connection (shutdown) is the
+        // normal way an open-ended worker exits — not a failure.
+        Err(FabricError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+            ) =>
+        {
+            eprintln!("worker exiting: coordinator closed the connection");
+        }
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            exit(1);
+        }
     }
 }
 
@@ -634,7 +816,10 @@ fn cmd_corpus(args: &Args, argv: &[String]) {
                 exit(2);
             }
             let snaps: Vec<CorpusSnapshot> = inputs.iter().map(|p| load_snapshot(p)).collect();
-            let merged = CorpusSnapshot::merge(snaps);
+            let merged = CorpusSnapshot::merge(snaps).unwrap_or_else(|e| {
+                eprintln!("corpus import: {e}");
+                exit(1);
+            });
             print_snapshot_summary(&merged);
             if let Some(out) = args.opt("--out") {
                 std::fs::write(out, merged.to_json()).unwrap_or_else(|e| {
@@ -763,6 +948,8 @@ fn main() {
     let args = Args(argv.clone());
     match cmd {
         "fuzz" => cmd_fuzz(&args),
+        "serve" => cmd_serve(&args),
+        "worker" => cmd_worker(&args),
         "replay" => match argv.get(1) {
             Some(p) if !p.starts_with("--") => cmd_replay(&args, p),
             _ => usage(),

@@ -170,7 +170,59 @@ impl CorpusSnapshot {
     /// the union invariant survives; findings keep the first record per
     /// signature in merged batch order. Deterministic in the snapshot
     /// list order, independent of where each snapshot was produced.
-    pub fn merge(snapshots: Vec<CorpusSnapshot>) -> CorpusSnapshot {
+    ///
+    /// Refuses to fold the same work twice: batches originating from
+    /// the same campaign (generator + seed) must carry distinct batch
+    /// ids and disjoint iteration ranges across the whole input list —
+    /// importing a snapshot alongside itself, or two exports of
+    /// overlapping runs, is an error, not a silently doubled corpus.
+    /// Batches of *different* campaigns share ids by construction (both
+    /// number from 0) and interleave fine.
+    pub fn merge(snapshots: Vec<CorpusSnapshot>) -> Result<CorpusSnapshot, String> {
+        // (generator, seed) -> batch id -> source snapshot index, plus
+        // the iteration ranges seen for that campaign.
+        let mut seen_ids: HashSet<(String, u64, usize)> = HashSet::new();
+        let mut ranges: Vec<(String, u64, usize, usize, usize)> = Vec::new();
+        for (source, snap) in snapshots.iter().enumerate() {
+            for b in &snap.batches {
+                if !seen_ids.insert((snap.generator.clone(), snap.seed, b.batch)) {
+                    return Err(format!(
+                        "snapshot #{} duplicates batch {} of campaign \
+                         (generator {}, seed {}) — refusing to fold the same batches twice",
+                        source + 1,
+                        b.batch,
+                        snap.generator,
+                        snap.seed
+                    ));
+                }
+                if b.iterations > 0 {
+                    ranges.push((snap.generator.clone(), snap.seed, b.batch, b.start, source));
+                }
+            }
+        }
+        ranges.sort();
+        for w in ranges.windows(2) {
+            let ((g1, s1, b1, start1, src1), (g2, s2, b2, start2, src2)) = (&w[0], &w[1]);
+            // Same campaign, consecutive batches in (id, start) order:
+            // the earlier batch must end at or before the later starts.
+            if g1 == g2 && s1 == s2 {
+                let end1 = snapshots[*src1].batches.iter().find(|b| b.batch == *b1);
+                let end1 = end1.map_or(*start1, |b| b.start + b.iterations);
+                if *start2 < end1 {
+                    return Err(format!(
+                        "snapshots #{} and #{} overlap: campaign (generator {g1}, seed {s1}) \
+                         batch {b1} covers iterations {start1}..{end1} but batch {b2} starts \
+                         at {start2} — refusing to fold overlapping runs",
+                        src1 + 1,
+                        src2 + 1
+                    ));
+                }
+            }
+        }
+        Ok(Self::merge_unchecked(snapshots))
+    }
+
+    fn merge_unchecked(snapshots: Vec<CorpusSnapshot>) -> CorpusSnapshot {
         let generator = {
             let mut names: Vec<&str> = snapshots.iter().map(|s| s.generator.as_str()).collect();
             names.dedup();
@@ -325,7 +377,7 @@ mod tests {
             .union(&b.finding_signatures())
             .cloned()
             .collect();
-        let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]);
+        let merged = CorpusSnapshot::merge(vec![a.clone(), b.clone()]).expect("disjoint seeds");
         assert!(merged.validate().is_ok());
         assert_eq!(merged.finding_signatures(), union);
         assert_eq!(merged.iterations, a.iterations + b.iterations);
@@ -337,6 +389,33 @@ mod tests {
         for (i, batch) in merged.batches.iter().enumerate() {
             assert_eq!(batch.batch, i);
         }
+    }
+
+    #[test]
+    fn merge_rejects_the_same_snapshot_twice() {
+        let cfg = small_config(96, 7);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &campaign_outputs(&cfg));
+        let err = CorpusSnapshot::merge(vec![snap.clone(), snap]).unwrap_err();
+        assert!(err.contains("duplicates batch"), "unhelpful error: {err}");
+        assert!(
+            err.contains("seed 7"),
+            "error must identify the campaign: {err}"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_runs_of_one_campaign() {
+        // Two exports of the same campaign whose iteration ranges
+        // overlap, disguised with distinct batch ids (as after a prior
+        // renumbering merge): still the same work twice.
+        let cfg = small_config(96, 7);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &campaign_outputs(&cfg));
+        let mut shifted = snap.clone();
+        for b in &mut shifted.batches {
+            b.batch += snap.batches.len();
+        }
+        let err = CorpusSnapshot::merge(vec![snap, shifted]).unwrap_err();
+        assert!(err.contains("overlap"), "unhelpful error: {err}");
     }
 
     #[test]

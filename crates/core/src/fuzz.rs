@@ -35,6 +35,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use bvf_kernel_sim::{BugId, BugSet, KernelReport};
 use bvf_runtime::{BpfError, ExecScratch};
@@ -56,8 +57,11 @@ use crate::scenario::{run_scenario_scratch, Scenario};
 /// Global cap on feedback-corpus retention (seed view + local additions).
 pub const CORPUS_CAP: usize = 4096;
 
-/// Campaign configuration.
-#[derive(Debug, Clone)]
+/// Campaign configuration. Serializable so a remote campaign submission
+/// (`bvf fuzz --remote`, the `bvf-fabric` wire protocol) ships the
+/// *complete* generation-determining state: merged results are a pure
+/// function of this struct, never of who executes the batches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Which generator drives the campaign.
     pub generator: GeneratorKind,
@@ -143,7 +147,7 @@ impl CampaignConfig {
 }
 
 /// One deduplicated finding with its triage result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FindingRecord {
     /// The finding itself.
     pub finding: Finding,
@@ -295,7 +299,7 @@ fn reject_info(e: &BpfError) -> (&'static str, u64) {
 /// weights a lease derives are a pure function of earlier generations'
 /// published entries folded in batch order — never of wall-clock or of
 /// which worker ran them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShapeStats {
     /// Fresh programs generated per shape.
     pub generated: [u64; GenShape::COUNT],
@@ -446,7 +450,7 @@ impl GlobalDedup for SerialDedup {
 /// beyond its seed view. Deltas are disjoint-by-construction from the
 /// seed, so the union of all ledger entries equals the union of all
 /// observed new coverage regardless of fold order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LedgerEntry {
     /// Corpus entries retained (and published) by the batch.
     pub corpus: Vec<Arc<Scenario>>,
@@ -462,7 +466,7 @@ pub struct LedgerEntry {
 /// the ledger entries of the generations it consumes (plus the imported
 /// [`CampaignConfig::base`]), folded in batch order. Cheap to clone —
 /// scenarios are shared by `Arc` and the coverage set is behind one.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BatchSeed {
     /// Seed corpus entries, in ledger (batch) order, capped at
     /// [`CORPUS_CAP`].
@@ -684,7 +688,13 @@ pub fn run_campaign_with_telemetry(cfg: &CampaignConfig, tel: &mut Telemetry) ->
 /// scheduler for [`merge_batches`]. The floating-point and length
 /// accumulators are exposed as raw *sums* (not means) so merged means
 /// are computed by one final division.
-#[derive(Debug)]
+///
+/// Serializable losslessly: integers round-trip exactly, `Coverage`
+/// serializes as sorted points, and the one float (`alu_share_sum`)
+/// round-trips bit-exactly through the shortest-round-trip JSON float
+/// representation — so a batch completed on a remote fabric worker
+/// merges byte-identically to one run in-process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchOutput {
     /// Lease batch id (0-based).
     pub batch: usize,

@@ -77,7 +77,7 @@ pub fn classify_report(report: &KernelReport) -> Indicator {
 }
 
 /// One oracle finding: a verified program misbehaved.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Finding {
     /// The replayable scenario.
     pub scenario: Scenario,

@@ -31,6 +31,7 @@
 use bvf_runtime::ExecTrace;
 use bvf_verifier::snapshot::SNAPSHOT_REGS;
 use bvf_verifier::{InsnMeta, InsnStates, RegState, SnapshotStream};
+use serde::{Deserialize, Serialize};
 
 /// How many distinct abstract states to render into a divergence's
 /// `abstract_state` string before eliding the rest.
@@ -55,7 +56,7 @@ pub struct Divergence {
 
 /// Deterministic counters describing one differential check. All fields
 /// are additive so per-worker stats merge by summation in any order.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiffStats {
     /// Trace steps inspected (main-frame executed instructions).
     pub steps_total: u64,

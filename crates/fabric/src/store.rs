@@ -1,0 +1,148 @@
+//! The fabric-wide persistent finding-dedup store.
+//!
+//! The in-process campaign shares a `ShardedSignatureSet` between
+//! worker threads; the fabric generalizes it to a store that serves
+//! many concurrent campaigns over many coordinator lifetimes: a sharded
+//! in-memory signature set backed by an optional append-only claims
+//! log. Every *first* claim is appended (one signature per line) before
+//! the claim is acknowledged, so a restarted coordinator reloads the
+//! log and keeps answering `first == false` for signatures claimed in
+//! earlier runs.
+//!
+//! Correctness does not ride on claim outcomes: a claim only decides
+//! *where* differential triage runs (the claimer, or the merge step for
+//! claim losers), never which findings exist — `merge_batches`
+//! re-triages untriaged survivors. That is what makes a cross-campaign,
+//! cross-restart store safe: campaigns sharing signatures still merge
+//! to the same bytes as isolated ones.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Shard count; claims hash-partition across shards so concurrent
+/// campaigns rarely contend on one mutex.
+const SHARDS: usize = 16;
+
+/// The sharded, optionally persistent signature-claim store.
+pub struct DedupStore {
+    shards: Vec<Mutex<HashSet<String>>>,
+    /// Append-only claims log; `None` for a memory-only store.
+    log: Option<Mutex<File>>,
+}
+
+impl DedupStore {
+    /// A memory-only store (claims die with the coordinator).
+    pub fn in_memory() -> DedupStore {
+        DedupStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            log: None,
+        }
+    }
+
+    /// A store persisted at `path`: existing claims are reloaded (one
+    /// signature per line), new first-claims are appended.
+    pub fn persistent(path: &Path) -> io::Result<DedupStore> {
+        let store = DedupStore::in_memory();
+        if path.exists() {
+            for line in BufReader::new(File::open(path)?).lines() {
+                let sig = line?;
+                if !sig.is_empty() {
+                    store.shards[shard_of(&sig)].lock().unwrap().insert(sig);
+                }
+            }
+        }
+        let log = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(DedupStore {
+            shards: store.shards,
+            log: Some(Mutex::new(log)),
+        })
+    }
+
+    /// Claims `sig`; returns `true` iff this is the first claim of the
+    /// signature in the store's lifetime (log included). First claims
+    /// are durably appended before being acknowledged.
+    pub fn claim(&self, sig: &str) -> io::Result<bool> {
+        let mut shard = self.shards[shard_of(sig)].lock().unwrap();
+        if shard.contains(sig) {
+            return Ok(false);
+        }
+        if let Some(log) = &self.log {
+            let mut f = log.lock().unwrap();
+            writeln!(f, "{sig}")?;
+            f.flush()?;
+        }
+        shard.insert(sig.to_string());
+        Ok(true)
+    }
+
+    /// Number of distinct signatures claimed.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether no signature was ever claimed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Stable shard index of a signature (FNV-1a; independent of std's
+/// per-process hasher so the on-disk log order never matters).
+fn shard_of(sig: &str) -> usize {
+    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+    sig.hash(&mut h);
+    (h.0 as usize) % SHARDS
+}
+
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_wins_once() {
+        let store = DedupStore::in_memory();
+        assert!(store.claim("sig-a").unwrap());
+        assert!(!store.claim("sig-a").unwrap());
+        assert!(store.claim("sig-b").unwrap());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn persistent_store_survives_reload() {
+        let dir = std::env::temp_dir().join(format!("bvf-fabric-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dedup.sigs");
+        std::fs::remove_file(&path).ok();
+        {
+            let store = DedupStore::persistent(&path).unwrap();
+            assert!(store.claim("One:kasan").unwrap());
+            assert!(store.claim("Two:lockdep").unwrap());
+            assert!(!store.claim("One:kasan").unwrap());
+        }
+        let reloaded = DedupStore::persistent(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(!reloaded.claim("One:kasan").unwrap());
+        assert!(reloaded.claim("Three:statediv:r3").unwrap());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+}

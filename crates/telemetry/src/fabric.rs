@@ -1,0 +1,106 @@
+//! Fabric (distributed campaign) counter names and aggregation.
+//!
+//! The `bvf-fabric` coordinator tracks its scheduling activity in a
+//! [`FabricCounters`] and publishes it into a [`Registry`] under the
+//! `fabric.*` namespace, so coordinator state dumps and
+//! `CampaignStats::metrics` use one stable vocabulary. Like every other
+//! metric, fabric counters are strictly observational: nothing in the
+//! campaign result depends on them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::Registry;
+
+/// `Registry` counter: lease batches granted to workers.
+pub const LEASES_ISSUED: &str = "fabric.leases_issued";
+/// `Registry` counter: leases returned to the pending queue after the
+/// holding worker disconnected or its lease expired.
+pub const LEASES_REISSUED: &str = "fabric.leases_reissued";
+/// `Registry` counter: sequence-numbered corpus delta frames streamed
+/// to workers.
+pub const DELTAS_STREAMED: &str = "fabric.deltas_streamed";
+/// `Registry` counter: worker sessions accepted over the lifetime of
+/// the coordinator.
+pub const WORKER_SESSIONS: &str = "fabric.worker_sessions";
+/// `Registry` counter: batch completions accepted.
+pub const COMPLETIONS: &str = "fabric.completions";
+/// `Registry` counter: batch completions ignored because the batch had
+/// already completed (an expired lease raced its re-issue).
+pub const DUPLICATE_COMPLETIONS: &str = "fabric.duplicate_completions";
+/// `Registry` counter: dedup-store claims received.
+pub const CLAIMS: &str = "fabric.claims";
+/// `Registry` counter: dedup-store claims that were first for their
+/// signature.
+pub const CLAIMS_FIRST: &str = "fabric.claims_first";
+
+/// The coordinator's scheduling counters, accumulated over its
+/// lifetime (all campaigns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricCounters {
+    /// Lease batches granted to workers.
+    pub leases_issued: u64,
+    /// Leases returned to pending after worker churn or expiry.
+    pub leases_reissued: u64,
+    /// Corpus delta frames streamed to workers.
+    pub deltas_streamed: u64,
+    /// Worker sessions accepted.
+    pub worker_sessions: u64,
+    /// Batch completions accepted.
+    pub completions: u64,
+    /// Batch completions ignored as duplicates.
+    pub duplicate_completions: u64,
+    /// Dedup-store claims received.
+    pub claims: u64,
+    /// Dedup-store claims that were first for their signature.
+    pub claims_first: u64,
+}
+
+impl FabricCounters {
+    /// Publishes the counters into `reg` under the `fabric.*` names.
+    pub fn publish_into(&self, reg: &mut Registry) {
+        reg.add(LEASES_ISSUED, self.leases_issued);
+        reg.add(LEASES_REISSUED, self.leases_reissued);
+        reg.add(DELTAS_STREAMED, self.deltas_streamed);
+        reg.add(WORKER_SESSIONS, self.worker_sessions);
+        reg.add(COMPLETIONS, self.completions);
+        reg.add(DUPLICATE_COMPLETIONS, self.duplicate_completions);
+        reg.add(CLAIMS, self.claims);
+        reg.add(CLAIMS_FIRST, self.claims_first);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_publish_under_fabric_namespace() {
+        let c = FabricCounters {
+            leases_issued: 5,
+            leases_reissued: 1,
+            deltas_streamed: 12,
+            worker_sessions: 3,
+            completions: 5,
+            duplicate_completions: 0,
+            claims: 2,
+            claims_first: 2,
+        };
+        let mut reg = Registry::new();
+        c.publish_into(&mut reg);
+        assert_eq!(reg.counter(LEASES_ISSUED), 5);
+        assert_eq!(reg.counter(LEASES_REISSUED), 1);
+        assert_eq!(reg.counter(DELTAS_STREAMED), 12);
+        assert_eq!(reg.counter(WORKER_SESSIONS), 3);
+    }
+
+    #[test]
+    fn counters_roundtrip_json() {
+        let c = FabricCounters {
+            claims: 7,
+            ..FabricCounters::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FabricCounters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -88,6 +88,12 @@ impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -412,6 +418,12 @@ impl<T: Deserialize> Deserialize for Box<T> {
 impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
     fn from_value(v: &Value) -> Result<std::rc::Rc<T>, Error> {
         T::from_value(v).map(std::rc::Rc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<std::sync::Arc<T>, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
     }
 }
 
