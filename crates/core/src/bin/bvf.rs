@@ -139,6 +139,18 @@ impl Args {
     fn flag(&self, name: &str) -> bool {
         self.0.iter().any(|a| a == name)
     }
+
+    /// Parses `name`'s value, exiting with a usage error if it does
+    /// not parse — a mistyped number must not silently fall back to a
+    /// default.
+    fn parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.opt(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for {name}: {v:?}");
+                exit(2);
+            })
+        })
+    }
 }
 
 /// Edit distance for the `parse_bugs` "did you mean" suggestions.
@@ -490,11 +502,18 @@ fn write_stats(path: &str, stats: &bvf_telemetry::CampaignStats) {
 /// do locally; flags that configure *local* execution machinery are
 /// rejected rather than silently ignored.
 fn cmd_fuzz_remote(args: &Args, addr: &str, cfg: CampaignConfig) {
-    for flag in ["--workers", "--chaos", "--trace-out", "--corpus-out"] {
+    for flag in [
+        "--workers",
+        "--chaos",
+        "--trace-out",
+        "--corpus-out",
+        "--stats-every",
+    ] {
         if args.opt(flag).is_some() {
             eprintln!(
                 "{flag} is not supported with --remote: the coordinator schedules \
-                 its attached workers, and trace/snapshot export is local-only"
+                 its attached workers, and trace/snapshot export and the stats \
+                 cadence are local-only"
             );
             exit(2);
         }
@@ -558,8 +577,7 @@ fn cmd_serve(args: &Args) {
     let opts = CoordinatorOptions {
         state_dir: args.opt("--state").map(PathBuf::from),
         lease_timeout: args
-            .opt("--lease-timeout")
-            .and_then(|v| v.parse().ok())
+            .parsed("--lease-timeout")
             .map_or(defaults.lease_timeout, Duration::from_secs),
     };
     let coordinator = Coordinator::bind(listen, opts).unwrap_or_else(|e| {
@@ -598,10 +616,9 @@ fn cmd_worker(args: &Args) {
     let defaults = WorkerOptions::default();
     let opts = WorkerOptions {
         poll: args
-            .opt("--poll-ms")
-            .and_then(|v| v.parse().ok())
+            .parsed("--poll-ms")
             .map_or(defaults.poll, Duration::from_millis),
-        max_batches: args.opt("--max-batches").and_then(|v| v.parse().ok()),
+        max_batches: args.parsed("--max-batches"),
         ..defaults
     };
     let stop = AtomicBool::new(false);

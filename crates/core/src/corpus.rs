@@ -179,10 +179,14 @@ impl CorpusSnapshot {
     /// Batches of *different* campaigns share ids by construction (both
     /// number from 0) and interleave fine.
     pub fn merge(snapshots: Vec<CorpusSnapshot>) -> Result<CorpusSnapshot, String> {
-        // (generator, seed) -> batch id -> source snapshot index, plus
-        // the iteration ranges seen for that campaign.
+        // Distinct batch ids per campaign, plus each non-empty batch's
+        // iteration interval. Intervals sort by (generator, seed,
+        // start) — NOT batch id, which a prior renumbering merge may
+        // have assigned out of iteration order — so adjacent entries
+        // of one campaign are interval-adjacent and a single
+        // neighbour comparison detects any overlap.
         let mut seen_ids: HashSet<(String, u64, usize)> = HashSet::new();
-        let mut ranges: Vec<(String, u64, usize, usize, usize)> = Vec::new();
+        let mut ranges: Vec<(String, u64, usize, usize, usize, usize)> = Vec::new();
         for (source, snap) in snapshots.iter().enumerate() {
             for b in &snap.batches {
                 if !seen_ids.insert((snap.generator.clone(), snap.seed, b.batch)) {
@@ -196,27 +200,29 @@ impl CorpusSnapshot {
                     ));
                 }
                 if b.iterations > 0 {
-                    ranges.push((snap.generator.clone(), snap.seed, b.batch, b.start, source));
+                    ranges.push((
+                        snap.generator.clone(),
+                        snap.seed,
+                        b.start,
+                        b.start + b.iterations,
+                        b.batch,
+                        source,
+                    ));
                 }
             }
         }
         ranges.sort();
         for w in ranges.windows(2) {
-            let ((g1, s1, b1, start1, src1), (g2, s2, b2, start2, src2)) = (&w[0], &w[1]);
-            // Same campaign, consecutive batches in (id, start) order:
-            // the earlier batch must end at or before the later starts.
-            if g1 == g2 && s1 == s2 {
-                let end1 = snapshots[*src1].batches.iter().find(|b| b.batch == *b1);
-                let end1 = end1.map_or(*start1, |b| b.start + b.iterations);
-                if *start2 < end1 {
-                    return Err(format!(
-                        "snapshots #{} and #{} overlap: campaign (generator {g1}, seed {s1}) \
-                         batch {b1} covers iterations {start1}..{end1} but batch {b2} starts \
-                         at {start2} — refusing to fold overlapping runs",
-                        src1 + 1,
-                        src2 + 1
-                    ));
-                }
+            let (g1, s1, start1, end1, b1, src1) = &w[0];
+            let (g2, s2, start2, _, b2, src2) = &w[1];
+            if g1 == g2 && s1 == s2 && start2 < end1 {
+                return Err(format!(
+                    "snapshots #{} and #{} overlap: campaign (generator {g1}, seed {s1}) \
+                     batch {b1} covers iterations {start1}..{end1} but batch {b2} starts \
+                     at {start2} — refusing to fold overlapping runs",
+                    src1 + 1,
+                    src2 + 1
+                ));
             }
         }
         Ok(Self::merge_unchecked(snapshots))
@@ -416,6 +422,36 @@ mod tests {
         }
         let err = CorpusSnapshot::merge(vec![snap, shifted]).unwrap_err();
         assert!(err.contains("overlap"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn merge_accepts_disjoint_exports_with_renumbered_batch_ids() {
+        // Two disjoint exports of one campaign whose batch ids were
+        // renumbered out of iteration order (as after a prior merge):
+        // the overlap check compares iteration intervals, not batch id
+        // order, so these must merge instead of being falsely rejected.
+        let cfg = small_config(96, 7);
+        let snap = CorpusSnapshot::from_outputs(&cfg, &campaign_outputs(&cfg));
+        assert!(snap.batches.len() >= 3, "need three batches to split");
+
+        // Export A: the last and first batches as ids 0 and 1 — id
+        // order now disagrees with iteration order.
+        let mut a = snap.clone();
+        a.batches = vec![snap.batches[2].clone(), snap.batches[0].clone()];
+        a.batches[0].batch = 0;
+        a.batches[1].batch = 1;
+        a.iterations = a.batches.iter().map(|b| b.iterations).sum();
+        // Export B: the middle batch.
+        let mut b = snap.clone();
+        b.batches = vec![snap.batches[1].clone()];
+        b.batches[0].batch = 2;
+        b.iterations = b.batches.iter().map(|b| b.iterations).sum();
+
+        let merged = CorpusSnapshot::merge(vec![a, b])
+            .expect("disjoint iteration ranges must merge regardless of batch id order");
+        assert!(merged.validate().is_ok());
+        assert_eq!(merged.iterations, snap.iterations);
+        assert_eq!(merged.coverage(), snap.coverage());
     }
 
     #[test]

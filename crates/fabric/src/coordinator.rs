@@ -291,19 +291,27 @@ fn handshake(shared: &Shared, conn: &mut FrameConn) -> Option<(u64, Role)> {
         .ok();
         return None;
     }
-    let mut state = shared.state.lock().unwrap();
-    let session = state.next_session;
-    state.next_session += 1;
-    if role == Role::Worker {
-        state.live_workers += 1;
-        state.counters.worker_sessions += 1;
-    }
-    drop(state);
+    let session = {
+        let mut state = shared.state.lock().unwrap();
+        let session = state.next_session;
+        state.next_session += 1;
+        session
+    };
     conn.send(&Response::Welcome {
         version: FABRIC_VERSION,
         session,
+        lease_timeout_ms: shared.lease_timeout.as_millis() as u64,
     })
     .ok()?;
+    // Count the worker only once the Welcome actually reached it: a
+    // send failure returns None above, and handle_conn never runs the
+    // cleanup path for a session it was not told about — incrementing
+    // earlier would leak the live_workers gauge upward.
+    if role == Role::Worker {
+        let mut state = shared.state.lock().unwrap();
+        state.live_workers += 1;
+        state.counters.worker_sessions += 1;
+    }
     Some((session, role))
 }
 
@@ -451,7 +459,11 @@ fn grant_lease(shared: &Shared, session: u64, known: &BTreeMap<u64, u64>) -> Res
 /// as a delta, tallies status, and merges the campaign when the last
 /// batch lands. Duplicate completions (possible after lease re-issue —
 /// both executions are byte-identical) are acknowledged and dropped
-/// *before* the ledger publish, which would otherwise assert.
+/// *before* the ledger publish, which would otherwise assert. A
+/// finished campaign no longer holds its per-batch outputs (finalize
+/// takes them), so completion-after-finalize is detected first, via
+/// the `finished` flag — a straggler landing after the merge gets the
+/// same stale ack instead of tripping the ledger's publish assert.
 fn complete_batch(shared: &Shared, campaign: u64, output: BatchOutput) -> Response {
     let mut state = shared.state.lock().unwrap();
     // Reborrow so `campaigns` and `counters` borrow as disjoint fields.
@@ -465,7 +477,7 @@ fn complete_batch(shared: &Shared, campaign: u64, output: BatchOutput) -> Respon
             reason: format!("batch {b} out of range (campaign has {})", c.total),
         };
     }
-    if c.outputs[b].is_some() {
+    if c.finished.is_some() || c.outputs[b].is_some() {
         state.counters.duplicate_completions += 1;
         return Response::Accepted { fresh: false };
     }

@@ -174,6 +174,11 @@ pub enum Response {
         version: u32,
         /// This connection's session id.
         session: u64,
+        /// The coordinator's lease timeout in milliseconds. Workers
+        /// derive their wall-clock heartbeat cadence from this (a
+        /// third of the window), so slow batch steps cannot silently
+        /// outlive a lease however the coordinator is tuned.
+        lease_timeout_ms: u64,
     },
     /// Handshake rejected; the connection is closed after this frame.
     Refused {

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bvf::fuzz::{CampaignConfig, CampaignWorker, CorpusLedger, GlobalDedup};
 use bvf_runtime::ExecScratch;
@@ -25,8 +25,13 @@ use crate::FabricError;
 pub struct WorkerOptions {
     /// Backoff between lease polls when the coordinator has no work.
     pub poll: Duration,
-    /// Send a lease-extend heartbeat every this many batch steps
-    /// (0 disables mid-batch heartbeats).
+    /// Send a lease-extend heartbeat every this many batch steps.
+    /// Independently of the step count, a heartbeat is also sent
+    /// whenever a third of the coordinator's lease timeout (learned
+    /// from the Welcome frame) has elapsed since the last extend, so
+    /// slow steps cannot let the lease expire between step-count
+    /// heartbeats. 0 disables mid-batch heartbeats entirely (test
+    /// hook).
     pub heartbeat_steps: usize,
     /// Stop after completing this many batches (`None` = run until the
     /// stop flag is raised or the connection drops).
@@ -103,15 +108,19 @@ pub fn run_worker(
     stop: &AtomicBool,
 ) -> Result<WorkerReport, FabricError> {
     let mut conn = FrameConn::connect(addr)?;
-    match conn.rpc(&Request::Hello {
+    let heartbeat_every = match conn.rpc(&Request::Hello {
         magic: FABRIC_MAGIC.to_string(),
         version: FABRIC_VERSION,
         role: Role::Worker,
     })? {
-        Response::Welcome { .. } => {}
+        // Wall-clock heartbeat cadence: a third of the coordinator's
+        // lease window leaves two retries' slack before it reaps us.
+        Response::Welcome {
+            lease_timeout_ms, ..
+        } => Duration::from_millis((lease_timeout_ms / 3).max(1)),
         Response::Refused { reason } => return Err(FabricError::Refused(reason)),
         other => return Err(FabricError::unexpected("Welcome", &other)),
-    }
+    };
     let conn = Mutex::new(conn);
     let mut campaigns: HashMap<u64, MirroredCampaign> = HashMap::new();
     let mut scratch = ExecScratch::new();
@@ -168,6 +177,7 @@ pub fn run_worker(
         };
         let mut tel = Telemetry::null();
         let mut keep = true;
+        let mut extended_at = Instant::now();
         while w.step(&mut tel, &dedup, &mut scratch) {
             if dedup.failed.load(Ordering::Relaxed) {
                 return Err(FabricError::Protocol(
@@ -179,7 +189,12 @@ pub fn run_worker(
                 report.churned = true;
                 return Ok(report);
             }
-            if opts.heartbeat_steps > 0 && w.done().is_multiple_of(opts.heartbeat_steps) {
+            // Heartbeat on whichever fires first: the step count, or
+            // the wall clock. Step count alone would let a run of slow
+            // steps (diff oracle, loaded host) outlive the lease.
+            let due = w.done().is_multiple_of(opts.heartbeat_steps.max(1))
+                || extended_at.elapsed() >= heartbeat_every;
+            if opts.heartbeat_steps > 0 && due {
                 match conn.lock().unwrap().rpc(&Request::Extend {
                     campaign: grant.campaign,
                     batch: grant.batch,
@@ -187,6 +202,7 @@ pub fn run_worker(
                     Response::Extended { keep: k } => keep = k,
                     other => return Err(FabricError::unexpected("Extended", &other)),
                 }
+                extended_at = Instant::now();
                 if !keep {
                     break;
                 }

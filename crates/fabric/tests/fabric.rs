@@ -119,6 +119,7 @@ fn every_frame_type_round_trips() {
         Response::Welcome {
             version: FABRIC_VERSION,
             session: 12,
+            lease_timeout_ms: 30_000,
         },
         Response::Refused {
             reason: "mismatch".to_string(),
@@ -383,6 +384,70 @@ fn churned_workers_do_not_change_the_result() {
         serde_json::to_string(&local.findings).unwrap(),
         "findings must be byte-identical under churn"
     );
+}
+
+#[test]
+fn late_duplicate_completion_after_finalize_is_acked_not_fatal() {
+    // A straggler whose lease was reaped can submit its (byte-identical)
+    // output after the campaign has already merged. The coordinator must
+    // ack it as stale — the finalize step consumed the per-batch
+    // outputs, so this once tripped the ledger's publish assert and
+    // took the whole coordinator down with a poisoned mutex.
+    let cfg = small_config(96, 43);
+    let straggler_output = serial_outputs(&cfg).swap_remove(0);
+
+    let (addr, serve) = spawn_coordinator(CoordinatorOptions::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let campaign = client.submit(cfg).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles = spawn_steady_workers(&addr, 1, &stop);
+    let outcome = loop {
+        if let Some(o) = client.result(campaign).unwrap() {
+            break o;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // The straggler arrives on a fresh connection, after the merge.
+    let mut conn = FrameConn::connect(&addr).unwrap();
+    assert!(matches!(
+        conn.rpc(&Request::Hello {
+            magic: FABRIC_MAGIC.to_string(),
+            version: FABRIC_VERSION,
+            role: Role::Worker,
+        })
+        .unwrap(),
+        Response::Welcome { .. }
+    ));
+    let resp = conn
+        .rpc(&Request::Complete {
+            campaign,
+            output: straggler_output,
+        })
+        .unwrap();
+    assert!(
+        matches!(resp, Response::Accepted { fresh: false }),
+        "late duplicate must be acked stale, got {resp:?}"
+    );
+    drop(conn);
+
+    // The coordinator survived: the merged result is still served,
+    // unchanged, and the duplicate was counted.
+    let again = client.result(campaign).unwrap().expect("result kept");
+    assert_eq!(
+        serde_json::to_string(&again.findings).unwrap(),
+        serde_json::to_string(&outcome.findings).unwrap()
+    );
+    let counters = client.counters().unwrap();
+    assert!(counters.duplicate_completions >= 1);
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    client.shutdown().unwrap();
+    serve.join().unwrap();
 }
 
 #[test]
