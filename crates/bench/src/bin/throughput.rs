@@ -22,7 +22,16 @@
 //! baseline rate (`bench_results/throughput_baseline_1core.json`) for
 //! cross-run context. Results go to `bench_results/throughput_diff.json`.
 //!
-//! Usage: `throughput [--iters N] [--seed S] [--workers 1,2,4,8] [--quick] [--diff-oracle]`
+//! With `--san-diff` it measures the overhead of the sanitizer
+//! self-validation oracle (`bvf-sancheck`) the same way: a paired
+//! 1-worker run with dual execution off and on. Every accepted program
+//! runs twice (sanitized and unsanitized) plus the comparator, so the
+//! expected slowdown is bounded by ~2x plus comparison cost. Results go
+//! to `bench_results/throughput_san.json`; `--check-regression PCT`
+//! compares the dual-run rate against the committed 1-core baseline
+//! (`bench_results/throughput_san_1core.json`).
+//!
+//! Usage: `throughput [--iters N] [--seed S] [--workers 1,2,4,8] [--quick] [--diff-oracle] [--san-diff]`
 
 use bvf::baseline::GeneratorKind;
 use bvf::fuzz::CampaignConfig;
@@ -128,6 +137,114 @@ fn diff_overhead(iters: usize, seed: u64, quick: bool) {
     );
 }
 
+/// The committed san-diff baseline's (dual-run rate, slowdown), if
+/// readable.
+fn committed_san_baseline() -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string("bench_results/throughput_san_1core.json").ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    Some((
+        v.get("execs_per_sec_on")?.as_f64()?,
+        v.get("slowdown")?.as_f64()?,
+    ))
+}
+
+/// `--san-diff` mode: paired 1-worker runs, dual-execution oracle off
+/// vs on.
+fn san_overhead(iters: usize, seed: u64, quick: bool, max_regression_pct: usize) {
+    let pcfg = ParallelConfig::new(1);
+    let mut cfg = CampaignConfig::new(GeneratorKind::Bvf, iters, seed);
+    // Overhead is measured on the defect-free kernel and sanitizer:
+    // injected defects would add divergence handling and triage to the
+    // per-iteration cost.
+    cfg.bugs = bvf_kernel_sim::BugSet::none();
+    let off = run_sharded(&cfg, &pcfg);
+    cfg.san_diff = true;
+    let on = run_sharded(&cfg, &pcfg);
+
+    let rate = |wall_ns: u64| iters as f64 / (wall_ns as f64 / 1e9);
+    let rate_off = rate(off.wall_ns);
+    let rate_on = rate(on.wall_ns);
+    let slowdown = on.wall_ns as f64 / off.wall_ns as f64;
+    let san = &on.result.san;
+
+    let mut rows = vec![
+        vec![
+            "off".to_string(),
+            format!("{rate_off:.0}"),
+            "1.00x".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "on".to_string(),
+            format!("{rate_on:.0}"),
+            format!("{slowdown:.2}x"),
+            format!("{} dual runs", san.runs),
+        ],
+    ];
+    let baseline = committed_san_baseline();
+    if let Some((b_rate, b_slowdown)) = baseline {
+        rows.push(vec![
+            "committed 1-core baseline".to_string(),
+            format!("{b_rate:.0}"),
+            format!("{b_slowdown:.2}x"),
+            "dual runs on".to_string(),
+        ]);
+    }
+
+    println!("\nsancheck dual-execution overhead ({iters} iterations, 1 worker)\n");
+    println!(
+        "{}",
+        render_table(&["San diff", "Execs/sec", "Wall ratio", "Checked"], &rows)
+    );
+    assert_eq!(
+        san.divergences, 0,
+        "defect-free sanitizer must not diverge during the overhead run"
+    );
+
+    save_json(
+        "throughput_san.json",
+        &serde_json::json!({
+            "iters": iters,
+            "seed": seed,
+            "quick": quick,
+            "execs_per_sec_off": rate_off,
+            "execs_per_sec_on": rate_on,
+            "wall_ns_off": off.wall_ns,
+            "wall_ns_on": on.wall_ns,
+            "slowdown": slowdown,
+            "dual_runs": san.runs,
+            "divergences": san.divergences,
+            "committed_baseline_execs_per_sec": baseline.map(|(r, _)| r),
+            "committed_baseline_slowdown": baseline.map(|(_, s)| s),
+        }),
+    );
+
+    // The gate compares the *overhead ratio* (dual-run wall / single-run
+    // wall), not the absolute rate: the slowdown is stable across
+    // iteration counts and host speeds, while execs/sec is neither.
+    if max_regression_pct > 0 {
+        let (_, base_slowdown) = baseline.unwrap_or_else(|| {
+            eprintln!(
+                "--check-regression needs a readable \
+                 bench_results/throughput_san_1core.json"
+            );
+            std::process::exit(2);
+        });
+        let ratio = slowdown / base_slowdown;
+        let ceiling = 1.0 + max_regression_pct as f64 / 100.0;
+        assert!(
+            ratio <= ceiling,
+            "san-diff overhead regressed beyond {max_regression_pct}%: \
+             slowdown {slowdown:.2}x vs committed {base_slowdown:.2}x \
+             ({ratio:.2}x, ceiling {ceiling:.2}x)"
+        );
+        eprintln!(
+            "regression check passed: slowdown {slowdown:.2}x vs committed \
+             {base_slowdown:.2}x ({ratio:.2}x, ceiling {ceiling:.2}x)"
+        );
+    }
+}
+
 fn main() {
     let quick = arg_flag("--quick");
     let iters = arg_usize("--iters", if quick { 2_000 } else { 20_000 });
@@ -138,6 +255,10 @@ fn main() {
     let max_regression_pct = arg_usize("--check-regression", 0);
     if arg_flag("--diff-oracle") {
         diff_overhead(iters, seed, quick);
+        return;
+    }
+    if arg_flag("--san-diff") {
+        san_overhead(iters, seed, quick, max_regression_pct);
         return;
     }
     let workers = arg_worker_list(if quick { &[1, 2] } else { &[1, 2, 4, 8] });

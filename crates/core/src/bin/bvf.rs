@@ -4,6 +4,7 @@
 //! bvf fuzz    [--iters N] [--seed S] [--generator bvf|syzkaller|buzzer|buzzer-random]
 //!             [--bugs all|none|<name,...>] [--version v5.15|v6.1|bpf-next]
 //!             [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle] [--steer]
+//!             [--san-diff] [--san-defect LIST]
 //!             [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]
 //!             [--chaos S] [--corpus-in FILE] [--corpus-out FILE]
 //!             [--trace-out FILE] [--json-out FILE] [--stats-every N]
@@ -15,9 +16,10 @@
 //! bvf corpus import <snap.json>... [--out FILE]
 //! bvf corpus info   <snap.json>
 //! bvf replay  <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
-//!             [--diff-oracle]
+//!             [--diff-oracle] [--san-diff] [--san-defect LIST]
 //! bvf minimize <scenario.json> [--bugs ...] [--version ...] [--no-sanitize]
-//!             [--diff-oracle] [--out FILE]
+//!             [--diff-oracle] [--san-diff] [--san-defect LIST] [--out FILE]
+//! bvf sancheck [--matrix] [--version ...] [--json-out FILE]
 //! bvf disasm  <scenario.json | program.bin>
 //! bvf bugs    # list injectable defects
 //! ```
@@ -92,12 +94,13 @@ use bvf::corpus::CorpusSnapshot;
 use bvf::fuzz::{
     report_signature, run_campaign_with_telemetry, CampaignConfig, CampaignResult, FindingRecord,
 };
-use bvf::minimize::minimize_finding_jobs;
-use bvf::oracle::{judge, triage};
-use bvf::scenario::{run_scenario, run_scenario_diff, Scenario};
+use bvf::minimize::{minimize_finding_jobs, minimize_finding_san};
+use bvf::oracle::{judge, triage_san_defects, triage_with_defects};
+use bvf::sanmatrix::run_matrix;
+use bvf::scenario::{run_scenario, run_scenario_diff, run_scenario_san_diff, Scenario};
 use bvf_campaign::{run_sharded, ParallelConfig};
 use bvf_fabric::{run_worker, Client, Coordinator, CoordinatorOptions, FabricError, WorkerOptions};
-use bvf_kernel_sim::{BugId, BugSet};
+use bvf_kernel_sim::{BugId, BugSet, KernelReport, SanDefect, SanDefectSet};
 use bvf_telemetry::{JsonlSink, NullSink, Registry, Telemetry, TraceEvent, TraceSink};
 use bvf_verifier::KernelVersion;
 
@@ -106,7 +109,7 @@ fn usage() -> ! {
         "usage:\n  \
          bvf fuzz   [--iters N] [--seed S] [--generator G] [--bugs SPEC] [--version V]\n             \
          [--no-sanitize] [--no-triage] [--no-feedback] [--diff-oracle] [--steer]\n             \
-         [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]\n             \
+         [--san-diff] [--san-defect LIST] [--workers N] [--batch-len N] [--exchange-every N] [--exchange-batch N]\n             \
          [--chaos S] [--corpus-in FILE] [--corpus-out FILE]\n             \
          [--trace-out FILE] [--json-out FILE] [--stats-every N]\n             \
          [--snapshot-every N] [--save-findings DIR] [--remote ADDR]\n  \
@@ -116,9 +119,11 @@ fn usage() -> ! {
          bvf corpus export --out FILE [fuzz options]\n  \
          bvf corpus import <snap.json>... [--out FILE]\n  \
          bvf corpus info <snap.json>\n  \
-         bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize] [--diff-oracle]\n  \
+         bvf replay <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize] [--diff-oracle]\n             \
+         [--san-diff] [--san-defect LIST]\n  \
          bvf minimize <scenario.json> [--bugs SPEC] [--version V] [--no-sanitize]\n             \
-         [--diff-oracle] [--jobs N] [--out FILE]\n  \
+         [--diff-oracle] [--san-diff] [--san-defect LIST] [--jobs N] [--out FILE]\n  \
+         bvf sancheck [--matrix] [--version V] [--json-out FILE]\n  \
          bvf disasm <scenario.json|program.bin>\n  \
          bvf bugs"
     );
@@ -217,6 +222,27 @@ fn parse_version(spec: &str) -> KernelVersion {
     }
 }
 
+fn parse_san_defects(spec: &str) -> SanDefectSet {
+    let mut set = SanDefectSet::none();
+    for part in spec.split(',') {
+        match SanDefect::from_name(part) {
+            Some(d) => set.enable(d),
+            None => {
+                eprintln!(
+                    "unknown sanitizer defect {part:?}; known: {}",
+                    SanDefect::ALL
+                        .iter()
+                        .map(|d| d.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                exit(2);
+            }
+        }
+    }
+    set
+}
+
 fn parse_generator(spec: &str) -> GeneratorKind {
     match spec {
         "bvf" => GeneratorKind::Bvf,
@@ -291,6 +317,14 @@ fn campaign_config(args: &Args) -> CampaignConfig {
     cfg.feedback = !args.flag("--no-feedback");
     cfg.diff_oracle = args.flag("--diff-oracle");
     cfg.steer = args.flag("--steer");
+    cfg.san_diff = args.flag("--san-diff");
+    if let Some(spec) = args.opt("--san-defect") {
+        cfg.san_defects = parse_san_defects(spec);
+        if !cfg.san_diff {
+            eprintln!("--san-defect requires --san-diff (defects only matter to the dual-execution oracle)");
+            exit(2);
+        }
+    }
     if let Some(n) = args.opt("--snapshot-every").and_then(|v| v.parse().ok()) {
         cfg.snapshot_every = std::cmp::max(n, 1);
     }
@@ -420,6 +454,19 @@ fn cmd_fuzz(args: &Args) {
             r.diff.steps_skipped_emitted,
             r.diff.steps_skipped_unrecorded,
             r.diff.divergences
+        );
+    }
+    if cfg.san_diff {
+        println!(
+            "sancheck: {} dual runs, {} divergences (exec {}, step {}, abort {}, masked {}, unchecked {}, fault-meta {})",
+            r.san.runs,
+            r.san.divergences,
+            r.san.exec_mismatch,
+            r.san.step_mismatch,
+            r.san.san_abort,
+            r.san.masked_fault,
+            r.san.unchecked_access,
+            r.san.fault_meta_mismatch
         );
     }
     for (phase, name) in [
@@ -679,6 +726,17 @@ fn cmd_replay(args: &Args, path: &str) {
         .unwrap_or(KernelVersion::BpfNext);
     let sanitize = !args.flag("--no-sanitize");
     let diff = args.flag("--diff-oracle");
+    let san_diff = args.flag("--san-diff");
+    let san_defects = args
+        .opt("--san-defect")
+        .map(parse_san_defects)
+        .unwrap_or_else(SanDefectSet::none);
+    if !san_defects.is_empty() && !san_diff {
+        eprintln!(
+            "--san-defect requires --san-diff (defects only matter to the dual-execution oracle)"
+        );
+        exit(2);
+    }
 
     println!(
         "program ({:?}, trigger {:?}):\n{}",
@@ -686,7 +744,9 @@ fn cmd_replay(args: &Args, path: &str) {
         scenario.trigger,
         scenario.prog.dump()
     );
-    let out = if diff {
+    let out = if san_diff {
+        run_scenario_san_diff(&scenario, &bugs, version, san_defects)
+    } else if diff {
         run_scenario_diff(&scenario, &bugs, version, sanitize)
     } else {
         run_scenario(&scenario, &bugs, version, sanitize)
@@ -710,6 +770,12 @@ fn cmd_replay(args: &Args, path: &str) {
             out.diff.steps_checked, out.diff.regs_checked, out.diff.divergences
         );
     }
+    if san_diff {
+        println!(
+            "sancheck: {} dual runs, {} divergences",
+            out.san.runs, out.san.divergences
+        );
+    }
     for r in &out.reports {
         println!("report: {}", r.summary());
     }
@@ -719,8 +785,20 @@ fn cmd_replay(args: &Args, path: &str) {
         println!("\noracle: indicator {:?} triggered", f.indicator);
         println!("signature: {}", report_signature(f.indicator, &f.reports));
         println!("running triage...");
-        let culprits = triage(&f, &bugs, version, sanitize);
+        let culprits = triage_with_defects(&f, &bugs, version, sanitize, san_defects);
         println!("culprits: {culprits:?}");
+        if san_diff
+            && !san_defects.is_empty()
+            && f.reports
+                .iter()
+                .any(|r| matches!(r, KernelReport::SanitizerDivergence { .. }))
+        {
+            let sd = triage_san_defects(&f, &bugs, version, san_defects);
+            println!(
+                "sanitizer-defect culprits: {:?}",
+                sd.iter().map(|d| d.name()).collect::<Vec<_>>()
+            );
+        }
     } else {
         println!("\noracle: no finding");
     }
@@ -738,6 +816,17 @@ fn cmd_minimize(args: &Args, path: &str) {
         .unwrap_or(KernelVersion::BpfNext);
     let sanitize = !args.flag("--no-sanitize");
     let diff = args.flag("--diff-oracle");
+    let san_diff = args.flag("--san-diff");
+    let san_defects = args
+        .opt("--san-defect")
+        .map(parse_san_defects)
+        .unwrap_or_else(SanDefectSet::none);
+    if !san_defects.is_empty() && !san_diff {
+        eprintln!(
+            "--san-defect requires --san-diff (defects only matter to the dual-execution oracle)"
+        );
+        exit(2);
+    }
     let jobs: usize = args
         .opt("--jobs")
         .map(|s| {
@@ -749,7 +838,12 @@ fn cmd_minimize(args: &Args, path: &str) {
         .unwrap_or(1)
         .max(1);
 
-    let out = match minimize_finding_jobs(&scenario, &bugs, version, sanitize, diff, jobs) {
+    let minimized = if san_diff {
+        minimize_finding_san(&scenario, &bugs, version, san_defects, jobs)
+    } else {
+        minimize_finding_jobs(&scenario, &bugs, version, sanitize, diff, jobs)
+    };
+    let out = match minimized {
         Ok(out) => out,
         Err(e) => {
             eprintln!("cannot minimize: {e}");
@@ -777,6 +871,70 @@ fn cmd_minimize(args: &Args, path: &str) {
         exit(1);
     });
     println!("saved {out_path}");
+}
+
+fn cmd_sancheck(args: &Args) {
+    let version = args
+        .opt("--version")
+        .map(parse_version)
+        .unwrap_or(KernelVersion::BpfNext);
+    // `--matrix` is the documented spelling; a bare `bvf sancheck` runs
+    // the same defect matrix.
+    let _ = args.flag("--matrix");
+
+    let out = run_matrix(version);
+    println!("sanitizer-defect matrix ({version:?}):");
+    let mut divergences = 0u64;
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &out.results {
+        if r.diverged_armed {
+            divergences += 1;
+        }
+        if r.diverged_healed {
+            divergences += 1;
+        }
+        if let Some(k) = r.kind {
+            *kinds.entry(k.name().to_string()).or_insert(0) += 1;
+        }
+        let verdict = if r.caught() { "CAUGHT" } else { "ESCAPED" };
+        println!(
+            "  {:20} armed={:5} healed={:5} kind={:18} {}",
+            r.defect.name(),
+            r.diverged_armed,
+            r.diverged_healed,
+            r.kind.map(|k| k.name()).unwrap_or("-"),
+            verdict
+        );
+    }
+    let escaped = out.escaped();
+    println!(
+        "matrix: {}/{} defect classes caught",
+        out.results.len() - escaped.len(),
+        out.results.len()
+    );
+
+    if let Some(path) = args.opt("--json-out") {
+        let stats = bvf_telemetry::SancheckStats {
+            runs: 2 * out.results.len() as u64,
+            divergences,
+            kinds,
+            matrix_hits: out.hits(),
+        };
+        let json = serde_json::to_string_pretty(&stats).unwrap();
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("saved {path}");
+    }
+
+    if !escaped.is_empty() {
+        eprintln!(
+            "ESCAPED: {:?}",
+            escaped.iter().map(|d| d.name()).collect::<Vec<_>>()
+        );
+        exit(1);
+    }
 }
 
 fn cmd_disasm(path: &str) {
@@ -984,6 +1142,7 @@ fn main() {
             _ => usage(),
         },
         "corpus" => cmd_corpus(&args, &argv),
+        "sancheck" => cmd_sancheck(&args),
         "bugs" => cmd_bugs(),
         _ => usage(),
     }

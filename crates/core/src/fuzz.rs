@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use bvf_kernel_sim::{BugId, BugSet, KernelReport};
+use bvf_kernel_sim::{BugId, BugSet, KernelReport, SanDefectSet};
 use bvf_runtime::{BpfError, ExecScratch};
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::stats::STATS_SCHEMA_VERSION;
@@ -50,9 +50,10 @@ use crate::baseline::{
 };
 use crate::gen::{GenConfig, StructuredGen};
 use bvf_diff::DiffStats;
+use bvf_sancheck::SanStats;
 
-use crate::oracle::{judge, triage, Finding, Indicator};
-use crate::scenario::{run_scenario_scratch, Scenario};
+use crate::oracle::{judge, triage_with_defects, Finding, Indicator};
+use crate::scenario::{run_scenario_san_diff_with, run_scenario_scratch, Scenario};
 
 /// Global cap on feedback-corpus retention (seed view + local additions).
 pub const CORPUS_CAP: usize = 4096;
@@ -120,6 +121,16 @@ pub struct CampaignConfig {
     /// at any worker count. Off by default; the unsteered path is
     /// byte-identical to a build without steering.
     pub steer: bool,
+    /// Whether the sanitizer self-validation oracle (`bvf fuzz
+    /// --san-diff`) is armed: every iteration runs twice on the same
+    /// kernel — sanitized and unsanitized — and any disagreement beyond
+    /// the documented instrumentation delta becomes a
+    /// [`KernelReport::SanitizerDivergence`] finding.
+    pub san_diff: bool,
+    /// Seeded sanitizer defects armed in both runs' kernels (the
+    /// `bvf sancheck` matrix; empty for real campaigns, where any
+    /// divergence indicts the sanitizer itself).
+    pub san_defects: SanDefectSet,
 }
 
 impl CampaignConfig {
@@ -142,6 +153,8 @@ impl CampaignConfig {
             exchange_batch: 8,
             base: BatchSeed::default(),
             steer: false,
+            san_diff: false,
+            san_defects: SanDefectSet::none(),
         }
     }
 }
@@ -201,6 +214,9 @@ pub struct CampaignResult {
     /// Differential-oracle counters summed over all iterations (all
     /// zero unless [`CampaignConfig::diff_oracle`] was set).
     pub diff: DiffStats,
+    /// Sanitizer self-validation counters summed over all iterations
+    /// (all zero unless [`CampaignConfig::san_diff`] was set).
+    pub san: SanStats,
 }
 
 impl CampaignResult {
@@ -218,6 +234,20 @@ impl CampaignResult {
     /// bench binaries. `metrics` is the registry the campaign's
     /// [`Telemetry`] accumulated (pass a fresh one if none was kept).
     pub fn to_stats(&self, seed: u64, metrics: Registry) -> CampaignStats {
+        use bvf_kernel_sim::SanDivergenceKind as K;
+        let mut kinds = BTreeMap::new();
+        for (kind, count) in [
+            (K::ExecMismatch, self.san.exec_mismatch),
+            (K::StepMismatch, self.san.step_mismatch),
+            (K::SanAbort, self.san.san_abort),
+            (K::MaskedFault, self.san.masked_fault),
+            (K::UncheckedAccess, self.san.unchecked_access),
+            (K::FaultMetaMismatch, self.san.fault_meta_mismatch),
+        ] {
+            if count > 0 {
+                kinds.insert(kind.name().to_string(), count);
+            }
+        }
         CampaignStats {
             schema: STATS_SCHEMA_VERSION,
             generator: self.generator.name().to_string(),
@@ -238,6 +268,12 @@ impl CampaignResult {
             alu_jmp_share: self.alu_jmp_share,
             avg_prog_len: self.avg_prog_len,
             timeline: self.timeline.clone(),
+            sancheck: bvf_telemetry::SancheckStats {
+                runs: self.san.runs,
+                divergences: self.san.divergences,
+                kinds,
+                matrix_hits: BTreeMap::new(),
+            },
             metrics,
         }
     }
@@ -271,6 +307,11 @@ pub fn report_signature(indicator: Indicator, reports: &[KernelReport]) -> Strin
             // Concrete values and instruction indices vary per program;
             // the diverging register is what characterizes the defect.
             KernelReport::StateDivergence { reg, .. } => format!("statediv:r{reg}"),
+            // The detail string embeds per-run values; the divergence
+            // kind is the stable defect characterization.
+            KernelReport::SanitizerDivergence { kind, .. } => {
+                format!("sandiv:{}", kind.name())
+            }
         })
         .collect();
     parts.sort();
@@ -728,6 +769,9 @@ pub struct BatchOutput {
     /// Differential-oracle counters this batch accumulated; all fields
     /// are additive, so the merge folds them by summation.
     pub diff: DiffStats,
+    /// Sanitizer self-validation counters this batch accumulated;
+    /// additive like `diff`.
+    pub san: SanStats,
 }
 
 impl BatchOutput {
@@ -780,6 +824,7 @@ pub struct CampaignWorker {
     alu_share_sum: f64,
     len_sum: usize,
     diff: DiffStats,
+    san: SanStats,
 }
 
 impl CampaignWorker {
@@ -816,6 +861,7 @@ impl CampaignWorker {
             alu_share_sum: 0.0,
             len_sum: 0,
             diff: DiffStats::default(),
+            san: SanStats::default(),
             cfg,
         }
     }
@@ -955,15 +1001,27 @@ impl CampaignWorker {
             });
         }
 
-        let outcome = run_scenario_scratch(
-            &scenario,
-            &cfg.bugs,
-            cfg.version,
-            cfg.sanitize,
-            cfg.diff_oracle,
-            cfg.prune_index,
-            scratch,
-        );
+        let outcome = if cfg.san_diff {
+            run_scenario_san_diff_with(
+                &scenario,
+                &cfg.bugs,
+                cfg.version,
+                cfg.san_defects,
+                cfg.diff_oracle,
+                cfg.prune_index,
+                Some(scratch),
+            )
+        } else {
+            run_scenario_scratch(
+                &scenario,
+                &cfg.bugs,
+                cfg.version,
+                cfg.sanitize,
+                cfg.diff_oracle,
+                cfg.prune_index,
+                scratch,
+            )
+        };
         if let Some(s) = shape {
             self.shape_stats.generated[s.index()] += 1;
         }
@@ -1040,6 +1098,13 @@ impl CampaignWorker {
             }
         }
 
+        if cfg.san_diff {
+            self.san.merge(&outcome.san);
+            tel.registry.add("sancheck.runs", outcome.san.runs);
+            tel.registry
+                .add("sancheck.divergences", outcome.san.divergences);
+        }
+
         if let Some(halt) = outcome.halt {
             tel.registry.record("exec.steps", outcome.exec_steps);
             tel.registry.add("exec.helper_calls", outcome.helper_calls);
@@ -1077,7 +1142,13 @@ impl CampaignWorker {
                 let t0 = Instant::now();
                 let triaged = cfg.triage && claimed;
                 let culprits = if triaged {
-                    triage(&finding, &cfg.bugs, cfg.version, cfg.sanitize)
+                    triage_with_defects(
+                        &finding,
+                        &cfg.bugs,
+                        cfg.version,
+                        cfg.sanitize,
+                        cfg.san_defects,
+                    )
                 } else {
                     Vec::new()
                 };
@@ -1130,6 +1201,7 @@ impl CampaignWorker {
             alu_share_sum: self.alu_share_sum,
             len_sum: self.len_sum,
             diff: self.diff,
+            san: self.san,
         }
     }
 }
@@ -1172,6 +1244,7 @@ pub fn merge_batches(
     let mut len_sum = 0usize;
     let mut corpus_len = 0usize;
     let mut diff = DiffStats::default();
+    let mut san = SanStats::default();
     let snap = cfg.snapshot_every.max(1);
     let mut last_bucket = None;
     let total = outputs.len();
@@ -1196,6 +1269,7 @@ pub fn merge_batches(
         len_sum += o.len_sum;
         corpus_len += o.fresh_corpus.len();
         diff.merge(&o.diff);
+        san.merge(&o.san);
         // One timeline point per snapshot bucket crossed, plus the
         // campaign end.
         let end = o.start + o.iterations;
@@ -1207,7 +1281,13 @@ pub fn merge_batches(
     }
     for f in &mut findings {
         if cfg.triage && !f.triaged {
-            f.culprits = triage(&f.finding, &cfg.bugs, cfg.version, cfg.sanitize);
+            f.culprits = triage_with_defects(
+                &f.finding,
+                &cfg.bugs,
+                cfg.version,
+                cfg.sanitize,
+                cfg.san_defects,
+            );
             f.triaged = true;
             stats.merge_triaged += 1;
         }
@@ -1232,6 +1312,7 @@ pub fn merge_batches(
             avg_prog_len: len_sum as f64 / denom,
             corpus_len,
             diff,
+            san,
         },
         stats,
     )

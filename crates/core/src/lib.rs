@@ -39,6 +39,7 @@ pub mod fuzz;
 pub mod gen;
 pub mod minimize;
 pub mod oracle;
+pub mod sanmatrix;
 pub mod scenario;
 
 pub use baseline::{GenShape, GeneratorKind};
@@ -48,9 +49,12 @@ pub use fuzz::{
     CorpusLedger, MergeStats, ShapeStats,
 };
 pub use gen::{GenConfig, StructuredGen};
-pub use minimize::{minimize_finding, MinimizeOutcome};
-pub use oracle::{classify_report, judge, triage, Finding, Indicator};
+pub use minimize::{minimize_finding, minimize_finding_san, MinimizeOutcome};
+pub use oracle::{
+    classify_report, judge, triage, triage_san_defects, triage_with_defects, Finding, Indicator,
+};
+pub use sanmatrix::{run_matrix, run_matrix_case, MatrixCaseResult, MatrixOutcome};
 pub use scenario::{
-    run_scenario, run_scenario_diff, run_scenario_scratch, run_scenario_with, Scenario,
-    ScenarioOutcome, Trigger,
+    run_scenario, run_scenario_diff, run_scenario_san_diff, run_scenario_san_diff_with,
+    run_scenario_scratch, run_scenario_with, Scenario, ScenarioOutcome, Trigger,
 };

@@ -16,12 +16,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bvf_isa::{asm, Program};
-use bvf_kernel_sim::BugSet;
+use bvf_kernel_sim::{BugSet, SanDefectSet};
 use bvf_verifier::KernelVersion;
 
 use crate::fuzz::report_signature;
 use crate::oracle::judge;
-use crate::scenario::{run_scenario, run_scenario_diff, Scenario};
+use crate::scenario::{run_scenario, run_scenario_diff, run_scenario_san_diff, Scenario};
 
 /// What one minimization run produced.
 #[derive(Debug)]
@@ -135,7 +135,6 @@ pub fn minimize_finding_jobs(
     diff_oracle: bool,
     jobs: usize,
 ) -> Result<MinimizeOutcome, String> {
-    let jobs = jobs.max(1);
     let signature_of = |s: &Scenario| -> Option<String> {
         let out = if diff_oracle {
             run_scenario_diff(s, bugs, version, sanitize)
@@ -144,11 +143,42 @@ pub fn minimize_finding_jobs(
         };
         judge(s, &out).map(|f| report_signature(f.indicator, &f.reports))
     };
+    minimize_with(scenario, jobs, &signature_of)
+}
 
+/// [`minimize_finding_jobs`] for findings produced by the `bvf-sancheck`
+/// dual-execution oracle (`bvf minimize --san-diff`): every candidate is
+/// replayed sanitized *and* unsanitized via [`run_scenario_san_diff`],
+/// so `sandiv:*` signature components are reproducible and the reduction
+/// keeps exactly the instructions the divergence depends on.
+pub fn minimize_finding_san(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    defects: SanDefectSet,
+    jobs: usize,
+) -> Result<MinimizeOutcome, String> {
+    let signature_of = |s: &Scenario| -> Option<String> {
+        let out = run_scenario_san_diff(s, bugs, version, defects);
+        judge(s, &out).map(|f| report_signature(f.indicator, &f.reports))
+    };
+    minimize_with(scenario, jobs, &signature_of)
+}
+
+/// The shared ddmin harness: neutralize-and-replay under the given
+/// signature function until a minimal kept-unit set reproduces the
+/// original signature.
+fn minimize_with(
+    scenario: &Scenario,
+    jobs: usize,
+    signature_of: &(dyn Fn(&Scenario) -> Option<String> + Sync),
+) -> Result<MinimizeOutcome, String> {
+    let jobs = jobs.max(1);
     let Some(target) = signature_of(scenario) else {
         return Err(
             "scenario produces no finding under this configuration (check --bugs, \
-             --version, --no-sanitize, and --diff-oracle match the original campaign)"
+             --version, --no-sanitize, --diff-oracle, and --san-diff match the \
+             original campaign)"
                 .to_string(),
         );
     };

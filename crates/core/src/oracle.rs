@@ -20,10 +20,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use bvf_kernel_sim::{BugId, BugSet, KernelReport, ReportOrigin};
+use bvf_kernel_sim::{BugId, BugSet, KernelReport, ReportOrigin, SanDefect, SanDefectSet};
 use bvf_verifier::KernelVersion;
 
-use crate::scenario::{run_scenario, run_scenario_diff, Scenario, ScenarioOutcome};
+use crate::scenario::{
+    run_scenario, run_scenario_diff, run_scenario_san_diff, Scenario, ScenarioOutcome,
+};
 
 /// The correctness-bug indicators (plus the syscall-level bucket for
 /// findings like bug #8 that are not program-behavior bugs).
@@ -72,6 +74,10 @@ pub fn classify_report(report: &KernelReport) -> Indicator {
         | KernelReport::Panic { .. }
         | KernelReport::EnvMismatch { .. } => Indicator::Two,
         KernelReport::StateDivergence { .. } => Indicator::Three,
+        // A sanitized/unsanitized behavioral split is evidence the
+        // instrumentation itself altered (or failed to check) a program
+        // access: classify with the program-level indicator.
+        KernelReport::SanitizerDivergence { .. } => Indicator::One,
         KernelReport::Warn { .. } => Indicator::Syscall,
     }
 }
@@ -117,7 +123,26 @@ pub fn triage(
     version: KernelVersion,
     sanitize: bool,
 ) -> Vec<BugId> {
+    triage_with_defects(finding, enabled, version, sanitize, SanDefectSet::none())
+}
+
+/// [`triage`] for campaigns running the sanitizer self-check: findings
+/// whose reports contain a [`KernelReport::SanitizerDivergence`] only
+/// exist under the dual-execution oracle, so their replays go through
+/// [`run_scenario_san_diff`] with the campaign's injected sanitizer
+/// defects re-armed.
+pub fn triage_with_defects(
+    finding: &Finding,
+    enabled: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    san_defects: SanDefectSet,
+) -> Vec<BugId> {
     let diff = finding.indicator == Indicator::Three;
+    let san = finding
+        .reports
+        .iter()
+        .any(|r| matches!(r, KernelReport::SanitizerDivergence { .. }));
     let mut culprits = Vec::new();
     for bug in enabled.iter() {
         let mut patched = enabled.clone();
@@ -125,13 +150,22 @@ pub fn triage(
         // An Indicator #3 finding only exists under the differential
         // oracle, so its replays must re-arm it — and what must
         // disappear is specifically the state divergence, not any
-        // incidental report.
-        let outcome = if diff {
+        // incidental report. Likewise a sanitizer-divergence finding
+        // must be replayed under the dual-execution oracle.
+        let outcome = if san {
+            run_scenario_san_diff(&finding.scenario, &patched, version, san_defects)
+        } else if diff {
             run_scenario_diff(&finding.scenario, &patched, version, sanitize)
         } else {
             run_scenario(&finding.scenario, &patched, version, sanitize)
         };
-        let still_finds = if diff {
+        let still_finds = if san {
+            outcome.accepted()
+                && outcome
+                    .reports
+                    .iter()
+                    .any(|r| matches!(r, KernelReport::SanitizerDivergence { .. }))
+        } else if diff {
             outcome.accepted()
                 && outcome
                     .reports
@@ -142,6 +176,42 @@ pub fn triage(
         };
         if !still_finds {
             culprits.push(bug);
+        }
+    }
+    culprits
+}
+
+/// Triage over the *sanitizer-defect* axis: for each armed sanitizer
+/// defect, replay the dual-execution scenario with that defect healed;
+/// the defects whose removal flips the divergence verdict are the ones
+/// the finding depends on. This is the sancheck analogue of kernel-bug
+/// triage — it answers "which seeded sanitizer bug did this reproducer
+/// actually catch?".
+pub fn triage_san_defects(
+    finding: &Finding,
+    bugs: &BugSet,
+    version: KernelVersion,
+    armed: SanDefectSet,
+) -> Vec<SanDefect> {
+    let diverged = |outcome: &ScenarioOutcome| {
+        outcome
+            .reports
+            .iter()
+            .any(|r| matches!(r, KernelReport::SanitizerDivergence { .. }))
+    };
+    let baseline = diverged(&run_scenario_san_diff(
+        &finding.scenario,
+        bugs,
+        version,
+        armed,
+    ));
+    let mut culprits = Vec::new();
+    for defect in armed.iter() {
+        let mut healed = armed;
+        healed.disable(defect);
+        let outcome = run_scenario_san_diff(&finding.scenario, bugs, version, healed);
+        if diverged(&outcome) != baseline {
+            culprits.push(defect);
         }
     }
     culprits

@@ -13,8 +13,9 @@ use bvf_isa::Program;
 use bvf_kernel_sim::map::{MapDef, MapType};
 use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
-use bvf_kernel_sim::{BugSet, KernelReport};
+use bvf_kernel_sim::{BugSet, KernelReport, SanDefectSet};
 use bvf_runtime::{Bpf, BpfError, ExecScratch, ExecTrace, HaltReason};
+use bvf_sancheck::{RunView, SanStats};
 use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
 
@@ -123,6 +124,15 @@ pub struct ScenarioOutcome {
     /// via [`run_scenario_diff`]). A divergence also appears in
     /// `reports` as [`KernelReport::StateDivergence`].
     pub diff: DiffStats,
+    /// FNV fold of the observable execution (test-run trigger only).
+    pub exec_hash: u64,
+    /// Executed instructions the sanitation rewrite emitted (test-run
+    /// trigger only; always 0 on unsanitized runs).
+    pub instrumented_steps: u64,
+    /// Sanitizer self-validation counters (all zero unless the scenario
+    /// ran via [`run_scenario_san_diff`]). A divergence also appears in
+    /// `reports` as [`KernelReport::SanitizerDivergence`].
+    pub san: SanStats,
 }
 
 impl ScenarioOutcome {
@@ -205,6 +215,125 @@ pub fn run_scenario_scratch(
     )
 }
 
+/// The `bvf-sancheck` dual-execution oracle: runs the scenario twice on
+/// the same kernel configuration — sanitized, then unsanitized — and
+/// appends any disagreement beyond the documented instrumentation delta
+/// to the sanitized outcome's reports as
+/// [`KernelReport::SanitizerDivergence`].
+///
+/// `defects` arms seeded sanitizer defects in **both** runs' kernels
+/// (defects are kernel properties; sanitation on/off is the differential
+/// axis). Campaigns pass [`SanDefectSet::none`] — on a correct sanitizer
+/// any divergence is a finding.
+pub fn run_scenario_san_diff(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    defects: SanDefectSet,
+) -> ScenarioOutcome {
+    san_diff_inner(scenario, bugs, version, defects, false, true, None)
+}
+
+/// [`run_scenario_san_diff`] with the diff oracle and scratch knobs
+/// explicit (the campaign's `--san-diff` hot path).
+pub fn run_scenario_san_diff_with(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    defects: SanDefectSet,
+    diff_oracle: bool,
+    prune_index: bool,
+    scratch: Option<&mut ExecScratch>,
+) -> ScenarioOutcome {
+    san_diff_inner(
+        scenario,
+        bugs,
+        version,
+        defects,
+        diff_oracle,
+        prune_index,
+        scratch,
+    )
+}
+
+fn san_diff_inner(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    defects: SanDefectSet,
+    diff_oracle: bool,
+    prune_index: bool,
+    mut scratch: Option<&mut ExecScratch>,
+) -> ScenarioOutcome {
+    let mut primary = run_scenario_defects(
+        scenario,
+        bugs,
+        version,
+        true,
+        diff_oracle,
+        prune_index,
+        defects,
+        scratch.as_deref_mut(),
+    );
+    let secondary = run_scenario_defects(
+        scenario,
+        bugs,
+        version,
+        false,
+        false,
+        prune_index,
+        defects,
+        scratch,
+    );
+
+    let mut san = SanStats::default();
+    if primary.accepted() != secondary.accepted() {
+        // Sanitation must never change the load verdict: instrumentation
+        // happens after verification.
+        san.runs = 1;
+        let kind = bvf_kernel_sim::report::SanDivergenceKind::ExecMismatch;
+        san.record(kind);
+        primary.reports.push(KernelReport::SanitizerDivergence {
+            kind,
+            detail: format!(
+                "load verdicts differ: sanitized accepted={} unsanitized accepted={}",
+                primary.accepted(),
+                secondary.accepted()
+            ),
+        });
+    } else if primary.accepted() {
+        san.runs = 1;
+        let divergences = bvf_sancheck::compare(
+            &RunView {
+                halt: primary.halt,
+                exec_hash: primary.exec_hash,
+                steps: primary.exec_steps,
+                instrumented_steps: primary.instrumented_steps,
+                helper_calls: primary.helper_calls,
+                kfunc_calls: primary.kfunc_calls,
+                reports: &primary.reports,
+            },
+            &RunView {
+                halt: secondary.halt,
+                exec_hash: secondary.exec_hash,
+                steps: secondary.exec_steps,
+                instrumented_steps: secondary.instrumented_steps,
+                helper_calls: secondary.helper_calls,
+                kfunc_calls: secondary.kfunc_calls,
+                reports: &secondary.reports,
+            },
+        );
+        for d in &divergences {
+            if let KernelReport::SanitizerDivergence { kind, .. } = d {
+                san.record(*kind);
+            }
+        }
+        primary.reports.extend(divergences);
+    }
+    primary.san = san;
+    primary
+}
+
 fn run_scenario_inner(
     scenario: &Scenario,
     bugs: &BugSet,
@@ -212,6 +341,29 @@ fn run_scenario_inner(
     sanitize: bool,
     diff_oracle: bool,
     prune_index: bool,
+    scratch: Option<&mut ExecScratch>,
+) -> ScenarioOutcome {
+    run_scenario_defects(
+        scenario,
+        bugs,
+        version,
+        sanitize,
+        diff_oracle,
+        prune_index,
+        SanDefectSet::none(),
+        scratch,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario_defects(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    diff_oracle: bool,
+    prune_index: bool,
+    defects: SanDefectSet,
     mut scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     let opts = VerifierOpts {
@@ -222,10 +374,11 @@ fn run_scenario_inner(
     };
     // Boot a fuzzing-sized kernel (smaller pool for iteration speed),
     // recycling the previous iteration's buffers when a scratch is given.
-    let kernel = match scratch.as_deref_mut() {
+    let mut kernel = match scratch.as_deref_mut() {
         Some(s) => s.boot_kernel(bugs.clone(), FUZZ_POOL_SIZE),
         None => bvf_kernel_sim::Kernel::with_pool_size(bugs.clone(), FUZZ_POOL_SIZE),
     };
+    kernel.mm.san_defects = defects;
     let mut bpf = Bpf::with_kernel(kernel, opts, sanitize);
     for def in standard_maps() {
         bpf.map_create(def).expect("standard maps fit");
@@ -262,6 +415,8 @@ fn run_scenario_inner(
     let mut helper_calls = 0u64;
     let mut kfunc_calls = 0u64;
     let mut diff = DiffStats::default();
+    let mut exec_hash = 0u64;
+    let mut instrumented_steps = 0u64;
 
     if let Ok(id) = load {
         match scenario.trigger {
@@ -283,6 +438,8 @@ fn run_scenario_inner(
                         exec_steps = run.exec.steps;
                         helper_calls = run.exec.helper_calls;
                         kfunc_calls = run.exec.kfunc_calls;
+                        exec_hash = run.exec.exec_hash;
+                        instrumented_steps = run.exec.instrumented_steps;
                     }
                     Err(_) => {
                         reports.extend(bpf.kernel.end_execution());
@@ -347,6 +504,9 @@ fn run_scenario_inner(
         helper_calls,
         kfunc_calls,
         diff,
+        exec_hash,
+        instrumented_steps,
+        san: SanStats::default(),
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::kasan::{Shadow, POISON_FREED, POISON_REDZONE};
 use crate::mem::{MemPool, Translation, KERNEL_BASE};
 use crate::report::KasanKind;
+use crate::sandefect::{SanDefect, SanDefectSet};
 
 /// Redzone size on each side of an allocation.
 pub const REDZONE: usize = 16;
@@ -62,6 +63,9 @@ pub struct Mm {
     free: Vec<(usize, usize)>,
     /// Freed chunks awaiting reuse.
     quarantine: std::collections::VecDeque<Chunk>,
+    /// Sanitizer defects armed in this kernel build (`bvf-sancheck`
+    /// matrix); empty outside sanitizer self-validation runs.
+    pub san_defects: SanDefectSet,
 }
 
 impl Mm {
@@ -75,6 +79,7 @@ impl Mm {
             live: std::collections::BTreeMap::new(),
             free: vec![(0, len)],
             quarantine: std::collections::VecDeque::new(),
+            san_defects: SanDefectSet::none(),
         }
     }
 
@@ -91,6 +96,7 @@ impl Mm {
         self.free.clear();
         self.free.push((0, len));
         self.quarantine.clear();
+        self.san_defects = SanDefectSet::none();
     }
 
     fn carve(&mut self, chunk_len: usize) -> Option<(usize, usize)> {
@@ -208,8 +214,12 @@ impl Mm {
         let Some(chunk) = self.live.remove(&off) else {
             return false;
         };
-        self.shadow
-            .poison(chunk.data_off, chunk.size.next_multiple_of(8), POISON_FREED);
+        // Injected defect: the free path forgets to repoison the shadow,
+        // leaving the freed chunk readable through the sanitizer.
+        if !self.san_defects.has(SanDefect::StaleShadowFree) {
+            self.shadow
+                .poison(chunk.data_off, chunk.size.next_multiple_of(8), POISON_FREED);
+        }
         self.quarantine.push_back(chunk);
         while self.quarantine.len() > QUARANTINE_DEPTH {
             let old = self.quarantine.pop_front().expect("non-empty");

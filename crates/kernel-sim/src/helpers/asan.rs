@@ -9,6 +9,7 @@
 
 use crate::kernel::Kernel;
 use crate::report::{KasanKind, KernelReport, ReportOrigin};
+use crate::sandefect::SanDefect;
 
 /// Function-id namespace for the sanitizing functions; distinct from
 /// helper ids so user programs can never name them (the verifier rejects
@@ -65,11 +66,23 @@ pub fn asan_mem_check(
     is_write: bool,
     ex_handled: bool,
 ) -> AsanOutcome {
-    match k.mm.kasan_check(addr, size) {
+    // Injected defect: the effective check width runs one byte past the
+    // real access, so accesses ending flush with an allocation trip the
+    // neighboring redzone.
+    let checked_size = if k.mm.san_defects.has(SanDefect::RedzoneWidth) {
+        size + 1
+    } else {
+        size
+    };
+    match k.mm.kasan_check(addr, checked_size) {
         Ok(()) => AsanOutcome::Ok,
         Err(bad) => {
             let faulting = matches!(bad.kind, KasanKind::NullDeref | KasanKind::WildAccess);
-            if ex_handled && faulting {
+            // Injected defect: the extable gate treats *every* flagged
+            // access as fixable — pool-resident poison (OOB/UAF/redzone)
+            // is swallowed along with the genuine extable fixups, so the
+            // sanitizer never aborts.
+            if k.mm.san_defects.has(SanDefect::ExHandledSwallow) || (ex_handled && faulting) {
                 return AsanOutcome::Fixup;
             }
             k.report_kasan_origin(bad, size, is_write, ReportOrigin::ProgramAccess);
@@ -90,8 +103,20 @@ pub fn asan_alu_check(k: &mut Kernel, value: u64, limit: u64, downward: bool, pc
     } else {
         value
     };
-    let ok = (v >= 0) != downward || v == 0;
-    let within = magnitude <= limit;
+    // Injected defect: the direction term is dropped, holding downward
+    // movement to the upward sign rule.
+    let ok = if k.mm.san_defects.has(SanDefect::AluDirectionFlip) {
+        v >= 0
+    } else {
+        (v >= 0) != downward || v == 0
+    };
+    // Injected defect: strict comparison rejects offsets landing exactly
+    // on the verifier-computed limit.
+    let within = if k.mm.san_defects.has(SanDefect::AluBoundFlip) {
+        magnitude < limit
+    } else {
+        magnitude <= limit
+    };
     if ok && within {
         true
     } else {

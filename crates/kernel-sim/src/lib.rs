@@ -37,10 +37,12 @@ pub mod map;
 pub mod mem;
 pub mod progtype;
 pub mod report;
+pub mod sandefect;
 pub mod tracepoint;
 
 pub use alloc::Mm;
 pub use bugs::{BugId, BugSet};
 pub use kernel::Kernel;
-pub use report::{KasanKind, KernelReport, LockdepKind, ReportOrigin};
+pub use report::{KasanKind, KernelReport, LockdepKind, ReportOrigin, SanDivergenceKind};
+pub use sandefect::{SanDefect, SanDefectSet};
 pub use tracepoint::{AttachPoint, Tracepoint};

@@ -132,6 +132,55 @@ pub enum KernelReport {
         /// The concrete value that escaped it.
         concrete: u64,
     },
+    /// The sanitized and unsanitized executions of the same program on
+    /// the same kernel disagreed beyond the documented instrumentation
+    /// delta — evidence that the sanitation layer itself (the instrument
+    /// behind indicator #1) misbehaved. Raised by the `bvf-sancheck`
+    /// dual-execution oracle.
+    SanitizerDivergence {
+        /// Divergence classification.
+        kind: SanDivergenceKind,
+        /// Human-readable rendering of the per-run values that diverged
+        /// (excluded from finding signatures).
+        detail: String,
+    },
+}
+
+/// How the sanitized and unsanitized runs of one program disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SanDivergenceKind {
+    /// Exit values or helper-call traces differ between the runs.
+    ExecMismatch,
+    /// The step counts differ beyond the counted instrumentation
+    /// instructions (sanitized steps minus injected steps must equal the
+    /// unsanitized step count).
+    StepMismatch,
+    /// The sanitizer aborted a program the unsanitized run completes
+    /// cleanly (false-positive shape).
+    SanAbort,
+    /// The unsanitized run faulted while the sanitized run completed
+    /// cleanly — the sanitizer masked a real fault (false-negative shape).
+    MaskedFault,
+    /// The sanitized run took a hard page fault at a program access: the
+    /// sanitizer failed to intercept the access it exists to check.
+    UncheckedAccess,
+    /// Both runs faulted, but the fault metadata (address, read/write
+    /// polarity) disagrees across the documented fault transform.
+    FaultMetaMismatch,
+}
+
+impl SanDivergenceKind {
+    /// Short name used in finding signatures and matrix output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SanDivergenceKind::ExecMismatch => "exec-mismatch",
+            SanDivergenceKind::StepMismatch => "step-mismatch",
+            SanDivergenceKind::SanAbort => "san-abort",
+            SanDivergenceKind::MaskedFault => "masked-fault",
+            SanDivergenceKind::UncheckedAccess => "unchecked-access",
+            SanDivergenceKind::FaultMetaMismatch => "fault-meta-mismatch",
+        }
+    }
 }
 
 impl KernelReport {
@@ -147,7 +196,9 @@ impl KernelReport {
             KernelReport::Kasan { origin, .. }
             | KernelReport::PageFault { origin, .. }
             | KernelReport::Lockdep { origin, .. } => Some(*origin),
-            KernelReport::AluLimitViolation { .. } => Some(ReportOrigin::ProgramAccess),
+            KernelReport::AluLimitViolation { .. } | KernelReport::SanitizerDivergence { .. } => {
+                Some(ReportOrigin::ProgramAccess)
+            }
             _ => None,
         }
     }
@@ -178,6 +229,10 @@ impl KernelReport {
             KernelReport::EnvMismatch { reason } => format!("env mismatch: {reason}"),
             KernelReport::StateDivergence { pc, reg, abstract_state, concrete } => format!(
                 "bvf-diff: state divergence at insn {pc}: r{reg}={concrete:#x} outside proved {abstract_state}"
+            ),
+            KernelReport::SanitizerDivergence { kind, detail } => format!(
+                "bvf-sancheck: sanitizer divergence ({}): {detail}",
+                kind.name()
             ),
         }
     }

@@ -18,9 +18,10 @@ use bvf_kernel_sim::helpers::impls::{call_helper, HelperEnv};
 use bvf_kernel_sim::helpers::kfunc::call_kfunc;
 use bvf_kernel_sim::map::MapStorage;
 use bvf_kernel_sim::progtype::ProgType;
+use bvf_kernel_sim::sandefect::SanDefect;
 use bvf_kernel_sim::tracepoint::Tracepoint;
 use bvf_kernel_sim::Kernel;
-use bvf_verifier::sanitize::EXT_STACK_BYTES;
+use bvf_verifier::sanitize::{EXT_SLOT_R0, EXT_STACK_BYTES};
 use bvf_verifier::InsnMeta;
 
 use bvf_isa::reg::STACK_SIZE;
@@ -127,6 +128,27 @@ pub struct ExecResult {
     pub helper_calls: u64,
     /// Kfunc invocations.
     pub kfunc_calls: u64,
+    /// Executed instructions that the sanitation rewrite emitted (zero on
+    /// an unsanitized image). `steps - instrumented_steps` is the step
+    /// count the same program would take without instrumentation — the
+    /// `bvf-sancheck` step contract.
+    pub instrumented_steps: u64,
+    /// FNV-1a fold of the observable execution: every real helper/kfunc
+    /// invocation's `(id, return)` pair in order, then the exit value.
+    /// Sanitizer check calls are excluded, so sanitized and unsanitized
+    /// runs of one program must agree.
+    pub exec_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one 64-bit word into an FNV-1a accumulator.
+fn fnv_fold(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 #[derive(Clone, Copy)]
@@ -214,6 +236,8 @@ pub fn exec_program_traced(
             halt: HaltReason::DepthLimit,
             helper_calls: 0,
             kfunc_calls: 0,
+            instrumented_steps: 0,
+            exec_hash: FNV_OFFSET,
         };
     }
     let Some(image) = progs.get(prog_id as usize) else {
@@ -223,6 +247,8 @@ pub fn exec_program_traced(
             halt: HaltReason::BadInstruction,
             helper_calls: 0,
             kfunc_calls: 0,
+            instrumented_steps: 0,
+            exec_hash: FNV_OFFSET,
         };
     };
     let mut image = image;
@@ -235,6 +261,8 @@ pub fn exec_program_traced(
             halt: HaltReason::FatalReport,
             helper_calls: 0,
             kfunc_calls: 0,
+            instrumented_steps: 0,
+            exec_hash: FNV_OFFSET,
         };
     };
 
@@ -268,6 +296,8 @@ pub fn exec_program_traced(
     let mut tail_calls = 0u32;
     let mut helper_calls = 0u64;
     let mut kfunc_calls = 0u64;
+    let mut instrumented_steps = 0u64;
+    let mut exec_hash = FNV_OFFSET;
     let mut pc = 0usize;
     let mut halt = HaltReason::Exit;
     let mut r0_out = None;
@@ -283,6 +313,9 @@ pub fn exec_program_traced(
             break;
         };
         let meta = image.meta.get(pc).copied().unwrap_or_default();
+        if meta.emitted_by_rewrite {
+            instrumented_steps += 1;
+        }
         if nframes == 0 {
             if let Some(t) = trace.as_deref_mut() {
                 t.record(pc, &regs);
@@ -470,14 +503,23 @@ pub fn exec_program_traced(
                             orig_pc,
                         ),
                         _ => {
-                            let is_write = id >= asan_ids::STORE_BASE;
-                            let size = 1u64
+                            let is_store = id >= asan_ids::STORE_BASE;
+                            let mut size = 1u64
                                 << (id
-                                    - if is_write {
+                                    - if is_store {
                                         asan_ids::STORE_BASE
                                     } else {
                                         asan_ids::LOAD_BASE
                                     });
+                            // Injected defect: the dispatch decodes the
+                            // access width one power of two short.
+                            if kernel.mm.san_defects.has(SanDefect::LoadSizeConfusion) {
+                                size = (size >> 1).max(1);
+                            }
+                            // Injected defect: read/write polarity flipped
+                            // when deriving `is_write` from the function id.
+                            let is_write =
+                                is_store != kernel.mm.san_defects.has(SanDefect::WritePolarity);
                             let addr = regs[Reg::R1.index()];
                             matches!(
                                 asan::asan_mem_check(kernel, addr, size, is_write, meta.ex_handled),
@@ -488,6 +530,13 @@ pub fn exec_program_traced(
                     if trapped {
                         halt = HaltReason::SanitizerTrap;
                         break 'run;
+                    }
+                    // Injected defect: the check trampoline scribbles over
+                    // the caller's `R0` spill slot, so the restore emitted
+                    // after this call reloads garbage.
+                    if kernel.mm.san_defects.has(SanDefect::ScratchClobber) {
+                        let slot = regs[Reg::R10.index()].wrapping_add_signed(EXT_SLOT_R0 as i64);
+                        kernel.mm.pool.raw_write(slot, 8, 0xdead_5ca7_c10b_be45);
                     }
                     // The sanitizing functions preserve R1-R5 by
                     // construction (the prologue restores R0/R1 anyway).
@@ -506,6 +555,7 @@ pub fn exec_program_traced(
                         fire_tracepoint(k, progs, attach, tp, depth + 1);
                     };
                     let ret = call_helper(kernel, id as u32, args, &mut env, &mut fire);
+                    exec_hash = fnv_fold(fnv_fold(exec_hash, id as u64), ret);
                     regs[Reg::R0.index()] = ret;
                     // Tail call requested and valid: switch programs.
                     if let Some((map_id, index)) = env.tail_call.take() {
@@ -534,7 +584,9 @@ pub fn exec_program_traced(
                         regs[Reg::R4.index()],
                         regs[Reg::R5.index()],
                     ];
-                    regs[Reg::R0.index()] = call_kfunc(kernel, id as u32, args);
+                    let ret = call_kfunc(kernel, id as u32, args);
+                    exec_hash = fnv_fold(fnv_fold(exec_hash, id as u64), ret);
+                    regs[Reg::R0.index()] = ret;
                 }
                 CallTarget::Pseudo(off) => {
                     if nframes >= MAX_FRAMES {
@@ -591,12 +643,17 @@ pub fn exec_program_traced(
     if trig.in_nmi {
         kernel.leave_nmi();
     }
+    if let Some(r0) = r0_out {
+        exec_hash = fnv_fold(exec_hash, r0);
+    }
     ExecResult {
         r0: r0_out,
         steps,
         halt,
         helper_calls,
         kfunc_calls,
+        instrumented_steps,
+        exec_hash,
     }
 }
 

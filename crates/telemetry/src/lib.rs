@@ -36,7 +36,7 @@ pub mod trace;
 pub use fabric::FabricCounters;
 pub use metrics::{Histogram, Registry};
 pub use profile::{PhaseTimings, PruneCounters};
-pub use stats::CampaignStats;
+pub use stats::{CampaignStats, SancheckStats};
 pub use trace::{GenSource, JsonlSink, NullSink, TraceEvent, TraceSink};
 
 use std::io::IsTerminal;

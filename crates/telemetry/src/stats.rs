@@ -14,7 +14,26 @@ use crate::metrics::Registry;
 /// Current value of [`CampaignStats::schema`].
 ///
 /// v2 added `reject_reasons` (typed rejection-taxonomy counters).
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+/// v3 added `sancheck` (sanitizer self-validation counters).
+pub const STATS_SCHEMA_VERSION: u32 = 3;
+
+/// Sanitizer self-validation counters (the `bvf-sancheck` dual-execution
+/// oracle). All zero unless the campaign ran with `--san-diff` (or via
+/// `bvf sancheck`, which additionally fills `matrix_hits`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SancheckStats {
+    /// Dual executions performed (accepted programs run twice).
+    pub runs: u64,
+    /// Total divergences flagged.
+    pub divergences: u64,
+    /// Divergence kind (kebab-case `SanDivergenceKind` name) → count;
+    /// sums to `divergences`.
+    pub kinds: BTreeMap<String, u64>,
+    /// Seeded sanitizer-defect class (kebab-case `SanDefect` name) →
+    /// times its reproducer's verdict flip was observed. Filled by the
+    /// `bvf sancheck` matrix runner; empty for plain campaigns.
+    pub matrix_hits: BTreeMap<String, u64>,
+}
 
 /// Aggregated, serializable results of one fuzzing campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +71,9 @@ pub struct CampaignStats {
     pub avg_prog_len: f64,
     /// Coverage growth: `(iteration, covered_points)`.
     pub timeline: Vec<(usize, usize)>,
+    /// Sanitizer self-validation counters (all zero when `--san-diff`
+    /// was off).
+    pub sancheck: SancheckStats,
     /// Counters, gauges, and histograms accumulated during the run —
     /// including the per-phase verifier timing histograms
     /// (`verify.do_check_ns`, `verify.prune_ns`, ...).
@@ -86,6 +108,12 @@ mod tests {
             alu_jmp_share: 0.4,
             avg_prog_len: 30.0,
             timeline: vec![(0, 10), (9, 321)],
+            sancheck: SancheckStats {
+                runs: 5,
+                divergences: 2,
+                kinds: BTreeMap::from([("san-abort".to_string(), 2)]),
+                matrix_hits: BTreeMap::from([("redzone-width".to_string(), 1)]),
+            },
             metrics,
         };
         let json = serde_json::to_string_pretty(&stats).unwrap();
@@ -93,5 +121,9 @@ mod tests {
         assert_eq!(back, stats);
         // Integer map keys survive JSON's string-keyed objects.
         assert_eq!(back.errno_histogram.get(&13), Some(&3));
+        // The sancheck kind histogram sums to the divergence total,
+        // mirroring the reject_reasons sum invariant.
+        let sum: u64 = back.sancheck.kinds.values().sum();
+        assert_eq!(sum, back.sancheck.divergences);
     }
 }

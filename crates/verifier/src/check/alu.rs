@@ -64,7 +64,7 @@ impl<'a> Verifier<'a> {
                 self.cov.hit(Cat::AluOp, op as u32, is64 as u32);
                 self.check_reg_init(state, src, pc)?;
                 if op == AluOp::Mov {
-                    // `find_equal_scalars` linkage: a 64-bit scalar move
+                    // `sync_linked_regs` linkage: a 64-bit scalar move
                     // makes both registers refer to the same value; give
                     // them a shared id so later range refinements apply
                     // to both.

@@ -1,7 +1,8 @@
 //! Conditional jump analysis (`check_cond_jmp_op`).
 //!
 //! Handles branch-taken evaluation, range refinement in both branches
-//! (`reg_set_min_max`), null-pointer branch resolution
+//! (`reg_set_min_max`), linked-scalar propagation (`sync_linked_regs`,
+//! the kernel's `find_equal_scalars`), null-pointer branch resolution
 //! (`mark_ptr_or_null_regs`), packet-range discovery
 //! (`find_good_pkt_pointers`), and the jump-equality **nullness
 //! propagation** pass in which bug #1 lives.
@@ -73,7 +74,7 @@ impl<'a> Verifier<'a> {
 
         // Both branches live: refine dst (and reg src) in each, then
         // propagate the refinement to every register linked by a shared
-        // scalar id (`find_equal_scalars`).
+        // scalar id (`sync_linked_regs`).
         let mut jump_state = state.clone();
         {
             let (mut d_t, mut s_t) = (dst_state, src_state);
@@ -82,8 +83,8 @@ impl<'a> Verifier<'a> {
             if let Some(r) = src_reg {
                 *jump_state.cur_mut().reg_mut(r) = s_t;
             }
-            find_equal_scalars(&mut jump_state, &d_t);
-            find_equal_scalars(&mut jump_state, &s_t);
+            sync_linked_regs(&mut jump_state, &d_t);
+            sync_linked_regs(&mut jump_state, &s_t);
         }
         {
             let (mut d_f, mut s_f) = (dst_state, src_state);
@@ -92,8 +93,8 @@ impl<'a> Verifier<'a> {
             if let Some(r) = src_reg {
                 *state.cur_mut().reg_mut(r) = s_f;
             }
-            find_equal_scalars(state, &d_f);
-            find_equal_scalars(state, &s_f);
+            sync_linked_regs(state, &d_f);
+            sync_linked_regs(state, &s_f);
         }
         self.cov
             .hit(Cat::JmpRefine, 500, (dst_state.id != 0) as u32);
@@ -301,9 +302,11 @@ impl<'a> Verifier<'a> {
     }
 }
 
-/// `find_equal_scalars`: copies a refined scalar state to every register
-/// sharing its link id (established by 64-bit scalar moves).
-fn find_equal_scalars(state: &mut VerifierState, refined: &RegState) {
+/// The kernel's `find_equal_scalars` (renamed `sync_linked_regs` in
+/// 6.12): copies a refined scalar state to every register sharing its
+/// link id (established by 64-bit scalar moves). A no-op for unlinked
+/// (`id == 0`) or non-scalar refinements.
+pub fn sync_linked_regs(state: &mut VerifierState, refined: &RegState) {
     if refined.id == 0 || refined.typ != RegType::Scalar {
         return;
     }
@@ -420,13 +423,13 @@ pub(crate) fn branch_taken(op: JmpOp, is32: bool, dst: &RegState, src: &RegState
 
 /// `reg_set_min_max`: refines both operand registers for the chosen
 /// branch direction of a comparison.
-pub(crate) fn reg_set_min_max(
-    op: JmpOp,
-    is32: bool,
-    taken: bool,
-    dst: &mut RegState,
-    src: &mut RegState,
-) {
+///
+/// Soundness contract (property-tested in `tests/prop_jump.rs`): for
+/// concrete members `x ∈ γ(dst)`, `y ∈ γ(src)` with `x op y`
+/// evaluating to `taken`, the refined states must still admit `x` and
+/// `y` — refinement narrows the abstraction only along the branch
+/// actually taken.
+pub fn reg_set_min_max(op: JmpOp, is32: bool, taken: bool, dst: &mut RegState, src: &mut RegState) {
     // Translate (op, taken=false) into the complementary relation so the
     // refinement below only handles "relation holds".
     let rel = if taken {

@@ -2,5 +2,5 @@
 
 pub mod alu;
 pub(crate) mod call;
-pub(crate) mod jump;
+pub mod jump;
 pub(crate) mod mem;

@@ -1,0 +1,218 @@
+//! Property tests: conditional-jump refinement soundness.
+//!
+//! [`prop_alu`](./prop_alu.rs) checks the scalar ALU transfer; this
+//! suite checks the two jump-side state transformers:
+//!
+//! - `reg_set_min_max` — branch refinement. For concrete members
+//!   `x ∈ γ(dst)`, `y ∈ γ(src)`, refining both registers for the branch
+//!   that `x op y` actually takes must keep admitting `x` and `y`.
+//!   A violation means the verifier believes a value impossible on a
+//!   path where it occurs — exactly the class of range-analysis bug the
+//!   sanitized `alu_limit` assertions catch at runtime.
+//! - `sync_linked_regs` (the kernel's `find_equal_scalars`) — linked
+//!   registers hold the same runtime value by construction, so copying
+//!   a refined state across the link group must keep admitting that
+//!   shared value, and must never touch unlinked or non-scalar
+//!   registers.
+
+use bvf_isa::{JmpOp, Reg};
+use bvf_verifier::check::jump::{reg_set_min_max, sync_linked_regs};
+use bvf_verifier::state::VerifierState;
+use bvf_verifier::types::RegState;
+use bvf_verifier::Tnum;
+use proptest::prelude::*;
+
+/// The conditional ops `reg_set_min_max` refines (Ja/Call/Exit are not
+/// conditional).
+const OPS: [JmpOp; 11] = [
+    JmpOp::Jeq,
+    JmpOp::Jne,
+    JmpOp::Jgt,
+    JmpOp::Jge,
+    JmpOp::Jlt,
+    JmpOp::Jle,
+    JmpOp::Jsgt,
+    JmpOp::Jsge,
+    JmpOp::Jslt,
+    JmpOp::Jsle,
+    JmpOp::Jset,
+];
+
+/// Does the abstract scalar admit the concrete value? Mirrors the
+/// membership check the differential oracle applies per register.
+fn admits(r: &RegState, v: u64) -> bool {
+    r.var_off.contains(v)
+        && r.umin <= v
+        && v <= r.umax
+        && r.smin <= (v as i64)
+        && (v as i64) <= r.smax
+        && r.var_off.subreg().contains(v as u32 as u64)
+        && r.u32_min <= (v as u32)
+        && (v as u32) <= r.u32_max
+        && r.s32_min <= (v as u32 as i32)
+        && (v as u32 as i32) <= r.s32_max
+}
+
+/// An arbitrary consistent abstract scalar plus one concrete member
+/// (same construction as `prop_alu`).
+fn reg_with_member() -> impl Strategy<Value = (RegState, u64)> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(value, mask, pick_a, pick_b, tighten)| {
+            let value = value & !mask;
+            let a = value | (pick_a & mask);
+            let b = value | (pick_b & mask);
+            let mut r = RegState::unknown_scalar();
+            r.var_off = Tnum::new(value, mask);
+            if tighten {
+                r.umin = a.min(b);
+                r.umax = a.max(b);
+            }
+            r.normalize();
+            (r, a)
+        })
+}
+
+/// The interpreter's concrete comparison semantics: unsigned/signed at
+/// the instruction's bitness, `Jset` as a bitwise test.
+fn concrete_jmp(op: JmpOp, is32: bool, x: u64, y: u64) -> bool {
+    let (xu, yu) = if is32 {
+        (x as u32 as u64, y as u32 as u64)
+    } else {
+        (x, y)
+    };
+    let (xs, ys) = if is32 {
+        (x as u32 as i32 as i64, y as u32 as i32 as i64)
+    } else {
+        (x as i64, y as i64)
+    };
+    match op {
+        JmpOp::Jeq => xu == yu,
+        JmpOp::Jne => xu != yu,
+        JmpOp::Jgt => xu > yu,
+        JmpOp::Jge => xu >= yu,
+        JmpOp::Jlt => xu < yu,
+        JmpOp::Jle => xu <= yu,
+        JmpOp::Jsgt => xs > ys,
+        JmpOp::Jsge => xs >= ys,
+        JmpOp::Jslt => xs < ys,
+        JmpOp::Jsle => xs <= ys,
+        JmpOp::Jset => xu & yu != 0,
+        JmpOp::Ja | JmpOp::Call | JmpOp::Exit => unreachable!("not a conditional"),
+    }
+}
+
+proptest! {
+    /// Refining for the branch the concrete values actually take keeps
+    /// both members admitted, 64-bit.
+    #[test]
+    fn refine64_sound((d, x) in reg_with_member(), (s, y) in reg_with_member(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let taken = concrete_jmp(op, false, x, y);
+        let (mut dr, mut sr) = (d, s);
+        reg_set_min_max(op, false, taken, &mut dr, &mut sr);
+        prop_assert!(
+            admits(&dr, x),
+            "{:?}64 taken={}: dst member {:#x} escapes {} (was {})",
+            op, taken, x, dr.describe(), d.describe()
+        );
+        prop_assert!(
+            admits(&sr, y),
+            "{:?}64 taken={}: src member {:#x} escapes {} (was {})",
+            op, taken, y, sr.describe(), s.describe()
+        );
+    }
+
+    /// Refining for the actually-taken branch keeps both members
+    /// admitted, 32-bit (only the subregister relation is decided).
+    #[test]
+    fn refine32_sound((d, x) in reg_with_member(), (s, y) in reg_with_member(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let taken = concrete_jmp(op, true, x, y);
+        let (mut dr, mut sr) = (d, s);
+        reg_set_min_max(op, true, taken, &mut dr, &mut sr);
+        prop_assert!(
+            admits(&dr, x),
+            "{:?}32 taken={}: dst member {:#x} escapes {} (was {})",
+            op, taken, x, dr.describe(), d.describe()
+        );
+        prop_assert!(
+            admits(&sr, y),
+            "{:?}32 taken={}: src member {:#x} escapes {} (was {})",
+            op, taken, y, sr.describe(), s.describe()
+        );
+    }
+
+    /// Refining against a constant (the `K` operand form) keeps the
+    /// member admitted on the actually-taken branch.
+    #[test]
+    fn refine_const_sound((d, x) in reg_with_member(), y in any::<u64>(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let taken = concrete_jmp(op, false, x, y);
+        let (mut dr, mut sr) = (d, RegState::known_scalar(y));
+        reg_set_min_max(op, false, taken, &mut dr, &mut sr);
+        prop_assert!(
+            admits(&dr, x),
+            "{:?} vs const {:#x} taken={}: member {:#x} escapes {}",
+            op, y, taken, x, dr.describe()
+        );
+    }
+
+    /// Linked registers hold the same runtime value; syncing a refined
+    /// state across the link group keeps admitting it everywhere, and
+    /// leaves unlinked registers untouched.
+    #[test]
+    fn sync_linked_regs_sound((d, x) in reg_with_member(), (u, _) in reg_with_member(), y in any::<u64>(), opi in 0usize..OPS.len()) {
+        let op = OPS[opi];
+        let mut state = VerifierState::entry();
+        let mut linked = d;
+        linked.id = 7;
+        *state.cur_mut().reg_mut(Reg::R1) = linked;
+        *state.cur_mut().reg_mut(Reg::R2) = linked;
+        let mut unlinked = u;
+        unlinked.id = 0;
+        *state.cur_mut().reg_mut(Reg::R3) = unlinked;
+
+        // Refine one copy of the linked state as a real branch would.
+        let taken = concrete_jmp(op, false, x, y);
+        let mut refined = linked;
+        let mut src = RegState::known_scalar(y);
+        reg_set_min_max(op, false, taken, &mut refined, &mut src);
+        sync_linked_regs(&mut state, &refined);
+
+        for r in [Reg::R1, Reg::R2] {
+            let got = state.cur().reg(r);
+            prop_assert_eq!(
+                got, &refined,
+                "linked {:?} did not receive the refined state", r
+            );
+            prop_assert!(
+                admits(got, x),
+                "linked {:?} no longer admits {:#x}: {}", r, x, got.describe()
+            );
+        }
+        prop_assert_eq!(
+            state.cur().reg(Reg::R3), &unlinked,
+            "unlinked R3 must be untouched"
+        );
+    }
+
+    /// An unlinked refinement (`id == 0`) is a no-op even on registers
+    /// with matching abstract state.
+    #[test]
+    fn sync_unlinked_is_noop((d, _) in reg_with_member()) {
+        let mut state = VerifierState::entry();
+        let mut reg = d;
+        reg.id = 7;
+        *state.cur_mut().reg_mut(Reg::R1) = reg;
+        let mut refined = RegState::known_scalar(1);
+        refined.id = 0;
+        sync_linked_regs(&mut state, &refined);
+        prop_assert_eq!(state.cur().reg(Reg::R1), &reg);
+    }
+}

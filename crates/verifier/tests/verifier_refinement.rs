@@ -118,7 +118,7 @@ fn jset_learns_nothing_but_is_legal() {
 
 #[test]
 fn equal_scalar_refinement_propagates_through_mov() {
-    // r5 = r4 (link); bound r5; use r4 — find_equal_scalars must carry
+    // r5 = r4 (link); bound r5; use r4 — sync_linked_regs must carry
     // the refinement over.
     let p = with_lookup_and_unknown(vec![
         asm::mov64_reg(Reg::R5, Reg::R4),
