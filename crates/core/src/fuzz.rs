@@ -38,7 +38,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use bvf_kernel_sim::{BugId, BugSet, KernelReport, SanDefectSet};
-use bvf_runtime::{BpfError, ExecScratch};
+use bvf_runtime::{Backend, BpfError, ExecScratch};
 use bvf_telemetry::profile::elapsed_ns;
 use bvf_telemetry::stats::STATS_SCHEMA_VERSION;
 use bvf_telemetry::{CampaignStats, GenSource, Registry, Telemetry, TraceEvent};
@@ -131,6 +131,11 @@ pub struct CampaignConfig {
     /// `bvf sancheck` matrix; empty for real campaigns, where any
     /// divergence indicts the sanitizer itself).
     pub san_defects: SanDefectSet,
+    /// Which execution engine runs accepted programs
+    /// (`bvf fuzz --backend`). Compiled is the campaign default: images
+    /// are lowered once at load time, next to the pre-decode, and the
+    /// two backends produce byte-identical findings.
+    pub backend: Backend,
 }
 
 impl CampaignConfig {
@@ -155,6 +160,7 @@ impl CampaignConfig {
             steer: false,
             san_diff: false,
             san_defects: SanDefectSet::none(),
+            backend: Backend::Compiled,
         }
     }
 }
@@ -1009,6 +1015,7 @@ impl CampaignWorker {
                 cfg.san_defects,
                 cfg.diff_oracle,
                 cfg.prune_index,
+                cfg.backend,
                 Some(scratch),
             )
         } else {
@@ -1019,6 +1026,7 @@ impl CampaignWorker {
                 cfg.sanitize,
                 cfg.diff_oracle,
                 cfg.prune_index,
+                cfg.backend,
                 scratch,
             )
         };

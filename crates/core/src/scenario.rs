@@ -14,7 +14,7 @@ use bvf_kernel_sim::map::{MapDef, MapType};
 use bvf_kernel_sim::progtype::ProgType;
 use bvf_kernel_sim::tracepoint::{AttachPoint, Tracepoint};
 use bvf_kernel_sim::{BugSet, KernelReport, SanDefectSet};
-use bvf_runtime::{Bpf, BpfError, ExecScratch, ExecTrace, HaltReason};
+use bvf_runtime::{Backend, Bpf, BpfError, ExecScratch, ExecTrace, HaltReason};
 use bvf_sancheck::{RunView, SanStats};
 use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{Coverage, KernelVersion, VerifierOpts};
@@ -149,7 +149,29 @@ pub fn run_scenario(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, false, true, None)
+    run_scenario_inner(
+        scenario,
+        bugs,
+        version,
+        sanitize,
+        false,
+        true,
+        Backend::Interp,
+        None,
+    )
+}
+
+/// [`run_scenario`] on an explicit execution backend.
+pub fn run_scenario_backend(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    backend: Backend,
+) -> ScenarioOutcome {
+    run_scenario_inner(
+        scenario, bugs, version, sanitize, false, true, backend, None,
+    )
 }
 
 /// Like [`run_scenario`], but with the abstract-vs-concrete differential
@@ -164,7 +186,29 @@ pub fn run_scenario_diff(
     version: KernelVersion,
     sanitize: bool,
 ) -> ScenarioOutcome {
-    run_scenario_inner(scenario, bugs, version, sanitize, true, true, None)
+    run_scenario_inner(
+        scenario,
+        bugs,
+        version,
+        sanitize,
+        true,
+        true,
+        Backend::Interp,
+        None,
+    )
+}
+
+/// [`run_scenario_diff`] on an explicit execution backend. The concrete
+/// register trace the differential oracle checks is recorded by that
+/// backend — part of the interp/compiled equivalence contract.
+pub fn run_scenario_diff_backend(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    sanitize: bool,
+    backend: Backend,
+) -> ScenarioOutcome {
+    run_scenario_inner(scenario, bugs, version, sanitize, true, true, backend, None)
 }
 
 /// Like [`run_scenario`]/[`run_scenario_diff`], with every verifier
@@ -179,6 +223,7 @@ pub fn run_scenario_with(
     sanitize: bool,
     diff_oracle: bool,
     prune_index: bool,
+    backend: Backend,
 ) -> ScenarioOutcome {
     run_scenario_inner(
         scenario,
@@ -187,6 +232,7 @@ pub fn run_scenario_with(
         sanitize,
         diff_oracle,
         prune_index,
+        backend,
         None,
     )
 }
@@ -195,6 +241,7 @@ pub fn run_scenario_with(
 /// pool, KASAN shadow, trace steps) instead of allocating fresh ones —
 /// the campaign's per-iteration hot path. Recycling is invisible:
 /// outcomes are bit-identical to the scratch-free variants.
+#[allow(clippy::too_many_arguments)]
 pub fn run_scenario_scratch(
     scenario: &Scenario,
     bugs: &BugSet,
@@ -202,6 +249,7 @@ pub fn run_scenario_scratch(
     sanitize: bool,
     diff_oracle: bool,
     prune_index: bool,
+    backend: Backend,
     scratch: &mut ExecScratch,
 ) -> ScenarioOutcome {
     run_scenario_inner(
@@ -211,6 +259,7 @@ pub fn run_scenario_scratch(
         sanitize,
         diff_oracle,
         prune_index,
+        backend,
         Some(scratch),
     )
 }
@@ -231,11 +280,34 @@ pub fn run_scenario_san_diff(
     version: KernelVersion,
     defects: SanDefectSet,
 ) -> ScenarioOutcome {
-    san_diff_inner(scenario, bugs, version, defects, false, true, None)
+    san_diff_inner(
+        scenario,
+        bugs,
+        version,
+        defects,
+        false,
+        true,
+        Backend::Interp,
+        None,
+    )
 }
 
-/// [`run_scenario_san_diff`] with the diff oracle and scratch knobs
-/// explicit (the campaign's `--san-diff` hot path).
+/// [`run_scenario_san_diff`] on an explicit execution backend — both
+/// the sanitized and the unsanitized run use it, so the step-delta and
+/// exec-hash contract is checked within one engine.
+pub fn run_scenario_san_diff_backend(
+    scenario: &Scenario,
+    bugs: &BugSet,
+    version: KernelVersion,
+    defects: SanDefectSet,
+    backend: Backend,
+) -> ScenarioOutcome {
+    san_diff_inner(scenario, bugs, version, defects, false, true, backend, None)
+}
+
+/// [`run_scenario_san_diff`] with the diff oracle, backend, and scratch
+/// knobs explicit (the campaign's `--san-diff` hot path).
+#[allow(clippy::too_many_arguments)]
 pub fn run_scenario_san_diff_with(
     scenario: &Scenario,
     bugs: &BugSet,
@@ -243,6 +315,7 @@ pub fn run_scenario_san_diff_with(
     defects: SanDefectSet,
     diff_oracle: bool,
     prune_index: bool,
+    backend: Backend,
     scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     san_diff_inner(
@@ -252,10 +325,12 @@ pub fn run_scenario_san_diff_with(
         defects,
         diff_oracle,
         prune_index,
+        backend,
         scratch,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn san_diff_inner(
     scenario: &Scenario,
     bugs: &BugSet,
@@ -263,6 +338,7 @@ fn san_diff_inner(
     defects: SanDefectSet,
     diff_oracle: bool,
     prune_index: bool,
+    backend: Backend,
     mut scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     let mut primary = run_scenario_defects(
@@ -273,6 +349,7 @@ fn san_diff_inner(
         diff_oracle,
         prune_index,
         defects,
+        backend,
         scratch.as_deref_mut(),
     );
     let secondary = run_scenario_defects(
@@ -283,6 +360,7 @@ fn san_diff_inner(
         false,
         prune_index,
         defects,
+        backend,
         scratch,
     );
 
@@ -334,6 +412,7 @@ fn san_diff_inner(
     primary
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scenario_inner(
     scenario: &Scenario,
     bugs: &BugSet,
@@ -341,6 +420,7 @@ fn run_scenario_inner(
     sanitize: bool,
     diff_oracle: bool,
     prune_index: bool,
+    backend: Backend,
     scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     run_scenario_defects(
@@ -351,6 +431,7 @@ fn run_scenario_inner(
         diff_oracle,
         prune_index,
         SanDefectSet::none(),
+        backend,
         scratch,
     )
 }
@@ -364,6 +445,7 @@ fn run_scenario_defects(
     diff_oracle: bool,
     prune_index: bool,
     defects: SanDefectSet,
+    backend: Backend,
     mut scratch: Option<&mut ExecScratch>,
 ) -> ScenarioOutcome {
     let opts = VerifierOpts {
@@ -379,7 +461,7 @@ fn run_scenario_defects(
         None => bvf_kernel_sim::Kernel::with_pool_size(bugs.clone(), FUZZ_POOL_SIZE),
     };
     kernel.mm.san_defects = defects;
-    let mut bpf = Bpf::with_kernel(kernel, opts, sanitize);
+    let mut bpf = Bpf::with_kernel(kernel, opts, sanitize).with_backend(backend);
     for def in standard_maps() {
         bpf.map_create(def).expect("standard maps fit");
     }
@@ -452,7 +534,7 @@ fn run_scenario_defects(
                 // step was recorded before its instruction ran.
                 if let Some(snaps) = &snapshots {
                     if let Some(image) = bpf.image(id) {
-                        let (stats, divergence) = bvf_diff::check(snaps, trace, &image.meta);
+                        let (stats, divergence) = bvf_diff::check(snaps, trace, image.meta());
                         diff = stats;
                         if let Some(d) = divergence {
                             reports.push(KernelReport::StateDivergence {

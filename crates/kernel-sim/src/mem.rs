@@ -75,6 +75,7 @@ impl MemPool {
     }
 
     /// Translates a virtual address (for an access of `size` bytes).
+    #[inline]
     pub fn translate(&self, addr: u64, size: u64) -> Translation {
         if addr < NULL_PAGE_SIZE {
             return Translation::NullPage;
@@ -93,6 +94,11 @@ impl MemPool {
     /// Raw (uninstrumented) read of `size` ∈ {1,2,4,8} bytes, little-endian.
     ///
     /// Returns `None` on a page fault (unmapped or null address).
+    ///
+    /// Inlined: this is the raw program load path both execution
+    /// backends sit on, hot enough that the call overhead shows up in
+    /// the execution-layer throughput benchmark.
+    #[inline]
     pub fn raw_read(&self, addr: u64, size: u64) -> Option<u64> {
         match self.translate(addr, size) {
             Translation::Pool(off) => Some(self.read_at(off, size)),
@@ -102,7 +108,9 @@ impl MemPool {
 
     /// Raw (uninstrumented) write of `size` ∈ {1,2,4,8} bytes, little-endian.
     ///
-    /// Returns `false` on a page fault.
+    /// Returns `false` on a page fault. Inlined for the same reason as
+    /// [`MemPool::raw_read`].
+    #[inline]
     pub fn raw_write(&mut self, addr: u64, size: u64, value: u64) -> bool {
         match self.translate(addr, size) {
             Translation::Pool(off) => {
@@ -114,7 +122,16 @@ impl MemPool {
     }
 
     /// Reads little-endian at a pool offset; `size` ∈ {1,2,4,8}.
+    #[inline]
     pub fn read_at(&self, off: usize, size: u64) -> u64 {
+        // Whole-width fast path: `translate` already bounds-checked
+        // `off + size`, so the slice index cannot fail. Identical
+        // little-endian result to the byte loop below.
+        if size == 8 {
+            if let Ok(b) = <[u8; 8]>::try_from(&self.bytes[off..off + 8]) {
+                return u64::from_le_bytes(b);
+            }
+        }
         let mut v: u64 = 0;
         for i in 0..size as usize {
             v |= (self.bytes[off + i] as u64) << (8 * i);
@@ -123,7 +140,12 @@ impl MemPool {
     }
 
     /// Writes little-endian at a pool offset; `size` ∈ {1,2,4,8}.
+    #[inline]
     pub fn write_at(&mut self, off: usize, size: u64, value: u64) {
+        if size == 8 {
+            self.bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
         for i in 0..size as usize {
             self.bytes[off + i] = (value >> (8 * i)) as u8;
         }

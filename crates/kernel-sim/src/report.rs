@@ -260,7 +260,10 @@ impl ReportSink {
         !self.reports.is_empty()
     }
 
-    /// Whether any fatal report has been recorded.
+    /// Whether any fatal report has been recorded. Inlined: both
+    /// execution backends poll this after every fall-through step, and
+    /// on the clean path it is a length check of an empty `Vec`.
+    #[inline]
     pub fn any_fatal(&self) -> bool {
         self.reports.iter().any(KernelReport::is_fatal)
     }

@@ -17,6 +17,7 @@ use bvf_telemetry::PhaseTimings;
 use bvf_verifier::{verify, InsnMeta, RejectReason, VerifierError, VerifierOpts, VerifierPhase};
 use std::time::Instant;
 
+use crate::compile::Backend;
 use crate::interp::{
     exec_program, exec_program_traced, fire_tracepoint, AttachTable, ExecImage, ExecResult,
     ExecTrace, ProgRegistry, TriggerCtx,
@@ -118,6 +119,10 @@ pub struct Bpf {
     /// Whether BVF's sanitation instrumentation is enabled (the Kconfig
     /// toggle from the paper's patches).
     pub sanitize: bool,
+    /// Which execution engine loaded programs run on. With
+    /// [`Backend::Compiled`], every image is lowered once at load time
+    /// (amortized next to the pre-decode) and executed direct-threaded.
+    backend: Backend,
     /// Abstract-state snapshots of the most recent load, populated when
     /// [`VerifierOpts::snapshots`] is set. Consumed by
     /// [`Bpf::take_snapshots`].
@@ -140,8 +145,21 @@ impl Bpf {
             attach_table: HashMap::new(),
             opts,
             sanitize,
+            backend: Backend::Interp,
             last_snapshots: None,
         }
+    }
+
+    /// Selects the execution backend for programs loaded *after* this
+    /// call (builder style; set it before any `prog_load`).
+    pub fn with_backend(mut self, backend: Backend) -> Bpf {
+        self.backend = backend;
+        self
+    }
+
+    /// The execution backend this instance loads programs for.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Tears the instance down, surrendering the kernel's memory manager
@@ -254,8 +272,11 @@ impl Bpf {
             offloaded,
             attach: None,
         });
-        self.images
-            .push(ExecImage::new(image_prog, image_meta, prog_type));
+        let mut image = ExecImage::new(image_prog, image_meta, prog_type);
+        if self.backend == Backend::Compiled {
+            image.compile();
+        }
+        self.images.push(image);
         Ok(id)
     }
 
@@ -299,8 +320,11 @@ impl Bpf {
                     offloaded: false,
                     attach: None,
                 });
-                self.images
-                    .push(ExecImage::new(image_prog, image_meta, prog_type));
+                let mut image = ExecImage::new(image_prog, image_meta, prog_type);
+                if self.backend == Backend::Compiled {
+                    image.compile();
+                }
+                self.images.push(image);
                 (Ok(id), cov, timings)
             }
         }

@@ -1,0 +1,1321 @@
+//! Closure-compiled direct-threaded execution backend.
+//!
+//! `compile_image` lowers an [`ExecImage`] once into a
+//! [`CompiledProg`]: one boxed thunk per instruction slot with every
+//! operand pre-resolved at compile time — register file indices,
+//! sign/zero-extended immediates, jump targets as array offsets,
+//! helper/kfunc ids, exception-table entries, and the sanitation
+//! dispatch fused straight into the memory-op thunks. `exec_compiled`
+//! then runs the program as a tight `while pc < ops.len()` loop over
+//! `&[CompiledOp]` with no per-step decode and no `InsnKind` match.
+//!
+//! # Equivalence contract
+//!
+//! The compiled backend is observably *identical* to the interpreter in
+//! [`crate::interp`] — not merely equivalent on well-behaved programs:
+//!
+//! - **Raw unchecked pool access** (Indicator #1): loads and stores go
+//!   through the same `raw_read`/`raw_write` pool entry points, so
+//!   mapped-but-invalid accesses still silently succeed and are only
+//!   observable through the fused sanitation thunks.
+//! - **Step accounting**: every fetched slot counts one step (including
+//!   the fetch that discovers an undecodable slot), `instrumented_steps`
+//!   counts exactly the rewrite-emitted slots, and the step limit,
+//!   tail-call limit, frame depth limit, and trace cap fire on the same
+//!   step as the interpreter — the `bvf-sancheck` step contract holds
+//!   across backends.
+//! - **Observable streams**: helper/kfunc `(id, return)` pairs fold into
+//!   the same FNV-1a `exec_hash`, per-step main-frame register traces
+//!   (`--diff-oracle`) record the same `(pc, R0..R10)` tuples, and
+//!   [`HaltReason`]/fault metadata match byte for byte.
+//!
+//! The one deliberate divergence is [`SanDefect::FusedCheckElision`]: a
+//! *seeded compile-layer defect* in which the fused memory-check thunk
+//! takes its fast path without dispatching to `asan_mem_check` at all.
+//! It exists so the `bvf-sancheck` dual-execution oracle can be proven
+//! to catch defects introduced by this compilation layer itself; the
+//! interpreter intentionally ignores it.
+
+use std::fmt;
+use std::sync::Arc;
+
+use bvf_isa::decode::SourceOperandValue;
+use bvf_isa::reg::STACK_SIZE;
+use bvf_isa::{AluOp, AtomicOp, CallTarget, Endianness, InsnKind, JmpOp, Reg, Size};
+use bvf_kernel_sim::helpers::asan::{self, ids as asan_ids, AsanOutcome};
+use bvf_kernel_sim::helpers::impls::{call_helper, HelperEnv};
+use bvf_kernel_sim::helpers::kfunc::call_kfunc;
+use bvf_kernel_sim::sandefect::SanDefect;
+use bvf_kernel_sim::tracepoint::Tracepoint;
+use bvf_kernel_sim::Kernel;
+use bvf_verifier::sanitize::{EXT_SLOT_R0, EXT_STACK_BYTES};
+use serde::{Deserialize, Serialize};
+
+use crate::interp::{
+    fire_tracepoint, fnv_fold, packet_load, prog_array_slot, AttachTable, ExecImage, ExecResult,
+    ExecTrace, Frame, HaltReason, ProgRegistry, TriggerCtx, FNV_OFFSET, MAX_FRAMES, MAX_TP_DEPTH,
+    STEP_LIMIT, TAIL_CALL_LIMIT,
+};
+
+/// Which execution engine runs loaded programs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// The decode-cached interpreter in [`crate::interp`].
+    #[default]
+    Interp,
+    /// Closure-compiled direct-threaded programs (this module).
+    Compiled,
+}
+
+impl Backend {
+    /// Short name used in CLI flags and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a backend from its [`Backend::name`].
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "interp" => Some(Backend::Interp),
+            "compiled" => Some(Backend::Compiled),
+            _ => None,
+        }
+    }
+}
+
+/// The mutable register-machine state one compiled program runs over.
+/// Exactly the interpreter's locals, hoisted into a struct the thunks
+/// can borrow.
+pub(crate) struct Machine {
+    regs: [u64; 12],
+    frames: [Frame; MAX_FRAMES],
+    nframes: usize,
+    stacks: [u64; MAX_FRAMES + 1],
+    nstacks: usize,
+    tail_calls: u32,
+    helper_calls: u64,
+    kfunc_calls: u64,
+    exec_hash: u64,
+    stack_bytes: usize,
+}
+
+/// The immutable-per-execution environment the thunks call out to.
+pub(crate) struct Ctx<'a> {
+    kernel: &'a mut Kernel,
+    progs: &'a ProgRegistry,
+    attach: &'a AttachTable,
+    env: HelperEnv,
+    depth: u32,
+}
+
+/// What a thunk tells the driver loop to do next.
+pub(crate) enum Flow {
+    /// Continue at this program counter (post-op fatal-report check and
+    /// bounds check apply, exactly like the interpreter's fall-through).
+    Next(usize),
+    /// Stop with this halt reason (no post-op checks — the interpreter
+    /// arms that set these reasons break before them).
+    Halt(HaltReason),
+    /// Top-frame exit: `r0 = R0`, normal halt.
+    Ret,
+    /// Legacy packet-load abort: `r0 = 0` without writing `R0`.
+    Ret0,
+    /// Valid tail call into this program id (fatal-report check applies;
+    /// the trace stops at the image switch).
+    Tail(u32),
+}
+
+/// One compiled thunk: everything the instruction needs, pre-resolved.
+/// Shared (`Arc`) so a fused run can hold its members densely without
+/// duplicating the closure.
+type OpFn = Arc<dyn for<'a> Fn(&mut Machine, &mut Ctx<'a>) -> Flow + Send + Sync>;
+
+/// One instruction slot of a compiled program.
+pub(crate) struct CompiledOp {
+    /// The thunk; `None` marks an undecodable slot (the driver halts
+    /// with [`HaltReason::BadInstruction`] on fetch, after counting the
+    /// step but before the instrumented/trace bookkeeping — the same
+    /// order as the interpreter's decode failure).
+    run: Option<OpFn>,
+    /// The slot was emitted by the sanitation rewrite
+    /// (`instrumented_steps` accounting).
+    instrumented: bool,
+    /// The fused-run member form of this op, for ops that always fall
+    /// through (everything but branches, exits, and local calls).
+    fuse: Option<RunStep>,
+    /// The fused straight-line run this slot belongs to, if any: the
+    /// shared run data plus this op's index within it. Present on every
+    /// member, not just the head, so a jump into the middle of a run
+    /// still enters the fast path from that point on.
+    block: Option<(Arc<RunData>, usize)>,
+}
+
+/// One member of a fused run, data-driven where the op is simple enough
+/// that a struct match beats an indirect call. The post-op fatal-report
+/// poll the per-op path performs after every fall-through exists only
+/// on the [`RunStep::Full`] arm: raw pool access appends no kernel
+/// reports, so after every other variant the poll's answer provably
+/// cannot have changed since the run was entered (with it false).
+#[derive(Clone)]
+enum RunStep {
+    /// `dst = f(dst, src)` — every two-register ALU op.
+    AluRR {
+        d: usize,
+        s: usize,
+        f: fn(u64, u64) -> u64,
+    },
+    /// `dst = f(dst, imm)` — ALU-immediate ops and (via the `mov`
+    /// body) 64-bit immediate loads.
+    AluRI {
+        d: usize,
+        v: u64,
+        f: fn(u64, u64) -> u64,
+    },
+    /// `dst = f(dst)` — negate and byte-swap.
+    Unary { d: usize, f: fn(u64) -> u64 },
+    /// Raw pool load, exactly the per-op thunk's body.
+    Ldx {
+        d: usize,
+        s: usize,
+        off: i64,
+        width: u64,
+        conv: fn(u64) -> u64,
+        ex: bool,
+    },
+    /// Raw pool store of an immediate, exactly the per-op thunk's body.
+    St {
+        d: usize,
+        off: i64,
+        width: u64,
+        v: u64,
+        ex: bool,
+    },
+    /// Raw pool store of a register, exactly the per-op thunk's body.
+    Stx {
+        d: usize,
+        s: usize,
+        off: i64,
+        width: u64,
+        ex: bool,
+    },
+    /// Every other fall-through op (helper/kfunc/sanitation calls,
+    /// atomics, packet loads): the full thunk, plus the post-op
+    /// fatal-report poll — these are the ops that can append reports.
+    Full(OpFn),
+}
+
+/// A maximal straight-line run of fall-through ops, fused so the driver
+/// loop can execute the whole stretch without per-step limit, trace,
+/// and flow-dispatch overhead. Entered only when the run is untraced,
+/// fits under the step limit, and no fatal report is already pending —
+/// every other case falls back to the per-op path, which remains exact
+/// (and remains the target of jumps landing between members).
+struct RunData {
+    /// The member thunks, densely packed in execution order.
+    body: Box<[RunStep]>,
+    /// `instr_prefix[i]` = rewrite-emitted ops among `body[..i]`, so an
+    /// early exit after the `i`-th member bulk-accounts exactly the
+    /// `instrumented_steps` the per-op path would have counted.
+    instr_prefix: Box<[u32]>,
+    /// Program counter after the run (may be one past the last slot, in
+    /// which case completing the run is the same out-of-bounds
+    /// fall-through the per-op bounds check rejects).
+    end: usize,
+}
+
+/// A closure-compiled program: one `CompiledOp` per instruction slot.
+pub struct CompiledProg {
+    ops: Box<[CompiledOp]>,
+}
+
+impl fmt::Debug for CompiledProg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledProg")
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+/// Coerces a lowering closure into a shared thunk.
+fn boxed<F>(f: F) -> OpFn
+where
+    F: for<'a> Fn(&mut Machine, &mut Ctx<'a>) -> Flow + Send + Sync + 'static,
+{
+    Arc::new(f)
+}
+
+/// The ALU body for one `(op, is64)` pair as a plain function pointer —
+/// resolved once at compile time so the thunk performs no per-step
+/// operation dispatch. Mirrors [`crate::interp`]'s `alu` exactly.
+fn alu_fn(op: AluOp, is64: bool) -> fn(u64, u64) -> u64 {
+    if is64 {
+        match op {
+            AluOp::Add => |d, s| d.wrapping_add(s),
+            AluOp::Sub => |d, s| d.wrapping_sub(s),
+            AluOp::Mul => |d, s| d.wrapping_mul(s),
+            AluOp::Div => |d, s| d.checked_div(s).unwrap_or(0),
+            AluOp::Or => |d, s| d | s,
+            AluOp::And => |d, s| d & s,
+            AluOp::Lsh => |d, s| d.wrapping_shl(s as u32 & 63),
+            AluOp::Rsh => |d, s| d.wrapping_shr(s as u32 & 63),
+            AluOp::Mod => |d, s| d.checked_rem(s).unwrap_or(d),
+            AluOp::Xor => |d, s| d ^ s,
+            AluOp::Mov => |_, s| s,
+            AluOp::Arsh => |d, s| (d as i64).wrapping_shr(s as u32 & 63) as u64,
+            AluOp::Neg | AluOp::End => unreachable!("handled by dedicated arms"),
+        }
+    } else {
+        match op {
+            AluOp::Add => |d, s| (d as u32).wrapping_add(s as u32) as u64,
+            AluOp::Sub => |d, s| (d as u32).wrapping_sub(s as u32) as u64,
+            AluOp::Mul => |d, s| (d as u32).wrapping_mul(s as u32) as u64,
+            AluOp::Div => |d, s| (d as u32).checked_div(s as u32).unwrap_or(0) as u64,
+            AluOp::Or => |d, s| (d as u32 | s as u32) as u64,
+            AluOp::And => |d, s| (d as u32 & s as u32) as u64,
+            AluOp::Lsh => |d, s| (d as u32).wrapping_shl(s as u32 & 31) as u64,
+            AluOp::Rsh => |d, s| (d as u32).wrapping_shr(s as u32 & 31) as u64,
+            AluOp::Mod => |d, s| (d as u32).checked_rem(s as u32).unwrap_or(d as u32) as u64,
+            AluOp::Xor => |d, s| (d as u32 ^ s as u32) as u64,
+            AluOp::Mov => |_, s| s as u32 as u64,
+            AluOp::Arsh => |d, s| (d as i32).wrapping_shr(s as u32 & 31) as u32 as u64,
+            AluOp::Neg | AluOp::End => unreachable!("handled by dedicated arms"),
+        }
+    }
+}
+
+/// The branch predicate for one `(op, is32)` pair. Mirrors
+/// [`crate::interp`]'s `jmp_taken` exactly.
+fn jmp_fn(op: JmpOp, is32: bool) -> fn(u64, u64) -> bool {
+    if is32 {
+        match op {
+            JmpOp::Jeq => |a, b| a as u32 == b as u32,
+            JmpOp::Jne => |a, b| a as u32 != b as u32,
+            JmpOp::Jgt => |a, b| a as u32 > b as u32,
+            JmpOp::Jge => |a, b| a as u32 >= b as u32,
+            JmpOp::Jlt => |a, b| (a as u32) < b as u32,
+            JmpOp::Jle => |a, b| a as u32 <= b as u32,
+            JmpOp::Jset => |a, b| a as u32 & b as u32 != 0,
+            JmpOp::Jsgt => |a, b| a as u32 as i32 > b as u32 as i32,
+            JmpOp::Jsge => |a, b| a as u32 as i32 >= b as u32 as i32,
+            JmpOp::Jslt => |a, b| (a as u32 as i32) < b as u32 as i32,
+            JmpOp::Jsle => |a, b| a as u32 as i32 <= b as u32 as i32,
+            JmpOp::Ja | JmpOp::Call | JmpOp::Exit => |_, _| false,
+        }
+    } else {
+        match op {
+            JmpOp::Jeq => |a, b| a == b,
+            JmpOp::Jne => |a, b| a != b,
+            JmpOp::Jgt => |a, b| a > b,
+            JmpOp::Jge => |a, b| a >= b,
+            JmpOp::Jlt => |a, b| a < b,
+            JmpOp::Jle => |a, b| a <= b,
+            JmpOp::Jset => |a, b| a & b != 0,
+            JmpOp::Jsgt => |a, b| a as i64 > b as i64,
+            JmpOp::Jsge => |a, b| a as i64 >= b as i64,
+            JmpOp::Jslt => |a, b| (a as i64) < b as i64,
+            JmpOp::Jsle => |a, b| a as i64 <= b as i64,
+            JmpOp::Ja | JmpOp::Call | JmpOp::Exit => |_, _| false,
+        }
+    }
+}
+
+/// The byte-swap/mask body for one `(endianness, bits)` pair. Mirrors
+/// [`crate::interp`]'s `endian` exactly (little-endian host).
+fn endian_fn(e: Endianness, bits: i32) -> fn(u64) -> u64 {
+    match e {
+        Endianness::Le => match bits {
+            16 => |v| v as u16 as u64,
+            32 => |v| v as u32 as u64,
+            _ => |v| v,
+        },
+        Endianness::Be | Endianness::Swap => match bits {
+            16 => |v| (v as u16).swap_bytes() as u64,
+            32 => |v| (v as u32).swap_bytes() as u64,
+            _ => |v: u64| v.swap_bytes(),
+        },
+    }
+}
+
+/// Sign extension from `size` to 64 bits as a function pointer.
+fn sext_fn(size: Size) -> fn(u64) -> u64 {
+    match size {
+        Size::B => |v| v as u8 as i8 as i64 as u64,
+        Size::H => |v| v as u16 as i16 as i64 as u64,
+        Size::W => |v| v as u32 as i32 as i64 as u64,
+        Size::Dw => |v| v,
+    }
+}
+
+/// Truncation to `size` as a function pointer.
+fn truncate_fn(size: Size) -> fn(u64) -> u64 {
+    match size {
+        Size::B => |v| v as u8 as u64,
+        Size::H => |v| v as u16 as u64,
+        Size::W => |v| v as u32 as u64,
+        Size::Dw => |v| v,
+    }
+}
+
+/// The read-modify-write body of a non-cmpxchg atomic: `(old, operand)`
+/// to the value written back.
+fn atomic_fn(op: AtomicOp) -> fn(u64, u64) -> u64 {
+    match op {
+        AtomicOp::Add { .. } => |old, x| old.wrapping_add(x),
+        AtomicOp::Or { .. } => |old, x| old | x,
+        AtomicOp::And { .. } => |old, x| old & x,
+        AtomicOp::Xor { .. } => |old, x| old ^ x,
+        AtomicOp::Xchg => |_, x| x,
+        AtomicOp::Cmpxchg => unreachable!("cmpxchg lowers to a dedicated thunk"),
+    }
+}
+
+/// Lowers an execution image into its closure-compiled form: one thunk
+/// per slot with all operands resolved. Pure — it reads the image's
+/// decode cache and metadata and touches no kernel state.
+pub(crate) fn compile_image(image: &ExecImage) -> CompiledProg {
+    let (r0, r1, r2, r3, r4, r5, r10) = (
+        Reg::R0.index(),
+        Reg::R1.index(),
+        Reg::R2.index(),
+        Reg::R3.index(),
+        Reg::R4.index(),
+        Reg::R5.index(),
+        Reg::R10.index(),
+    );
+    let n = image.prog.insn_count();
+    let mut ops = Vec::with_capacity(n);
+    // Per-head fusion facts for the run builder below: whether the op
+    // always falls through (so a straight-line run may absorb it) and
+    // where it falls through to. `None` for undecodable slots and the
+    // continuation slots of wide instructions.
+    let mut fuse_info: Vec<Option<(bool, usize)>> = vec![None; n];
+    for (pc, info) in fuse_info.iter_mut().enumerate() {
+        let Some((kind, slots)) = image.decoded_at(pc) else {
+            ops.push(CompiledOp {
+                run: None,
+                instrumented: false,
+                fuse: None,
+                block: None,
+            });
+            continue;
+        };
+        let meta = image.meta[pc];
+        let next = pc + slots;
+        // Fusable = the op's only non-exceptional flow is falling
+        // through to `next`. Branches, exits, and local calls redirect
+        // the pc and terminate a run.
+        let fusable = !matches!(
+            kind,
+            InsnKind::Call {
+                target: CallTarget::Pseudo(_),
+            } | InsnKind::Ja { .. }
+                | InsnKind::JmpCond { .. }
+                | InsnKind::Exit
+        );
+        *info = Some((fusable, next));
+        // The data-driven fused-run specialization, where one exists.
+        // The body is duplicated into the full thunk below so the
+        // per-op path pays no extra indirection.
+        let mut fuse: Option<RunStep> = None;
+        let run: OpFn = match kind {
+            InsnKind::AluReg {
+                op, is64, dst, src, ..
+            } => {
+                let f = alu_fn(op, is64);
+                let (d, s) = (dst.index(), src.index());
+                fuse = Some(RunStep::AluRR { d, s, f });
+                boxed(move |m, _| {
+                    m.regs[d] = f(m.regs[d], m.regs[s]);
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::AluImm {
+                op, is64, dst, imm, ..
+            } => {
+                let f = alu_fn(op, is64);
+                let d = dst.index();
+                let v = if is64 {
+                    imm as i64 as u64
+                } else {
+                    imm as u32 as u64
+                };
+                fuse = Some(RunStep::AluRI { d, v, f });
+                boxed(move |m, _| {
+                    m.regs[d] = f(m.regs[d], v);
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::Neg { is64, dst } => {
+                let d = dst.index();
+                let f: fn(u64) -> u64 = if is64 {
+                    |v| v.wrapping_neg()
+                } else {
+                    |v| v.wrapping_neg() as u32 as u64
+                };
+                fuse = Some(RunStep::Unary { d, f });
+                boxed(move |m, _| {
+                    m.regs[d] = f(m.regs[d]);
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::Endian {
+                endianness,
+                bits,
+                dst,
+            } => {
+                let f = endian_fn(endianness, bits);
+                let d = dst.index();
+                fuse = Some(RunStep::Unary { d, f });
+                boxed(move |m, _| {
+                    m.regs[d] = f(m.regs[d]);
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::LdImm64 { dst, imm64, .. } => {
+                let d = dst.index();
+                fuse = Some(RunStep::AluRI {
+                    d,
+                    v: imm64,
+                    f: |_, s| s,
+                });
+                boxed(move |m, _| {
+                    m.regs[d] = imm64;
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::LdAbs { size, imm } => {
+                let off = imm as i64;
+                boxed(move |m, c| match packet_load(c.kernel, &c.env, off, size) {
+                    Some(v) => {
+                        m.regs[r0] = v;
+                        Flow::Next(next)
+                    }
+                    // The kernel aborts the program with r0 = 0.
+                    None => Flow::Ret0,
+                })
+            }
+            InsnKind::LdInd { size, src, imm } => {
+                let s = src.index();
+                let i = imm as i64;
+                boxed(move |m, c| {
+                    let off = m.regs[s] as i64 + i;
+                    match packet_load(c.kernel, &c.env, off, size) {
+                        Some(v) => {
+                            m.regs[r0] = v;
+                            Flow::Next(next)
+                        }
+                        None => Flow::Ret0,
+                    }
+                })
+            }
+            InsnKind::Ldx {
+                size,
+                dst,
+                src,
+                off,
+                sign_extend,
+            } => {
+                let (d, s) = (dst.index(), src.index());
+                let offi = off as i64;
+                let width = size.bytes() as u64;
+                let ex = meta.ex_handled;
+                let conv: fn(u64) -> u64 = if sign_extend { sext_fn(size) } else { |v| v };
+                fuse = Some(RunStep::Ldx {
+                    d,
+                    s,
+                    off: offi,
+                    width,
+                    conv,
+                    ex,
+                });
+                boxed(move |m, c| {
+                    let addr = m.regs[s].wrapping_add_signed(offi);
+                    match c.kernel.mm.pool.raw_read(addr, width) {
+                        Some(v) => {
+                            m.regs[d] = conv(v);
+                            Flow::Next(next)
+                        }
+                        None if ex => {
+                            m.regs[d] = 0;
+                            Flow::Next(next)
+                        }
+                        None => {
+                            c.kernel.report_page_fault(addr, false);
+                            Flow::Halt(HaltReason::PageFault)
+                        }
+                    }
+                })
+            }
+            InsnKind::St {
+                size,
+                dst,
+                off,
+                imm,
+            } => {
+                let d = dst.index();
+                let offi = off as i64;
+                let width = size.bytes() as u64;
+                let v = imm as i64 as u64;
+                let ex = meta.ex_handled;
+                fuse = Some(RunStep::St {
+                    d,
+                    off: offi,
+                    width,
+                    v,
+                    ex,
+                });
+                boxed(move |m, c| {
+                    let addr = m.regs[d].wrapping_add_signed(offi);
+                    if !c.kernel.mm.pool.raw_write(addr, width, v) && !ex {
+                        c.kernel.report_page_fault(addr, true);
+                        return Flow::Halt(HaltReason::PageFault);
+                    }
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::Stx {
+                size,
+                dst,
+                src,
+                off,
+            } => {
+                let (d, s) = (dst.index(), src.index());
+                let offi = off as i64;
+                let width = size.bytes() as u64;
+                let ex = meta.ex_handled;
+                fuse = Some(RunStep::Stx {
+                    d,
+                    s,
+                    off: offi,
+                    width,
+                    ex,
+                });
+                boxed(move |m, c| {
+                    let addr = m.regs[d].wrapping_add_signed(offi);
+                    if !c.kernel.mm.pool.raw_write(addr, width, m.regs[s]) && !ex {
+                        c.kernel.report_page_fault(addr, true);
+                        return Flow::Halt(HaltReason::PageFault);
+                    }
+                    Flow::Next(next)
+                })
+            }
+            InsnKind::Atomic {
+                op,
+                size,
+                dst,
+                src,
+                off,
+            } => {
+                let (d, s) = (dst.index(), src.index());
+                let offi = off as i64;
+                let width = size.bytes() as u64;
+                let tr = truncate_fn(size);
+                match op {
+                    AtomicOp::Cmpxchg => boxed(move |m, c| {
+                        let addr = m.regs[d].wrapping_add_signed(offi);
+                        let Some(old) = c.kernel.mm.pool.raw_read(addr, width) else {
+                            c.kernel.report_page_fault(addr, true);
+                            return Flow::Halt(HaltReason::PageFault);
+                        };
+                        let operand = m.regs[s];
+                        let new = if tr(old) == tr(m.regs[r0]) {
+                            operand
+                        } else {
+                            old
+                        };
+                        c.kernel.mm.pool.raw_write(addr, width, new);
+                        m.regs[r0] = tr(old);
+                        Flow::Next(next)
+                    }),
+                    _ if op.fetches() => {
+                        let f = atomic_fn(op);
+                        boxed(move |m, c| {
+                            let addr = m.regs[d].wrapping_add_signed(offi);
+                            let Some(old) = c.kernel.mm.pool.raw_read(addr, width) else {
+                                c.kernel.report_page_fault(addr, true);
+                                return Flow::Halt(HaltReason::PageFault);
+                            };
+                            let new = f(old, m.regs[s]);
+                            c.kernel.mm.pool.raw_write(addr, width, new);
+                            m.regs[s] = tr(old);
+                            Flow::Next(next)
+                        })
+                    }
+                    _ => {
+                        let f = atomic_fn(op);
+                        boxed(move |m, c| {
+                            let addr = m.regs[d].wrapping_add_signed(offi);
+                            let Some(old) = c.kernel.mm.pool.raw_read(addr, width) else {
+                                c.kernel.report_page_fault(addr, true);
+                                return Flow::Halt(HaltReason::PageFault);
+                            };
+                            let new = f(old, m.regs[s]);
+                            c.kernel.mm.pool.raw_write(addr, width, new);
+                            Flow::Next(next)
+                        })
+                    }
+                }
+            }
+            InsnKind::Ja { off } => {
+                let target = (pc as i64 + 1 + off as i64) as usize;
+                boxed(move |_, _| Flow::Next(target))
+            }
+            InsnKind::JmpCond {
+                op,
+                is32,
+                dst,
+                src,
+                off,
+            } => {
+                let f = jmp_fn(op, is32);
+                let d = dst.index();
+                let target = (pc as i64 + 1 + off as i64) as usize;
+                match src {
+                    SourceOperandValue::Reg(r) => {
+                        let s = r.index();
+                        boxed(move |m, _| {
+                            Flow::Next(if f(m.regs[d], m.regs[s]) {
+                                target
+                            } else {
+                                next
+                            })
+                        })
+                    }
+                    SourceOperandValue::Imm(i) => {
+                        let b = i as i64 as u64;
+                        boxed(move |m, _| Flow::Next(if f(m.regs[d], b) { target } else { next }))
+                    }
+                }
+            }
+            InsnKind::Call { target } => match target {
+                CallTarget::Helper(id) if asan_ids::is_asan(id as u32) => {
+                    let id = id as u32;
+                    let orig_pc = image.prog.insns()[pc].off as usize;
+                    let ex = meta.ex_handled;
+                    match id {
+                        asan_ids::ALU_CHECK_UP | asan_ids::ALU_CHECK_DOWN => {
+                            let down = id == asan_ids::ALU_CHECK_DOWN;
+                            boxed(move |m, c| {
+                                if !asan::asan_alu_check(
+                                    c.kernel, m.regs[r1], m.regs[r2], down, orig_pc,
+                                ) {
+                                    return Flow::Halt(HaltReason::SanitizerTrap);
+                                }
+                                // Injected defect: the check trampoline
+                                // scribbles over the caller's R0 spill slot.
+                                if c.kernel.mm.san_defects.has(SanDefect::ScratchClobber) {
+                                    let slot = m.regs[r10].wrapping_add_signed(EXT_SLOT_R0 as i64);
+                                    c.kernel.mm.pool.raw_write(slot, 8, 0xdead_5ca7_c10b_be45);
+                                }
+                                m.regs[r0] = 0;
+                                Flow::Next(next)
+                            })
+                        }
+                        _ => {
+                            // Fused sanitation thunk: function id decoded
+                            // to (polarity, width) once, at compile time.
+                            let is_store = id >= asan_ids::STORE_BASE;
+                            let base_size = 1u64
+                                << (id
+                                    - if is_store {
+                                        asan_ids::STORE_BASE
+                                    } else {
+                                        asan_ids::LOAD_BASE
+                                    });
+                            boxed(move |m, c| {
+                                // Injected compile-layer defect: the fused
+                                // fast path elides the dispatch entirely —
+                                // no check, no clobber, just the R0 effect.
+                                if c.kernel.mm.san_defects.has(SanDefect::FusedCheckElision) {
+                                    m.regs[r0] = 0;
+                                    return Flow::Next(next);
+                                }
+                                // Injected defect: access width decoded one
+                                // power of two short.
+                                let mut size = base_size;
+                                if c.kernel.mm.san_defects.has(SanDefect::LoadSizeConfusion) {
+                                    size = (size >> 1).max(1);
+                                }
+                                // Injected defect: read/write polarity
+                                // flipped when deriving `is_write`.
+                                let is_write = is_store
+                                    != c.kernel.mm.san_defects.has(SanDefect::WritePolarity);
+                                let addr = m.regs[r1];
+                                if matches!(
+                                    asan::asan_mem_check(c.kernel, addr, size, is_write, ex),
+                                    AsanOutcome::Reported
+                                ) {
+                                    return Flow::Halt(HaltReason::SanitizerTrap);
+                                }
+                                if c.kernel.mm.san_defects.has(SanDefect::ScratchClobber) {
+                                    let slot = m.regs[r10].wrapping_add_signed(EXT_SLOT_R0 as i64);
+                                    c.kernel.mm.pool.raw_write(slot, 8, 0xdead_5ca7_c10b_be45);
+                                }
+                                m.regs[r0] = 0;
+                                Flow::Next(next)
+                            })
+                        }
+                    }
+                }
+                CallTarget::Helper(id) => {
+                    let id = id as u32;
+                    boxed(move |m, c| {
+                        m.helper_calls += 1;
+                        let args = [m.regs[r1], m.regs[r2], m.regs[r3], m.regs[r4], m.regs[r5]];
+                        let progs = c.progs;
+                        let attach = c.attach;
+                        let depth = c.depth;
+                        let mut fire = |k: &mut Kernel, tp: Tracepoint| {
+                            fire_tracepoint(k, progs, attach, tp, depth + 1);
+                        };
+                        let ret = call_helper(c.kernel, id, args, &mut c.env, &mut fire);
+                        m.exec_hash = fnv_fold(fnv_fold(m.exec_hash, id as u64), ret);
+                        m.regs[r0] = ret;
+                        // Tail call requested and valid: switch programs.
+                        if let Some((map_id, index)) = c.env.tail_call.take() {
+                            if m.tail_calls >= TAIL_CALL_LIMIT {
+                                // Limit reached: the helper returned an error
+                                // and execution continues in this program.
+                            } else if let Some(pid) = prog_array_slot(c.kernel, map_id, index) {
+                                if c.progs.get(pid as usize).is_some() {
+                                    m.tail_calls += 1;
+                                    return Flow::Tail(pid);
+                                }
+                            }
+                        }
+                        Flow::Next(next)
+                    })
+                }
+                CallTarget::Kfunc(id) => {
+                    let id = id as u32;
+                    boxed(move |m, c| {
+                        m.kfunc_calls += 1;
+                        let args = [m.regs[r1], m.regs[r2], m.regs[r3], m.regs[r4], m.regs[r5]];
+                        let ret = call_kfunc(c.kernel, id, args);
+                        m.exec_hash = fnv_fold(fnv_fold(m.exec_hash, id as u64), ret);
+                        m.regs[r0] = ret;
+                        Flow::Next(next)
+                    })
+                }
+                CallTarget::Pseudo(off) => {
+                    let target = (pc as i64 + 1 + off as i64) as usize;
+                    let return_pc = pc + 1;
+                    boxed(move |m, c| {
+                        if m.nframes >= MAX_FRAMES {
+                            return Flow::Halt(HaltReason::DepthLimit);
+                        }
+                        let Ok(new_stack) = c.kernel.mm.kmalloc(m.stack_bytes) else {
+                            return Flow::Halt(HaltReason::FatalReport);
+                        };
+                        m.frames[m.nframes] = Frame {
+                            return_pc,
+                            stack_addr: m.regs[r10],
+                        };
+                        m.nframes += 1;
+                        m.stacks[m.nstacks] = new_stack;
+                        m.nstacks += 1;
+                        m.regs[r10] = new_stack + m.stack_bytes as u64;
+                        Flow::Next(target)
+                    })
+                }
+            },
+            InsnKind::Exit => boxed(move |m, c| {
+                if m.nframes > 0 {
+                    m.nframes -= 1;
+                    let f = m.frames[m.nframes];
+                    m.nstacks -= 1;
+                    c.kernel.mm.kfree(m.stacks[m.nstacks]);
+                    m.regs[r10] = f.stack_addr;
+                    Flow::Next(f.return_pc)
+                } else {
+                    Flow::Ret
+                }
+            }),
+        };
+        if fuse.is_none() && fusable {
+            fuse = Some(RunStep::Full(Arc::clone(&run)));
+        }
+        ops.push(CompiledOp {
+            run: Some(run),
+            instrumented: meta.emitted_by_rewrite,
+            fuse,
+            block: None,
+        });
+    }
+    attach_runs(&mut ops, &fuse_info);
+    CompiledProg {
+        ops: ops.into_boxed_slice(),
+    }
+}
+
+/// Builds the fused straight-line runs: walks the op heads in layout
+/// order, accumulates maximal stretches of always-falling-through ops,
+/// and attaches the shared [`RunData`] to every member slot. Runs of a
+/// single op gain nothing over the per-op path and are skipped.
+fn attach_runs(ops: &mut [CompiledOp], fuse_info: &[Option<(bool, usize)>]) {
+    let mut pcs: Vec<usize> = Vec::new();
+    let mut pc = 0;
+    while pc < ops.len() {
+        match fuse_info[pc] {
+            Some((true, next)) => {
+                pcs.push(pc);
+                pc = next;
+            }
+            Some((false, next)) => {
+                flush_run(ops, &mut pcs, pc);
+                pc = next;
+            }
+            // Undecodable head: ends any run and is skipped slot by
+            // slot, exactly how the driver would trip over it.
+            None => {
+                flush_run(ops, &mut pcs, pc);
+                pc += 1;
+            }
+        }
+    }
+    // A run falling through past the last slot keeps `end` one past the
+    // program; completing it reproduces the driver's out-of-bounds
+    // rejection.
+    flush_run(ops, &mut pcs, ops.len());
+}
+
+/// Finalizes one pending run: packs the member thunks densely, computes
+/// the instrumented prefix sums, and hands the shared [`RunData`] to
+/// every member. Leaves `pcs` empty.
+fn flush_run(ops: &mut [CompiledOp], pcs: &mut Vec<usize>, end: usize) {
+    if pcs.len() < 2 {
+        pcs.clear();
+        return;
+    }
+    let mut body = Vec::with_capacity(pcs.len());
+    let mut instr_prefix = Vec::with_capacity(pcs.len() + 1);
+    let mut count = 0u32;
+    instr_prefix.push(0);
+    for &p in pcs.iter() {
+        count += u32::from(ops[p].instrumented);
+        instr_prefix.push(count);
+        body.push(
+            ops[p]
+                .fuse
+                .clone()
+                .expect("fused runs hold only fusable ops"),
+        );
+    }
+    let data = Arc::new(RunData {
+        body: body.into_boxed_slice(),
+        instr_prefix: instr_prefix.into_boxed_slice(),
+        end,
+    });
+    for (i, p) in pcs.drain(..).enumerate() {
+        ops[p].block = Some((Arc::clone(&data), i));
+    }
+}
+
+/// The compiled form of a registry entry, building one on the fly for
+/// images loaded without it (mixed registries only switch backends at a
+/// tail call; a `Bpf` compiles all images or none).
+fn compiled_of(image: &ExecImage) -> Arc<CompiledProg> {
+    match &image.compiled {
+        Some(c) => Arc::clone(c),
+        None => Arc::new(compile_image(image)),
+    }
+}
+
+/// Runs a program on the compiled backend. Drop-in replacement for
+/// [`crate::interp::exec_program_traced`] — see the module docs for the
+/// equivalence contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_compiled(
+    kernel: &mut Kernel,
+    progs: &ProgRegistry,
+    attach: &AttachTable,
+    prog_id: u32,
+    trig: TriggerCtx,
+    depth: u32,
+    mut trace: Option<&mut ExecTrace>,
+) -> ExecResult {
+    let fail = |steps: u64, halt: HaltReason| ExecResult {
+        r0: None,
+        steps,
+        halt,
+        helper_calls: 0,
+        kfunc_calls: 0,
+        instrumented_steps: 0,
+        exec_hash: FNV_OFFSET,
+    };
+    if depth > MAX_TP_DEPTH {
+        return fail(0, HaltReason::DepthLimit);
+    }
+    let Some(entry) = progs.get(prog_id as usize) else {
+        return fail(0, HaltReason::BadInstruction);
+    };
+    let mut cur = compiled_of(entry);
+    // An empty image has no slot 0: one counted step, then the same
+    // rejection the interpreter's fetch reports.
+    if cur.ops.is_empty() {
+        return fail(1, HaltReason::BadInstruction);
+    }
+
+    let stack_bytes = (STACK_SIZE as u32 + EXT_STACK_BYTES) as usize;
+    let Ok(stack0) = kernel.mm.kmalloc(stack_bytes) else {
+        return fail(0, HaltReason::FatalReport);
+    };
+
+    let mut m = Machine {
+        regs: [0u64; 12],
+        frames: [Frame {
+            return_pc: 0,
+            stack_addr: 0,
+        }; MAX_FRAMES],
+        nframes: 0,
+        stacks: [0u64; MAX_FRAMES + 1],
+        nstacks: 1,
+        tail_calls: 0,
+        helper_calls: 0,
+        kfunc_calls: 0,
+        exec_hash: FNV_OFFSET,
+        stack_bytes,
+    };
+    m.regs[Reg::R1.index()] = trig.ctx_addr;
+    m.regs[Reg::R10.index()] = stack0 + stack_bytes as u64;
+    m.stacks[0] = stack0;
+
+    let env = HelperEnv {
+        prog_type: entry.prog_type,
+        in_nmi: trig.in_nmi,
+        ctx_addr: trig.ctx_addr,
+        packet_addr: trig.packet_addr,
+        packet_len: trig.packet_len,
+        tail_call: None,
+    };
+    if trig.in_nmi {
+        kernel.enter_nmi();
+    }
+    let mut ctx = Ctx {
+        kernel,
+        progs,
+        attach,
+        env,
+        depth,
+    };
+
+    let mut steps: u64 = 0;
+    let mut instrumented_steps: u64 = 0;
+    let mut pc = 0usize;
+    let mut halt = HaltReason::Exit;
+    let mut r0_out = None;
+
+    'run: loop {
+        // The borrow of `cur` (through `op`) ends with this block, so a
+        // tail-call switch below can rebind it.
+        let flow = 'flow: {
+            // Fused-run fast path: a straight-line stretch of
+            // fall-through ops executes in a tight inner loop with no
+            // per-step limit/trace/flow dispatch. Taken only when the
+            // stretch is untraced, fits under the step limit whole, and
+            // no fatal report is already pending (a nested tracepoint
+            // execution can begin with one, and the per-op path must
+            // then halt after exactly one more op) — in every other
+            // case the exact per-op path below runs instead.
+            if trace.is_none() {
+                if let Some((data, at)) = cur.ops[pc].block.as_ref() {
+                    let at = *at;
+                    let remaining = (data.body.len() - at) as u64;
+                    if steps + remaining <= STEP_LIMIT && !ctx.kernel.reports.any_fatal() {
+                        let mut ran = 0;
+                        let mut early = None;
+                        for step in &data.body[at..] {
+                            ran += 1;
+                            match step {
+                                RunStep::AluRR { d, s, f } => {
+                                    m.regs[*d] = f(m.regs[*d], m.regs[*s]);
+                                }
+                                RunStep::AluRI { d, v, f } => {
+                                    m.regs[*d] = f(m.regs[*d], *v);
+                                }
+                                RunStep::Unary { d, f } => m.regs[*d] = f(m.regs[*d]),
+                                RunStep::Ldx {
+                                    d,
+                                    s,
+                                    off,
+                                    width,
+                                    conv,
+                                    ex,
+                                } => {
+                                    let addr = m.regs[*s].wrapping_add_signed(*off);
+                                    match ctx.kernel.mm.pool.raw_read(addr, *width) {
+                                        Some(v) => m.regs[*d] = conv(v),
+                                        None if *ex => m.regs[*d] = 0,
+                                        None => {
+                                            ctx.kernel.report_page_fault(addr, false);
+                                            early = Some(Flow::Halt(HaltReason::PageFault));
+                                            break;
+                                        }
+                                    }
+                                }
+                                RunStep::St {
+                                    d,
+                                    off,
+                                    width,
+                                    v,
+                                    ex,
+                                } => {
+                                    let addr = m.regs[*d].wrapping_add_signed(*off);
+                                    if !ctx.kernel.mm.pool.raw_write(addr, *width, *v) && !*ex {
+                                        ctx.kernel.report_page_fault(addr, true);
+                                        early = Some(Flow::Halt(HaltReason::PageFault));
+                                        break;
+                                    }
+                                }
+                                RunStep::Stx {
+                                    d,
+                                    s,
+                                    off,
+                                    width,
+                                    ex,
+                                } => {
+                                    let addr = m.regs[*d].wrapping_add_signed(*off);
+                                    let val = m.regs[*s];
+                                    if !ctx.kernel.mm.pool.raw_write(addr, *width, val) && !*ex {
+                                        ctx.kernel.report_page_fault(addr, true);
+                                        early = Some(Flow::Halt(HaltReason::PageFault));
+                                        break;
+                                    }
+                                }
+                                // A fusable op's only `Next` is its own
+                                // fall-through; after it, the op may
+                                // have touched the kernel, so the
+                                // fatal-report answer is re-polled.
+                                RunStep::Full(f) => match f(&mut m, &mut ctx) {
+                                    Flow::Next(_) => {
+                                        if ctx.kernel.reports.any_fatal() {
+                                            early = Some(Flow::Halt(HaltReason::FatalReport));
+                                            break;
+                                        }
+                                    }
+                                    other => {
+                                        early = Some(other);
+                                        break;
+                                    }
+                                },
+                            }
+                        }
+                        steps += ran;
+                        let i = at + ran as usize;
+                        instrumented_steps +=
+                            u64::from(data.instr_prefix[i] - data.instr_prefix[at]);
+                        match early {
+                            // Non-fall-through flow (or a fatal report):
+                            // the shared dispatch below handles it with
+                            // the steps already accounted.
+                            Some(f) => break 'flow f,
+                            None if data.end >= cur.ops.len() => {
+                                halt = HaltReason::BadInstruction;
+                                break 'run;
+                            }
+                            None => {
+                                pc = data.end;
+                                continue 'run;
+                            }
+                        }
+                    }
+                }
+            }
+            steps += 1;
+            if steps > STEP_LIMIT {
+                halt = HaltReason::StepLimit;
+                break 'run;
+            }
+            let op = &cur.ops[pc];
+            let Some(run) = op.run.as_ref() else {
+                halt = HaltReason::BadInstruction;
+                break 'run;
+            };
+            if op.instrumented {
+                instrumented_steps += 1;
+            }
+            if m.nframes == 0 {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(pc, &m.regs);
+                }
+            }
+            run(&mut m, &mut ctx)
+        };
+        match flow {
+            Flow::Next(n) => {
+                // A fatal report (panic, lockdep splat, KASAN hit inside
+                // a routine) stops the machine.
+                if ctx.kernel.reports.any_fatal() {
+                    halt = HaltReason::FatalReport;
+                    break;
+                }
+                if n >= cur.ops.len() {
+                    halt = HaltReason::BadInstruction;
+                    break;
+                }
+                pc = n;
+            }
+            Flow::Tail(pid) => {
+                if ctx.kernel.reports.any_fatal() {
+                    halt = HaltReason::FatalReport;
+                    break;
+                }
+                let Some(target) = ctx.progs.get(pid as usize) else {
+                    halt = HaltReason::BadInstruction;
+                    break;
+                };
+                cur = compiled_of(target);
+                // The successor image was verified on its own; its
+                // register file does not belong to the snapshot stream
+                // of the original program.
+                trace = None;
+                if cur.ops.is_empty() {
+                    halt = HaltReason::BadInstruction;
+                    break;
+                }
+                pc = 0;
+            }
+            Flow::Ret => {
+                r0_out = Some(m.regs[Reg::R0.index()]);
+                break;
+            }
+            Flow::Ret0 => {
+                r0_out = Some(0);
+                break;
+            }
+            Flow::Halt(h) => {
+                halt = h;
+                break;
+            }
+        }
+    }
+
+    let kernel = ctx.kernel;
+    for &s in &m.stacks[..m.nstacks] {
+        kernel.mm.kfree(s);
+    }
+    if trig.in_nmi {
+        kernel.leave_nmi();
+    }
+    let mut exec_hash = m.exec_hash;
+    if let Some(r0) = r0_out {
+        exec_hash = fnv_fold(exec_hash, r0);
+    }
+    ExecResult {
+        r0: r0_out,
+        steps,
+        halt,
+        helper_calls: m.helper_calls,
+        kfunc_calls: m.kfunc_calls,
+        instrumented_steps,
+        exec_hash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+
+    const ALU_OPS: [AluOp; 12] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Mod,
+        AluOp::Xor,
+        AluOp::Mov,
+        AluOp::Arsh,
+    ];
+    const JMP_OPS: [JmpOp; 11] = [
+        JmpOp::Jeq,
+        JmpOp::Jne,
+        JmpOp::Jgt,
+        JmpOp::Jge,
+        JmpOp::Jlt,
+        JmpOp::Jle,
+        JmpOp::Jset,
+        JmpOp::Jsgt,
+        JmpOp::Jsge,
+        JmpOp::Jslt,
+        JmpOp::Jsle,
+    ];
+    const SAMPLES: [u64; 8] = [
+        0,
+        1,
+        63,
+        64,
+        0x8000_0000,
+        0xffff_ffff,
+        u64::MAX,
+        (-8i64) as u64,
+    ];
+
+    #[test]
+    fn alu_table_matches_interpreter() {
+        for op in ALU_OPS {
+            for is64 in [false, true] {
+                let f = alu_fn(op, is64);
+                for &d in &SAMPLES {
+                    for &s in &SAMPLES {
+                        assert_eq!(
+                            f(d, s),
+                            interp::alu(op, is64, d, s),
+                            "{op:?} is64={is64} d={d:#x} s={s:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jmp_table_matches_interpreter() {
+        for op in JMP_OPS {
+            for is32 in [false, true] {
+                let f = jmp_fn(op, is32);
+                for &a in &SAMPLES {
+                    for &b in &SAMPLES {
+                        assert_eq!(
+                            f(a, b),
+                            interp::jmp_taken(op, is32, a, b),
+                            "{op:?} is32={is32} a={a:#x} b={b:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_tables_match_interpreter() {
+        for size in [Size::B, Size::H, Size::W, Size::Dw] {
+            for &v in &SAMPLES {
+                assert_eq!(sext_fn(size)(v), interp::sext(v, size));
+                assert_eq!(truncate_fn(size)(v), interp::truncate(v, size));
+            }
+        }
+        for e in [Endianness::Le, Endianness::Be, Endianness::Swap] {
+            for bits in [16, 32, 64] {
+                for &v in &SAMPLES {
+                    assert_eq!(endian_fn(e, bits)(v), interp::endian(e, bits, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [Backend::Interp, Backend::Compiled] {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("jit"), None);
+    }
+}

@@ -10,6 +10,7 @@
 //! dispatch to the `bpf_asan_*` functions.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bvf_isa::decode::SourceOperandValue;
 use bvf_isa::{AluOp, AtomicOp, CallTarget, Endianness, InsnKind, JmpOp, Program, Reg, Size};
@@ -24,6 +25,7 @@ use bvf_kernel_sim::Kernel;
 use bvf_verifier::sanitize::{EXT_SLOT_R0, EXT_STACK_BYTES};
 use bvf_verifier::InsnMeta;
 
+use crate::compile::CompiledProg;
 use bvf_isa::reg::STACK_SIZE;
 
 /// Per-execution step budget (runaway guard, not a semantic limit).
@@ -39,25 +41,40 @@ pub const MAX_TP_DEPTH: u32 = 4;
 /// A loaded program as the runtime executes it.
 ///
 /// Built through [`ExecImage::new`], which pre-decodes the instruction
-/// stream once; mutating `prog` afterwards would desynchronize the decode
-/// cache, so loaded images are treated as immutable.
+/// stream once. The instruction stream and metadata are private — a
+/// mutation after build would desynchronize the decode cache (and any
+/// compiled form), so loaded images are immutable; read access goes
+/// through [`ExecImage::prog`] / [`ExecImage::meta`].
 #[derive(Debug, Clone)]
 pub struct ExecImage {
     /// The (possibly sanitized) instruction stream.
-    pub prog: Program,
+    pub(crate) prog: Program,
     /// Per-slot metadata (exception-table entries, rewrite marks).
-    pub meta: Vec<InsnMeta>,
+    pub(crate) meta: Vec<InsnMeta>,
     /// Program type.
     pub prog_type: ProgType,
     /// Per-slot decode cache: entry `pc` holds exactly what
     /// `prog.decode_at(pc)` would return there (`None` for undecodable
     /// positions), so the hot loop never re-decodes a replayed program.
     decoded: Vec<Option<(InsnKind, usize)>>,
+    /// The closure-compiled form, present when the owning [`crate::Bpf`]
+    /// loads with [`crate::Backend::Compiled`]. Shared behind an `Arc`
+    /// so cloning an image (or a registry) never recompiles.
+    pub(crate) compiled: Option<Arc<CompiledProg>>,
 }
 
 impl ExecImage {
     /// Builds an execution image, pre-decoding every slot once.
+    ///
+    /// Rejects meta/instruction streams of different lengths: a
+    /// desynchronized pair could silently attach the wrong
+    /// exception-table entry or rewrite mark to an instruction.
     pub fn new(prog: Program, meta: Vec<InsnMeta>, prog_type: ProgType) -> ExecImage {
+        assert_eq!(
+            meta.len(),
+            prog.insn_count(),
+            "ExecImage meta must cover every instruction slot"
+        );
         let decoded = (0..prog.insn_count())
             .map(|pc| prog.decode_at(pc).ok())
             .collect();
@@ -66,13 +83,44 @@ impl ExecImage {
             meta,
             prog_type,
             decoded,
+            compiled: None,
         }
     }
 
-    /// The pre-decoded instruction starting at `pc` and its slot count.
+    /// The (possibly sanitized) instruction stream.
     #[inline]
-    fn decoded_at(&self, pc: usize) -> Option<(InsnKind, usize)> {
-        self.decoded.get(pc).copied().flatten()
+    pub fn prog(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Per-slot metadata (exception-table entries, rewrite marks).
+    #[inline]
+    pub fn meta(&self) -> &[InsnMeta] {
+        &self.meta
+    }
+
+    /// Lowers the image into its closure-compiled direct-threaded form.
+    /// Idempotent; the result is cached on the image.
+    pub fn compile(&mut self) {
+        if self.compiled.is_none() {
+            self.compiled = Some(Arc::new(crate::compile::compile_image(self)));
+        }
+    }
+
+    /// Whether the image carries a compiled form.
+    #[inline]
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// The pre-decoded instruction starting at `pc` and its slot count.
+    ///
+    /// `pc` must be in-bounds: the executor validates every program
+    /// counter before fetching (empty images never reach the fetch), so
+    /// this is a single indexed read on the hot path.
+    #[inline]
+    pub(crate) fn decoded_at(&self, pc: usize) -> Option<(InsnKind, usize)> {
+        self.decoded[pc]
     }
 }
 
@@ -140,11 +188,11 @@ pub struct ExecResult {
     pub exec_hash: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Folds one 64-bit word into an FNV-1a accumulator.
-fn fnv_fold(mut h: u64, v: u64) -> u64 {
+pub(crate) fn fnv_fold(mut h: u64, v: u64) -> u64 {
     for b in v.to_le_bytes() {
         h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
     }
@@ -152,13 +200,13 @@ fn fnv_fold(mut h: u64, v: u64) -> u64 {
 }
 
 #[derive(Clone, Copy)]
-struct Frame {
-    return_pc: usize,
-    stack_addr: u64,
+pub(crate) struct Frame {
+    pub(crate) return_pc: usize,
+    pub(crate) stack_addr: u64,
 }
 
 /// Maximum nested bpf-to-bpf call frames (kernel `MAX_CALL_FRAMES - 1`).
-const MAX_FRAMES: usize = 8;
+pub(crate) const MAX_FRAMES: usize = 8;
 
 /// Maximum steps recorded into an [`ExecTrace`]. Steps past the cap are
 /// dropped (and flagged), but every *recorded* step remains a valid
@@ -188,7 +236,7 @@ pub struct ExecTrace {
 }
 
 impl ExecTrace {
-    fn record(&mut self, pc: usize, regs: &[u64; 12]) {
+    pub(crate) fn record(&mut self, pc: usize, regs: &[u64; 12]) {
         if self.steps.len() >= TRACE_STEP_CAP {
             self.truncated = true;
             return;
@@ -228,6 +276,15 @@ pub fn exec_program_traced(
     depth: u32,
     mut trace: Option<&mut ExecTrace>,
 ) -> ExecResult {
+    // Backend dispatch: an image carrying a compiled form runs on the
+    // closure-compiled executor (identical observable semantics; see
+    // `crate::compile` for the equivalence contract).
+    if progs
+        .get(prog_id as usize)
+        .is_some_and(|image| image.compiled.is_some())
+    {
+        return crate::compile::exec_compiled(kernel, progs, attach, prog_id, trig, depth, trace);
+    }
     let mut steps: u64 = 0;
     if depth > MAX_TP_DEPTH {
         return ExecResult {
@@ -252,6 +309,20 @@ pub fn exec_program_traced(
         };
     };
     let mut image = image;
+    // An empty image has no slot 0: the fetch below is a plain indexed
+    // read, so reject the program up front (one counted step, exactly
+    // what the bounds-checked fetch used to report).
+    if image.prog.insn_count() == 0 {
+        return ExecResult {
+            r0: None,
+            steps: 1,
+            halt: HaltReason::BadInstruction,
+            helper_calls: 0,
+            kfunc_calls: 0,
+            instrumented_steps: 0,
+            exec_hash: FNV_OFFSET,
+        };
+    }
 
     let stack_bytes = (STACK_SIZE as u32 + EXT_STACK_BYTES) as usize;
     let Ok(stack0) = kernel.mm.kmalloc(stack_bytes) else {
@@ -312,7 +383,7 @@ pub fn exec_program_traced(
             halt = HaltReason::BadInstruction;
             break;
         };
-        let meta = image.meta.get(pc).copied().unwrap_or_default();
+        let meta = image.meta[pc];
         if meta.emitted_by_rewrite {
             instrumented_steps += 1;
         }
@@ -688,7 +759,7 @@ pub fn fire_tracepoint(
     }
 }
 
-fn prog_array_slot(kernel: &Kernel, map_id: u32, index: u32) -> Option<u32> {
+pub(crate) fn prog_array_slot(kernel: &Kernel, map_id: u32, index: u32) -> Option<u32> {
     let map = kernel.maps.get(map_id)?;
     match &map.storage {
         MapStorage::ProgArray { slots } => {
@@ -703,7 +774,7 @@ fn prog_array_slot(kernel: &Kernel, map_id: u32, index: u32) -> Option<u32> {
     }
 }
 
-fn packet_load(kernel: &Kernel, env: &HelperEnv, off: i64, size: Size) -> Option<u64> {
+pub(crate) fn packet_load(kernel: &Kernel, env: &HelperEnv, off: i64, size: Size) -> Option<u64> {
     if off < 0 || (off as u64).saturating_add(size.bytes() as u64) > env.packet_len {
         return None;
     }
@@ -720,7 +791,7 @@ fn packet_load(kernel: &Kernel, env: &HelperEnv, off: i64, size: Size) -> Option
     })
 }
 
-fn truncate(v: u64, size: Size) -> u64 {
+pub(crate) fn truncate(v: u64, size: Size) -> u64 {
     match size {
         Size::B => v as u8 as u64,
         Size::H => v as u16 as u64,
@@ -729,7 +800,7 @@ fn truncate(v: u64, size: Size) -> u64 {
     }
 }
 
-fn sext(v: u64, size: Size) -> u64 {
+pub(crate) fn sext(v: u64, size: Size) -> u64 {
     match size {
         Size::B => v as u8 as i8 as i64 as u64,
         Size::H => v as u16 as i16 as i64 as u64,
@@ -738,7 +809,7 @@ fn sext(v: u64, size: Size) -> u64 {
     }
 }
 
-fn alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
+pub(crate) fn alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
     if is64 {
         match op {
             AluOp::Add => dst.wrapping_add(src),
@@ -776,7 +847,7 @@ fn alu(op: AluOp, is64: bool, dst: u64, src: u64) -> u64 {
     }
 }
 
-fn endian(e: Endianness, bits: i32, v: u64) -> u64 {
+pub(crate) fn endian(e: Endianness, bits: i32, v: u64) -> u64 {
     // Little-endian host: `to_le` is the identity, `to_be` swaps; the
     // unconditional swap always swaps.
     let swap = |v: u64| match bits {
@@ -795,7 +866,7 @@ fn endian(e: Endianness, bits: i32, v: u64) -> u64 {
     }
 }
 
-fn jmp_taken(op: JmpOp, is32: bool, a: u64, b: u64) -> bool {
+pub(crate) fn jmp_taken(op: JmpOp, is32: bool, a: u64, b: u64) -> bool {
     if is32 {
         let (a, b) = (a as u32, b as u32);
         let (sa, sb) = (a as i32, b as i32);

@@ -36,7 +36,7 @@ fn main() {
     let image = bpf.image(id).unwrap();
     println!(
         "after verification + sanitation (Figure 5 shape):\n{}",
-        image.prog.dump()
+        image.prog().dump()
     );
     let stats = bpf.progs[id as usize].sanitize_stats.unwrap();
     println!(
